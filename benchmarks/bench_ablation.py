@@ -1,0 +1,98 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Three questions the paper's flow raises but does not isolate:
+
+1. How much does *merged synthesis* (Phase I) save over the naive
+   "n separate circuits + output multiplexers" structure of Fig. 2?
+2. How much of the final saving comes from the *camouflage technology
+   mapping* (Phase III) on top of the GA result?
+3. What does pinning the first function's pins (symmetry breaking in the GA
+   genotype) cost or save compared to the fully free encoding?
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow import obfuscate_with_assignment
+from repro.ga import GAParameters, optimize_pin_assignment
+from repro.merge import merge_functions, naive_merged_netlist
+from repro.sboxes import optimal_sboxes
+from repro.synth import synthesize
+
+
+@pytest.fixture(scope="module")
+def four_sboxes():
+    return optimal_sboxes(4)
+
+
+def test_ablation_merged_vs_naive_structure(benchmark, record, four_sboxes):
+    """Phase I ablation: shared synthesis vs the explicit Fig. 2 structure."""
+
+    def run():
+        design = merge_functions(four_sboxes)
+        shared = synthesize(design.function, effort="fast").area
+        naive = naive_merged_netlist(four_sboxes).area()
+        return shared, naive
+
+    shared, naive = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert shared < naive, "merged synthesis should beat the naive mux structure"
+    benchmark.extra_info["shared_area"] = shared
+    benchmark.extra_info["naive_area"] = naive
+    record(
+        "ablation_merged_vs_naive",
+        f"shared-synthesis area : {shared:.1f} GE\n"
+        f"naive Fig.2 structure : {naive:.1f} GE\n"
+        f"saving                : {100 * (naive - shared) / naive:.0f}%",
+    )
+
+
+def test_ablation_technology_mapping_contribution(benchmark, record, four_sboxes):
+    """Phase III ablation: area before and after camouflage mapping."""
+
+    def run():
+        return obfuscate_with_assignment(four_sboxes, effort="fast")
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.camouflaged_area <= result.synthesized_area + 1e-9
+    benchmark.extra_info["synthesized_area"] = result.synthesized_area
+    benchmark.extra_info["camouflaged_area"] = result.camouflaged_area
+    record(
+        "ablation_techmap_contribution",
+        f"synthesised (GA input) area : {result.synthesized_area:.1f} GE\n"
+        f"after camouflage mapping    : {result.camouflaged_area:.1f} GE\n"
+        f"reduction                   : "
+        f"{100 * (result.synthesized_area - result.camouflaged_area) / result.synthesized_area:.0f}%",
+    )
+
+
+def test_ablation_symmetry_breaking_in_genotype(benchmark, record):
+    """GA encoding ablation: pinning function 0's pins vs the free encoding."""
+    functions = optimal_sboxes(2)
+    parameters = GAParameters(population_size=6, generations=3, seed=5)
+
+    def run():
+        pinned = optimize_pin_assignment(
+            functions, parameters=parameters, effort="fast", final_effort="fast"
+        ).best_area
+        from repro.ga import PinAssignmentProblem, GeneticAlgorithm
+
+        free_problem = PinAssignmentProblem(functions, effort="fast", fix_first_function=False)
+        engine = GeneticAlgorithm(
+            sample=free_problem.random_genotype,
+            evaluate=free_problem.evaluate,
+            crossover=free_problem.crossover,
+            mutate=free_problem.mutate,
+            parameters=parameters,
+        )
+        free = engine.run(initial_population=[free_problem.space.identity_genotype()]).best_fitness
+        return pinned, free
+
+    pinned, free = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["pinned_area"] = pinned
+    benchmark.extra_info["free_area"] = free
+    record(
+        "ablation_symmetry_breaking",
+        f"GA with function-0 pins fixed : {pinned:.1f} GE\n"
+        f"GA with free encoding         : {free:.1f} GE",
+    )

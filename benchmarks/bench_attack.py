@@ -1,0 +1,70 @@
+"""Adversary analysis benchmark (the paper's threat-model claims).
+
+Two measurements on the same pair of viable S-boxes:
+
+* the proposed flow (merge + GA + camouflage mapping) must leave *every*
+  viable function plausible to the SAT-based adversary;
+* random camouflaging of a single-function circuit must leave only the true
+  function plausible, i.e. the adversary immediately learns the function.
+
+The benchmark times the adversary's SAT queries (the decamouflaging cost the
+related-work attacks measure).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import PlausibleFunctionOracle, random_camouflage_experiment
+from repro.flow import obfuscate_with_assignment
+from repro.sboxes import optimal_sboxes
+from repro.synth import synthesize
+
+
+@pytest.fixture(scope="module")
+def obfuscated_pair():
+    functions = optimal_sboxes(2)
+    result = obfuscate_with_assignment(functions, effort="fast")
+    return functions, result
+
+
+def test_attack_proposed_flow_keeps_all_viable_functions(benchmark, record, obfuscated_pair):
+    functions, result = obfuscated_pair
+    oracle = PlausibleFunctionOracle.from_mapping(result.mapping)
+    views = result.assignment.apply(list(functions))
+
+    def adversary_checks():
+        return [bool(oracle.is_plausible(view)) for view in views]
+
+    verdicts = benchmark.pedantic(adversary_checks, rounds=1, iterations=1)
+    assert verdicts == [True, True], "a viable function became distinguishable"
+    benchmark.extra_info["plausible"] = verdicts
+    record(
+        "attack_proposed_flow",
+        "\n".join(
+            f"{function.name}: plausible={verdict}"
+            for function, verdict in zip(functions, verdicts)
+        ),
+    )
+
+
+def test_attack_random_camouflage_fails(benchmark, record):
+    functions = optimal_sboxes(2)
+    single = synthesize(functions[0], effort="fast").netlist
+
+    def run_experiment():
+        return random_camouflage_experiment(single, functions, fraction=0.5, seed=3)
+
+    experiment = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert experiment.plausible[0] is True
+    assert experiment.plausible[1] is False, (
+        "random camouflaging unexpectedly made another viable function plausible"
+    )
+    benchmark.extra_info["plausible"] = experiment.plausible
+    record(
+        "attack_random_camouflage",
+        "\n".join(
+            f"{function.name}: plausible={verdict}"
+            for function, verdict in zip(functions, experiment.plausible)
+        ),
+    )

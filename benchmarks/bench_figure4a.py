@@ -1,0 +1,32 @@
+"""Figure 4a: area distribution of random pin assignments.
+
+Workload: the merged circuit of 8 PRESENT-style S-boxes (the paper's Fig. 4
+workload; smaller profiles may scale the S-box count down).  The benchmark
+evaluates a batch of random pin assignments and records the histogram that
+the paper plots, together with its average and best.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import run_figure4a
+
+
+def test_figure4a_random_distribution(benchmark, profile, record):
+    data = benchmark.pedantic(
+        run_figure4a, kwargs={"profile": profile, "seed": 11}, rounds=1, iterations=1
+    )
+
+    assert len(data.areas) >= 2
+    assert data.best <= data.average <= data.worst
+    # The histogram is the figure: it must cover every evaluated assignment
+    # and show an actual spread (otherwise Phase II would be pointless).
+    assert sum(count for _, count in data.histogram) == len(data.areas)
+    assert data.worst > data.best
+
+    benchmark.extra_info["samples"] = len(data.areas)
+    benchmark.extra_info["best"] = data.best
+    benchmark.extra_info["average"] = data.average
+    benchmark.extra_info["worst"] = data.worst
+    record("figure4a", data.to_text())

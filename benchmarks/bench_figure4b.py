@@ -1,0 +1,35 @@
+"""Figure 4b: genetic-algorithm convergence vs. the random baseline.
+
+The benchmark runs the Phase II GA on the merged 8-S-box circuit and an
+equal budget of random pin assignments, then records the per-generation
+best-so-far series together with the random average/best reference lines.
+The paper's claim — the GA curve drops below the best random assignment —
+is asserted (with a small tolerance for the scaled-down quick profile).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import run_figure4b
+
+
+def test_figure4b_ga_vs_random(benchmark, profile, record):
+    data = benchmark.pedantic(
+        run_figure4b, kwargs={"profile": profile, "seed": 11}, rounds=1, iterations=1
+    )
+
+    # Series shape: one entry per generation, monotone best-so-far.
+    assert len(data.generations) == profile.ga_generations + 1
+    assert all(b <= a for a, b in zip(data.best_so_far, data.best_so_far[1:]))
+    assert data.random_best <= data.random_average
+    # The paper's headline observation for Fig. 4b.
+    assert data.best_so_far[-1] <= data.random_best * 1.05, (
+        "GA failed to reach the best random assignment within the budget"
+    )
+
+    benchmark.extra_info["ga_final_best"] = data.best_so_far[-1]
+    benchmark.extra_info["random_best"] = data.random_best
+    benchmark.extra_info["random_average"] = data.random_average
+    benchmark.extra_info["crossover_generation"] = data.crossover_generation()
+    record("figure4b", data.to_text())

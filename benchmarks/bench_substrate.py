@@ -1,0 +1,56 @@
+"""Microbenchmarks of the EDA substrate (synthesis, mapping, SAT).
+
+These do not correspond to a table or figure of the paper; they track the
+cost of the building blocks that dominate the experiment runtimes: one
+synthesis run (the GA's fitness evaluation), the camouflage technology
+mapping, and a SAT equivalence check.  Unlike the experiment harnesses they
+use multiple rounds so pytest-benchmark produces meaningful statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.camo import default_camouflage_library
+from repro.merge import merge_functions
+from repro.sat import check_netlist_function
+from repro.sboxes import des_sboxes, optimal_sboxes, present_sbox
+from repro.synth import synthesize
+from repro.techmap import camouflage_map
+
+
+def test_bench_synthesize_present_sbox(benchmark):
+    function = present_sbox()
+    result = benchmark(lambda: synthesize(function, effort="fast"))
+    assert result.area > 0
+
+
+def test_bench_synthesize_merged_four_sboxes(benchmark):
+    design = merge_functions(optimal_sboxes(4))
+    result = benchmark(lambda: synthesize(design.function, effort="fast"))
+    assert result.area > 0
+
+
+def test_bench_synthesize_des_sbox(benchmark):
+    function = des_sboxes(1)[0]
+    result = benchmark(lambda: synthesize(function, effort="fast"))
+    assert result.area > 0
+
+
+def test_bench_camouflage_map_two_sboxes(benchmark):
+    design = merge_functions(optimal_sboxes(2))
+    synthesis = synthesize(design.function, effort="fast")
+    camo = default_camouflage_library(synthesis.netlist.library)
+    select_nets = [f"sel[{k}]" for k in range(design.num_selects)]
+
+    mapping = benchmark(
+        lambda: camouflage_map(synthesis.netlist, select_nets, camo_library=camo)
+    )
+    assert mapping.area() > 0
+
+
+def test_bench_sat_equivalence_check(benchmark):
+    function = present_sbox()
+    netlist = synthesize(function, effort="fast").netlist
+    outcome = benchmark(lambda: check_netlist_function(netlist, function))
+    assert bool(outcome)

@@ -1,0 +1,35 @@
+"""Table I (DES rows): merged DES S-box circuits.
+
+Same comparison as the PRESENT rows but on the 6-input/4-output DES S-boxes,
+which are roughly 5x larger; the paper reports the largest savings (up to
+48%) on these circuits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import DES_FAMILY, run_table1_entry, table1_text
+
+
+def _run_entry(profile, count):
+    return run_table1_entry(DES_FAMILY, count, profile=profile, seed=1)
+
+
+@pytest.mark.parametrize("count", [2, 4, 8])
+def test_table1_des(benchmark, profile, record, count):
+    if count not in profile.des_counts:
+        pytest.skip(f"{count} merged DES S-boxes not part of profile {profile.name!r}")
+    entry = benchmark.pedantic(_run_entry, args=(profile, count), rounds=1, iterations=1)
+
+    row = entry.row
+    assert entry.verification_ok, "camouflaged circuit lost a viable function"
+    assert row.random_best <= row.random_avg + 1e-9
+    assert row.ga_tm_area <= row.ga_area + 1e-9
+
+    benchmark.extra_info.update(row.as_dict())
+    benchmark.extra_info["ga_evaluations"] = entry.ga_evaluations
+    record(
+        f"table1_des_{count:02d}",
+        table1_text([entry], profile_name=profile.name),
+    )

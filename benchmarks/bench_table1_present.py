@@ -1,0 +1,36 @@
+"""Table I (PRESENT rows): merged optimal 4-bit S-box circuits.
+
+For every configuration in the active profile this benchmark runs the full
+comparison of the paper's Table I — random pin assignments (average / best),
+the genetic algorithm, and GA followed by camouflage technology mapping —
+and records the measured GE areas plus the improvement percentage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import PRESENT_FAMILY, run_table1_entry, table1_text
+
+
+def _run_entry(profile, count):
+    return run_table1_entry(PRESENT_FAMILY, count, profile=profile, seed=1)
+
+
+@pytest.mark.parametrize("count", [2, 4, 8, 16])
+def test_table1_present(benchmark, profile, record, count):
+    if count not in profile.present_counts:
+        pytest.skip(f"{count} merged PRESENT S-boxes not part of profile {profile.name!r}")
+    entry = benchmark.pedantic(_run_entry, args=(profile, count), rounds=1, iterations=1)
+
+    row = entry.row
+    assert entry.verification_ok, "camouflaged circuit lost a viable function"
+    assert row.random_best <= row.random_avg + 1e-9
+    assert row.ga_tm_area <= row.ga_area + 1e-9
+
+    benchmark.extra_info.update(row.as_dict())
+    benchmark.extra_info["ga_evaluations"] = entry.ga_evaluations
+    record(
+        f"table1_present_{count:02d}",
+        table1_text([entry], profile_name=profile.name),
+    )

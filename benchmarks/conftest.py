@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark runs the real experiment pipeline exactly once per benchmark
+(``benchmark.pedantic(..., rounds=1)``): the quantity of interest is the
+reproduced table/figure data, with the wall-clock time of the flow recorded
+as a by-product.  The experiment profile is selected with the
+``REPRO_PROFILE`` environment variable (quick / medium / paper); the default
+``quick`` profile finishes the whole suite in a few minutes.
+
+Reproduced numbers are printed to stdout and appended to
+``benchmarks/results/`` so that EXPERIMENTS.md can be updated from a run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation import get_profile
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The experiment profile used by every benchmark in this session."""
+    return get_profile()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory collecting the reproduced tables/figures as text files."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir):
+    """Write one reproduced artefact to the results directory and echo it."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n===== {name} =====")
+        print(text)
+
+    return _record

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has setuptools but not the ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) are unavailable.  Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

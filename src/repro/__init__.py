@@ -1,0 +1,57 @@
+"""Reproduction of "Design Automation for Obfuscated Circuits with Multiple
+Viable Functions" (Keshavarz, Paar, Holcomb -- DATE 2017).
+
+The package is organised as a small EDA flow:
+
+* :mod:`repro.logic`, :mod:`repro.netlist`, :mod:`repro.aig`, :mod:`repro.synth`
+  -- the synthesis substrate (truth tables, netlists, AIG optimisation,
+  technology mapping to a GE-weighted standard-cell library);
+* :mod:`repro.camo` -- dopant-programmable camouflaged cells and their
+  plausible-function families;
+* :mod:`repro.merge`, :mod:`repro.ga` -- Phase I (multi-function merging) and
+  Phase II (genetic-algorithm pin-assignment optimisation);
+* :mod:`repro.techmap` -- Phase III (tree covering with camouflaged cells);
+* :mod:`repro.sat`, :mod:`repro.attacks` -- the adversary model: a CDCL SAT
+  solver and the viable-function plausibility tests;
+* :mod:`repro.sboxes` -- the PRESENT, optimal 4-bit, and DES S-box workloads;
+* :mod:`repro.flow`, :mod:`repro.evaluation` -- the end-to-end obfuscation flow
+  and the Table I / Figure 4 experiment harnesses.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]
+
+from .flow.obfuscate import ObfuscationResult, obfuscate, obfuscate_with_assignment
+from .ga.engine import GAParameters
+from .logic.boolfunc import BoolFunction
+from .logic.truthtable import TruthTable
+from .merge.merged import MergedDesign, merge_functions
+from .merge.pinassign import PinAssignment
+from .netlist.library import standard_cell_library
+from .camo.library import default_camouflage_library
+from .sboxes.des import des_sboxes
+from .sboxes.optimal4 import optimal_sboxes
+from .sboxes.present import present_sbox
+from .synth.script import synthesize
+from .techmap.mapper import camouflage_map
+
+__all__ = [
+    "__version__",
+    "TruthTable",
+    "BoolFunction",
+    "PinAssignment",
+    "MergedDesign",
+    "merge_functions",
+    "GAParameters",
+    "standard_cell_library",
+    "default_camouflage_library",
+    "synthesize",
+    "camouflage_map",
+    "obfuscate",
+    "obfuscate_with_assignment",
+    "ObfuscationResult",
+    "present_sbox",
+    "optimal_sboxes",
+    "des_sboxes",
+]

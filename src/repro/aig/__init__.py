@@ -1,0 +1,34 @@
+"""And-Inverter Graph substrate: representation, construction, optimisation."""
+
+from .aig import FALSE_LIT, TRUE_LIT, Aig, AigError
+from .build import (
+    aig_from_expression,
+    aig_from_function,
+    aig_from_netlist,
+    aig_from_tables,
+    build_expression,
+    build_table,
+)
+from .cuts import collect_cone_cut, cut_function, enumerate_cuts, mffc_size
+from .opt import balance, refactor, rewrite, strash
+
+__all__ = [
+    "Aig",
+    "AigError",
+    "FALSE_LIT",
+    "TRUE_LIT",
+    "aig_from_tables",
+    "aig_from_function",
+    "aig_from_expression",
+    "aig_from_netlist",
+    "build_expression",
+    "build_table",
+    "enumerate_cuts",
+    "cut_function",
+    "mffc_size",
+    "collect_cone_cut",
+    "balance",
+    "rewrite",
+    "refactor",
+    "strash",
+]

@@ -1,0 +1,153 @@
+"""k-feasible cut enumeration and cone analysis on AIGs.
+
+Cut enumeration is the work-horse of the rewrite pass: for every AND node we
+enumerate small sets of "leaf" nodes (the cut) such that the node's function
+can be expressed over the leaves alone.  The module also provides the cut
+function computation and the maximum-fanout-free-cone (MFFC) size used to
+estimate the gain of replacing a cone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..logic.truthtable import TruthTable
+from .aig import Aig, is_complemented, node_of
+
+__all__ = ["enumerate_cuts", "cut_function", "mffc_size", "collect_cone_cut"]
+
+Cut = FrozenSet[int]
+
+
+def enumerate_cuts(
+    aig: Aig, max_leaves: int = 4, max_cuts_per_node: int = 8
+) -> Dict[int, List[Cut]]:
+    """Enumerate k-feasible cuts for every node of the AIG.
+
+    Returns a mapping from node id to a list of cuts (each cut is a frozenset
+    of leaf node ids).  The trivial cut ``{node}`` is always included and is
+    always the first element.
+    """
+    cuts: Dict[int, List[Cut]] = {}
+    for node in range(1, aig.num_nodes):
+        trivial: Cut = frozenset({node})
+        if aig.is_input_node(node):
+            cuts[node] = [trivial]
+            continue
+        fanin0, fanin1 = aig.fanins(node)
+        candidates: List[Cut] = [trivial]
+        seen = {trivial}
+        for cut0 in cuts[node_of(fanin0)]:
+            for cut1 in cuts[node_of(fanin1)]:
+                merged = cut0 | cut1
+                if len(merged) > max_leaves:
+                    continue
+                if merged in seen:
+                    continue
+                if _is_dominated(merged, candidates):
+                    continue
+                seen.add(merged)
+                candidates.append(merged)
+        # Keep the trivial cut plus the smallest non-trivial cuts.
+        non_trivial = sorted(candidates[1:], key=lambda cut: (len(cut), sorted(cut)))
+        cuts[node] = [trivial] + non_trivial[: max_cuts_per_node - 1]
+    return cuts
+
+
+def _is_dominated(candidate: Cut, existing: Sequence[Cut]) -> bool:
+    """Return True if an existing cut is a subset of ``candidate``."""
+    return any(cut != candidate and cut <= candidate for cut in existing[1:])
+
+
+def cut_function(aig: Aig, root: int, cut: Cut) -> Tuple[TruthTable, List[int]]:
+    """Return the function of ``root`` over the cut leaves.
+
+    The leaves are ordered by node id; the returned list gives that order so
+    the caller knows which truth-table variable corresponds to which leaf.
+    """
+    leaves = sorted(cut)
+    num_vars = len(leaves)
+    tables: Dict[int, TruthTable] = {
+        leaf: TruthTable.variable(index, num_vars) for index, leaf in enumerate(leaves)
+    }
+
+    def _table_of(node: int) -> TruthTable:
+        cached = tables.get(node)
+        if cached is not None:
+            return cached
+        if not aig.is_and_node(node):
+            raise ValueError(f"node {node} is outside the cut cone but not a leaf")
+        fanin0, fanin1 = aig.fanins(node)
+        table0 = _table_of(node_of(fanin0))
+        if is_complemented(fanin0):
+            table0 = ~table0
+        table1 = _table_of(node_of(fanin1))
+        if is_complemented(fanin1):
+            table1 = ~table1
+        result = table0 & table1
+        tables[node] = result
+        return result
+
+    return _table_of(root), leaves
+
+
+def mffc_size(aig: Aig, root: int, cut: Cut, reference_counts: Dict[int, int]) -> int:
+    """Return the number of AND nodes freed if ``root`` were re-expressed over ``cut``.
+
+    This is the size of the maximum fanout-free cone of ``root`` bounded by
+    the cut leaves: the nodes whose only remaining references come from inside
+    the cone.  ``reference_counts`` must be the current fanout counts of the
+    AIG (they are not modified).
+    """
+    local_refs = dict(reference_counts)
+    freed = 0
+    stack = [root]
+    first = True
+    while stack:
+        node = stack.pop()
+        if node in cut and not first:
+            continue
+        if not aig.is_and_node(node):
+            continue
+        if not first and local_refs.get(node, 0) > 0:
+            continue
+        freed += 1
+        first = False
+        fanin0, fanin1 = aig.fanins(node)
+        for fanin in (node_of(fanin0), node_of(fanin1)):
+            if fanin in cut or not aig.is_and_node(fanin):
+                continue
+            local_refs[fanin] = local_refs.get(fanin, 0) - 1
+            if local_refs[fanin] <= 0:
+                stack.append(fanin)
+    return freed
+
+
+def collect_cone_cut(aig: Aig, root: int, max_leaves: int) -> Cut:
+    """Greedily grow a cut for ``root`` by expanding AND leaves until the limit.
+
+    Used by the refactor pass, which resynthesises one larger cone per node
+    instead of many small cuts.
+    """
+    leaves = {root}
+    while True:
+        expandable = [
+            leaf
+            for leaf in leaves
+            if aig.is_and_node(leaf)
+        ]
+        if not expandable:
+            break
+        progressed = False
+        # Expand the leaf whose expansion keeps the cut smallest.
+        expandable.sort(key=lambda leaf: leaf, reverse=True)
+        for leaf in expandable:
+            fanin0, fanin1 = aig.fanins(leaf)
+            new_leaves = (leaves - {leaf}) | {node_of(fanin0), node_of(fanin1)}
+            if len(new_leaves) <= max_leaves:
+                leaves = new_leaves
+                progressed = True
+                break
+        if not progressed:
+            break
+    return frozenset(leaves)

@@ -1,0 +1,195 @@
+"""AIG optimisation passes: balance, rewrite, refactor.
+
+These passes play the role of the ABC commands of the same names that the
+paper's synthesis script uses.  Each pass is functional: it consumes an AIG
+and returns a new, compacted AIG.
+
+* :func:`balance` rebuilds maximal AND trees as balanced trees (with
+  structural hashing this also merges duplicated subtrees).
+* :func:`rewrite` enumerates 4-input cuts per node, resynthesises the cut
+  function through ISOP + algebraic factoring, and accepts the replacement
+  when the resynthesised cone is smaller than the logic it frees (the
+  maximum fanout-free cone bounded by the cut).
+* :func:`refactor` does the same with a single, larger cone per node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..logic.expr import Expression
+from ..logic.factoring import factor_table
+from ..logic.truthtable import TruthTable
+from .aig import FALSE_LIT, TRUE_LIT, Aig, is_complemented, negate, node_of
+from .build import build_expression
+from .cuts import collect_cone_cut, cut_function, enumerate_cuts, mffc_size
+
+__all__ = ["balance", "rewrite", "refactor", "strash"]
+
+
+def strash(aig: Aig) -> Aig:
+    """Re-hash the AIG (removes dead and duplicate nodes)."""
+    return aig.compact()
+
+
+def balance(aig: Aig) -> Aig:
+    """Rebuild maximal AND trees as balanced trees."""
+    result = Aig(aig.name)
+    mapping: Dict[int, int] = {0: FALSE_LIT}
+    for index in range(aig.num_inputs):
+        node = node_of(aig.input_literal(index))
+        mapping[node] = result.add_input(aig.input_names[index])
+
+    reference = aig.reference_counts()
+    level_cache: Dict[int, int] = {0: 0}
+
+    def _level_of(literal: int) -> int:
+        """Logic level of a node in the new AIG (memoised; AIG is append-only)."""
+        node = node_of(literal)
+        cached = level_cache.get(node)
+        if cached is not None:
+            return cached
+        if result.is_and_node(node):
+            fanin0, fanin1 = result.fanins(node)
+            value = 1 + max(_level_of(fanin0), _level_of(fanin1))
+        else:
+            value = 0
+        level_cache[node] = value
+        return value
+
+    def _map_literal(literal: int) -> int:
+        mapped = mapping[node_of(literal)]
+        return negate(mapped) if is_complemented(literal) else mapped
+
+    def _collect_tree(literal: int, root: bool) -> List[int]:
+        """Collect the leaves of the maximal single-fanout AND tree under ``literal``."""
+        node = node_of(literal)
+        if (
+            is_complemented(literal)
+            or not aig.is_and_node(node)
+            or (not root and reference.get(node, 0) > 1)
+        ):
+            return [literal]
+        fanin0, fanin1 = aig.fanins(node)
+        return _collect_tree(fanin0, False) + _collect_tree(fanin1, False)
+
+    for node in aig.and_nodes():
+        leaves = _collect_tree(Aig.lit(node), True)
+        mapped_leaves = [_map_literal(leaf) for leaf in leaves]
+        # Sort by level in the new AIG so the tree is balanced by arrival time.
+        mapped_leaves.sort(key=_level_of)
+        mapping[node] = result.and_many(mapped_leaves)
+
+    for literal, name in zip(aig.outputs, aig.output_names):
+        result.add_output(_map_literal(literal), name)
+    return result.compact()
+
+
+class _Resynthesizer:
+    """Shared machinery: resynthesise a cut function and estimate its cost."""
+
+    def __init__(self) -> None:
+        self._expression_cache: Dict[Tuple[int, int], Tuple[Expression, int]] = {}
+
+    def factored_form(self, table: TruthTable) -> Tuple[Expression, int]:
+        """Return the factored expression of ``table`` and its AND-node cost."""
+        key = (table.num_vars, table.bits)
+        cached = self._expression_cache.get(key)
+        if cached is not None:
+            return cached
+        expression = factor_table(table)
+        cost = self._count_cost(expression, table.num_vars)
+        self._expression_cache[key] = (expression, cost)
+        return expression, cost
+
+    @staticmethod
+    def _count_cost(expression: Expression, num_vars: int) -> int:
+        scratch = Aig("scratch")
+        literals = {f"x{index}": scratch.add_input() for index in range(num_vars)}
+        output = build_expression(scratch, expression, literals)
+        scratch.add_output(output)
+        return scratch.num_live_ands()
+
+
+def rewrite(
+    aig: Aig,
+    max_leaves: int = 4,
+    max_cuts_per_node: int = 8,
+    zero_gain: bool = False,
+) -> Aig:
+    """Cut-based resynthesis (the ABC ``rewrite`` analogue)."""
+    cuts = enumerate_cuts(aig, max_leaves=max_leaves, max_cuts_per_node=max_cuts_per_node)
+    plans = _plan_replacements(aig, cuts, zero_gain)
+    return _rebuild(aig, plans)
+
+
+def refactor(
+    aig: Aig,
+    max_leaves: int = 8,
+    zero_gain: bool = False,
+) -> Aig:
+    """Cone-based resynthesis (the ABC ``refactor`` analogue)."""
+    cone_cuts: Dict[int, List] = {}
+    for node in aig.and_nodes():
+        cut = collect_cone_cut(aig, node, max_leaves)
+        if len(cut) >= 2 and cut != frozenset({node}):
+            cone_cuts[node] = [frozenset({node}), cut]
+        else:
+            cone_cuts[node] = [frozenset({node})]
+    plans = _plan_replacements(aig, cone_cuts, zero_gain)
+    return _rebuild(aig, plans)
+
+
+def _plan_replacements(
+    aig: Aig,
+    cuts: Dict[int, List],
+    zero_gain: bool,
+) -> Dict[int, Tuple[Expression, List[int]]]:
+    """Select, per node, the best resynthesis (if any improves on the MFFC)."""
+    resynthesizer = _Resynthesizer()
+    reference = aig.reference_counts()
+    plans: Dict[int, Tuple[Expression, List[int]]] = {}
+    minimum_gain = 0 if zero_gain else 1
+    for node in aig.and_nodes():
+        best_gain = minimum_gain - 1
+        best_plan: Optional[Tuple[Expression, List[int]]] = None
+        for cut in cuts.get(node, []):
+            if len(cut) < 2 or node in cut:
+                continue
+            table, leaves = cut_function(aig, node, cut)
+            expression, cost = resynthesizer.factored_form(table)
+            freed = mffc_size(aig, node, cut, reference)
+            gain = freed - cost
+            if gain > best_gain:
+                best_gain = gain
+                best_plan = (expression, leaves)
+        if best_plan is not None:
+            plans[node] = best_plan
+    return plans
+
+
+def _rebuild(aig: Aig, plans: Dict[int, Tuple[Expression, List[int]]]) -> Aig:
+    """Rebuild the AIG applying the chosen per-node resyntheses."""
+    result = Aig(aig.name)
+    mapping: Dict[int, int] = {0: FALSE_LIT}
+    for index in range(aig.num_inputs):
+        node = node_of(aig.input_literal(index))
+        mapping[node] = result.add_input(aig.input_names[index])
+
+    def _map_literal(literal: int) -> int:
+        mapped = mapping[node_of(literal)]
+        return negate(mapped) if is_complemented(literal) else mapped
+
+    for node in aig.and_nodes():
+        plan = plans.get(node)
+        if plan is None:
+            fanin0, fanin1 = aig.fanins(node)
+            mapping[node] = result.and_(_map_literal(fanin0), _map_literal(fanin1))
+            continue
+        expression, leaves = plan
+        literals = {f"x{index}": mapping[leaf] for index, leaf in enumerate(leaves)}
+        mapping[node] = build_expression(result, expression, literals)
+
+    for literal, name in zip(aig.outputs, aig.output_names):
+        result.add_output(_map_literal(literal), name)
+    return result.compact()

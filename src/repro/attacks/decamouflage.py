@@ -1,0 +1,245 @@
+"""Attacker-side analysis: which candidate functions are plausible?
+
+The adversary of the paper images the die, recognises every (look-alike)
+cell and its connections, and knows the plausible-function family of each
+camouflaged cell — but not which member is actually implemented.  For a
+candidate function ``f`` from her pre-existing list of viable functions she
+asks: *is there an assignment of plausible functions to the camouflaged
+instances that makes the circuit implement ``f``?*  This is the QBF-style
+query of the paper (reference [14]) specialised to combinational blocks with
+a handful of inputs, which lets us unroll the universal quantification over
+the inputs and answer it with a single SAT call.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..camo.library import CamouflageLibrary
+from ..logic.boolfunc import BoolFunction
+from ..logic.truthtable import TruthTable
+from ..netlist.netlist import CONST0_NET, CONST1_NET, Netlist
+from ..sat.cnf import Cnf
+from ..sat.solver import SatSolver
+from ..techmap.mapper import CamouflagedMapping
+
+__all__ = [
+    "DecamouflageResult",
+    "PlausibleFunctionOracle",
+    "is_function_plausible",
+    "plausible_viable_functions",
+]
+
+
+@dataclass
+class DecamouflageResult:
+    """Result of one plausibility query."""
+
+    plausible: bool
+    #: When plausible, a witness configuration: instance name -> configured function.
+    witness: Dict[str, TruthTable] = field(default_factory=dict)
+    conflicts: int = 0
+
+    def __bool__(self) -> bool:
+        return self.plausible
+
+
+class PlausibleFunctionOracle:
+    """SAT-based oracle answering "can this circuit implement function f?".
+
+    The oracle is built once per camouflaged netlist; each query unrolls the
+    circuit over all input words, shares the per-instance configuration
+    variables across the unrolled copies, and constrains the outputs to match
+    the candidate function.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        instance_plausible: Mapping[str, Sequence[TruthTable]],
+    ):
+        self._netlist = netlist
+        self._plausible = {
+            name: list(dict.fromkeys(functions))
+            for name, functions in instance_plausible.items()
+        }
+        for name, functions in self._plausible.items():
+            if not functions:
+                raise ValueError(f"instance {name!r} has an empty plausible set")
+
+    @classmethod
+    def from_mapping(cls, mapping: CamouflagedMapping) -> "PlausibleFunctionOracle":
+        """Build the oracle an adversary would build from a mapped design."""
+        plausible = {
+            name: list(mapping.plausible_functions_of(name))
+            for name in mapping.camouflaged_instances()
+        }
+        return cls(mapping.netlist, plausible)
+
+    # -------------------------------------------------------------- #
+    # Encoding
+    # -------------------------------------------------------------- #
+    def _encode(self, candidate: BoolFunction) -> Tuple[Cnf, Dict[Tuple[str, int], int]]:
+        netlist = self._netlist
+        num_inputs = len(netlist.primary_inputs)
+        if candidate.num_inputs != num_inputs:
+            raise ValueError(
+                f"candidate has {candidate.num_inputs} inputs, circuit has {num_inputs}"
+            )
+        if candidate.num_outputs != len(netlist.primary_outputs):
+            raise ValueError("candidate and circuit have different numbers of outputs")
+
+        cnf = Cnf()
+        selector_vars: Dict[Tuple[str, int], int] = {}
+        for name, functions in self._plausible.items():
+            literals = []
+            for index in range(len(functions)):
+                variable = cnf.new_var(f"cfg.{name}.{index}")
+                selector_vars[(name, index)] = variable
+                literals.append(variable)
+            # Exactly one configuration per camouflaged instance.
+            cnf.add_clause(literals)
+            for first, second in itertools.combinations(literals, 2):
+                cnf.add_clause([-first, -second])
+
+        order = netlist.topological_order()
+        for word in range(1 << num_inputs):
+            net_literal: Dict[str, int] = {}
+            true_var = cnf.new_var()
+            cnf.add_clause([true_var])
+            net_literal[CONST1_NET] = true_var
+            net_literal[CONST0_NET] = -true_var
+            for position, net in enumerate(netlist.primary_inputs):
+                value = (word >> position) & 1
+                net_literal[net] = true_var if value else -true_var
+
+            for instance in order:
+                output_var = cnf.new_var()
+                net_literal[instance.output] = output_var
+                input_literals = [net_literal[net] for net in instance.inputs]
+                functions = self._plausible.get(instance.name)
+                if functions is None:
+                    # Not camouflaged: encode the library function directly.
+                    self._encode_under_selector(
+                        cnf, None, netlist.library[instance.cell].function,
+                        input_literals, output_var,
+                    )
+                    continue
+                for index, function in enumerate(functions):
+                    selector = selector_vars[(instance.name, index)]
+                    self._encode_under_selector(
+                        cnf, selector, function, input_literals, output_var
+                    )
+
+            expected = candidate.evaluate_word(word)
+            for position, net in enumerate(netlist.primary_outputs):
+                literal = net_literal[net]
+                if (expected >> position) & 1:
+                    cnf.add_clause([literal])
+                else:
+                    cnf.add_clause([-literal])
+        return cnf, selector_vars
+
+    @staticmethod
+    def _encode_under_selector(
+        cnf: Cnf,
+        selector: Optional[int],
+        function: TruthTable,
+        input_literals: Sequence[int],
+        output_literal: int,
+    ) -> None:
+        """Encode ``selector -> (output == function(inputs))`` with fixed inputs.
+
+        Because the inputs here are concrete literals (constants or other net
+        variables), the implication is expressed cube-wise from the ISOP of
+        the on-set and off-set, guarded by the selector.
+        """
+        from ..logic.isop import isop
+
+        guard = [] if selector is None else [-selector]
+        if function.is_constant_zero():
+            cnf.add_clause(guard + [-output_literal])
+            return
+        if function.is_constant_one():
+            cnf.add_clause(guard + [output_literal])
+            return
+        for cube in isop(function):
+            clause = list(guard) + [output_literal]
+            for variable, positive in cube.literals():
+                literal = input_literals[variable]
+                clause.append(-literal if positive else literal)
+            cnf.add_clause(clause)
+        for cube in isop(~function):
+            clause = list(guard) + [-output_literal]
+            for variable, positive in cube.literals():
+                literal = input_literals[variable]
+                clause.append(-literal if positive else literal)
+            cnf.add_clause(clause)
+
+    # -------------------------------------------------------------- #
+    # Queries
+    # -------------------------------------------------------------- #
+    def is_plausible(self, candidate: BoolFunction) -> DecamouflageResult:
+        """Can the camouflaged circuit implement the candidate function?"""
+        cnf, selector_vars = self._encode(candidate)
+        result = SatSolver(cnf).solve()
+        if not result.satisfiable:
+            return DecamouflageResult(False, conflicts=result.conflicts)
+        witness: Dict[str, TruthTable] = {}
+        for (name, index), variable in selector_vars.items():
+            if result.model.get(variable, False):
+                witness[name] = self._plausible[name][index]
+        return DecamouflageResult(True, witness=witness, conflicts=result.conflicts)
+
+    def is_plausible_under_any_interpretation(
+        self,
+        candidate: BoolFunction,
+        max_permutations: Optional[int] = None,
+    ) -> DecamouflageResult:
+        """Check plausibility over all input/output pin interpretations.
+
+        The adversary does not know which external wire carries which logical
+        pin, so she must consider every input and output permutation of the
+        candidate (Section III-B of the paper).  This is exponential in the
+        pin count; ``max_permutations`` caps the number of interpretations
+        tried (None means exhaustive).
+        """
+        tried = 0
+        for input_perm in itertools.permutations(range(candidate.num_inputs)):
+            for output_perm in itertools.permutations(range(candidate.num_outputs)):
+                if max_permutations is not None and tried >= max_permutations:
+                    return DecamouflageResult(False)
+                tried += 1
+                view = candidate.permute_inputs(list(input_perm)).permute_outputs(
+                    list(output_perm)
+                )
+                outcome = self.is_plausible(view)
+                if outcome.plausible:
+                    return outcome
+        return DecamouflageResult(False)
+
+
+def is_function_plausible(
+    mapping: CamouflagedMapping, candidate: BoolFunction
+) -> DecamouflageResult:
+    """Convenience wrapper: adversary query against a Phase III mapping."""
+    oracle = PlausibleFunctionOracle.from_mapping(mapping)
+    return oracle.is_plausible(candidate)
+
+
+def plausible_viable_functions(
+    mapping: CamouflagedMapping,
+    viable_functions: Sequence[BoolFunction],
+    assignment_views: Optional[Sequence[BoolFunction]] = None,
+) -> List[bool]:
+    """Evaluate the adversary's checklist: which viable functions are plausible?
+
+    ``assignment_views`` optionally provides the pin-permuted view of each
+    viable function (what the designer actually embedded); when omitted the
+    functions are checked under the identity interpretation.
+    """
+    oracle = PlausibleFunctionOracle.from_mapping(mapping)
+    views = assignment_views if assignment_views is not None else viable_functions
+    return [bool(oracle.is_plausible(view)) for view in views]

@@ -1,0 +1,281 @@
+"""Oracle-guided (SAT) decamouflaging attack.
+
+The paper's introduction notes that when an adversary can observe the
+circuit's true input/output behaviour (e.g. through a scan chain), SAT-based
+attacks in the style of references [11] and [12] apply.  This module
+implements that stronger adversary as an extension of the reproduction: the
+classic *distinguishing-input-pattern* (DIP) loop.
+
+The attacker holds the camouflaged netlist (with the plausible-function
+family of every camouflaged instance) and black-box access to the configured
+chip.  Each iteration asks a SAT solver for an input on which two
+still-consistent configurations disagree, queries the oracle on that input,
+and constrains all future configurations to agree with the observed output.
+When no distinguishing input remains, every surviving configuration is
+functionally equivalent to the chip and the function has been recovered.
+
+Against the paper's *threat model* (no oracle access) this attack is not
+available; it is included to quantify how many I/O queries an oracle-equipped
+adversary would need, which is a useful hardness measure for the generated
+designs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..logic.isop import isop
+from ..logic.truthtable import TruthTable
+from ..netlist.netlist import CONST0_NET, CONST1_NET, Netlist
+from ..sat.cnf import Cnf
+from ..sat.solver import SatSolver
+from ..techmap.mapper import CamouflagedMapping
+
+__all__ = ["OracleGuidedResult", "OracleGuidedAttack", "attack_mapping"]
+
+#: Type of the black-box oracle: input word -> output word.
+Oracle = Callable[[int], int]
+
+
+@dataclass
+class OracleGuidedResult:
+    """Outcome of the oracle-guided attack."""
+
+    success: bool
+    #: Recovered configuration (instance -> configured function), when successful.
+    configuration: Dict[str, TruthTable] = field(default_factory=dict)
+    #: The distinguishing inputs queried, in order.
+    queries: List[int] = field(default_factory=list)
+    #: The recovered word-level function (input word -> output word).
+    recovered_function: List[int] = field(default_factory=list)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of oracle queries (DIPs) the attack needed."""
+        return len(self.queries)
+
+
+class OracleGuidedAttack:
+    """DIP-based SAT attack on a camouflaged netlist."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        instance_plausible: Mapping[str, Sequence[TruthTable]],
+        max_queries: int = 256,
+    ):
+        self._netlist = netlist
+        self._plausible = {
+            name: list(dict.fromkeys(functions))
+            for name, functions in instance_plausible.items()
+        }
+        for name, functions in self._plausible.items():
+            if not functions:
+                raise ValueError(f"instance {name!r} has an empty plausible set")
+        self._max_queries = max_queries
+        self._num_inputs = len(netlist.primary_inputs)
+        self._num_outputs = len(netlist.primary_outputs)
+        self._order = netlist.topological_order()
+
+        # Persistent CNF: two configuration copies plus constraints added as
+        # the attack learns oracle responses.
+        self._cnf = Cnf()
+        self._selectors_a = self._allocate_selectors("a")
+        self._selectors_b = self._allocate_selectors("b")
+
+    # -------------------------------------------------------------- #
+    # Encoding helpers
+    # -------------------------------------------------------------- #
+    def _allocate_selectors(self, tag: str) -> Dict[Tuple[str, int], int]:
+        selectors: Dict[Tuple[str, int], int] = {}
+        for name, functions in self._plausible.items():
+            literals = []
+            for index in range(len(functions)):
+                variable = self._cnf.new_var(f"{tag}.cfg.{name}.{index}")
+                selectors[(name, index)] = variable
+                literals.append(variable)
+            self._cnf.add_clause(literals)
+            for first, second in itertools.combinations(literals, 2):
+                self._cnf.add_clause([-first, -second])
+        return selectors
+
+    def _encode_copy(
+        self,
+        selectors: Dict[Tuple[str, int], int],
+        input_literals: Dict[str, int],
+    ) -> Dict[str, int]:
+        """Encode one evaluation of the circuit under a configuration copy."""
+        cnf = self._cnf
+        net_literal: Dict[str, int] = dict(input_literals)
+        for instance in self._order:
+            output_var = cnf.new_var()
+            inputs = [net_literal[net] for net in instance.inputs]
+            functions = self._plausible.get(instance.name)
+            if functions is None:
+                self._encode_guarded(None, self._netlist.library[instance.cell].function,
+                                     inputs, output_var)
+            else:
+                for index, function in enumerate(functions):
+                    self._encode_guarded(selectors[(instance.name, index)], function,
+                                         inputs, output_var)
+            net_literal[instance.output] = output_var
+        return net_literal
+
+    def _encode_guarded(
+        self,
+        selector: Optional[int],
+        function: TruthTable,
+        input_literals: Sequence[int],
+        output_literal: int,
+    ) -> None:
+        guard = [] if selector is None else [-selector]
+        if function.is_constant_zero():
+            self._cnf.add_clause(guard + [-output_literal])
+            return
+        if function.is_constant_one():
+            self._cnf.add_clause(guard + [output_literal])
+            return
+        for cube in isop(function):
+            clause = list(guard) + [output_literal]
+            for variable, positive in cube.literals():
+                literal = input_literals[variable]
+                clause.append(-literal if positive else literal)
+            self._cnf.add_clause(clause)
+        for cube in isop(~function):
+            clause = list(guard) + [-output_literal]
+            for variable, positive in cube.literals():
+                literal = input_literals[variable]
+                clause.append(-literal if positive else literal)
+            self._cnf.add_clause(clause)
+
+    def _constant_inputs(self, word: int) -> Dict[str, int]:
+        """Input literals for a fixed input word (plus constant nets)."""
+        true_var = self._cnf.new_var()
+        self._cnf.add_clause([true_var])
+        literals = {CONST1_NET: true_var, CONST0_NET: -true_var}
+        for position, net in enumerate(self._netlist.primary_inputs):
+            literals[net] = true_var if (word >> position) & 1 else -true_var
+        return literals
+
+    def _free_inputs(self) -> Dict[str, int]:
+        """Fresh input variables shared by both configuration copies."""
+        true_var = self._cnf.new_var()
+        self._cnf.add_clause([true_var])
+        literals = {CONST1_NET: true_var, CONST0_NET: -true_var}
+        for net in self._netlist.primary_inputs:
+            literals[net] = self._cnf.new_var()
+        return literals
+
+    # -------------------------------------------------------------- #
+    # The DIP loop
+    # -------------------------------------------------------------- #
+    def run(self, oracle: Oracle) -> OracleGuidedResult:
+        """Run the attack against a black-box oracle."""
+        queries: List[int] = []
+
+        while len(queries) < self._max_queries:
+            dip = self._find_distinguishing_input()
+            if dip is None:
+                break
+            response = oracle(dip)
+            queries.append(dip)
+            self._constrain_to_observation(dip, response)
+        else:
+            return OracleGuidedResult(False, queries=queries)
+
+        configuration = self._extract_configuration()
+        if configuration is None:
+            return OracleGuidedResult(False, queries=queries)
+        recovered = self._simulate_configuration(configuration)
+        success = all(
+            recovered[word] == oracle(word) for word in range(1 << self._num_inputs)
+        )
+        return OracleGuidedResult(
+            success,
+            configuration=configuration,
+            queries=queries,
+            recovered_function=recovered,
+        )
+
+    def _find_distinguishing_input(self) -> Optional[int]:
+        """SAT query: an input where two consistent configurations differ."""
+        cnf_size_before = len(self._cnf.clauses)
+        inputs = self._free_inputs()
+        nets_a = self._encode_copy(self._selectors_a, inputs)
+        nets_b = self._encode_copy(self._selectors_b, inputs)
+        difference = []
+        for net in self._netlist.primary_outputs:
+            diff = self._cnf.new_var()
+            a, b = nets_a[net], nets_b[net]
+            self._cnf.add_clause([-diff, a, b])
+            self._cnf.add_clause([-diff, -a, -b])
+            self._cnf.add_clause([diff, -a, b])
+            self._cnf.add_clause([diff, a, -b])
+            difference.append(diff)
+        self._cnf.add_clause(difference)
+
+        result = SatSolver(self._cnf).solve()
+        # The miter copy is one-shot: whatever the outcome, remove it so the
+        # persistent formula only accumulates oracle observations.
+        del self._cnf.clauses[cnf_size_before:]
+        if not result.satisfiable:
+            return None
+        word = 0
+        for position, net in enumerate(self._netlist.primary_inputs):
+            if result.model.get(inputs[net], False):
+                word |= 1 << position
+        return word
+
+    def _constrain_to_observation(self, word: int, response: int) -> None:
+        """Both configuration copies must reproduce the observed I/O pair."""
+        for selectors in (self._selectors_a, self._selectors_b):
+            nets = self._encode_copy(selectors, self._constant_inputs(word))
+            for position, net in enumerate(self._netlist.primary_outputs):
+                literal = nets[net]
+                if (response >> position) & 1:
+                    self._cnf.add_clause([literal])
+                else:
+                    self._cnf.add_clause([-literal])
+
+    def _extract_configuration(self) -> Optional[Dict[str, TruthTable]]:
+        result = SatSolver(self._cnf).solve()
+        if not result.satisfiable:
+            return None
+        configuration: Dict[str, TruthTable] = {}
+        for (name, index), variable in self._selectors_a.items():
+            if result.model.get(variable, False):
+                configuration[name] = self._plausible[name][index]
+        return configuration
+
+    def _simulate_configuration(self, configuration: Dict[str, TruthTable]) -> List[int]:
+        from ..netlist.simulate import extract_function
+
+        function = extract_function(self._netlist, cell_functions=configuration)
+        return function.lookup_table()
+
+
+def attack_mapping(
+    mapping: CamouflagedMapping,
+    true_select: int,
+    max_queries: int = 256,
+) -> OracleGuidedResult:
+    """Run the oracle-guided attack against a Phase III mapping.
+
+    The oracle is the camouflaged netlist configured for ``true_select`` —
+    i.e. the chip as manufactured for one particular viable function.
+    """
+    from ..netlist.simulate import extract_function
+
+    configuration = mapping.configuration_for_select(true_select)
+    truth = extract_function(
+        mapping.netlist, cell_functions=configuration.as_cell_functions()
+    ).lookup_table()
+
+    plausible = {
+        name: list(mapping.plausible_functions_of(name))
+        for name in mapping.camouflaged_instances()
+    }
+    attack = OracleGuidedAttack(mapping.netlist, plausible, max_queries=max_queries)
+    return attack.run(lambda word: truth[word])

@@ -1,0 +1,15 @@
+"""Camouflaged cells: plausible-function families, library, configurations."""
+
+from .cells import CamouflagedCellType, camouflage_cell, plausible_family
+from .config import CircuitConfiguration
+from .library import CamouflageLibrary, CellMatch, default_camouflage_library
+
+__all__ = [
+    "plausible_family",
+    "CamouflagedCellType",
+    "camouflage_cell",
+    "CamouflageLibrary",
+    "CellMatch",
+    "default_camouflage_library",
+    "CircuitConfiguration",
+]

@@ -1,0 +1,119 @@
+"""Camouflaged (dopant-programmable) look-alike cells.
+
+Following Section II of the paper, a camouflaged cell is created from a
+nominal library cell by modifying transistor doping so that individual
+transistors are permanently ON or OFF.  Functionally this makes the cell
+implement a *cofactor* of its nominal function with respect to any subset of
+its inputs (the inputs remain physically connected, so the cell is a perfect
+look-alike of the nominal cell).
+
+The *plausible functions* of a camouflaged cell — what an adversary who has
+identified the look-alike cell must consider possible — are therefore the
+nominal function together with every cofactor under every partial input
+assignment.  Fig. 1b of the paper lists this family for a 2-input NAND:
+``{NAND(A,B), ~A, ~B, 0, 1}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..logic.truthtable import TruthTable
+from ..netlist.library import CellType
+
+__all__ = ["plausible_family", "CamouflagedCellType", "camouflage_cell"]
+
+#: Prefix used for camouflaged cell names in netlists ("CAMO_NAND2", ...).
+CAMO_PREFIX = "CAMO_"
+
+
+def plausible_family(function: TruthTable) -> FrozenSet[TruthTable]:
+    """Return the plausible-function family of a camouflaged cell.
+
+    The family contains the nominal function and every cofactor reachable by
+    fixing any subset of the inputs to constants (all expressed over the full
+    pin count of the cell, so membership tests are straightforward).
+    """
+    return frozenset(function.all_partial_cofactors())
+
+
+@dataclass(frozen=True)
+class CamouflagedCellType:
+    """A look-alike cell with its plausible-function family."""
+
+    name: str
+    base: CellType
+    plausible: FrozenSet[TruthTable]
+    area: float
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of (physical) input pins — identical to the base cell."""
+        return self.base.num_inputs
+
+    @property
+    def input_names(self) -> Tuple[str, ...]:
+        """Pin names, identical to the base cell."""
+        return self.base.input_names
+
+    @property
+    def nominal_function(self) -> TruthTable:
+        """The nominal (undoped) function — what the cell looks like."""
+        return self.base.function
+
+    def can_implement(self, function: TruthTable) -> bool:
+        """Return True if the cell can be doped to implement ``function``.
+
+        ``function`` must be expressed over the cell's pin variables (same
+        arity).
+        """
+        if function.num_vars != self.num_inputs:
+            return False
+        return function in self.plausible
+
+    def can_implement_all(self, functions: Sequence[TruthTable]) -> bool:
+        """Return True if every function in the set is plausible for this cell."""
+        return all(self.can_implement(function) for function in functions)
+
+    def as_cell_type(self) -> CellType:
+        """Return the look-alike :class:`CellType` used in mapped netlists.
+
+        The returned cell carries the *nominal* function (which is what an
+        adversary imaging the die would record); the true configured function
+        of each instance is tracked separately by the technology mapper.
+        """
+        return CellType(
+            name=self.name,
+            input_names=self.base.input_names,
+            function=self.base.function,
+            area=self.area,
+            description=f"camouflaged {self.base.name}",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CamouflagedCellType(name={self.name!r}, base={self.base.name!r}, "
+            f"plausible={len(self.plausible)}, area={self.area})"
+        )
+
+
+def camouflage_cell(
+    base: CellType,
+    area_overhead: float = 0.0,
+    name: Optional[str] = None,
+) -> CamouflagedCellType:
+    """Create the camouflaged variant of a standard cell.
+
+    ``area_overhead`` is a relative overhead (0.0 means the camouflaged cell
+    has exactly the base area, which matches the look-alike assumption of the
+    paper; a positive value models more conservative camouflage styles).
+    """
+    if area_overhead < 0:
+        raise ValueError("area_overhead must be non-negative")
+    return CamouflagedCellType(
+        name=name or f"{CAMO_PREFIX}{base.name}",
+        base=base,
+        plausible=plausible_family(base.function),
+        area=base.area * (1.0 + area_overhead),
+    )

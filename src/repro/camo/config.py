@@ -1,0 +1,62 @@
+"""Configurations of camouflaged instances.
+
+A *configuration* fixes, for every camouflaged instance of a netlist, which
+of its plausible functions the doping actually implements.  The designer
+knows the configuration; the adversary only knows the plausible family per
+instance.  Configurations are consumed by
+:func:`repro.netlist.simulate.extract_function` via its ``cell_functions``
+override, which is how the designer-side validation and the attack analyses
+evaluate a camouflaged netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional
+
+from ..logic.truthtable import TruthTable
+from ..netlist.netlist import Netlist
+
+__all__ = ["CircuitConfiguration"]
+
+
+@dataclass
+class CircuitConfiguration:
+    """A mapping from camouflaged instance names to their configured functions."""
+
+    functions: Dict[str, TruthTable] = field(default_factory=dict)
+
+    def set(self, instance_name: str, function: TruthTable) -> None:
+        """Fix the configured function of one instance."""
+        self.functions[instance_name] = function
+
+    def get(self, instance_name: str) -> Optional[TruthTable]:
+        """Return the configured function of an instance (None if unconstrained)."""
+        return self.functions.get(instance_name)
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.functions)
+
+    def as_cell_functions(self) -> Mapping[str, TruthTable]:
+        """Return the mapping consumed by the netlist simulator."""
+        return dict(self.functions)
+
+    def validate_against(self, netlist: Netlist) -> None:
+        """Check that every configured instance exists and arities match."""
+        for name, function in self.functions.items():
+            instance = netlist.instance(name)
+            cell = netlist.library[instance.cell]
+            if cell.num_inputs != function.num_vars:
+                raise ValueError(
+                    f"configuration of {name!r} has {function.num_vars} variables "
+                    f"but cell {cell.name} has {cell.num_inputs} pins"
+                )
+
+    def merged_with(self, other: "CircuitConfiguration") -> "CircuitConfiguration":
+        """Return a configuration combining both (``other`` wins on conflict)."""
+        combined = dict(self.functions)
+        combined.update(other.functions)
+        return CircuitConfiguration(combined)

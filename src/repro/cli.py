@@ -1,0 +1,170 @@
+"""Command-line interface.
+
+Examples
+--------
+Obfuscate four PRESENT-style S-boxes and write the camouflaged Verilog::
+
+    python -m repro.cli obfuscate --family PRESENT --count 4 --verilog out.v
+
+Reproduce Table I with the quick profile::
+
+    python -m repro.cli table1 --profile quick
+
+Reproduce Figure 4::
+
+    python -m repro.cli figure4 --profile quick
+
+Run the adversary analysis on a small obfuscated design::
+
+    python -m repro.cli attack --count 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .attacks.decamouflage import PlausibleFunctionOracle
+from .evaluation.figure4 import run_figure4a, run_figure4b
+from .evaluation.table1 import run_table1, table1_text
+from .evaluation.workloads import (
+    DES_FAMILY,
+    PRESENT_FAMILY,
+    get_profile,
+    workload_functions,
+)
+from .flow.obfuscate import obfuscate
+from .ga.engine import GAParameters
+from .netlist.verilog import write_verilog
+from .netlist.blif import write_blif
+from .synth.area import area_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Design automation for obfuscated circuits with multiple viable "
+            "functions (DATE 2017 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    obfuscate_parser = subparsers.add_parser(
+        "obfuscate", help="run the three-phase flow on an S-box workload"
+    )
+    obfuscate_parser.add_argument(
+        "--family", choices=[PRESENT_FAMILY, DES_FAMILY], default=PRESENT_FAMILY
+    )
+    obfuscate_parser.add_argument("--count", type=int, default=2,
+                                  help="number of viable S-boxes to merge")
+    obfuscate_parser.add_argument("--population", type=int, default=8)
+    obfuscate_parser.add_argument("--generations", type=int, default=6)
+    obfuscate_parser.add_argument("--seed", type=int, default=1)
+    obfuscate_parser.add_argument("--verilog", type=str, default="",
+                                  help="write the camouflaged netlist to this Verilog file")
+    obfuscate_parser.add_argument("--blif", type=str, default="",
+                                  help="write the camouflaged netlist to this BLIF file")
+    obfuscate_parser.add_argument("--report", action="store_true",
+                                  help="print the per-cell area report")
+
+    table_parser = subparsers.add_parser("table1", help="reproduce Table I")
+    table_parser.add_argument("--profile", type=str, default="",
+                              help="experiment profile (quick, medium, paper)")
+    table_parser.add_argument("--seed", type=int, default=1)
+
+    figure_parser = subparsers.add_parser("figure4", help="reproduce Figure 4a/4b")
+    figure_parser.add_argument("--profile", type=str, default="")
+    figure_parser.add_argument("--seed", type=int, default=11)
+
+    attack_parser = subparsers.add_parser(
+        "attack", help="run the adversary's plausibility analysis on a small design"
+    )
+    attack_parser.add_argument("--count", type=int, default=2)
+    attack_parser.add_argument("--family", choices=[PRESENT_FAMILY, DES_FAMILY],
+                               default=PRESENT_FAMILY)
+    attack_parser.add_argument("--population", type=int, default=6)
+    attack_parser.add_argument("--generations", type=int, default=3)
+    return parser
+
+
+def _command_obfuscate(args: argparse.Namespace) -> int:
+    functions = workload_functions(args.family, args.count)
+    parameters = GAParameters(
+        population_size=args.population, generations=args.generations, seed=args.seed
+    )
+    result = obfuscate(functions, ga_parameters=parameters)
+    print(result.summary())
+    if args.report:
+        print()
+        print(area_report(result.netlist).to_text())
+    if args.verilog:
+        with open(args.verilog, "w", encoding="utf-8") as handle:
+            handle.write(write_verilog(result.netlist))
+        print(f"wrote {args.verilog}")
+    if args.blif:
+        with open(args.blif, "w", encoding="utf-8") as handle:
+            handle.write(write_blif(result.netlist))
+        print(f"wrote {args.blif}")
+    return 0 if result.verification.all_realisable else 1
+
+
+def _command_table1(args: argparse.Namespace) -> int:
+    profile = get_profile(args.profile)
+    entries = run_table1(profile=profile, seed=args.seed, progress=print)
+    print()
+    print(table1_text(entries, profile_name=profile.name))
+    ok = all(entry.verification_ok for entry in entries)
+    print()
+    print("validation:", "all viable functions realisable" if ok else "FAILURES present")
+    return 0 if ok else 1
+
+
+def _command_figure4(args: argparse.Namespace) -> int:
+    profile = get_profile(args.profile)
+    data_a = run_figure4a(profile=profile, seed=args.seed)
+    print(data_a.to_text())
+    print()
+    data_b = run_figure4b(profile=profile, seed=args.seed)
+    print(data_b.to_text())
+    return 0
+
+
+def _command_attack(args: argparse.Namespace) -> int:
+    functions = workload_functions(args.family, args.count)
+    parameters = GAParameters(
+        population_size=args.population, generations=args.generations, seed=1
+    )
+    result = obfuscate(functions, ga_parameters=parameters)
+    print(result.summary())
+    print()
+    oracle = PlausibleFunctionOracle.from_mapping(result.mapping)
+    views = result.assignment.apply(list(functions))
+    print("adversary plausibility checks (viable functions, designer's pin view):")
+    all_plausible = True
+    for function, view in zip(functions, views):
+        outcome = oracle.is_plausible(view)
+        all_plausible &= bool(outcome)
+        print(f"  {function.name:<12} plausible={bool(outcome)}")
+    return 0 if all_plausible else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handlers = {
+        "obfuscate": _command_obfuscate,
+        "table1": _command_table1,
+        "figure4": _command_figure4,
+        "attack": _command_attack,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Experiment harnesses reproducing the paper's Table I and Figure 4."""
+
+from .figure4 import Figure4aData, Figure4bData, run_figure4a, run_figure4b
+from .table1 import Table1Entry, run_table1, run_table1_entry, table1_text
+from .workloads import (
+    DES_FAMILY,
+    PRESENT_FAMILY,
+    PROFILES,
+    ExperimentProfile,
+    get_profile,
+    workload_functions,
+)
+
+__all__ = [
+    "ExperimentProfile",
+    "PROFILES",
+    "get_profile",
+    "workload_functions",
+    "PRESENT_FAMILY",
+    "DES_FAMILY",
+    "Table1Entry",
+    "run_table1",
+    "run_table1_entry",
+    "table1_text",
+    "Figure4aData",
+    "Figure4bData",
+    "run_figure4a",
+    "run_figure4b",
+]

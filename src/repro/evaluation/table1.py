@@ -1,0 +1,125 @@
+"""Reproduction of Table I: area comparison for merged S-box circuits.
+
+For every (family, number of merged S-boxes) configuration the harness
+
+1. runs the Phase II genetic algorithm (fitness = synthesised area),
+2. evaluates an equal budget of random pin assignments (the baseline),
+3. re-synthesises the GA winner and applies Phase III camouflage technology
+   mapping, validating that every viable function remains realisable,
+
+and reports the four areas plus the improvement of GA+TM over the best
+random assignment — the same columns as the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..flow.obfuscate import ObfuscationResult, obfuscate_with_assignment
+from ..flow.report import AreaRow, format_table
+from ..ga.pinopt import PinAssignmentProblem, optimize_pin_assignment
+from ..ga.random_search import RandomSearchResult, random_pin_search
+from .workloads import (
+    DES_FAMILY,
+    PRESENT_FAMILY,
+    ExperimentProfile,
+    get_profile,
+    workload_functions,
+)
+
+__all__ = ["Table1Entry", "run_table1_entry", "run_table1", "table1_text"]
+
+
+@dataclass
+class Table1Entry:
+    """Everything measured for one Table I row."""
+
+    row: AreaRow
+    random_result: RandomSearchResult
+    obfuscation: ObfuscationResult
+    ga_evaluations: int
+    verification_ok: bool
+
+
+def run_table1_entry(
+    family: str,
+    count: int,
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 1,
+    verify: bool = True,
+) -> Table1Entry:
+    """Run one row of Table I (one merged S-box configuration)."""
+    profile = profile or get_profile()
+    functions = workload_functions(family, count)
+
+    optimization = optimize_pin_assignment(
+        functions,
+        parameters=profile.ga_parameters(seed=seed),
+        effort=profile.fitness_effort,
+        final_effort=profile.final_effort,
+    )
+    ga_area = optimization.best_area
+
+    num_random = profile.random_samples or optimization.evaluations
+    problem = PinAssignmentProblem(functions, effort=profile.fitness_effort)
+    random_result = random_pin_search(
+        functions,
+        num_samples=max(1, num_random),
+        seed=seed + 1000,
+        problem=problem,
+    )
+
+    obfuscation = obfuscate_with_assignment(
+        functions,
+        assignment=optimization.best_assignment,
+        effort=profile.final_effort,
+        verify=verify,
+    )
+    obfuscation.pin_optimization = optimization
+
+    row = AreaRow(
+        circuit=family,
+        num_functions=count,
+        random_avg=random_result.average_area,
+        random_best=random_result.best_area,
+        ga_area=ga_area,
+        ga_tm_area=obfuscation.camouflaged_area,
+    )
+    return Table1Entry(
+        row=row,
+        random_result=random_result,
+        obfuscation=obfuscation,
+        ga_evaluations=optimization.evaluations,
+        verification_ok=obfuscation.verification.all_realisable if verify else True,
+    )
+
+
+def run_table1(
+    profile: Optional[ExperimentProfile] = None,
+    families: Optional[Sequence[Tuple[str, int]]] = None,
+    seed: int = 1,
+    verify: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Table1Entry]:
+    """Run the full Table I sweep for the selected profile."""
+    profile = profile or get_profile()
+    if families is None:
+        families = [(PRESENT_FAMILY, count) for count in profile.present_counts]
+        families += [(DES_FAMILY, count) for count in profile.des_counts]
+    entries: List[Table1Entry] = []
+    for family, count in families:
+        if progress is not None:
+            progress(f"Table I: {family} x{count}")
+        entries.append(
+            run_table1_entry(family, count, profile=profile, seed=seed, verify=verify)
+        )
+    return entries
+
+
+def table1_text(entries: Sequence[Table1Entry], profile_name: str = "") -> str:
+    """Render the measured rows in the layout of the paper's Table I."""
+    title = "Table I: Area comparison for merged S-box circuits"
+    if profile_name:
+        title += f" (profile: {profile_name})"
+    return format_table([entry.row for entry in entries], title=title)

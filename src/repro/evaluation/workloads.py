@@ -1,0 +1,114 @@
+"""Experiment workloads and effort profiles.
+
+The paper's evaluation (Table I and Fig. 4) uses GA budgets of roughly 10k
+synthesis runs per circuit, which is hours of work for a pure-Python
+synthesiser.  The benchmark harness therefore supports profiles that scale
+the GA budget and the sweep while preserving every comparison the paper
+makes.  The profile is selected with the ``REPRO_PROFILE`` environment
+variable (``quick`` — the default, ``medium``, or ``paper``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..ga.engine import GAParameters
+from ..logic.boolfunc import BoolFunction
+from ..sboxes.des import des_sboxes
+from ..sboxes.optimal4 import optimal_sboxes
+
+__all__ = [
+    "ExperimentProfile",
+    "PROFILES",
+    "get_profile",
+    "workload_functions",
+    "PRESENT_FAMILY",
+    "DES_FAMILY",
+]
+
+PRESENT_FAMILY = "PRESENT"
+DES_FAMILY = "DES"
+
+#: Environment variable selecting the experiment profile.
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Scaled version of the paper's experimental setup."""
+
+    name: str
+    #: Numbers of merged S-boxes per family for the Table I sweep.
+    present_counts: Tuple[int, ...]
+    des_counts: Tuple[int, ...]
+    #: GA budget per family.
+    ga_population: int
+    ga_generations: int
+    #: Number of random assignments for Fig. 4a / Table I random columns;
+    #: 0 means "use the same number of evaluations the GA spent" (the paper's
+    #: equal-budget comparison).
+    random_samples: int
+    #: Synthesis effort used inside the fitness loop.
+    fitness_effort: str = "fast"
+    #: Synthesis effort for the final (reported) synthesis runs.
+    final_effort: str = "standard"
+    #: Workload for Fig. 4 (number of merged PRESENT-style S-boxes).
+    figure4_sbox_count: int = 8
+
+    def ga_parameters(self, seed: int = 1) -> GAParameters:
+        """GA hyper-parameters for this profile."""
+        return GAParameters(
+            population_size=self.ga_population,
+            generations=self.ga_generations,
+            seed=seed,
+        )
+
+
+PROFILES: Dict[str, ExperimentProfile] = {
+    "quick": ExperimentProfile(
+        name="quick",
+        present_counts=(2, 4, 8),
+        des_counts=(2,),
+        ga_population=6,
+        ga_generations=4,
+        random_samples=0,
+    ),
+    "medium": ExperimentProfile(
+        name="medium",
+        present_counts=(2, 4, 8, 16),
+        des_counts=(2, 4),
+        ga_population=12,
+        ga_generations=10,
+        random_samples=0,
+    ),
+    "paper": ExperimentProfile(
+        name="paper",
+        present_counts=(2, 4, 8, 16),
+        des_counts=(2, 4, 8),
+        ga_population=48,
+        ga_generations=200,
+        random_samples=9726,
+    ),
+}
+
+
+def get_profile(name: str = "") -> ExperimentProfile:
+    """Return the requested profile (or the one selected by the environment)."""
+    selected = name or os.environ.get(PROFILE_ENV_VAR, "quick")
+    try:
+        return PROFILES[selected]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown profile {selected!r}; available: {sorted(PROFILES)}"
+        ) from exc
+
+
+def workload_functions(family: str, count: int) -> List[BoolFunction]:
+    """Return the viable functions for one Table I configuration."""
+    if family == PRESENT_FAMILY:
+        return optimal_sboxes(count)
+    if family == DES_FAMILY:
+        return des_sboxes(count)
+    raise ValueError(f"unknown workload family {family!r}")

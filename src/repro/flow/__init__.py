@@ -1,0 +1,13 @@
+"""End-to-end obfuscation flow and reporting."""
+
+from .obfuscate import ObfuscationResult, obfuscate, obfuscate_with_assignment
+from .report import AreaRow, format_table, improvement_percent
+
+__all__ = [
+    "ObfuscationResult",
+    "obfuscate",
+    "obfuscate_with_assignment",
+    "AreaRow",
+    "format_table",
+    "improvement_percent",
+]

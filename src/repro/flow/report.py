@@ -1,0 +1,72 @@
+"""Reporting helpers: the area comparisons of Table I.
+
+The paper compares, for every merged-S-box configuration, four areas — the
+average and best of a batch of random pin assignments, the GA result, and
+the GA result after camouflage technology mapping — plus the relative
+improvement of GA+TM over the best random assignment.  :class:`AreaRow`
+holds one such row and :func:`format_table` renders a list of rows the way
+Table I is laid out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+__all__ = ["AreaRow", "improvement_percent", "format_table"]
+
+
+def improvement_percent(reference: float, improved: float) -> float:
+    """Relative improvement of ``improved`` over ``reference`` in percent."""
+    if reference <= 0:
+        raise ValueError("reference area must be positive")
+    return 100.0 * (reference - improved) / reference
+
+
+@dataclass
+class AreaRow:
+    """One row of the Table I reproduction."""
+
+    circuit: str
+    num_functions: int
+    random_avg: float
+    random_best: float
+    ga_area: float
+    ga_tm_area: float
+
+    @property
+    def improvement(self) -> float:
+        """Improvement (%) of GA+TM over the best random assignment."""
+        return improvement_percent(self.random_best, self.ga_tm_area)
+
+    def as_dict(self) -> dict:
+        """Return the row as a plain dictionary (for JSON dumps)."""
+        return {
+            "circuit": self.circuit,
+            "num_functions": self.num_functions,
+            "random_avg": self.random_avg,
+            "random_best": self.random_best,
+            "ga": self.ga_area,
+            "ga_tm": self.ga_tm_area,
+            "improvement_percent": self.improvement,
+        }
+
+
+def format_table(rows: Iterable[AreaRow], title: Optional[str] = None) -> str:
+    """Render rows in the layout of Table I."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'Circuit':<10}{'#S-boxes':>9}{'Rand avg':>10}{'Rand best':>11}"
+        f"{'GA':>8}{'GA+TM':>8}{'Impr(%)':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row.circuit:<10}{row.num_functions:>9}{row.random_avg:>10.0f}"
+            f"{row.random_best:>11.0f}{row.ga_area:>8.0f}{row.ga_tm_area:>8.0f}"
+            f"{row.improvement:>9.0f}"
+        )
+    return "\n".join(lines)

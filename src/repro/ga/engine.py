@@ -1,0 +1,226 @@
+"""A small, self-contained genetic-algorithm engine (the DEAP substitute).
+
+The engine is deliberately generic: it knows nothing about pin assignments.
+It evolves a population of genotypes (lists of integers) under user-supplied
+``sample``, ``evaluate``, ``crossover`` and ``mutate`` callables, with
+tournament selection, elitism, a hall of fame, and per-generation statistics.
+Fitness is minimised (the paper's fitness is synthesised area).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["GAParameters", "GenerationStats", "GAResult", "GeneticAlgorithm"]
+
+Genotype = List[int]
+
+
+@dataclass
+class GAParameters:
+    """Hyper-parameters of the genetic algorithm."""
+
+    population_size: int = 24
+    generations: int = 40
+    crossover_probability: float = 0.7
+    mutation_probability: float = 0.35
+    tournament_size: int = 3
+    elite_count: int = 2
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be at least 2")
+        if self.generations < 1:
+            raise ValueError("generations must be at least 1")
+        if not 0.0 <= self.crossover_probability <= 1.0:
+            raise ValueError("crossover_probability must be in [0, 1]")
+        if not 0.0 <= self.mutation_probability <= 1.0:
+            raise ValueError("mutation_probability must be in [0, 1]")
+        if self.tournament_size < 1:
+            raise ValueError("tournament_size must be at least 1")
+        if not 0 <= self.elite_count < self.population_size:
+            raise ValueError("elite_count must be smaller than the population")
+
+
+@dataclass
+class GenerationStats:
+    """Fitness statistics for one generation."""
+
+    generation: int
+    best: float
+    average: float
+    worst: float
+    best_so_far: float
+    evaluations_so_far: int
+
+
+@dataclass
+class GAResult:
+    """The outcome of a GA run."""
+
+    best_genotype: Genotype
+    best_fitness: float
+    history: List[GenerationStats]
+    evaluations: int
+    hall_of_fame: List[Tuple[Genotype, float]] = field(default_factory=list)
+
+    @property
+    def generations(self) -> int:
+        """Number of generations that were run."""
+        return len(self.history)
+
+
+class GeneticAlgorithm:
+    """Steady elitist GA with tournament selection over integer genotypes."""
+
+    def __init__(
+        self,
+        sample: Callable[[random.Random], Genotype],
+        evaluate: Callable[[Genotype], float],
+        crossover: Callable[[Genotype, Genotype, random.Random], Tuple[Genotype, Genotype]],
+        mutate: Callable[[Genotype, random.Random], Genotype],
+        parameters: Optional[GAParameters] = None,
+        hall_of_fame_size: int = 5,
+    ):
+        self._sample = sample
+        self._evaluate_raw = evaluate
+        self._crossover = crossover
+        self._mutate = mutate
+        self.parameters = parameters or GAParameters()
+        self._hall_of_fame_size = hall_of_fame_size
+        self._fitness_cache: Dict[Tuple[int, ...], float] = {}
+        self._evaluations = 0
+
+    # -------------------------------------------------------------- #
+    # Fitness with memoisation
+    # -------------------------------------------------------------- #
+    def _evaluate(self, genotype: Genotype) -> float:
+        key = tuple(genotype)
+        cached = self._fitness_cache.get(key)
+        if cached is not None:
+            return cached
+        fitness = float(self._evaluate_raw(genotype))
+        self._fitness_cache[key] = fitness
+        self._evaluations += 1
+        return fitness
+
+    @property
+    def evaluations(self) -> int:
+        """Number of distinct fitness evaluations performed so far."""
+        return self._evaluations
+
+    # -------------------------------------------------------------- #
+    # Selection
+    # -------------------------------------------------------------- #
+    def _tournament(
+        self,
+        population: List[Tuple[Genotype, float]],
+        rng: random.Random,
+    ) -> Genotype:
+        contenders = rng.sample(population, min(self.parameters.tournament_size, len(population)))
+        winner = min(contenders, key=lambda item: item[1])
+        return list(winner[0])
+
+    # -------------------------------------------------------------- #
+    # Main loop
+    # -------------------------------------------------------------- #
+    def run(
+        self,
+        initial_population: Optional[Sequence[Genotype]] = None,
+        progress: Optional[Callable[[GenerationStats], None]] = None,
+    ) -> GAResult:
+        """Run the GA and return the best genotype found.
+
+        ``initial_population`` optionally seeds (part of) generation zero;
+        missing individuals are drawn from ``sample``.  ``progress`` is called
+        once per generation with that generation's statistics.
+        """
+        params = self.parameters
+        rng = random.Random(params.seed)
+
+        genotypes: List[Genotype] = [list(g) for g in (initial_population or [])]
+        genotypes = genotypes[: params.population_size]
+        while len(genotypes) < params.population_size:
+            genotypes.append(self._sample(rng))
+
+        population = [(genotype, self._evaluate(genotype)) for genotype in genotypes]
+        history: List[GenerationStats] = []
+        hall: List[Tuple[Genotype, float]] = []
+
+        best_so_far = min(population, key=lambda item: item[1])
+        self._update_hall(hall, population)
+        history.append(self._stats(0, population, best_so_far[1]))
+        if progress is not None:
+            progress(history[-1])
+
+        for generation in range(1, params.generations + 1):
+            offspring: List[Genotype] = []
+            # Elitism: carry over the best individuals unchanged.
+            elite = sorted(population, key=lambda item: item[1])[: params.elite_count]
+            offspring.extend(list(genotype) for genotype, _ in elite)
+
+            while len(offspring) < params.population_size:
+                parent_a = self._tournament(population, rng)
+                parent_b = self._tournament(population, rng)
+                if rng.random() < params.crossover_probability:
+                    child_a, child_b = self._crossover(parent_a, parent_b, rng)
+                else:
+                    child_a, child_b = list(parent_a), list(parent_b)
+                if rng.random() < params.mutation_probability:
+                    child_a = self._mutate(child_a, rng)
+                if rng.random() < params.mutation_probability:
+                    child_b = self._mutate(child_b, rng)
+                offspring.append(child_a)
+                if len(offspring) < params.population_size:
+                    offspring.append(child_b)
+
+            population = [(genotype, self._evaluate(genotype)) for genotype in offspring]
+            candidate = min(population, key=lambda item: item[1])
+            if candidate[1] < best_so_far[1]:
+                best_so_far = (list(candidate[0]), candidate[1])
+            self._update_hall(hall, population)
+            history.append(self._stats(generation, population, best_so_far[1]))
+            if progress is not None:
+                progress(history[-1])
+
+        return GAResult(
+            best_genotype=list(best_so_far[0]),
+            best_fitness=best_so_far[1],
+            history=history,
+            evaluations=self._evaluations,
+            hall_of_fame=list(hall),
+        )
+
+    # -------------------------------------------------------------- #
+    # Bookkeeping
+    # -------------------------------------------------------------- #
+    def _stats(
+        self,
+        generation: int,
+        population: List[Tuple[Genotype, float]],
+        best_so_far: float,
+    ) -> GenerationStats:
+        fitnesses = [fitness for _, fitness in population]
+        return GenerationStats(
+            generation=generation,
+            best=min(fitnesses),
+            average=sum(fitnesses) / len(fitnesses),
+            worst=max(fitnesses),
+            best_so_far=best_so_far,
+            evaluations_so_far=self._evaluations,
+        )
+
+    def _update_hall(
+        self,
+        hall: List[Tuple[Genotype, float]],
+        population: List[Tuple[Genotype, float]],
+    ) -> None:
+        for genotype, fitness in population:
+            if any(tuple(genotype) == tuple(existing) for existing, _ in hall):
+                continue
+            hall.append((list(genotype), fitness))
+        hall.sort(key=lambda item: item[1])
+        del hall[self._hall_of_fame_size:]

@@ -1,0 +1,175 @@
+"""Phase II: genetic-algorithm optimisation of pin assignments.
+
+The fitness of a pin assignment is the gate-equivalent area of the merged
+circuit after synthesis — exactly the loop the paper runs with DEAP driving
+ABC.  Synthesis is by far the dominant cost, so fitness evaluations are
+cached by genotype (the GA engine also caches, but the problem object keeps
+its own cache so random search and the GA can share evaluations).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..logic.boolfunc import BoolFunction
+from ..merge.merged import MergedDesign, merge_functions
+from ..merge.pinassign import PinAssignment
+from ..netlist.library import CellLibrary, standard_cell_library
+from ..synth.script import SynthesisEffort, SynthesisResult, synthesize
+from .engine import GAParameters, GAResult, GenerationStats, GeneticAlgorithm
+from .operators import SegmentedPermutationSpace
+
+__all__ = ["PinAssignmentProblem", "PinOptimizationResult", "optimize_pin_assignment"]
+
+
+class PinAssignmentProblem:
+    """Fitness machinery shared by the GA and the random-search baseline."""
+
+    def __init__(
+        self,
+        functions: Sequence[BoolFunction],
+        library: Optional[CellLibrary] = None,
+        effort: str = SynthesisEffort.FAST,
+        fix_first_function: bool = True,
+    ):
+        if not functions:
+            raise ValueError("at least one viable function is required")
+        self.functions = list(functions)
+        self.library = library or standard_cell_library()
+        self.effort = effort
+        self.fix_first_function = fix_first_function
+        self.num_inputs = functions[0].num_inputs
+        self.num_outputs = functions[0].num_outputs
+        for function in functions:
+            if (
+                function.num_inputs != self.num_inputs
+                or function.num_outputs != self.num_outputs
+            ):
+                raise ValueError("all viable functions must have the same shape")
+        segment_sizes = [self.num_inputs] * len(functions) + [self.num_outputs] * len(functions)
+        self.space = SegmentedPermutationSpace(segment_sizes)
+        self._area_cache: Dict[Tuple[int, ...], float] = {}
+        self.evaluations = 0
+
+    # -------------------------------------------------------------- #
+    # Genotype plumbing
+    # -------------------------------------------------------------- #
+    def assignment_from_genotype(self, genotype: Sequence[int]) -> PinAssignment:
+        """Convert a flat genotype into a :class:`PinAssignment`."""
+        return PinAssignment.from_genotype(
+            list(genotype), len(self.functions), self.num_inputs, self.num_outputs
+        )
+
+    def random_genotype(self, rng: random.Random) -> List[int]:
+        """Sample a random genotype (function 0 optionally pinned to identity)."""
+        genotype = self.space.random_genotype(rng)
+        if self.fix_first_function:
+            genotype = self._pin_first_function(genotype)
+        return genotype
+
+    def _pin_first_function(self, genotype: List[int]) -> List[int]:
+        """Force function 0's permutations to identity (removes symmetry)."""
+        segments = self.space.split(genotype)
+        segments[0] = list(range(self.num_inputs))
+        segments[len(self.functions)] = list(range(self.num_outputs))
+        return self.space.join(segments)
+
+    # -------------------------------------------------------------- #
+    # Fitness
+    # -------------------------------------------------------------- #
+    def synthesize_genotype(self, genotype: Sequence[int]) -> SynthesisResult:
+        """Synthesise the merged circuit for a genotype (not cached)."""
+        assignment = self.assignment_from_genotype(genotype)
+        design = merge_functions(self.functions, assignment)
+        return synthesize(design.function, library=self.library, effort=self.effort)
+
+    def evaluate(self, genotype: Sequence[int]) -> float:
+        """Synthesised area (GE) of the merged circuit for this genotype."""
+        key = tuple(genotype)
+        cached = self._area_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self.synthesize_genotype(genotype)
+        self._area_cache[key] = result.area
+        self.evaluations += 1
+        return result.area
+
+    # -------------------------------------------------------------- #
+    # GA operators
+    # -------------------------------------------------------------- #
+    def crossover(
+        self, parent_a: List[int], parent_b: List[int], rng: random.Random
+    ) -> Tuple[List[int], List[int]]:
+        """Segment-wise PMX crossover preserving the pinned first function."""
+        child_a, child_b = self.space.crossover(parent_a, parent_b, rng, method="pmx")
+        if self.fix_first_function:
+            child_a = self._pin_first_function(child_a)
+            child_b = self._pin_first_function(child_b)
+        return child_a, child_b
+
+    def mutate(self, genotype: List[int], rng: random.Random) -> List[int]:
+        """Segment-wise swap/shuffle mutation preserving the pinned function."""
+        mutated = self.space.mutate(genotype, rng)
+        if self.fix_first_function:
+            mutated = self._pin_first_function(mutated)
+        return mutated
+
+
+@dataclass
+class PinOptimizationResult:
+    """The outcome of Phase II."""
+
+    best_assignment: PinAssignment
+    best_area: float
+    merged_design: MergedDesign
+    synthesis: SynthesisResult
+    ga_result: GAResult
+    history: List[GenerationStats] = field(default_factory=list)
+
+    @property
+    def evaluations(self) -> int:
+        """Number of synthesis runs performed by the GA."""
+        return self.ga_result.evaluations
+
+
+def optimize_pin_assignment(
+    functions: Sequence[BoolFunction],
+    parameters: Optional[GAParameters] = None,
+    library: Optional[CellLibrary] = None,
+    effort: str = SynthesisEffort.FAST,
+    final_effort: str = SynthesisEffort.STANDARD,
+    seed_identity: bool = True,
+    progress: Optional[Callable[[GenerationStats], None]] = None,
+) -> PinOptimizationResult:
+    """Run the Phase II genetic algorithm and return the best pin assignment.
+
+    ``effort`` controls the synthesis effort used inside the fitness loop
+    (fast by default, as in an exploration loop); ``final_effort`` is used
+    for the one final synthesis of the winning assignment.
+    """
+    problem = PinAssignmentProblem(functions, library=library, effort=effort)
+    parameters = parameters or GAParameters()
+    engine = GeneticAlgorithm(
+        sample=problem.random_genotype,
+        evaluate=problem.evaluate,
+        crossover=problem.crossover,
+        mutate=problem.mutate,
+        parameters=parameters,
+    )
+    initial = [problem.space.identity_genotype()] if seed_identity else None
+    ga_result = engine.run(initial_population=initial, progress=progress)
+
+    best_assignment = problem.assignment_from_genotype(ga_result.best_genotype)
+    merged = merge_functions(functions, best_assignment)
+    final = synthesize(merged.function, library=problem.library, effort=final_effort)
+    best_area = min(final.area, ga_result.best_fitness)
+    return PinOptimizationResult(
+        best_assignment=best_assignment,
+        best_area=best_area,
+        merged_design=merged,
+        synthesis=final,
+        ga_result=ga_result,
+        history=list(ga_result.history),
+    )

@@ -1,0 +1,86 @@
+"""Random pin-assignment baseline.
+
+The paper compares the genetic algorithm against an equal budget of random
+pin assignments (Table I's "Random avg/best" columns and the horizontal
+lines of Fig. 4b, plus the histogram of Fig. 4a).  This module evaluates a
+batch of random assignments using the same fitness machinery as the GA.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..logic.boolfunc import BoolFunction
+from ..merge.pinassign import PinAssignment
+from ..netlist.library import CellLibrary
+from ..synth.script import SynthesisEffort
+from .pinopt import PinAssignmentProblem
+
+__all__ = ["RandomSearchResult", "random_pin_search"]
+
+
+@dataclass
+class RandomSearchResult:
+    """Areas of a batch of random pin assignments."""
+
+    areas: List[float]
+    best_area: float
+    average_area: float
+    worst_area: float
+    best_assignment: PinAssignment
+    evaluations: int
+
+    def histogram(self, bin_width: float = 5.0) -> List[tuple]:
+        """Return (bin_start, count) pairs — the data behind Fig. 4a."""
+        if not self.areas:
+            return []
+        start = bin_width * int(min(self.areas) // bin_width)
+        bins = {}
+        for area in self.areas:
+            bucket = start + bin_width * int((area - start) // bin_width)
+            bins[bucket] = bins.get(bucket, 0) + 1
+        return sorted(bins.items())
+
+
+def random_pin_search(
+    functions: Sequence[BoolFunction],
+    num_samples: int,
+    seed: int = 7,
+    library: Optional[CellLibrary] = None,
+    effort: str = SynthesisEffort.FAST,
+    problem: Optional[PinAssignmentProblem] = None,
+    include_identity: bool = False,
+) -> RandomSearchResult:
+    """Evaluate ``num_samples`` random pin assignments and summarise the areas."""
+    if num_samples < 1:
+        raise ValueError("num_samples must be at least 1")
+    if problem is None:
+        problem = PinAssignmentProblem(functions, library=library, effort=effort)
+    rng = random.Random(seed)
+
+    genotypes: List[List[int]] = []
+    if include_identity:
+        genotypes.append(problem.space.identity_genotype())
+    while len(genotypes) < num_samples:
+        genotypes.append(problem.random_genotype(rng))
+
+    areas: List[float] = []
+    best_area = float("inf")
+    best_genotype = genotypes[0]
+    for genotype in genotypes:
+        area = problem.evaluate(genotype)
+        areas.append(area)
+        if area < best_area:
+            best_area = area
+            best_genotype = genotype
+
+    return RandomSearchResult(
+        areas=areas,
+        best_area=best_area,
+        average_area=sum(areas) / len(areas),
+        worst_area=max(areas),
+        best_assignment=problem.assignment_from_genotype(best_genotype),
+        evaluations=len(areas),
+    )

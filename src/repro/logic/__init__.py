@@ -1,0 +1,63 @@
+"""Boolean-function substrate: truth tables, expressions, SOP extraction.
+
+This package contains the word- and bit-level function representations used
+throughout the reproduction: packed single-output truth tables
+(:class:`~repro.logic.truthtable.TruthTable`), multi-output functions
+(:class:`~repro.logic.boolfunc.BoolFunction`), a small Boolean expression
+language, ISOP extraction and algebraic factoring used by the synthesis
+passes, and cryptographic quality measures used to validate the S-box
+workloads.
+"""
+
+from .boolfunc import BoolFunction
+from .expr import (
+    And,
+    Const,
+    Expression,
+    Not,
+    Or,
+    Var,
+    Xor,
+    expression_to_table,
+    parse_expression,
+)
+from .factoring import expression_literal_count, factor_cover, factor_table
+from .isop import Cover, Cube, cover_to_table, isop
+from .truthtable import TruthTable
+from .analysis import (
+    algebraic_degree,
+    difference_distribution_table,
+    differential_uniformity,
+    is_optimal_4bit_sbox,
+    linearity,
+    nonlinearity,
+    walsh_spectrum,
+)
+
+__all__ = [
+    "TruthTable",
+    "BoolFunction",
+    "Expression",
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "parse_expression",
+    "expression_to_table",
+    "Cube",
+    "Cover",
+    "isop",
+    "cover_to_table",
+    "factor_cover",
+    "factor_table",
+    "expression_literal_count",
+    "difference_distribution_table",
+    "differential_uniformity",
+    "walsh_spectrum",
+    "linearity",
+    "nonlinearity",
+    "algebraic_degree",
+    "is_optimal_4bit_sbox",
+]

@@ -1,0 +1,145 @@
+"""Cryptographic quality measures for small S-boxes.
+
+The evaluation workloads are 4-bit *optimal* S-boxes in the sense of Leander
+and Poschmann: bijective, differential uniformity 4, and linearity 8.  These
+helpers compute the standard measures (difference distribution table, Walsh
+spectrum, linearity, algebraic degree) from a word-level lookup table so the
+S-box data shipped with the library can be validated programmatically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .boolfunc import BoolFunction
+
+__all__ = [
+    "difference_distribution_table",
+    "differential_uniformity",
+    "walsh_spectrum",
+    "linearity",
+    "nonlinearity",
+    "algebraic_degree",
+    "is_optimal_4bit_sbox",
+]
+
+
+def _check_lookup(table: Sequence[int], num_inputs: int, num_outputs: int) -> None:
+    if len(table) != 1 << num_inputs:
+        raise ValueError(f"lookup table must have {1 << num_inputs} entries")
+    limit = 1 << num_outputs
+    for value in table:
+        if not 0 <= value < limit:
+            raise ValueError(f"entry {value} does not fit in {num_outputs} bits")
+
+
+def difference_distribution_table(
+    table: Sequence[int], num_inputs: int, num_outputs: int
+) -> List[List[int]]:
+    """Return the DDT: ``ddt[a][b] = #{x : S(x) ^ S(x ^ a) == b}``."""
+    _check_lookup(table, num_inputs, num_outputs)
+    rows = 1 << num_inputs
+    cols = 1 << num_outputs
+    ddt = [[0] * cols for _ in range(rows)]
+    for delta_in in range(rows):
+        for x in range(rows):
+            delta_out = table[x] ^ table[x ^ delta_in]
+            ddt[delta_in][delta_out] += 1
+    return ddt
+
+
+def differential_uniformity(
+    table: Sequence[int], num_inputs: int, num_outputs: int
+) -> int:
+    """Return the maximum DDT entry over non-zero input differences."""
+    ddt = difference_distribution_table(table, num_inputs, num_outputs)
+    return max(
+        ddt[delta_in][delta_out]
+        for delta_in in range(1, 1 << num_inputs)
+        for delta_out in range(1 << num_outputs)
+    )
+
+
+def walsh_spectrum(
+    table: Sequence[int], num_inputs: int, num_outputs: int
+) -> List[List[int]]:
+    """Return the Walsh spectrum ``W[a][b]`` over input masks a, output masks b.
+
+    ``W[a][b] = sum_x (-1)^(a.x ^ b.S(x))`` where ``.`` is the inner product
+    over GF(2).
+    """
+    _check_lookup(table, num_inputs, num_outputs)
+    rows = 1 << num_inputs
+    cols = 1 << num_outputs
+    spectrum = [[0] * cols for _ in range(rows)]
+    for mask_in in range(rows):
+        for mask_out in range(cols):
+            total = 0
+            for x in range(rows):
+                sign = bin((mask_in & x) ^ _masked_parity_word(mask_out, table[x])).count("1") & 1
+                total += -1 if sign else 1
+            spectrum[mask_in][mask_out] = total
+    return spectrum
+
+
+def _masked_parity_word(mask: int, word: int) -> int:
+    """Return a word whose popcount parity equals parity(mask & word)."""
+    return mask & word
+
+
+def linearity(table: Sequence[int], num_inputs: int, num_outputs: int) -> int:
+    """Return the linearity ``Lin(S) = max |W[a][b]|`` over non-zero output masks."""
+    spectrum = walsh_spectrum(table, num_inputs, num_outputs)
+    return max(
+        abs(spectrum[mask_in][mask_out])
+        for mask_out in range(1, 1 << num_outputs)
+        for mask_in in range(1 << num_inputs)
+    )
+
+
+def nonlinearity(table: Sequence[int], num_inputs: int, num_outputs: int) -> int:
+    """Return the nonlinearity ``2^(n-1) - Lin(S)/2``."""
+    return (1 << (num_inputs - 1)) - linearity(table, num_inputs, num_outputs) // 2
+
+
+def algebraic_degree(table: Sequence[int], num_inputs: int, num_outputs: int) -> int:
+    """Return the maximum algebraic degree over all output component bits."""
+    _check_lookup(table, num_inputs, num_outputs)
+    function = BoolFunction.from_lookup(table, num_inputs, num_outputs)
+    degree = 0
+    for out_index in range(num_outputs):
+        values = function.output(out_index).values()
+        anf = _moebius_transform(values)
+        for monomial, coefficient in enumerate(anf):
+            if coefficient:
+                degree = max(degree, bin(monomial).count("1"))
+    return degree
+
+
+def _moebius_transform(values: Sequence[int]) -> List[int]:
+    """Binary Moebius transform: truth table -> ANF coefficients."""
+    coefficients = list(values)
+    length = len(coefficients)
+    step = 1
+    while step < length:
+        for start in range(0, length, 2 * step):
+            for offset in range(step):
+                coefficients[start + step + offset] ^= coefficients[start + offset]
+        step *= 2
+    return coefficients
+
+
+def is_optimal_4bit_sbox(table: Sequence[int]) -> bool:
+    """Check the Leander–Poschmann optimality criteria for a 4-bit S-box.
+
+    Optimal means: bijective, ``Lin(S) = 8`` and differential uniformity 4.
+    """
+    if len(table) != 16:
+        return False
+    if sorted(table) != list(range(16)):
+        return False
+    if linearity(table, 4, 4) != 8:
+        return False
+    if differential_uniformity(table, 4, 4) != 4:
+        return False
+    return True

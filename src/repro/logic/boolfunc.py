@@ -1,0 +1,210 @@
+"""Multi-output Boolean functions.
+
+A :class:`BoolFunction` bundles several :class:`~repro.logic.truthtable.TruthTable`
+outputs over a shared input space, together with optional input/output names.
+It is the common currency between the S-box data, the merged-circuit
+construction (Phase I), netlist simulation, and the verification code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .truthtable import TruthTable
+
+__all__ = ["BoolFunction"]
+
+
+class BoolFunction:
+    """An immutable multi-output Boolean function."""
+
+    __slots__ = ("_outputs", "_num_inputs", "_name", "_input_names", "_output_names")
+
+    def __init__(
+        self,
+        outputs: Sequence[TruthTable],
+        name: str = "f",
+        input_names: Optional[Sequence[str]] = None,
+        output_names: Optional[Sequence[str]] = None,
+    ):
+        if not outputs:
+            raise ValueError("a BoolFunction needs at least one output")
+        num_inputs = outputs[0].num_vars
+        for table in outputs:
+            if table.num_vars != num_inputs:
+                raise ValueError("all outputs must share the same input space")
+        self._outputs: Tuple[TruthTable, ...] = tuple(outputs)
+        self._num_inputs = num_inputs
+        self._name = name
+        if input_names is None:
+            input_names = [f"i[{k}]" for k in range(num_inputs)]
+        if output_names is None:
+            output_names = [f"o[{k}]" for k in range(len(outputs))]
+        if len(input_names) != num_inputs:
+            raise ValueError("one name per input is required")
+        if len(output_names) != len(outputs):
+            raise ValueError("one name per output is required")
+        self._input_names = tuple(input_names)
+        self._output_names = tuple(output_names)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_lookup(
+        cls,
+        table: Sequence[int],
+        num_inputs: int,
+        num_outputs: int,
+        name: str = "f",
+    ) -> "BoolFunction":
+        """Build a function from a lookup table of output words.
+
+        ``table[x]`` is the ``num_outputs``-bit output word for input word
+        ``x`` (bit 0 of the word is output 0).  This is the natural format
+        for S-boxes.
+        """
+        if len(table) != 1 << num_inputs:
+            raise ValueError(
+                f"lookup table must have {1 << num_inputs} entries, got {len(table)}"
+            )
+        limit = 1 << num_outputs
+        outputs = []
+        for out_index in range(num_outputs):
+            bits = 0
+            for row, word in enumerate(table):
+                if not 0 <= word < limit:
+                    raise ValueError(f"entry {word} does not fit in {num_outputs} bits")
+                if (word >> out_index) & 1:
+                    bits |= 1 << row
+            outputs.append(TruthTable(num_inputs, bits))
+        return cls(outputs, name=name)
+
+    @classmethod
+    def from_callable(
+        cls,
+        num_inputs: int,
+        num_outputs: int,
+        func: Callable[[int], int],
+        name: str = "f",
+    ) -> "BoolFunction":
+        """Build a function from a word-level callable ``x -> y``."""
+        table = [func(x) for x in range(1 << num_inputs)]
+        return cls.from_lookup(table, num_inputs, num_outputs, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Human-readable name of the function."""
+        return self._name
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of input bits."""
+        return self._num_inputs
+
+    @property
+    def num_outputs(self) -> int:
+        """Number of output bits."""
+        return len(self._outputs)
+
+    @property
+    def outputs(self) -> Tuple[TruthTable, ...]:
+        """The per-output truth tables."""
+        return self._outputs
+
+    @property
+    def input_names(self) -> Tuple[str, ...]:
+        """Names of the inputs, in variable order."""
+        return self._input_names
+
+    @property
+    def output_names(self) -> Tuple[str, ...]:
+        """Names of the outputs, in output order."""
+        return self._output_names
+
+    def output(self, index: int) -> TruthTable:
+        """Return the truth table of output ``index``."""
+        return self._outputs[index]
+
+    def evaluate_word(self, word: int) -> int:
+        """Evaluate the function on an input word, returning the output word."""
+        if not 0 <= word < (1 << self._num_inputs):
+            raise ValueError("input word out of range")
+        result = 0
+        for out_index, table in enumerate(self._outputs):
+            if table.value_at(word):
+                result |= 1 << out_index
+        return result
+
+    def lookup_table(self) -> List[int]:
+        """Return the word-level lookup table (inverse of :meth:`from_lookup`)."""
+        return [self.evaluate_word(word) for word in range(1 << self._num_inputs)]
+
+    def is_permutation(self) -> bool:
+        """Return True when the function is a bijection on equal-width words."""
+        if self._num_inputs != self.num_outputs:
+            return False
+        table = self.lookup_table()
+        return sorted(table) == list(range(1 << self._num_inputs))
+
+    # ------------------------------------------------------------------ #
+    # Pin re-assignment (Phase II degrees of freedom)
+    # ------------------------------------------------------------------ #
+    def permute_inputs(self, permutation: Sequence[int]) -> "BoolFunction":
+        """Relabel the inputs; ``permutation[i] = j`` moves old input i to slot j."""
+        outputs = [table.permute_inputs(permutation) for table in self._outputs]
+        names = list(self._input_names)
+        new_names = [""] * self._num_inputs
+        for old, new in enumerate(permutation):
+            new_names[new] = names[old]
+        return BoolFunction(
+            outputs,
+            name=self._name,
+            input_names=new_names,
+            output_names=self._output_names,
+        )
+
+    def permute_outputs(self, permutation: Sequence[int]) -> "BoolFunction":
+        """Relabel the outputs; ``permutation[i] = j`` moves old output i to slot j."""
+        if sorted(permutation) != list(range(self.num_outputs)):
+            raise ValueError("permutation must be a permutation of the output indices")
+        outputs: List[Optional[TruthTable]] = [None] * self.num_outputs
+        names: List[str] = [""] * self.num_outputs
+        for old, new in enumerate(permutation):
+            outputs[new] = self._outputs[old]
+            names[new] = self._output_names[old]
+        return BoolFunction(
+            [table for table in outputs if table is not None],
+            name=self._name,
+            input_names=self._input_names,
+            output_names=names,
+        )
+
+    def rename(self, name: str) -> "BoolFunction":
+        """Return a copy with a different display name."""
+        return BoolFunction(
+            self._outputs,
+            name=name,
+            input_names=self._input_names,
+            output_names=self._output_names,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dunder protocol
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoolFunction):
+            return NotImplemented
+        return self._outputs == other._outputs
+
+    def __hash__(self) -> int:
+        return hash(self._outputs)
+
+    def __repr__(self) -> str:
+        return (
+            f"BoolFunction(name={self._name!r}, inputs={self._num_inputs}, "
+            f"outputs={self.num_outputs})"
+        )

@@ -1,0 +1,317 @@
+"""Boolean expression trees.
+
+Expressions are used in two places: as a convenient way for users and tests
+to define functions symbolically (``parse_expression("(a&b)|~c")``), and as
+the output format of the algebraic factoring used by the refactor synthesis
+pass.  The grammar is intentionally small:
+
+    expr    := term ('|' term)*            -- OR
+    term    := factor ('&' factor)*        -- AND (also implicit by adjacency
+                                              of parenthesised factors)
+    factor  := '~' factor | '(' expr ')' | '0' | '1' | identifier
+    xor     := '^' is accepted at the OR precedence level
+
+Identifiers are letters/digits/underscore/brackets, e.g. ``i[3]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .truthtable import TruthTable
+
+__all__ = [
+    "Expression",
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "parse_expression",
+    "expression_to_table",
+]
+
+
+class Expression:
+    """Base class for Boolean expression nodes."""
+
+    def variables(self) -> Tuple[str, ...]:
+        """Return the sorted tuple of variable names used in the expression."""
+        names: List[str] = []
+        self._collect(names)
+        return tuple(sorted(set(names)))
+
+    def _collect(self, names: List[str]) -> None:
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        """Evaluate under a name -> 0/1 assignment."""
+        raise NotImplementedError
+
+    def to_table(self, variable_order: Sequence[str]) -> TruthTable:
+        """Convert to a truth table over the given variable order."""
+        return expression_to_table(self, variable_order)
+
+    def __and__(self, other: "Expression") -> "Expression":
+        return And((self, other))
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return Or((self, other))
+
+    def __xor__(self, other: "Expression") -> "Expression":
+        return Xor((self, other))
+
+    def __invert__(self) -> "Expression":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Var(Expression):
+    """A named input variable."""
+
+    name: str
+
+    def _collect(self, names: List[str]) -> None:
+        names.append(self.name)
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        try:
+            return 1 if assignment[self.name] else 0
+        except KeyError as exc:
+            raise KeyError(f"no value provided for variable {self.name!r}") from exc
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expression):
+    """A Boolean constant."""
+
+    value: int
+
+    def _collect(self, names: List[str]) -> None:
+        return None
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        return 1 if self.value else 0
+
+    def __str__(self) -> str:
+        return "1" if self.value else "0"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Logical negation."""
+
+    operand: Expression
+
+    def _collect(self, names: List[str]) -> None:
+        self.operand._collect(names)
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        return 1 - self.operand.evaluate(assignment)
+
+    def __str__(self) -> str:
+        return f"~{_wrap(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """Logical conjunction of two or more operands."""
+
+    operands: Tuple[Expression, ...]
+
+    def _collect(self, names: List[str]) -> None:
+        for operand in self.operands:
+            operand._collect(names)
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        for operand in self.operands:
+            if not operand.evaluate(assignment):
+                return 0
+        return 1
+
+    def __str__(self) -> str:
+        return " & ".join(_wrap(operand) for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """Logical disjunction of two or more operands."""
+
+    operands: Tuple[Expression, ...]
+
+    def _collect(self, names: List[str]) -> None:
+        for operand in self.operands:
+            operand._collect(names)
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        for operand in self.operands:
+            if operand.evaluate(assignment):
+                return 1
+        return 0
+
+    def __str__(self) -> str:
+        return " | ".join(_wrap(operand) for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class Xor(Expression):
+    """Logical exclusive-or of two or more operands."""
+
+    operands: Tuple[Expression, ...]
+
+    def _collect(self, names: List[str]) -> None:
+        for operand in self.operands:
+            operand._collect(names)
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        result = 0
+        for operand in self.operands:
+            result ^= operand.evaluate(assignment)
+        return result
+
+    def __str__(self) -> str:
+        return " ^ ".join(_wrap(operand) for operand in self.operands)
+
+
+def _wrap(expression: Expression) -> str:
+    if isinstance(expression, (Var, Const, Not)):
+        return str(expression)
+    return f"({expression})"
+
+
+# ---------------------------------------------------------------------- #
+# Parser
+# ---------------------------------------------------------------------- #
+_IDENT_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_[].")
+
+
+class _Tokenizer:
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+
+    def peek(self) -> str:
+        while self._pos < len(self._text) and self._text[self._pos].isspace():
+            self._pos += 1
+        if self._pos >= len(self._text):
+            return ""
+        return self._text[self._pos]
+
+    def next_token(self) -> str:
+        char = self.peek()
+        if not char:
+            return ""
+        if char in "&|^~()!*+":
+            self._pos += 1
+            return char
+        if char in _IDENT_CHARS:
+            start = self._pos
+            while self._pos < len(self._text) and self._text[self._pos] in _IDENT_CHARS:
+                self._pos += 1
+            return self._text[start:self._pos]
+        raise ValueError(f"unexpected character {char!r} in expression")
+
+
+class _Parser:
+    """Recursive-descent parser for the small Boolean grammar."""
+
+    def __init__(self, text: str):
+        self._tokens = _Tokenizer(text)
+        self._lookahead = self._tokens.next_token()
+
+    def _advance(self) -> str:
+        token = self._lookahead
+        self._lookahead = self._tokens.next_token()
+        return token
+
+    def parse(self) -> Expression:
+        expression = self._parse_or()
+        if self._lookahead:
+            raise ValueError(f"unexpected trailing token {self._lookahead!r}")
+        return expression
+
+    def _parse_or(self) -> Expression:
+        operands = [self._parse_xor()]
+        while self._lookahead in ("|", "+"):
+            self._advance()
+            operands.append(self._parse_xor())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands))
+
+    def _parse_xor(self) -> Expression:
+        operands = [self._parse_and()]
+        while self._lookahead == "^":
+            self._advance()
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return Xor(tuple(operands))
+
+    def _parse_and(self) -> Expression:
+        operands = [self._parse_factor()]
+        while self._lookahead in ("&", "*") or self._lookahead == "(" or (
+            self._lookahead and self._lookahead not in "|^)+"
+        ):
+            if self._lookahead in ("&", "*"):
+                self._advance()
+            operands.append(self._parse_factor())
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands))
+
+    def _parse_factor(self) -> Expression:
+        token = self._lookahead
+        if token in ("~", "!"):
+            self._advance()
+            return Not(self._parse_factor())
+        if token == "(":
+            self._advance()
+            inner = self._parse_or()
+            if self._lookahead != ")":
+                raise ValueError("missing closing parenthesis")
+            self._advance()
+            return inner
+        if token == "0":
+            self._advance()
+            return Const(0)
+        if token == "1":
+            self._advance()
+            return Const(1)
+        if token and token[0] in _IDENT_CHARS:
+            self._advance()
+            return Var(token)
+        raise ValueError(f"unexpected token {token!r} in expression")
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a Boolean expression string into an :class:`Expression` tree."""
+    if not text.strip():
+        raise ValueError("cannot parse an empty expression")
+    return _Parser(text).parse()
+
+
+def expression_to_table(
+    expression: Expression, variable_order: Sequence[str]
+) -> TruthTable:
+    """Evaluate ``expression`` into a truth table over ``variable_order``.
+
+    ``variable_order[i]`` is the name bound to truth-table variable ``i``.
+    """
+    missing = set(expression.variables()) - set(variable_order)
+    if missing:
+        raise ValueError(f"expression uses variables not in the order: {sorted(missing)}")
+    num_vars = len(variable_order)
+    bits = 0
+    for row in range(1 << num_vars):
+        assignment = {
+            name: (row >> index) & 1 for index, name in enumerate(variable_order)
+        }
+        if expression.evaluate(assignment):
+            bits |= 1 << row
+    return TruthTable(num_vars, bits)

@@ -1,0 +1,136 @@
+"""Algebraic factoring of two-level covers into multi-level expressions.
+
+The refactor synthesis pass collapses a cone into a truth table, extracts an
+irredundant SOP with :func:`repro.logic.isop.isop`, and then factors the SOP
+into a multi-level expression whose literal count approximates the AIG cost
+of the resynthesised cone.  The factoring here is the classic "quick factor"
+style literal/kernel division: repeatedly divide the cover by its most common
+literal.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Sequence, Tuple
+
+from .expr import And, Const, Expression, Not, Or, Var
+from .isop import Cover, Cube, isop
+from .truthtable import TruthTable
+
+__all__ = [
+    "factor_cover",
+    "factor_table",
+    "expression_literal_count",
+]
+
+
+def _literal_name(var: int) -> str:
+    return f"x{var}"
+
+
+def literal_expression(var: int, is_positive: bool) -> Expression:
+    """Return the expression for a single literal of variable ``var``."""
+    expression: Expression = Var(_literal_name(var))
+    return expression if is_positive else Not(expression)
+
+
+def cube_expression(cube: Cube) -> Expression:
+    """Return the AND expression of a cube (constant 1 for the empty cube)."""
+    literals = [literal_expression(var, pos) for var, pos in cube.literals()]
+    if not literals:
+        return Const(1)
+    if len(literals) == 1:
+        return literals[0]
+    return And(tuple(literals))
+
+
+def factor_cover(cover: Cover) -> Expression:
+    """Factor a cube cover into a multi-level expression.
+
+    Variables are named ``x0 .. x{n-1}`` so that the expression can be turned
+    back into a truth table or an AIG with a fixed variable order.
+    """
+    if not cover.cubes:
+        return Const(0)
+    return _factor_cubes(list(cover.cubes))
+
+
+def factor_table(table: TruthTable, dc_set: Optional[TruthTable] = None) -> Expression:
+    """Extract an ISOP of ``table`` and factor it."""
+    if table.is_constant_zero():
+        return Const(0)
+    if table.is_constant_one():
+        return Const(1)
+    return factor_cover(isop(table, dc_set))
+
+
+def _factor_cubes(cubes: List[Cube]) -> Expression:
+    if not cubes:
+        return Const(0)
+    if len(cubes) == 1:
+        return cube_expression(cubes[0])
+    if any(cube.num_literals() == 0 for cube in cubes):
+        return Const(1)
+
+    best_literal = _most_common_literal(cubes)
+    if best_literal is None:
+        terms = tuple(cube_expression(cube) for cube in cubes)
+        return Or(terms)
+
+    var, is_positive = best_literal
+    quotient: List[Cube] = []
+    remainder: List[Cube] = []
+    for cube in cubes:
+        if is_positive and (cube.positive >> var) & 1:
+            quotient.append(Cube(cube.positive & ~(1 << var), cube.negative))
+        elif not is_positive and (cube.negative >> var) & 1:
+            quotient.append(Cube(cube.positive, cube.negative & ~(1 << var)))
+        else:
+            remainder.append(cube)
+
+    if len(quotient) <= 1:
+        # Dividing would not group anything; fall back to a flat OR of cubes,
+        # each individually factored (they are single cubes so this is an AND).
+        terms = tuple(cube_expression(cube) for cube in cubes)
+        return Or(terms)
+
+    literal = literal_expression(var, is_positive)
+    quotient_expr = _factor_cubes(quotient)
+    factored: Expression
+    if isinstance(quotient_expr, Const) and quotient_expr.value == 1:
+        factored = literal
+    else:
+        factored = And((literal, quotient_expr))
+    if not remainder:
+        return factored
+    remainder_expr = _factor_cubes(remainder)
+    return Or((factored, remainder_expr))
+
+
+def _most_common_literal(cubes: Sequence[Cube]) -> Optional[Tuple[int, bool]]:
+    """Return the literal occurring in the largest number of cubes (>= 2)."""
+    counts: Counter = Counter()
+    for cube in cubes:
+        for var, is_positive in cube.literals():
+            counts[(var, is_positive)] += 1
+    if not counts:
+        return None
+    (literal, count) = counts.most_common(1)[0]
+    if count < 2:
+        return None
+    return literal
+
+
+def expression_literal_count(expression: Expression) -> int:
+    """Count literal occurrences in an expression (factored-form cost metric)."""
+    if isinstance(expression, Var):
+        return 1
+    if isinstance(expression, Const):
+        return 0
+    if isinstance(expression, Not):
+        return expression_literal_count(expression.operand)
+    if isinstance(expression, (And, Or)):
+        return sum(expression_literal_count(op) for op in expression.operands)
+    if hasattr(expression, "operands"):
+        return sum(expression_literal_count(op) for op in expression.operands)
+    raise TypeError(f"unsupported expression node {type(expression).__name__}")

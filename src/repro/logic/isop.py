@@ -1,0 +1,171 @@
+"""Irredundant sum-of-products extraction (Minato–Morreale ISOP).
+
+The synthesis rewrite/refactor passes resynthesise small cones from their
+truth tables.  ISOP gives a compact two-level cover which is subsequently
+factored (:mod:`repro.logic.factoring`) into a multi-level form.
+
+Cubes are represented by :class:`Cube`: two bit masks over the variable
+indices, one for positive literals and one for negative literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .truthtable import TruthTable
+
+__all__ = ["Cube", "Cover", "isop", "cover_to_table"]
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A product term: conjunction of positive and negative literals."""
+
+    positive: int
+    negative: int
+
+    def literals(self) -> List[Tuple[int, bool]]:
+        """Return (variable, is_positive) pairs for the cube's literals."""
+        result: List[Tuple[int, bool]] = []
+        var = 0
+        positive, negative = self.positive, self.negative
+        while positive or negative:
+            if positive & 1:
+                result.append((var, True))
+            if negative & 1:
+                result.append((var, False))
+            positive >>= 1
+            negative >>= 1
+            var += 1
+        return result
+
+    def num_literals(self) -> int:
+        """Return the number of literals in the cube."""
+        return bin(self.positive).count("1") + bin(self.negative).count("1")
+
+    def with_literal(self, var: int, is_positive: bool) -> "Cube":
+        """Return a copy of the cube with one extra literal."""
+        if is_positive:
+            return Cube(self.positive | (1 << var), self.negative)
+        return Cube(self.positive, self.negative | (1 << var))
+
+    def to_table(self, num_vars: int) -> TruthTable:
+        """Return the truth table of the cube over ``num_vars`` inputs."""
+        table = TruthTable.constant(num_vars, True)
+        for var, is_positive in self.literals():
+            literal = TruthTable.variable(var, num_vars)
+            table = table & (literal if is_positive else ~literal)
+        return table
+
+    def contradicts(self) -> bool:
+        """Return True if the cube contains a variable in both polarities."""
+        return bool(self.positive & self.negative)
+
+
+class Cover:
+    """A sum of cubes over a fixed number of variables."""
+
+    __slots__ = ("cubes", "num_vars")
+
+    def __init__(self, cubes: List[Cube], num_vars: int):
+        self.cubes = list(cubes)
+        self.num_vars = num_vars
+
+    def num_literals(self) -> int:
+        """Total literal count across all cubes (the classic SOP cost)."""
+        return sum(cube.num_literals() for cube in self.cubes)
+
+    def to_table(self) -> TruthTable:
+        """Return the truth table of the cover."""
+        return cover_to_table(self.cubes, self.num_vars)
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self):
+        return iter(self.cubes)
+
+    def __repr__(self) -> str:
+        return f"Cover(num_vars={self.num_vars}, cubes={len(self.cubes)})"
+
+
+def cover_to_table(cubes: List[Cube], num_vars: int) -> TruthTable:
+    """OR together the truth tables of all cubes."""
+    table = TruthTable.constant(num_vars, False)
+    for cube in cubes:
+        table = table | cube.to_table(num_vars)
+    return table
+
+
+def isop(onset: TruthTable, dc_set: Optional[TruthTable] = None) -> Cover:
+    """Compute an irredundant SOP cover of ``onset`` using the don't-care set.
+
+    The returned cover ``C`` satisfies ``onset <= C <= onset | dc_set``.
+    When ``dc_set`` is omitted, the cover is exactly equivalent to ``onset``.
+    """
+    num_vars = onset.num_vars
+    if dc_set is None:
+        dc_set = TruthTable.constant(num_vars, False)
+    if dc_set.num_vars != num_vars:
+        raise ValueError("onset and don't-care set must share the input space")
+    upper = onset | dc_set
+    memo: Dict[Tuple[int, int], Tuple[List[Cube], TruthTable]] = {}
+    cubes, _cover_table = _isop_recursive(onset, upper, num_vars, memo)
+    return Cover(cubes, num_vars)
+
+
+def _isop_recursive(
+    lower: TruthTable,
+    upper: TruthTable,
+    num_vars: int,
+    memo: Dict[Tuple[int, int], Tuple[List[Cube], TruthTable]],
+) -> Tuple[List[Cube], TruthTable]:
+    """Minato–Morreale recursion: return (cubes, table of the cover)."""
+    key = (lower.bits, upper.bits)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+
+    if lower.is_constant_zero():
+        result: Tuple[List[Cube], TruthTable] = ([], TruthTable.constant(num_vars, False))
+        memo[key] = result
+        return result
+    if upper.is_constant_one():
+        result = ([Cube(0, 0)], TruthTable.constant(num_vars, True))
+        memo[key] = result
+        return result
+
+    split = _choose_split_variable(lower, upper)
+
+    lower0, lower1 = lower.cofactor(split, 0), lower.cofactor(split, 1)
+    upper0, upper1 = upper.cofactor(split, 0), upper.cofactor(split, 1)
+
+    # Cubes that must contain the negative / positive literal of the split var.
+    cubes0, table0 = _isop_recursive(lower0 & ~upper1, upper0, num_vars, memo)
+    cubes1, table1 = _isop_recursive(lower1 & ~upper0, upper1, num_vars, memo)
+
+    # Remaining onset that neither literal-bound cover handles.
+    remaining = (lower0 & ~table0) | (lower1 & ~table1)
+    cubes_star, table_star = _isop_recursive(remaining, upper0 & upper1, num_vars, memo)
+
+    literal = TruthTable.variable(split, num_vars)
+    cover_table = (table0 & ~literal) | (table1 & literal) | table_star
+    cubes = (
+        [cube.with_literal(split, False) for cube in cubes0]
+        + [cube.with_literal(split, True) for cube in cubes1]
+        + list(cubes_star)
+    )
+    result = (cubes, cover_table)
+    memo[key] = result
+    return result
+
+
+def _choose_split_variable(lower: TruthTable, upper: TruthTable) -> int:
+    """Pick a variable that at least one of the bounds depends on."""
+    for var in range(lower.num_vars):
+        if lower.depends_on(var) or upper.depends_on(var):
+            return var
+    # Both bounds constant: caller handles constants before splitting, but be
+    # defensive and return variable 0.
+    return 0

@@ -1,0 +1,12 @@
+"""Phase I: multi-function merging and pin assignments."""
+
+from .merged import MergedDesign, merge_functions, naive_merged_netlist, num_select_inputs
+from .pinassign import PinAssignment
+
+__all__ = [
+    "PinAssignment",
+    "MergedDesign",
+    "merge_functions",
+    "naive_merged_netlist",
+    "num_select_inputs",
+]

@@ -1,0 +1,200 @@
+"""Phase I: building the merged multi-function circuit.
+
+The merged design (Fig. 2 of the paper) exposes the shared data inputs of
+all viable functions plus ``ceil(log2(n))`` select inputs; for each value of
+the select word the circuit behaves as one of the viable functions (after
+that function's pin permutation has been applied).  Synthesis of this merged
+description is free to use the select signals anywhere, which is what gives
+the area benefit over a naive "n copies + output multiplexers" structure.
+
+Two constructions are provided:
+
+* :func:`merge_functions` — the functional merge used by the synthesis flow
+  (a single :class:`~repro.logic.boolfunc.BoolFunction` over data + select
+  inputs);
+* :func:`naive_merged_netlist` — the explicit Fig. 2 structure (each function
+  synthesised separately, joined with output multiplexer trees); it serves as
+  an ablation baseline showing how much the shared synthesis saves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..logic.boolfunc import BoolFunction
+from ..logic.truthtable import TruthTable
+from ..netlist.library import CellLibrary, standard_cell_library
+from ..netlist.netlist import CONST0_NET, CONST1_NET, Netlist
+from .pinassign import PinAssignment
+
+__all__ = ["MergedDesign", "merge_functions", "num_select_inputs", "naive_merged_netlist"]
+
+
+def num_select_inputs(num_functions: int) -> int:
+    """Number of select inputs needed to distinguish ``num_functions`` functions."""
+    if num_functions < 1:
+        raise ValueError("at least one function is required")
+    if num_functions == 1:
+        return 0
+    return math.ceil(math.log2(num_functions))
+
+
+@dataclass(frozen=True)
+class MergedDesign:
+    """The result of Phase I: the merged function plus its bookkeeping."""
+
+    function: BoolFunction
+    viable_functions: Tuple[BoolFunction, ...]
+    assignment: PinAssignment
+    num_data_inputs: int
+    num_selects: int
+
+    @property
+    def select_input_indices(self) -> Tuple[int, ...]:
+        """Indices of the select variables within the merged function's inputs."""
+        return tuple(range(self.num_data_inputs, self.num_data_inputs + self.num_selects))
+
+    def function_for_select(self, select_value: int) -> BoolFunction:
+        """Return the viable function realised for a given select word."""
+        limit = 1 << self.num_selects
+        if not 0 <= select_value < limit:
+            raise ValueError("select value out of range")
+        index = min(select_value, len(self.viable_functions) - 1)
+        permuted = self.assignment.apply(list(self.viable_functions))
+        return permuted[index]
+
+
+def merge_functions(
+    functions: Sequence[BoolFunction],
+    assignment: Optional[PinAssignment] = None,
+    name: str = "merged",
+) -> MergedDesign:
+    """Merge viable functions into a single multi-function design.
+
+    The merged function has the shared data inputs as variables
+    ``0 .. k-1`` and the select inputs as variables ``k .. k+s-1``.  For a
+    select word ``v`` the outputs equal viable function ``min(v, n-1)`` under
+    the given pin assignment (the clamp only matters when ``n`` is not a
+    power of two).
+    """
+    if not functions:
+        raise ValueError("at least one viable function is required")
+    if assignment is None:
+        assignment = PinAssignment.for_functions(functions)
+    permuted = assignment.apply(list(functions))
+
+    num_inputs = permuted[0].num_inputs
+    num_outputs = permuted[0].num_outputs
+    selects = num_select_inputs(len(functions))
+    total_inputs = num_inputs + selects
+    rows_per_block = 1 << num_inputs
+
+    outputs: List[TruthTable] = []
+    for out_index in range(num_outputs):
+        bits = 0
+        for select_value in range(1 << selects):
+            source = permuted[min(select_value, len(permuted) - 1)]
+            block = source.output(out_index).bits
+            bits |= block << (select_value * rows_per_block)
+        outputs.append(TruthTable(total_inputs, bits))
+
+    input_names = [f"i[{k}]" for k in range(num_inputs)] + [
+        f"sel[{k}]" for k in range(selects)
+    ]
+    output_names = [f"o[{k}]" for k in range(num_outputs)]
+    merged = BoolFunction(
+        outputs, name=name, input_names=input_names, output_names=output_names
+    )
+    return MergedDesign(
+        function=merged,
+        viable_functions=tuple(functions),
+        assignment=assignment,
+        num_data_inputs=num_inputs,
+        num_selects=selects,
+    )
+
+
+def naive_merged_netlist(
+    functions: Sequence[BoolFunction],
+    assignment: Optional[PinAssignment] = None,
+    library: Optional[CellLibrary] = None,
+    name: str = "merged_naive",
+) -> Netlist:
+    """Build the explicit Fig. 2 structure (no cross-function logic sharing).
+
+    Each viable function is synthesised independently and the outputs are
+    combined with a tree of 2:1 multiplexers driven by the select inputs.
+    This is the structure a designer would get without Phase I/II and is used
+    as an ablation reference.
+    """
+    from ..synth.script import synthesize  # local import to avoid a cycle
+
+    if not functions:
+        raise ValueError("at least one viable function is required")
+    library = library or standard_cell_library()
+    if assignment is None:
+        assignment = PinAssignment.for_functions(functions)
+    permuted = assignment.apply(list(functions))
+    num_inputs = permuted[0].num_inputs
+    num_outputs = permuted[0].num_outputs
+    selects = num_select_inputs(len(functions))
+
+    result = Netlist(name, library)
+    data_nets = [result.add_input(f"i[{k}]") for k in range(num_inputs)]
+    select_nets = [result.add_input(f"sel[{k}]") for k in range(selects)]
+
+    # Instantiate each synthesised function with renamed internal nets.
+    per_function_outputs: List[List[str]] = []
+    for index, function in enumerate(permuted):
+        sub = synthesize(function, library=library, effort="standard").netlist
+        mapping = {CONST0_NET: CONST0_NET, CONST1_NET: CONST1_NET}
+        for position, net in enumerate(sub.primary_inputs):
+            mapping[net] = data_nets[position]
+
+        def _mapped(net: str, function_index: int = index, table: dict = mapping) -> str:
+            if net not in table:
+                table[net] = result.new_net(f"f{function_index}_")
+            return table[net]
+
+        for instance in sub.topological_order():
+            new_inputs = [_mapped(net) for net in instance.inputs]
+            result.add_instance(instance.cell, new_inputs, output=_mapped(instance.output))
+        per_function_outputs.append([_mapped(net) for net in sub.primary_outputs])
+
+    # Multiplexer trees on the outputs.
+    for out_index in range(num_outputs):
+        candidates = [per_function_outputs[f][out_index] for f in range(len(permuted))]
+        net = _mux_tree(result, candidates, select_nets, 0)
+        _drive_output(result, net, f"o[{out_index}]")
+        result.add_output(f"o[{out_index}]")
+    return result
+
+
+def _mux_tree(netlist: Netlist, nets: List[str], selects: List[str], level: int) -> str:
+    if len(nets) == 1:
+        return nets[0]
+    select = selects[level]
+    next_level: List[str] = []
+    for index in range(0, len(nets), 2):
+        if index + 1 < len(nets):
+            instance = netlist.add_instance("MUX2", [nets[index], nets[index + 1], select])
+            next_level.append(instance.output)
+        else:
+            next_level.append(nets[index])
+    return _mux_tree(netlist, next_level, selects, level + 1)
+
+
+def _drive_output(netlist: Netlist, source: str, output_net: str) -> None:
+    if source == output_net:
+        return
+    if (
+        netlist.driver_of(source) is not None
+        and source not in netlist.primary_outputs
+        and source not in netlist.primary_inputs
+        and source not in (CONST0_NET, CONST1_NET)
+    ):
+        netlist.rename_net(source, output_net)
+    else:
+        netlist.add_instance("BUF", [source], output=output_net)

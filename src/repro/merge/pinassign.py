@@ -1,0 +1,186 @@
+"""Pin assignments: the Phase II degrees of freedom.
+
+An adversary who images the die does not know which external wire carries
+which logical input or output of a viable function, so the designer is free
+to choose, for every viable function, a correspondence between the function's
+logical pins and the shared pins of the merged circuit.  A
+:class:`PinAssignment` records that correspondence: one input permutation and
+one output permutation per viable function.
+
+The flat integer-vector form (:meth:`PinAssignment.to_genotype` /
+:meth:`PinAssignment.from_genotype`) is the genotype manipulated by the
+genetic algorithm, mirroring the genotype sketched in Fig. 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..logic.boolfunc import BoolFunction
+
+__all__ = ["PinAssignment"]
+
+
+def _check_permutation(permutation: Sequence[int], length: int, what: str) -> None:
+    if sorted(permutation) != list(range(length)):
+        raise ValueError(f"{what} {list(permutation)} is not a permutation of 0..{length - 1}")
+
+
+@dataclass(frozen=True)
+class PinAssignment:
+    """Per-function input and output pin permutations.
+
+    ``input_perms[f][i] = j`` means logical input ``i`` of viable function
+    ``f`` is driven by shared input pin ``j`` of the merged circuit;
+    ``output_perms[f][o] = p`` means logical output ``o`` of function ``f``
+    appears on shared output pin ``p``.
+    """
+
+    input_perms: Tuple[Tuple[int, ...], ...]
+    output_perms: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.input_perms) != len(self.output_perms):
+            raise ValueError("one input and one output permutation per function required")
+        if not self.input_perms:
+            raise ValueError("a pin assignment needs at least one function")
+        num_inputs = len(self.input_perms[0])
+        num_outputs = len(self.output_perms[0])
+        for index, permutation in enumerate(self.input_perms):
+            if len(permutation) != num_inputs:
+                raise ValueError("all input permutations must have the same length")
+            _check_permutation(permutation, num_inputs, f"input permutation {index}")
+        for index, permutation in enumerate(self.output_perms):
+            if len(permutation) != num_outputs:
+                raise ValueError("all output permutations must have the same length")
+            _check_permutation(permutation, num_outputs, f"output permutation {index}")
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_functions(self) -> int:
+        """Number of viable functions covered by the assignment."""
+        return len(self.input_perms)
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of (shared) data inputs."""
+        return len(self.input_perms[0])
+
+    @property
+    def num_outputs(self) -> int:
+        """Number of (shared) outputs."""
+        return len(self.output_perms[0])
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def identity(cls, num_functions: int, num_inputs: int, num_outputs: int) -> "PinAssignment":
+        """The trivial assignment: every function keeps its natural pin order."""
+        input_perm = tuple(range(num_inputs))
+        output_perm = tuple(range(num_outputs))
+        return cls(
+            tuple(input_perm for _ in range(num_functions)),
+            tuple(output_perm for _ in range(num_functions)),
+        )
+
+    @classmethod
+    def random(
+        cls,
+        num_functions: int,
+        num_inputs: int,
+        num_outputs: int,
+        rng: random.Random,
+    ) -> "PinAssignment":
+        """A uniformly random assignment (the paper's baseline distribution)."""
+        input_perms = []
+        output_perms = []
+        for _ in range(num_functions):
+            inputs = list(range(num_inputs))
+            outputs = list(range(num_outputs))
+            rng.shuffle(inputs)
+            rng.shuffle(outputs)
+            input_perms.append(tuple(inputs))
+            output_perms.append(tuple(outputs))
+        return cls(tuple(input_perms), tuple(output_perms))
+
+    @classmethod
+    def for_functions(cls, functions: Sequence[BoolFunction]) -> "PinAssignment":
+        """The identity assignment sized for a list of same-shape functions."""
+        if not functions:
+            raise ValueError("at least one function is required")
+        num_inputs = functions[0].num_inputs
+        num_outputs = functions[0].num_outputs
+        for function in functions:
+            if function.num_inputs != num_inputs or function.num_outputs != num_outputs:
+                raise ValueError("all viable functions must have the same shape")
+        return cls.identity(len(functions), num_inputs, num_outputs)
+
+    # ------------------------------------------------------------------ #
+    # Genotype conversion
+    # ------------------------------------------------------------------ #
+    def to_genotype(self) -> List[int]:
+        """Flatten into the GA genotype (inputs of f0, f1, ... then outputs)."""
+        genes: List[int] = []
+        for permutation in self.input_perms:
+            genes.extend(permutation)
+        for permutation in self.output_perms:
+            genes.extend(permutation)
+        return genes
+
+    @classmethod
+    def from_genotype(
+        cls,
+        genes: Sequence[int],
+        num_functions: int,
+        num_inputs: int,
+        num_outputs: int,
+    ) -> "PinAssignment":
+        """Rebuild a :class:`PinAssignment` from its flattened genotype."""
+        expected = num_functions * (num_inputs + num_outputs)
+        if len(genes) != expected:
+            raise ValueError(f"genotype must have {expected} genes, got {len(genes)}")
+        input_perms = []
+        output_perms = []
+        cursor = 0
+        for _ in range(num_functions):
+            input_perms.append(tuple(genes[cursor:cursor + num_inputs]))
+            cursor += num_inputs
+        for _ in range(num_functions):
+            output_perms.append(tuple(genes[cursor:cursor + num_outputs]))
+            cursor += num_outputs
+        return cls(tuple(input_perms), tuple(output_perms))
+
+    # ------------------------------------------------------------------ #
+    # Application
+    # ------------------------------------------------------------------ #
+    def apply(self, functions: Sequence[BoolFunction]) -> List[BoolFunction]:
+        """Return the viable functions with their pins re-labelled."""
+        if len(functions) != self.num_functions:
+            raise ValueError("number of functions does not match the assignment")
+        permuted: List[BoolFunction] = []
+        for function, input_perm, output_perm in zip(
+            functions, self.input_perms, self.output_perms
+        ):
+            if function.num_inputs != self.num_inputs:
+                raise ValueError(
+                    f"function {function.name!r} has {function.num_inputs} inputs, "
+                    f"assignment expects {self.num_inputs}"
+                )
+            if function.num_outputs != self.num_outputs:
+                raise ValueError(
+                    f"function {function.name!r} has {function.num_outputs} outputs, "
+                    f"assignment expects {self.num_outputs}"
+                )
+            permuted.append(
+                function.permute_inputs(list(input_perm)).permute_outputs(list(output_perm))
+            )
+        return permuted
+
+    def canonical_key(self) -> Tuple[int, ...]:
+        """A hashable key for caching fitness evaluations."""
+        return tuple(self.to_genotype())

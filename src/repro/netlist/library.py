@@ -1,0 +1,186 @@
+"""Standard-cell library with gate-equivalent (GE) areas.
+
+The paper reports all areas in gate equivalents: the area of a cell divided
+by the area of a two-input NAND in the same technology.  The library below
+mirrors the cell families the paper's ABC script maps to (inverter, buffer,
+and 2- to 4-input NAND / NOR / AND / OR gates) with typical relative areas,
+plus a 2:1 multiplexer used by the merged-circuit construction.
+
+All cells are single-output.  The logic function of each cell is stored as a
+:class:`~repro.logic.truthtable.TruthTable` over the cell's ordered input
+pins, which is what the camouflage library and the technology mapper consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import reduce
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..logic.truthtable import TruthTable
+
+__all__ = ["CellType", "CellLibrary", "standard_cell_library", "GE_AREAS"]
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A single-output combinational standard cell."""
+
+    name: str
+    input_names: Tuple[str, ...]
+    function: TruthTable
+    area: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.function.num_vars != len(self.input_names):
+            raise ValueError(
+                f"cell {self.name}: function arity {self.function.num_vars} does not "
+                f"match {len(self.input_names)} input pins"
+            )
+        if self.area < 0:
+            raise ValueError(f"cell {self.name}: area must be non-negative")
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of input pins."""
+        return len(self.input_names)
+
+    def evaluate(self, inputs: Iterable[int]) -> int:
+        """Evaluate the cell on 0/1 input values given in pin order."""
+        return self.function.evaluate(list(inputs))
+
+
+class CellLibrary:
+    """A named collection of :class:`CellType` objects."""
+
+    def __init__(self, name: str, cells: Iterable[CellType]):
+        self.name = name
+        self._cells: Dict[str, CellType] = {}
+        for cell in cells:
+            self.add(cell)
+
+    def add(self, cell: CellType) -> None:
+        """Register a cell; names must be unique."""
+        if cell.name in self._cells:
+            raise ValueError(f"duplicate cell name {cell.name!r}")
+        self._cells[cell.name] = cell
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __getitem__(self, name: str) -> CellType:
+        try:
+            return self._cells[name]
+        except KeyError as exc:
+            raise KeyError(f"library {self.name!r} has no cell {name!r}") from exc
+
+    def get(self, name: str) -> Optional[CellType]:
+        """Return a cell by name, or None when absent."""
+        return self._cells.get(name)
+
+    def cells(self) -> List[CellType]:
+        """Return all cells in insertion order."""
+        return list(self._cells.values())
+
+    def names(self) -> List[str]:
+        """Return all cell names in insertion order."""
+        return list(self._cells.keys())
+
+    def by_num_inputs(self, num_inputs: int) -> List[CellType]:
+        """Return cells with exactly ``num_inputs`` input pins."""
+        return [cell for cell in self._cells.values() if cell.num_inputs == num_inputs]
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __repr__(self) -> str:
+        return f"CellLibrary(name={self.name!r}, cells={len(self._cells)})"
+
+
+#: Typical cell areas normalised to NAND2 = 1.0 GE.
+GE_AREAS: Dict[str, float] = {
+    "INV": 0.67,
+    "BUF": 1.00,
+    "NAND2": 1.00,
+    "NAND3": 1.33,
+    "NAND4": 1.67,
+    "NOR2": 1.00,
+    "NOR3": 1.33,
+    "NOR4": 1.67,
+    "AND2": 1.33,
+    "AND3": 1.67,
+    "AND4": 2.00,
+    "OR2": 1.33,
+    "OR3": 1.67,
+    "OR4": 2.00,
+    "XOR2": 2.33,
+    "XNOR2": 2.33,
+    "MUX2": 2.33,
+}
+
+
+def _and_table(num_inputs: int) -> TruthTable:
+    tables = [TruthTable.variable(var, num_inputs) for var in range(num_inputs)]
+    return reduce(lambda a, b: a & b, tables)
+
+
+def _or_table(num_inputs: int) -> TruthTable:
+    tables = [TruthTable.variable(var, num_inputs) for var in range(num_inputs)]
+    return reduce(lambda a, b: a | b, tables)
+
+
+def _pin_names(num_inputs: int) -> Tuple[str, ...]:
+    return tuple("ABCDEFGH"[:num_inputs])
+
+
+def standard_cell_library() -> CellLibrary:
+    """Build the default standard-cell library used by synthesis and mapping."""
+    cells: List[CellType] = []
+
+    inv = TruthTable(1, 0b01)
+    buf = TruthTable(1, 0b10)
+    cells.append(CellType("INV", ("A",), inv, GE_AREAS["INV"], "inverter"))
+    cells.append(CellType("BUF", ("A",), buf, GE_AREAS["BUF"], "buffer"))
+
+    for num_inputs in (2, 3, 4):
+        pins = _pin_names(num_inputs)
+        and_table = _and_table(num_inputs)
+        or_table = _or_table(num_inputs)
+        cells.append(
+            CellType(
+                f"NAND{num_inputs}", pins, ~and_table, GE_AREAS[f"NAND{num_inputs}"],
+                f"{num_inputs}-input NAND",
+            )
+        )
+        cells.append(
+            CellType(
+                f"NOR{num_inputs}", pins, ~or_table, GE_AREAS[f"NOR{num_inputs}"],
+                f"{num_inputs}-input NOR",
+            )
+        )
+        cells.append(
+            CellType(
+                f"AND{num_inputs}", pins, and_table, GE_AREAS[f"AND{num_inputs}"],
+                f"{num_inputs}-input AND",
+            )
+        )
+        cells.append(
+            CellType(
+                f"OR{num_inputs}", pins, or_table, GE_AREAS[f"OR{num_inputs}"],
+                f"{num_inputs}-input OR",
+            )
+        )
+
+    xor2 = TruthTable.variable(0, 2) ^ TruthTable.variable(1, 2)
+    cells.append(CellType("XOR2", ("A", "B"), xor2, GE_AREAS["XOR2"], "2-input XOR"))
+    cells.append(CellType("XNOR2", ("A", "B"), ~xor2, GE_AREAS["XNOR2"], "2-input XNOR"))
+
+    # MUX2: output = S ? B : A with pin order (A, B, S).
+    var_a = TruthTable.variable(0, 3)
+    var_b = TruthTable.variable(1, 3)
+    var_s = TruthTable.variable(2, 3)
+    mux = (var_s & var_b) | (~var_s & var_a)
+    cells.append(CellType("MUX2", ("A", "B", "S"), mux, GE_AREAS["MUX2"], "2:1 mux"))
+
+    return CellLibrary("standard", cells)

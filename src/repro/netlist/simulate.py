@@ -1,0 +1,127 @@
+"""Netlist simulation.
+
+Two levels of service are provided:
+
+* :func:`simulate_word` — evaluate the netlist on a single input word.
+* :func:`extract_function` — exhaustively simulate the netlist and return a
+  :class:`~repro.logic.boolfunc.BoolFunction`, using bit-parallel simulation
+  (every net carries a packed truth table over the primary inputs) so the
+  cost is linear in the number of instances rather than in
+  ``2**num_inputs * instances``.
+
+Both entry points accept a ``cell_functions`` override that substitutes the
+logic function of individual *instances*.  The camouflage verification flow
+uses this to evaluate a mapped netlist under a specific configuration of its
+camouflaged cells without rebuilding the netlist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..logic.boolfunc import BoolFunction
+from ..logic.truthtable import TruthTable
+from .netlist import CONST0_NET, CONST1_NET, Netlist, NetlistError
+
+__all__ = ["simulate_word", "simulate_assignment", "extract_function"]
+
+
+def simulate_assignment(
+    netlist: Netlist,
+    assignment: Mapping[str, int],
+    cell_functions: Optional[Mapping[str, TruthTable]] = None,
+) -> Dict[str, int]:
+    """Simulate the netlist for one assignment of primary-input values.
+
+    Returns a dict with the value of every net.  ``cell_functions`` maps
+    *instance names* to replacement truth tables (same arity as the cell).
+    """
+    values: Dict[str, int] = {CONST0_NET: 0, CONST1_NET: 1}
+    for net in netlist.primary_inputs:
+        if net not in assignment:
+            raise NetlistError(f"no value provided for primary input {net!r}")
+        values[net] = 1 if assignment[net] else 0
+
+    for instance in netlist.topological_order():
+        function = None
+        if cell_functions is not None:
+            function = cell_functions.get(instance.name)
+        if function is None:
+            function = netlist.library[instance.cell].function
+        input_values = [values[net] for net in instance.inputs]
+        values[instance.output] = function.evaluate(input_values)
+
+    for net in netlist.primary_outputs:
+        if net not in values:
+            raise NetlistError(f"primary output {net!r} is undriven")
+    return values
+
+
+def simulate_word(
+    netlist: Netlist,
+    word: int,
+    cell_functions: Optional[Mapping[str, TruthTable]] = None,
+) -> int:
+    """Evaluate the netlist on an input word and return the output word.
+
+    Bit ``k`` of ``word`` is the value of ``netlist.primary_inputs[k]``; bit
+    ``k`` of the result is the value of ``netlist.primary_outputs[k]``.
+    """
+    assignment = {
+        net: (word >> index) & 1 for index, net in enumerate(netlist.primary_inputs)
+    }
+    values = simulate_assignment(netlist, assignment, cell_functions)
+    result = 0
+    for index, net in enumerate(netlist.primary_outputs):
+        if values[net]:
+            result |= 1 << index
+    return result
+
+
+def extract_function(
+    netlist: Netlist,
+    cell_functions: Optional[Mapping[str, TruthTable]] = None,
+    name: Optional[str] = None,
+) -> BoolFunction:
+    """Exhaustively simulate the netlist into a :class:`BoolFunction`.
+
+    Primary input ``k`` becomes function variable ``k`` and primary output
+    ``k`` becomes function output ``k``.  Simulation is bit-parallel: each
+    net carries the packed truth table of its value over all input minterms.
+    """
+    num_inputs = len(netlist.primary_inputs)
+    tables: Dict[str, TruthTable] = {
+        CONST0_NET: TruthTable.constant(num_inputs, False),
+        CONST1_NET: TruthTable.constant(num_inputs, True),
+    }
+    for index, net in enumerate(netlist.primary_inputs):
+        tables[net] = TruthTable.variable(index, num_inputs)
+
+    for instance in netlist.topological_order():
+        function = None
+        if cell_functions is not None:
+            function = cell_functions.get(instance.name)
+        if function is None:
+            function = netlist.library[instance.cell].function
+        operands = [tables[net] for net in instance.inputs]
+        tables[instance.output] = function.compose(operands) if operands else _constant(
+            function, num_inputs
+        )
+
+    outputs: List[TruthTable] = []
+    for net in netlist.primary_outputs:
+        if net not in tables:
+            raise NetlistError(f"primary output {net!r} is undriven")
+        outputs.append(tables[net])
+    return BoolFunction(
+        outputs,
+        name=name or netlist.name,
+        input_names=list(netlist.primary_inputs),
+        output_names=list(netlist.primary_outputs),
+    )
+
+
+def _constant(function: TruthTable, num_inputs: int) -> TruthTable:
+    """Lift a zero-input cell function to a constant over ``num_inputs`` vars."""
+    value = bool(function.bits & 1)
+    return TruthTable.constant(num_inputs, value)

@@ -1,0 +1,86 @@
+"""Structural validation of netlists.
+
+:func:`validate_netlist` performs the checks that every stage of the flow
+expects to hold before it consumes a netlist: unique drivers, no undriven
+internal nets, no floating primary outputs, known cells, correct pin counts,
+and acyclicity.  It returns a list of human-readable problem descriptions so
+callers can either assert emptiness (tests) or report them (CLI).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .netlist import CONST0_NET, CONST1_NET, Netlist, NetlistError
+
+__all__ = ["validate_netlist", "assert_valid"]
+
+
+def validate_netlist(netlist: Netlist) -> List[str]:
+    """Return a list of structural problems (empty when the netlist is clean)."""
+    problems: List[str] = []
+
+    driven: Set[str] = set(netlist.primary_inputs) | {CONST0_NET, CONST1_NET}
+    seen_outputs: Set[str] = set()
+    for instance in netlist.instances:
+        cell = netlist.library.get(instance.cell)
+        if cell is None:
+            problems.append(
+                f"instance {instance.name!r} uses unknown cell {instance.cell!r}"
+            )
+            continue
+        if len(instance.inputs) != cell.num_inputs:
+            problems.append(
+                f"instance {instance.name!r} has {len(instance.inputs)} connections "
+                f"but cell {cell.name} has {cell.num_inputs} pins"
+            )
+        if instance.output in seen_outputs:
+            problems.append(f"net {instance.output!r} has multiple drivers")
+        if instance.output in netlist.primary_inputs:
+            problems.append(
+                f"instance {instance.name!r} drives primary input {instance.output!r}"
+            )
+        seen_outputs.add(instance.output)
+        driven.add(instance.output)
+
+    for instance in netlist.instances:
+        for net in instance.inputs:
+            if net not in driven:
+                problems.append(
+                    f"instance {instance.name!r} reads undriven net {net!r}"
+                )
+
+    for net in netlist.primary_outputs:
+        if net not in driven:
+            problems.append(f"primary output {net!r} is undriven")
+
+    duplicate_inputs = _duplicates(netlist.primary_inputs)
+    if duplicate_inputs:
+        problems.append(f"duplicate primary inputs: {sorted(duplicate_inputs)}")
+    duplicate_outputs = _duplicates(netlist.primary_outputs)
+    if duplicate_outputs:
+        problems.append(f"duplicate primary outputs: {sorted(duplicate_outputs)}")
+
+    try:
+        netlist.topological_order()
+    except NetlistError as error:
+        problems.append(str(error))
+
+    return problems
+
+
+def _duplicates(items: List[str]) -> Set[str]:
+    seen: Set[str] = set()
+    duplicated: Set[str] = set()
+    for item in items:
+        if item in seen:
+            duplicated.add(item)
+        seen.add(item)
+    return duplicated
+
+
+def assert_valid(netlist: Netlist) -> None:
+    """Raise :class:`NetlistError` if the netlist has structural problems."""
+    problems = validate_netlist(netlist)
+    if problems:
+        raise NetlistError("; ".join(problems))

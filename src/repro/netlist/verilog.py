@@ -1,0 +1,105 @@
+"""Structural Verilog emission.
+
+The mapped (and camouflaged) netlists can be exported as structural Verilog
+for inspection or for use with external simulators.  Camouflaged cells are
+emitted with their look-alike cell name — exactly what an adversary imaging
+the chip would recover — while an optional ``reveal_configuration`` flag
+emits the configured (true) function of each camouflaged instance as a
+comment, which is useful for debugging the designer-side view.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional
+
+from .netlist import CONST0_NET, CONST1_NET, Netlist
+
+__all__ = ["write_verilog", "sanitize_identifier"]
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def sanitize_identifier(name: str) -> str:
+    """Turn a net or instance name into a legal Verilog identifier."""
+    if _IDENT_RE.match(name):
+        return name
+    cleaned = re.sub(r"[^A-Za-z0-9_]", "_", name)
+    if not cleaned or not re.match(r"[A-Za-z_]", cleaned[0]):
+        cleaned = "n_" + cleaned
+    return cleaned
+
+
+def write_verilog(
+    netlist: Netlist,
+    module_name: Optional[str] = None,
+    instance_comments: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Serialise the netlist as structural Verilog.
+
+    ``instance_comments`` maps instance names to a comment appended on the
+    instantiation line (used e.g. to annotate camouflaged-cell configurations).
+    """
+    rename: Dict[str, str] = {}
+    used: Dict[str, int] = {}
+
+    def _name(net: str) -> str:
+        if net in rename:
+            return rename[net]
+        base = sanitize_identifier(net)
+        candidate = base
+        while candidate in used:
+            used[base] += 1
+            candidate = f"{base}_{used[base]}"
+        used.setdefault(base, 0)
+        used[candidate] = used.get(candidate, 0)
+        rename[net] = candidate
+        return candidate
+
+    module = sanitize_identifier(module_name or netlist.name)
+    inputs = [_name(net) for net in netlist.primary_inputs]
+    outputs = [_name(net) for net in netlist.primary_outputs]
+
+    lines: List[str] = []
+    lines.append(f"module {module} (")
+    ports = [f"    input  wire {name}" for name in inputs]
+    ports += [f"    output wire {name}" for name in outputs]
+    lines.append(",\n".join(ports))
+    lines.append(");")
+    lines.append("")
+
+    internal = [
+        net
+        for net in netlist.nets()
+        if net not in netlist.primary_inputs
+        and net not in netlist.primary_outputs
+        and net not in (CONST0_NET, CONST1_NET)
+    ]
+    for net in internal:
+        lines.append(f"  wire {_name(net)};")
+    uses_const0 = any(CONST0_NET in inst.inputs for inst in netlist.instances)
+    uses_const1 = any(CONST1_NET in inst.inputs for inst in netlist.instances)
+    if uses_const0:
+        lines.append(f"  wire {_name(CONST0_NET)} = 1'b0;")
+    if uses_const1:
+        lines.append(f"  wire {_name(CONST1_NET)} = 1'b1;")
+    if internal or uses_const0 or uses_const1:
+        lines.append("")
+
+    for instance in netlist.topological_order():
+        cell = netlist.library[instance.cell]
+        bindings = [
+            f".{pin}({_name(net)})" for pin, net in zip(cell.input_names, instance.inputs)
+        ]
+        bindings.append(f".Y({_name(instance.output)})")
+        comment = ""
+        if instance_comments and instance.name in instance_comments:
+            comment = f"  // {instance_comments[instance.name]}"
+        lines.append(
+            f"  {cell.name} {sanitize_identifier(instance.name)} "
+            f"({', '.join(bindings)});{comment}"
+        )
+
+    lines.append("")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

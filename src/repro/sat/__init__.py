@@ -1,0 +1,23 @@
+"""SAT substrate: CNF, CDCL solver, Tseitin encoding, equivalence checking."""
+
+from .cnf import Cnf
+from .equivalence import (
+    EquivalenceResult,
+    check_netlist_equivalence,
+    check_netlist_function,
+)
+from .solver import SatResult, SatSolver, solve
+from .tseitin import encode_function, encode_netlist, equality_clauses
+
+__all__ = [
+    "Cnf",
+    "SatSolver",
+    "SatResult",
+    "solve",
+    "encode_function",
+    "encode_netlist",
+    "equality_clauses",
+    "EquivalenceResult",
+    "check_netlist_equivalence",
+    "check_netlist_function",
+]

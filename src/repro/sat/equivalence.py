@@ -1,0 +1,122 @@
+"""Miter-based combinational equivalence checking.
+
+Used to validate that synthesis and technology mapping preserve function
+(the role ModelSim plays in the paper's Section IV) and as a building block
+of the SAT-based adversary in :mod:`repro.attacks.decamouflage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..logic.boolfunc import BoolFunction
+from ..logic.truthtable import TruthTable
+from ..netlist.netlist import Netlist
+from .cnf import Cnf
+from .solver import SatSolver
+from .tseitin import encode_function, encode_netlist
+
+__all__ = ["EquivalenceResult", "check_netlist_equivalence", "check_netlist_function"]
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of an equivalence check."""
+
+    equivalent: bool
+    counterexample: Optional[Dict[str, int]] = None
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def _add_miter(cnf: Cnf, pairs: List[Tuple[int, int]]) -> None:
+    """Constrain that at least one output pair differs."""
+    difference_literals = []
+    for literal_a, literal_b in pairs:
+        diff = cnf.new_var()
+        # diff -> (a xor b)  and  (a xor b) -> diff
+        cnf.add_clause([-diff, literal_a, literal_b])
+        cnf.add_clause([-diff, -literal_a, -literal_b])
+        cnf.add_clause([diff, -literal_a, literal_b])
+        cnf.add_clause([diff, literal_a, -literal_b])
+        difference_literals.append(diff)
+    cnf.add_clause(difference_literals)
+
+
+def check_netlist_equivalence(
+    netlist_a: Netlist,
+    netlist_b: Netlist,
+    cell_functions_a: Optional[Mapping[str, TruthTable]] = None,
+    cell_functions_b: Optional[Mapping[str, TruthTable]] = None,
+) -> EquivalenceResult:
+    """Check that two netlists implement the same function.
+
+    Primary inputs are matched by position, as are primary outputs; the two
+    netlists must have the same interface sizes.
+    """
+    if len(netlist_a.primary_inputs) != len(netlist_b.primary_inputs):
+        raise ValueError("netlists have different numbers of primary inputs")
+    if len(netlist_a.primary_outputs) != len(netlist_b.primary_outputs):
+        raise ValueError("netlists have different numbers of primary outputs")
+
+    cnf = Cnf()
+    vars_a = encode_netlist(cnf, netlist_a, prefix="a.", cell_functions=cell_functions_a)
+    shared_inputs = {
+        net_b: vars_a[net_a]
+        for net_a, net_b in zip(netlist_a.primary_inputs, netlist_b.primary_inputs)
+    }
+    vars_b = encode_netlist(
+        cnf, netlist_b, prefix="b.", input_literals=shared_inputs,
+        cell_functions=cell_functions_b,
+    )
+    pairs = [
+        (vars_a[net_a], vars_b[net_b])
+        for net_a, net_b in zip(netlist_a.primary_outputs, netlist_b.primary_outputs)
+    ]
+    _add_miter(cnf, pairs)
+
+    result = SatSolver(cnf).solve()
+    if not result.satisfiable:
+        return EquivalenceResult(True)
+    counterexample = {
+        net: int(result.model.get(abs(vars_a[net]), False))
+        for net in netlist_a.primary_inputs
+    }
+    return EquivalenceResult(False, counterexample=counterexample)
+
+
+def check_netlist_function(
+    netlist: Netlist,
+    function: BoolFunction,
+    cell_functions: Optional[Mapping[str, TruthTable]] = None,
+) -> EquivalenceResult:
+    """Check that a netlist implements a given multi-output function.
+
+    Netlist primary input ``k`` corresponds to function variable ``k`` and
+    primary output ``k`` to function output ``k``.
+    """
+    if len(netlist.primary_inputs) != function.num_inputs:
+        raise ValueError("netlist and function have different numbers of inputs")
+    if len(netlist.primary_outputs) != function.num_outputs:
+        raise ValueError("netlist and function have different numbers of outputs")
+
+    cnf = Cnf()
+    net_vars = encode_netlist(cnf, netlist, prefix="n.", cell_functions=cell_functions)
+    input_literals = [net_vars[net] for net in netlist.primary_inputs]
+    pairs: List[Tuple[int, int]] = []
+    for index, net in enumerate(netlist.primary_outputs):
+        reference = cnf.new_var(f"ref.o{index}")
+        encode_function(cnf, function.output(index), input_literals, reference)
+        pairs.append((net_vars[net], reference))
+    _add_miter(cnf, pairs)
+
+    result = SatSolver(cnf).solve()
+    if not result.satisfiable:
+        return EquivalenceResult(True)
+    counterexample = {
+        net: int(result.model.get(abs(net_vars[net]), False))
+        for net in netlist.primary_inputs
+    }
+    return EquivalenceResult(False, counterexample=counterexample)

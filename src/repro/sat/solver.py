@@ -1,0 +1,387 @@
+"""A CDCL SAT solver (conflict-driven clause learning).
+
+This is the reproduction's stand-in for MiniSat/PySAT, used by the
+equivalence checker and by the adversary's decamouflaging test.  It
+implements the standard modern architecture:
+
+* two-literal watching for unit propagation,
+* 1UIP conflict analysis with clause learning and non-chronological
+  backtracking,
+* VSIDS-style activity-based decision heuristics with phase saving,
+* geometric restarts and learned-clause database reduction.
+
+The solver works on :class:`repro.sat.cnf.Cnf` formulas with DIMACS-style
+integer literals and supports solving under assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cnf import Cnf
+
+__all__ = ["SatResult", "SatSolver", "solve"]
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+@dataclass
+class SatResult:
+    """Outcome of a SAT call."""
+
+    satisfiable: bool
+    model: Dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    def value(self, variable: int) -> Optional[bool]:
+        """Value of a variable in the model (None when unconstrained/UNSAT)."""
+        return self.model.get(variable)
+
+
+class SatSolver:
+    """CDCL solver over a fixed CNF formula."""
+
+    def __init__(self, formula: Cnf):
+        self._num_vars = formula.num_vars
+        self._clauses: List[List[int]] = []
+        self._watches: Dict[int, List[int]] = {}
+        self._assign: List[int] = [_UNASSIGNED] * (self._num_vars + 1)
+        self._level: List[int] = [0] * (self._num_vars + 1)
+        self._reason: List[Optional[int]] = [None] * (self._num_vars + 1)
+        self._activity: List[float] = [0.0] * (self._num_vars + 1)
+        self._phase: List[bool] = [False] * (self._num_vars + 1)
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._queue_head = 0
+        self._activity_increment = 1.0
+        self._activity_decay = 0.95
+        self._learned_start = 0
+        self._trivially_unsat = False
+
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+
+        for clause in formula.clauses:
+            self._add_initial_clause(list(clause))
+        self._learned_start = len(self._clauses)
+
+    # -------------------------------------------------------------- #
+    # Clause management
+    # -------------------------------------------------------------- #
+    def _add_initial_clause(self, literals: List[int]) -> None:
+        if self._trivially_unsat:
+            return
+        # Remove duplicates; drop tautologies.
+        seen = set()
+        cleaned: List[int] = []
+        for literal in literals:
+            if -literal in seen:
+                return
+            if literal not in seen:
+                seen.add(literal)
+                cleaned.append(literal)
+        if not cleaned:
+            self._trivially_unsat = True
+            return
+        if len(cleaned) == 1:
+            if not self._enqueue(cleaned[0], None):
+                self._trivially_unsat = True
+            return
+        self._attach_clause(cleaned)
+
+    def _attach_clause(self, literals: List[int]) -> int:
+        index = len(self._clauses)
+        self._clauses.append(literals)
+        self._watches.setdefault(literals[0], []).append(index)
+        self._watches.setdefault(literals[1], []).append(index)
+        return index
+
+    # -------------------------------------------------------------- #
+    # Assignment helpers
+    # -------------------------------------------------------------- #
+    def _literal_value(self, literal: int) -> int:
+        value = self._assign[abs(literal)]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value if literal > 0 else -value
+
+    def _enqueue(self, literal: int, reason: Optional[int]) -> bool:
+        value = self._literal_value(literal)
+        if value == _TRUE:
+            return True
+        if value == _FALSE:
+            return False
+        variable = abs(literal)
+        self._assign[variable] = _TRUE if literal > 0 else _FALSE
+        self._level[variable] = self._decision_level()
+        self._reason[variable] = reason
+        self._phase[variable] = literal > 0
+        self._trail.append(literal)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    # -------------------------------------------------------------- #
+    # Unit propagation with two watched literals
+    # -------------------------------------------------------------- #
+    def _propagate(self) -> Optional[int]:
+        while self._queue_head < len(self._trail):
+            literal = self._trail[self._queue_head]
+            self._queue_head += 1
+            self.propagations += 1
+            falsified = -literal
+            watchers = self._watches.get(falsified, [])
+            index = 0
+            while index < len(watchers):
+                clause_index = watchers[index]
+                clause = self._clauses[clause_index]
+                # Ensure the falsified literal is in position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._literal_value(first) == _TRUE:
+                    index += 1
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for position in range(2, len(clause)):
+                    candidate = clause[position]
+                    if self._literal_value(candidate) != _FALSE:
+                        clause[1], clause[position] = clause[position], clause[1]
+                        self._watches.setdefault(candidate, []).append(clause_index)
+                        watchers[index] = watchers[-1]
+                        watchers.pop()
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                if self._literal_value(first) == _FALSE:
+                    return clause_index
+                self._enqueue(first, clause_index)
+                index += 1
+        return None
+
+    # -------------------------------------------------------------- #
+    # Conflict analysis (first UIP)
+    # -------------------------------------------------------------- #
+    def _analyze(self, conflict_index: int) -> Tuple[List[int], int]:
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        literal = 0
+        clause = self._clauses[conflict_index]
+        trail_index = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            for clause_literal in clause:
+                # Skip the literal we are resolving on (the implied literal of
+                # the reason clause); everything else is examined.
+                if literal != 0 and clause_literal == literal:
+                    continue
+                variable = abs(clause_literal)
+                if seen[variable] or self._level[variable] == 0:
+                    continue
+                seen[variable] = True
+                self._bump_activity(variable)
+                if self._level[variable] == current_level:
+                    counter += 1
+                else:
+                    learned.append(clause_literal)
+            # Find the next literal of the current level on the trail.
+            while not seen[abs(self._trail[trail_index])]:
+                trail_index -= 1
+            literal = self._trail[trail_index]
+            variable = abs(literal)
+            seen[variable] = False
+            trail_index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            reason_index = self._reason[variable]
+            clause = self._clauses[reason_index]
+
+        learned[0] = -literal
+        if len(learned) == 1:
+            backtrack_level = 0
+        else:
+            # Move the highest-level literal (other than the asserting one)
+            # to position 1 so it can be watched.
+            best = 1
+            for position in range(2, len(learned)):
+                if self._level[abs(learned[position])] > self._level[abs(learned[best])]:
+                    best = position
+            learned[1], learned[best] = learned[best], learned[1]
+            backtrack_level = self._level[abs(learned[1])]
+        return learned, backtrack_level
+
+    def _bump_activity(self, variable: int) -> None:
+        self._activity[variable] += self._activity_increment
+        if self._activity[variable] > 1e100:
+            for index in range(1, self._num_vars + 1):
+                self._activity[index] *= 1e-100
+            self._activity_increment *= 1e-100
+
+    def _decay_activities(self) -> None:
+        self._activity_increment /= self._activity_decay
+
+    # -------------------------------------------------------------- #
+    # Backtracking / restarts
+    # -------------------------------------------------------------- #
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        boundary = self._trail_lim[level]
+        for literal in reversed(self._trail[boundary:]):
+            variable = abs(literal)
+            self._assign[variable] = _UNASSIGNED
+            self._reason[variable] = None
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+
+    def _reduce_learned(self, keep_fraction: float = 0.5) -> None:
+        """Drop long, inactive learned clauses (simple size-based policy)."""
+        learned_indices = list(range(self._learned_start, len(self._clauses)))
+        if len(learned_indices) < 2000:
+            return
+        # Keep short clauses; rebuilding the watch lists is simpler than
+        # surgically removing entries.
+        keep = [
+            self._clauses[index]
+            for index in learned_indices
+            if len(self._clauses[index]) <= 4 or self._clause_is_reason(index)
+        ]
+        long_clauses = [
+            self._clauses[index]
+            for index in learned_indices
+            if len(self._clauses[index]) > 4 and not self._clause_is_reason(index)
+        ]
+        keep_count = int(len(long_clauses) * keep_fraction)
+        keep.extend(long_clauses[-keep_count:] if keep_count else [])
+        reasons_remap_needed = False
+        # Only safe at decision level 0 with no active reasons.
+        if self._decision_level() != 0:
+            return
+        self._clauses = self._clauses[: self._learned_start] + keep
+        self._watches = {}
+        for index, clause in enumerate(self._clauses):
+            if len(clause) >= 2:
+                self._watches.setdefault(clause[0], []).append(index)
+                self._watches.setdefault(clause[1], []).append(index)
+        for variable in range(1, self._num_vars + 1):
+            if self._reason[variable] is not None:
+                self._reason[variable] = None
+        del reasons_remap_needed
+
+    def _clause_is_reason(self, clause_index: int) -> bool:
+        return any(reason == clause_index for reason in self._reason if reason is not None)
+
+    # -------------------------------------------------------------- #
+    # Decisions
+    # -------------------------------------------------------------- #
+    def _pick_branch_variable(self) -> Optional[int]:
+        best_variable = None
+        best_activity = -1.0
+        for variable in range(1, self._num_vars + 1):
+            if self._assign[variable] == _UNASSIGNED and self._activity[variable] > best_activity:
+                best_activity = self._activity[variable]
+                best_variable = variable
+        return best_variable
+
+    # -------------------------------------------------------------- #
+    # Main loop
+    # -------------------------------------------------------------- #
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        """Solve the formula, optionally under assumptions (literals)."""
+        if self._trivially_unsat:
+            return SatResult(False, conflicts=self.conflicts, decisions=self.decisions,
+                             propagations=self.propagations)
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            return self._unsat_result()
+
+        restart_limit = 100
+        conflicts_since_restart = 0
+        assumption_queue = list(assumptions)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    return self._unsat_result()
+                learned, backtrack_level = self._analyze(conflict)
+                self._backtrack(backtrack_level)
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        return self._unsat_result()
+                else:
+                    clause_index = self._attach_clause(learned)
+                    self._enqueue(learned[0], clause_index)
+                self._decay_activities()
+                if conflicts_since_restart >= restart_limit:
+                    conflicts_since_restart = 0
+                    restart_limit = int(restart_limit * 1.5)
+                    self._backtrack(0)
+                    self._reduce_learned()
+                continue
+
+            # Apply pending assumptions as decisions.
+            if len(self._trail_lim) < len(assumption_queue):
+                literal = assumption_queue[len(self._trail_lim)]
+                value = self._literal_value(literal)
+                if value == _FALSE:
+                    return self._unsat_result()
+                self._trail_lim.append(len(self._trail))
+                if value == _UNASSIGNED:
+                    self._enqueue(literal, None)
+                continue
+
+            variable = self._pick_branch_variable()
+            if variable is None:
+                return self._sat_result()
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            phase = self._phase[variable]
+            self._enqueue(variable if phase else -variable, None)
+
+    # -------------------------------------------------------------- #
+    # Results
+    # -------------------------------------------------------------- #
+    def _sat_result(self) -> SatResult:
+        model = {
+            variable: self._assign[variable] == _TRUE
+            for variable in range(1, self._num_vars + 1)
+            if self._assign[variable] != _UNASSIGNED
+        }
+        return SatResult(
+            True,
+            model=model,
+            conflicts=self.conflicts,
+            decisions=self.decisions,
+            propagations=self.propagations,
+        )
+
+    def _unsat_result(self) -> SatResult:
+        return SatResult(
+            False,
+            conflicts=self.conflicts,
+            decisions=self.decisions,
+            propagations=self.propagations,
+        )
+
+
+def solve(formula: Cnf, assumptions: Sequence[int] = ()) -> SatResult:
+    """Convenience wrapper: build a solver and solve the formula."""
+    return SatSolver(formula).solve(assumptions)

@@ -1,0 +1,107 @@
+"""Tseitin encoding of circuits into CNF.
+
+Two encoders are provided:
+
+* :func:`encode_function` — constrain ``output literal == f(input literals)``
+  for an arbitrary small truth table, using ISOP covers of the on-set and
+  off-set (this is what the decamouflaging attack uses to encode each
+  camouflaged cell under each candidate configuration);
+* :func:`encode_netlist` — encode a mapped netlist gate by gate, returning
+  the variable of every net.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..logic.isop import isop
+from ..logic.truthtable import TruthTable
+from ..netlist.netlist import CONST0_NET, CONST1_NET, Netlist
+from .cnf import Cnf
+
+__all__ = ["encode_function", "encode_netlist", "equality_clauses"]
+
+
+def encode_function(
+    cnf: Cnf,
+    function: TruthTable,
+    input_literals: Sequence[int],
+    output_literal: int,
+) -> None:
+    """Add clauses enforcing ``output_literal <-> function(input_literals)``.
+
+    Constants and functions of any arity up to the practical cube-cover size
+    are supported; inputs may be arbitrary literals (not just variables).
+    """
+    if function.num_vars != len(input_literals):
+        raise ValueError("one input literal per function variable is required")
+    if function.is_constant_zero():
+        cnf.add_clause([-output_literal])
+        return
+    if function.is_constant_one():
+        cnf.add_clause([output_literal])
+        return
+
+    # On-set cubes: cube satisfied -> output true.
+    for cube in isop(function):
+        clause = [output_literal]
+        for variable, positive in cube.literals():
+            literal = input_literals[variable]
+            clause.append(-literal if positive else literal)
+        cnf.add_clause(clause)
+    # Off-set cubes: cube satisfied -> output false.
+    for cube in isop(~function):
+        clause = [-output_literal]
+        for variable, positive in cube.literals():
+            literal = input_literals[variable]
+            clause.append(-literal if positive else literal)
+        cnf.add_clause(clause)
+
+
+def equality_clauses(cnf: Cnf, literal_a: int, literal_b: int) -> None:
+    """Add clauses enforcing ``literal_a == literal_b``."""
+    cnf.add_clause([-literal_a, literal_b])
+    cnf.add_clause([literal_a, -literal_b])
+
+
+def encode_netlist(
+    cnf: Cnf,
+    netlist: Netlist,
+    prefix: str = "",
+    input_literals: Optional[Mapping[str, int]] = None,
+    cell_functions: Optional[Mapping[str, TruthTable]] = None,
+) -> Dict[str, int]:
+    """Encode a netlist into the CNF; return the variable of every net.
+
+    ``input_literals`` allows sharing primary-input variables with an
+    already-encoded circuit (for miters); ``cell_functions`` overrides the
+    function of individual instances, exactly like the simulator does.
+    """
+    net_vars: Dict[str, int] = {}
+
+    constant_true = cnf.new_var(f"{prefix}const1" if prefix else None)
+    cnf.add_clause([constant_true])
+    net_vars[CONST1_NET] = constant_true
+    net_vars[CONST0_NET] = -constant_true
+
+    for net in netlist.primary_inputs:
+        if input_literals is not None and net in input_literals:
+            net_vars[net] = input_literals[net]
+        else:
+            net_vars[net] = cnf.new_var(f"{prefix}{net}" if prefix else None)
+
+    for instance in netlist.topological_order():
+        function = None
+        if cell_functions is not None:
+            function = cell_functions.get(instance.name)
+        if function is None:
+            function = netlist.library[instance.cell].function
+        output_var = cnf.new_var(f"{prefix}{instance.output}" if prefix else None)
+        net_vars[instance.output] = output_var
+        inputs = [net_vars[net] for net in instance.inputs]
+        encode_function(cnf, function, inputs, output_var)
+
+    for net in netlist.primary_outputs:
+        if net not in net_vars:
+            raise ValueError(f"primary output {net!r} is undriven")
+    return net_vars

@@ -1,0 +1,27 @@
+"""S-box workload data: PRESENT, optimal 4-bit S-boxes, DES S-boxes."""
+
+from .des import DES_SBOX_ROWS, NUM_DES_SBOXES, des_sbox, des_sbox_lookup, des_sboxes
+from .optimal4 import (
+    OPTIMAL_SBOXES,
+    find_optimal_sboxes,
+    optimal_sbox,
+    optimal_sbox_tables,
+    optimal_sboxes,
+)
+from .present import PRESENT_SBOX, present_sbox, present_sbox_inverse
+
+__all__ = [
+    "PRESENT_SBOX",
+    "present_sbox",
+    "present_sbox_inverse",
+    "OPTIMAL_SBOXES",
+    "optimal_sbox",
+    "optimal_sboxes",
+    "optimal_sbox_tables",
+    "find_optimal_sboxes",
+    "DES_SBOX_ROWS",
+    "NUM_DES_SBOXES",
+    "des_sbox",
+    "des_sbox_lookup",
+    "des_sboxes",
+]

@@ -1,0 +1,33 @@
+"""The PRESENT block-cipher S-box.
+
+PRESENT (Bogdanov et al., CHES 2007) uses a single 4-bit S-box chosen from
+the optimal class; the paper's first evaluation workload merges "PRESENT-
+style" S-boxes, i.e. 4-bit optimal S-boxes of comparable cost (~30 GE).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..logic.boolfunc import BoolFunction
+
+__all__ = ["PRESENT_SBOX", "present_sbox", "present_sbox_inverse"]
+
+#: The PRESENT S-box lookup table (input nibble -> output nibble).
+PRESENT_SBOX: List[int] = [
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+    0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+]
+
+
+def present_sbox(name: str = "present") -> BoolFunction:
+    """Return the PRESENT S-box as a 4-input / 4-output Boolean function."""
+    return BoolFunction.from_lookup(PRESENT_SBOX, 4, 4, name=name)
+
+
+def present_sbox_inverse(name: str = "present_inv") -> BoolFunction:
+    """Return the inverse PRESENT S-box as a Boolean function."""
+    inverse = [0] * 16
+    for index, value in enumerate(PRESENT_SBOX):
+        inverse[value] = index
+    return BoolFunction.from_lookup(inverse, 4, 4, name=name)

@@ -1,0 +1,17 @@
+"""Synthesis engine: optimisation scripts, technology mapping, area reports."""
+
+from .area import AreaReport, area_in_ge, area_report
+from .mapper import MappingError, map_to_cells
+from .script import SynthesisEffort, SynthesisResult, optimize_aig, synthesize
+
+__all__ = [
+    "SynthesisEffort",
+    "SynthesisResult",
+    "optimize_aig",
+    "synthesize",
+    "map_to_cells",
+    "MappingError",
+    "AreaReport",
+    "area_in_ge",
+    "area_report",
+]

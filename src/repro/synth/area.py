@@ -1,0 +1,67 @@
+"""Area reporting utilities.
+
+The paper reports every result in gate equivalents (GE): cell area divided by
+the NAND2 area of the same library.  These helpers compute GE areas and
+produce the small textual reports used by the CLI, the examples, and the
+benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..netlist.library import CellLibrary
+from ..netlist.netlist import Netlist
+
+__all__ = ["AreaReport", "area_in_ge", "area_report"]
+
+
+@dataclass
+class AreaReport:
+    """A per-cell-type breakdown of a netlist's area."""
+
+    netlist_name: str
+    total_ge: float
+    cell_counts: Dict[str, int]
+    cell_areas: Dict[str, float]
+
+    def to_text(self) -> str:
+        """Render the report as an aligned text table."""
+        lines = [f"Area report for {self.netlist_name}"]
+        lines.append(f"{'cell':<10}{'count':>8}{'area (GE)':>12}")
+        for cell in sorted(self.cell_counts):
+            lines.append(
+                f"{cell:<10}{self.cell_counts[cell]:>8}{self.cell_areas[cell]:>12.2f}"
+            )
+        lines.append(f"{'total':<10}{sum(self.cell_counts.values()):>8}{self.total_ge:>12.2f}")
+        return "\n".join(lines)
+
+
+def area_in_ge(netlist: Netlist, library: Optional[CellLibrary] = None) -> float:
+    """Return the netlist area normalised to the library's NAND2 cell.
+
+    With the default library NAND2 has area 1.0, so this equals
+    ``netlist.area()``; the normalisation matters when a caller supplies a
+    library expressed in square microns.
+    """
+    library = library or netlist.library
+    nand2 = library.get("NAND2")
+    reference = nand2.area if nand2 is not None else 1.0
+    if reference <= 0:
+        raise ValueError("NAND2 reference area must be positive")
+    return sum(library[instance.cell].area for instance in netlist.instances) / reference
+
+
+def area_report(netlist: Netlist) -> AreaReport:
+    """Build an :class:`AreaReport` for a netlist."""
+    counts = netlist.cell_histogram()
+    areas = {
+        cell: count * netlist.library[cell].area for cell, count in counts.items()
+    }
+    return AreaReport(
+        netlist_name=netlist.name,
+        total_ge=area_in_ge(netlist),
+        cell_counts=counts,
+        cell_areas=areas,
+    )

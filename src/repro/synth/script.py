@@ -1,0 +1,139 @@
+"""Synthesis scripts: sequences of AIG optimisation passes plus mapping.
+
+The paper drives ABC with a custom script "comprising multiple refactor,
+rewrite and balance commands".  :func:`optimize_aig` is our equivalent: it
+applies a configurable sequence of the passes from :mod:`repro.aig.opt`,
+iterating while the AND count keeps improving.  :func:`synthesize` goes all
+the way from a multi-output function to a mapped netlist and is the fitness
+kernel used by the pin-assignment search of Phase II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..aig.aig import Aig
+from ..aig.build import aig_from_function
+from ..aig.opt import balance, refactor, rewrite
+from ..logic.boolfunc import BoolFunction
+from ..netlist.library import CellLibrary, standard_cell_library
+from ..netlist.netlist import Netlist
+from .mapper import map_to_cells
+
+__all__ = ["SynthesisEffort", "SynthesisResult", "optimize_aig", "synthesize"]
+
+#: Named pass sequences, in increasing effort/runtime order.
+_PASS_SEQUENCES: Dict[str, List[str]] = {
+    # A single cheap cleanup: useful for tests and for very large sweeps.
+    "fast": ["balance", "rewrite"],
+    # The default: roughly ABC's resyn.
+    "standard": ["balance", "rewrite", "refactor", "balance", "rewrite"],
+    # Roughly resyn2 run twice, for final (post-GA) synthesis runs.
+    "high": [
+        "balance", "rewrite", "refactor", "balance", "rewrite",
+        "rewrite-z", "balance", "refactor-z", "rewrite-z", "balance",
+    ],
+}
+
+
+class SynthesisEffort:
+    """Symbolic names for the supported effort levels."""
+
+    FAST = "fast"
+    STANDARD = "standard"
+    HIGH = "high"
+
+    @staticmethod
+    def passes(effort: str) -> List[str]:
+        """Return the pass names for an effort level."""
+        try:
+            return list(_PASS_SEQUENCES[effort])
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown synthesis effort {effort!r}; expected one of "
+                f"{sorted(_PASS_SEQUENCES)}"
+            ) from exc
+
+
+@dataclass
+class SynthesisResult:
+    """Everything produced by a synthesis run."""
+
+    aig: Aig
+    netlist: Netlist
+    area: float
+    and_count: int
+    pass_trace: List[Tuple[str, int]] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"SynthesisResult(area={self.area:.2f} GE, ands={self.and_count}, "
+            f"gates={self.netlist.num_instances()})"
+        )
+
+
+def _apply_pass(aig: Aig, pass_name: str) -> Aig:
+    if pass_name == "balance":
+        return balance(aig)
+    if pass_name == "rewrite":
+        return rewrite(aig)
+    if pass_name == "rewrite-z":
+        return rewrite(aig, zero_gain=True)
+    if pass_name == "refactor":
+        return refactor(aig)
+    if pass_name == "refactor-z":
+        return refactor(aig, zero_gain=True)
+    raise ValueError(f"unknown synthesis pass {pass_name!r}")
+
+
+def optimize_aig(
+    aig: Aig,
+    effort: str = SynthesisEffort.STANDARD,
+    max_rounds: int = 2,
+    trace: Optional[List[Tuple[str, int]]] = None,
+) -> Aig:
+    """Optimise an AIG with the pass sequence of the given effort level.
+
+    The sequence is repeated up to ``max_rounds`` times, stopping early when a
+    full round makes no further progress.  The best AIG seen (by AND count) is
+    returned.
+    """
+    passes = SynthesisEffort.passes(effort)
+    best = aig.compact()
+    if trace is not None:
+        trace.append(("strash", best.num_ands))
+    current = best
+    for _ in range(max_rounds):
+        round_start = best.num_ands
+        for pass_name in passes:
+            current = _apply_pass(current, pass_name)
+            if trace is not None:
+                trace.append((pass_name, current.num_ands))
+            if current.num_ands < best.num_ands:
+                best = current
+        if best.num_ands >= round_start:
+            break
+    return best
+
+
+def synthesize(
+    function: BoolFunction,
+    library: Optional[CellLibrary] = None,
+    effort: str = SynthesisEffort.STANDARD,
+    max_rounds: int = 2,
+    name: Optional[str] = None,
+) -> SynthesisResult:
+    """Synthesise a multi-output function into a mapped standard-cell netlist."""
+    library = library or standard_cell_library()
+    trace: List[Tuple[str, int]] = []
+    initial = aig_from_function(function, name=name)
+    optimized = optimize_aig(initial, effort=effort, max_rounds=max_rounds, trace=trace)
+    netlist = map_to_cells(optimized, library, name=name or function.name)
+    return SynthesisResult(
+        aig=optimized,
+        netlist=netlist,
+        area=netlist.area(),
+        and_count=optimized.num_ands,
+        pass_trace=trace,
+    )

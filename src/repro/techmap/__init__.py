@@ -1,0 +1,20 @@
+"""Phase III: camouflage technology mapping (tree covering, Alg. 1)."""
+
+from .absfunc import AbstractedFunctions, abstract_select_functions, subtree_output_function
+from .cover import CoverError, CoveredCell, TreeCover, cover_tree
+from .mapper import CamouflagedMapping, camouflage_map
+from .trees import Tree, decompose_into_trees
+
+__all__ = [
+    "Tree",
+    "decompose_into_trees",
+    "AbstractedFunctions",
+    "abstract_select_functions",
+    "subtree_output_function",
+    "CoveredCell",
+    "TreeCover",
+    "CoverError",
+    "cover_tree",
+    "CamouflagedMapping",
+    "camouflage_map",
+]

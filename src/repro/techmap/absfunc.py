@@ -1,0 +1,115 @@
+"""ABSFUNC: abstracting select signals out of a subtree (Alg. 1, line 6).
+
+Given a candidate subtree of the synthesised merged circuit, ABSFUNC
+computes the *set* of Boolean functions — over the subtree's non-select
+leaves — that the subtree's output can take for every possible assignment of
+the select signals appearing among its leaves.  A camouflaged cell may cover
+the subtree only if its plausible functions contain all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..logic.truthtable import TruthTable
+from ..netlist.netlist import CONST0_NET, CONST1_NET, Instance, Netlist
+
+__all__ = ["AbstractedFunctions", "abstract_select_functions", "subtree_output_function"]
+
+
+@dataclass(frozen=True)
+class AbstractedFunctions:
+    """The result of abstracting a subtree's select leaves.
+
+    ``data_leaves`` is the ordered list of non-select leaf nets (the variable
+    order of every function in ``by_select``); ``select_leaves`` is the
+    ordered list of abstracted select nets.  ``by_select[assignment]`` is the
+    function — over the data leaves — realised when the select leaves take
+    the given 0/1 values (``assignment[i]`` is the value of
+    ``select_leaves[i]``).
+    """
+
+    data_leaves: Tuple[str, ...]
+    select_leaves: Tuple[str, ...]
+    by_select: Dict[Tuple[int, ...], TruthTable]
+
+    def required_functions(self) -> List[TruthTable]:
+        """The distinct functions a covering cell must be able to implement."""
+        return list(dict.fromkeys(self.by_select.values()))
+
+
+def subtree_output_function(
+    netlist: Netlist,
+    instances: Sequence[Instance],
+    output_net: str,
+    leaf_order: Sequence[str],
+) -> TruthTable:
+    """Compute the function of ``output_net`` over ``leaf_order``.
+
+    ``instances`` must contain every instance of the subtree (in any order);
+    nets outside the subtree must appear in ``leaf_order``.
+    """
+    num_vars = len(leaf_order)
+    tables: Dict[str, TruthTable] = {
+        net: TruthTable.variable(index, num_vars) for index, net in enumerate(leaf_order)
+    }
+    tables.setdefault(CONST0_NET, TruthTable.constant(num_vars, False))
+    tables.setdefault(CONST1_NET, TruthTable.constant(num_vars, True))
+
+    remaining = list(instances)
+    progress = True
+    while remaining and progress:
+        progress = False
+        still: List[Instance] = []
+        for instance in remaining:
+            if all(net in tables for net in instance.inputs):
+                cell = netlist.library[instance.cell]
+                operands = [tables[net] for net in instance.inputs]
+                tables[instance.output] = cell.function.compose(operands)
+                progress = True
+            else:
+                still.append(instance)
+        remaining = still
+    if remaining:
+        blocked = ", ".join(instance.name for instance in remaining)
+        raise ValueError(f"subtree is not closed over its leaves (blocked: {blocked})")
+    if output_net not in tables:
+        raise ValueError(f"output net {output_net!r} is not produced by the subtree")
+    return tables[output_net]
+
+
+def abstract_select_functions(
+    netlist: Netlist,
+    instances: Sequence[Instance],
+    output_net: str,
+    leaf_nets: Sequence[str],
+    select_nets: Sequence[str],
+) -> AbstractedFunctions:
+    """Abstract the select leaves of a subtree (the ABSFUNC of Alg. 1)."""
+    select_set = set(select_nets)
+    data_leaves = tuple(net for net in leaf_nets if net not in select_set)
+    select_leaves = tuple(net for net in leaf_nets if net in select_set)
+
+    # Order variables data-first, selects last, so select cofactors are block
+    # extractions on the packed truth table.
+    ordered = list(data_leaves) + list(select_leaves)
+    full = subtree_output_function(netlist, instances, output_net, ordered)
+
+    num_data = len(data_leaves)
+    num_select = len(select_leaves)
+    rows_per_block = 1 << num_data
+    block_mask = (1 << rows_per_block) - 1
+
+    by_select: Dict[Tuple[int, ...], TruthTable] = {}
+    for assignment_index in range(1 << num_select):
+        assignment = tuple(
+            (assignment_index >> position) & 1 for position in range(num_select)
+        )
+        block = (full.bits >> (assignment_index * rows_per_block)) & block_mask
+        by_select[assignment] = TruthTable(num_data, block)
+    return AbstractedFunctions(
+        data_leaves=data_leaves,
+        select_leaves=select_leaves,
+        by_select=by_select,
+    )

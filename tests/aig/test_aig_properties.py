@@ -1,0 +1,54 @@
+"""Property-based tests: the synthesis passes never change the function."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import aig_from_tables, balance, refactor, rewrite
+from repro.logic import TruthTable
+from repro.synth import map_to_cells
+from repro.netlist import extract_function
+
+
+def table_strategy(num_vars):
+    return st.builds(
+        TruthTable,
+        st.just(num_vars),
+        st.integers(min_value=0, max_value=(1 << (1 << num_vars)) - 1),
+    )
+
+
+def multi_output(num_vars, num_outputs):
+    return st.lists(table_strategy(num_vars), min_size=num_outputs, max_size=num_outputs)
+
+
+@given(multi_output(4, 2))
+@settings(max_examples=25, deadline=None)
+def test_build_then_optimize_preserves_function(tables):
+    aig = aig_from_tables(tables)
+    assert aig.output_tables() == list(tables)
+    optimized = rewrite(balance(aig))
+    assert optimized.output_tables() == list(tables)
+
+
+@given(multi_output(5, 1))
+@settings(max_examples=15, deadline=None)
+def test_refactor_preserves_function(tables):
+    aig = aig_from_tables(tables)
+    assert refactor(aig).output_tables() == list(tables)
+
+
+@given(multi_output(4, 2))
+@settings(max_examples=15, deadline=None)
+def test_mapping_preserves_function(tables):
+    aig = rewrite(balance(aig_from_tables(tables)))
+    netlist = map_to_cells(aig)
+    function = extract_function(netlist)
+    assert list(function.outputs) == list(tables)
+
+
+@given(multi_output(4, 1))
+@settings(max_examples=20, deadline=None)
+def test_optimization_never_increases_and_count(tables):
+    aig = aig_from_tables(tables)
+    optimized = rewrite(balance(aig))
+    assert optimized.num_ands <= aig.num_ands

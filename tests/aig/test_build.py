@@ -1,0 +1,83 @@
+"""Unit tests for AIG construction from tables, expressions, and netlists."""
+
+import random
+
+import pytest
+
+from repro.aig import aig_from_expression, aig_from_function, aig_from_netlist, aig_from_tables
+from repro.logic import BoolFunction, TruthTable, parse_expression
+from repro.netlist import extract_function
+
+
+class TestFromTables:
+    def test_single_output_equivalence(self):
+        rng = random.Random(5)
+        for num_vars in (2, 3, 4, 5):
+            table = TruthTable(num_vars, rng.getrandbits(1 << num_vars))
+            aig = aig_from_tables([table])
+            assert aig.output_tables()[0] == table
+
+    def test_multi_output_sharing(self):
+        # Two outputs that share a sub-function should share AIG nodes.
+        a = TruthTable.variable(0, 3)
+        b = TruthTable.variable(1, 3)
+        c = TruthTable.variable(2, 3)
+        shared = a & b
+        separate_a = aig_from_tables([shared | c])
+        separate_b = aig_from_tables([shared & ~c])
+        combined = aig_from_tables([shared | c, shared & ~c])
+        assert combined.num_ands < separate_a.num_ands + separate_b.num_ands
+
+    def test_constant_outputs(self):
+        aig = aig_from_tables(
+            [TruthTable.constant(2, True), TruthTable.constant(2, False)]
+        )
+        assert aig.num_ands == 0
+        tables = aig.output_tables()
+        assert tables[0].is_constant_one()
+        assert tables[1].is_constant_zero()
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            aig_from_tables([TruthTable.constant(2, True), TruthTable.constant(3, True)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aig_from_tables([])
+
+    def test_names_preserved(self):
+        aig = aig_from_tables(
+            [TruthTable.variable(0, 2)], input_names=["p", "q"], output_names=["out"]
+        )
+        assert aig.input_names == ["p", "q"]
+        assert aig.output_names == ["out"]
+
+
+class TestFromFunctionAndExpression:
+    def test_from_function_matches_lookup(self, present):
+        aig = aig_from_function(present)
+        assert aig.to_bool_function().lookup_table() == present.lookup_table()
+
+    def test_from_expression(self):
+        expression = parse_expression("(a & b) | (~a & c)")
+        aig = aig_from_expression(expression, ["a", "b", "c"])
+        table = aig.output_tables()[0]
+        va, vb, vc = (TruthTable.variable(k, 3) for k in range(3))
+        assert table == (va & vb) | (~va & vc)
+
+    def test_from_expression_unbound_variable(self):
+        expression = parse_expression("a & missing")
+        with pytest.raises(KeyError):
+            aig_from_expression(expression, ["a"])
+
+
+class TestFromNetlist:
+    def test_roundtrip_function(self, present, present_netlist):
+        aig = aig_from_netlist(present_netlist)
+        assert aig.num_inputs == 4
+        assert aig.to_bool_function().lookup_table() == present.lookup_table()
+
+    def test_netlist_to_aig_to_function(self, merged_two, merged_two_synthesis):
+        aig = aig_from_netlist(merged_two_synthesis.netlist)
+        extracted = extract_function(merged_two_synthesis.netlist)
+        assert aig.to_bool_function().lookup_table() == extracted.lookup_table()

@@ -1,0 +1,116 @@
+"""Unit tests for cut enumeration, cut functions, and MFFC computation."""
+
+import pytest
+
+from repro.aig import Aig, collect_cone_cut, cut_function, enumerate_cuts, mffc_size
+from repro.logic import TruthTable
+
+
+@pytest.fixture
+def chain_aig():
+    """y = ((a & b) & c) & d — a pure AND chain."""
+    aig = Aig("chain")
+    a = aig.add_input("a")
+    b = aig.add_input("b")
+    c = aig.add_input("c")
+    d = aig.add_input("d")
+    ab = aig.and_(a, b)
+    abc = aig.and_(ab, c)
+    abcd = aig.and_(abc, d)
+    aig.add_output(abcd, "y")
+    return aig
+
+
+class TestEnumerateCuts:
+    def test_trivial_cut_always_first(self, chain_aig):
+        cuts = enumerate_cuts(chain_aig)
+        for node in chain_aig.and_nodes():
+            assert cuts[node][0] == frozenset({node})
+
+    def test_leaf_limit_respected(self, chain_aig):
+        cuts = enumerate_cuts(chain_aig, max_leaves=3)
+        for node, node_cuts in cuts.items():
+            for cut in node_cuts:
+                assert len(cut) <= 3 or cut == frozenset({node})
+
+    def test_root_has_full_input_cut(self, chain_aig):
+        cuts = enumerate_cuts(chain_aig, max_leaves=4)
+        root = chain_aig.and_nodes()[-1]
+        input_nodes = frozenset(
+            Aig.node(chain_aig.input_literal(k)) for k in range(4)
+        )
+        assert input_nodes in cuts[root]
+
+    def test_max_cuts_per_node(self, chain_aig):
+        cuts = enumerate_cuts(chain_aig, max_cuts_per_node=2)
+        for node_cuts in cuts.values():
+            assert len(node_cuts) <= 2
+
+
+class TestCutFunction:
+    def test_function_over_inputs(self, chain_aig):
+        root = chain_aig.and_nodes()[-1]
+        input_nodes = frozenset(
+            Aig.node(chain_aig.input_literal(k)) for k in range(4)
+        )
+        table, leaves = cut_function(chain_aig, root, input_nodes)
+        assert len(leaves) == 4
+        expected = TruthTable.constant(4, True)
+        for var in range(4):
+            expected = expected & TruthTable.variable(var, 4)
+        assert table == expected
+
+    def test_function_over_intermediate_cut(self, chain_aig):
+        nodes = chain_aig.and_nodes()
+        ab_node, abc_node, root = nodes
+        d_node = Aig.node(chain_aig.input_literal(3))
+        table, leaves = cut_function(chain_aig, root, frozenset({abc_node, d_node}))
+        assert table == TruthTable.variable(0, 2) & TruthTable.variable(1, 2)
+
+    def test_leaf_outside_cone_rejected(self, chain_aig):
+        root = chain_aig.and_nodes()[-1]
+        with pytest.raises(ValueError):
+            cut_function(chain_aig, root, frozenset({Aig.node(chain_aig.input_literal(0))}))
+
+
+class TestMffc:
+    def test_chain_mffc_is_whole_cone(self, chain_aig):
+        root = chain_aig.and_nodes()[-1]
+        input_nodes = frozenset(Aig.node(chain_aig.input_literal(k)) for k in range(4))
+        refs = chain_aig.reference_counts()
+        assert mffc_size(chain_aig, root, input_nodes, refs) == 3
+
+    def test_shared_node_excluded_from_mffc(self):
+        aig = Aig()
+        a = aig.add_input()
+        b = aig.add_input()
+        c = aig.add_input()
+        shared = aig.and_(a, b)
+        root = aig.and_(shared, c)
+        aig.add_output(root, "y")
+        aig.add_output(shared, "z")  # shared has an external reference
+        refs = aig.reference_counts()
+        leaves = frozenset({Aig.node(a), Aig.node(b), Aig.node(c)})
+        assert mffc_size(aig, Aig.node(root), leaves, refs) == 1
+
+    def test_reference_counts_not_mutated(self, chain_aig):
+        root = chain_aig.and_nodes()[-1]
+        refs = chain_aig.reference_counts()
+        snapshot = dict(refs)
+        leaves = frozenset(Aig.node(chain_aig.input_literal(k)) for k in range(4))
+        mffc_size(chain_aig, root, leaves, refs)
+        assert refs == snapshot
+
+
+class TestConeCut:
+    def test_cone_cut_bounded(self, chain_aig):
+        root = chain_aig.and_nodes()[-1]
+        cut = collect_cone_cut(chain_aig, root, max_leaves=4)
+        assert len(cut) <= 4
+        # With 4 leaves allowed the cone reaches the primary inputs.
+        assert all(not chain_aig.is_and_node(leaf) for leaf in cut)
+
+    def test_cone_cut_small_budget(self, chain_aig):
+        root = chain_aig.and_nodes()[-1]
+        cut = collect_cone_cut(chain_aig, root, max_leaves=2)
+        assert len(cut) <= 2

@@ -1,0 +1,76 @@
+"""Unit tests for the oracle-guided (DIP-based) SAT attack extension."""
+
+import pytest
+
+from repro.attacks.oracle_guided import OracleGuidedAttack, attack_mapping
+from repro.camo import CamouflageLibrary, camouflage_cell
+from repro.logic import TruthTable
+from repro.netlist import Netlist, extract_function
+from repro.flow import obfuscate_with_assignment
+from repro.logic import BoolFunction
+
+
+@pytest.fixture
+def single_camo_nand(library):
+    """One camouflaged NAND2 feeding the only output."""
+    camo_nand = camouflage_cell(library["NAND2"])
+    camo_library = CamouflageLibrary([camo_nand])
+    merged = camo_library.as_cell_library(include=library)
+    netlist = Netlist("tiny", merged)
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    netlist.add_output("y")
+    netlist.add_instance("CAMO_NAND2", [a, b], output="y", name="u_camo")
+    return netlist, {"u_camo": list(camo_nand.plausible)}
+
+
+class TestOracleGuidedAttackSmall:
+    @pytest.mark.parametrize(
+        "true_function",
+        [
+            lambda a, b: 1 - (a & b),  # NAND
+            lambda a, b: 1 - a,        # ~A
+            lambda a, b: 1,            # constant 1
+        ],
+    )
+    def test_recovers_true_behaviour(self, single_camo_nand, true_function):
+        netlist, plausible = single_camo_nand
+        attack = OracleGuidedAttack(netlist, plausible, max_queries=16)
+
+        def oracle(word):
+            return true_function(word & 1, (word >> 1) & 1)
+
+        result = attack.run(oracle)
+        assert result.success
+        assert result.num_queries <= 4
+        assert result.recovered_function == [oracle(word) for word in range(4)]
+        # The witness configuration must reproduce the oracle exactly.
+        realised = extract_function(netlist, cell_functions=result.configuration)
+        assert realised.lookup_table() == result.recovered_function
+
+    def test_query_budget_respected(self, single_camo_nand):
+        netlist, plausible = single_camo_nand
+        attack = OracleGuidedAttack(netlist, plausible, max_queries=0)
+        result = attack.run(lambda word: 1)
+        assert not result.success
+        assert result.num_queries == 0
+
+    def test_empty_plausible_set_rejected(self, single_camo_nand):
+        netlist, _ = single_camo_nand
+        with pytest.raises(ValueError):
+            OracleGuidedAttack(netlist, {"u_camo": []})
+
+
+class TestAttackAgainstMapping:
+    def test_recovers_configured_viable_function(self, library):
+        # Two tiny 2-input / 1-output viable functions keep the DIP loop fast.
+        f_and = BoolFunction([TruthTable.variable(0, 2) & TruthTable.variable(1, 2)], name="and")
+        f_or = BoolFunction([TruthTable.variable(0, 2) | TruthTable.variable(1, 2)], name="or")
+        result = obfuscate_with_assignment([f_and, f_or], library=library, effort="fast")
+        outcome = attack_mapping(result.mapping, true_select=1, max_queries=32)
+        assert outcome.success
+        view = result.assignment.apply([f_and, f_or])[1]
+        assert outcome.recovered_function == view.lookup_table()
+        # An oracle-equipped adversary defeats camouflaging with few queries —
+        # which is exactly why the paper's threat model excludes oracle access.
+        assert outcome.num_queries <= 4

@@ -1,0 +1,58 @@
+"""Unit tests for the random-camouflaging baseline."""
+
+import pytest
+
+from repro.attacks import random_camouflage_experiment, randomly_camouflage
+from repro.camo.cells import CAMO_PREFIX
+from repro.netlist import extract_function
+
+
+class TestRandomlyCamouflage:
+    def test_fraction_zero_keeps_everything_ordinary(self, present_netlist):
+        circuit = randomly_camouflage(present_netlist, fraction=0.0, seed=1)
+        assert circuit.camouflaged_instances == []
+        assert circuit.netlist.num_instances() == present_netlist.num_instances()
+
+    def test_fraction_one_camouflages_everything_possible(self, present_netlist):
+        circuit = randomly_camouflage(present_netlist, fraction=1.0, seed=1)
+        camo_count = sum(
+            1 for inst in circuit.netlist.instances if inst.cell.startswith(CAMO_PREFIX)
+        )
+        assert camo_count == len(circuit.camouflaged_instances)
+        assert camo_count >= present_netlist.num_instances() - _non_camouflageable(present_netlist)
+
+    def test_behaviour_unchanged(self, present, present_netlist):
+        circuit = randomly_camouflage(present_netlist, fraction=0.6, seed=2)
+        assert extract_function(circuit.netlist).lookup_table() == present.lookup_table()
+        # Area is unchanged because camouflaged cells are look-alikes.
+        assert circuit.area() == pytest.approx(present_netlist.area())
+
+    def test_true_configuration_covers_camouflaged_instances(self, present_netlist):
+        circuit = randomly_camouflage(present_netlist, fraction=0.5, seed=3)
+        assert set(circuit.true_configuration) == set(circuit.camouflaged_instances)
+
+    def test_deterministic_given_seed(self, present_netlist):
+        first = randomly_camouflage(present_netlist, fraction=0.5, seed=9)
+        second = randomly_camouflage(present_netlist, fraction=0.5, seed=9)
+        assert first.camouflaged_instances == second.camouflaged_instances
+
+    def test_invalid_fraction(self, present_netlist):
+        with pytest.raises(ValueError):
+            randomly_camouflage(present_netlist, fraction=1.5)
+
+
+class TestRandomCamouflageExperiment:
+    def test_true_function_stays_plausible_others_ruled_out(
+        self, present, present_netlist, two_sboxes
+    ):
+        other = two_sboxes[1]
+        experiment = random_camouflage_experiment(
+            present_netlist, [present, other], fraction=0.5, seed=3
+        )
+        assert experiment.plausible[0] is True
+        assert experiment.plausible[1] is False
+        assert experiment.num_plausible == 1
+
+
+def _non_camouflageable(netlist):
+    return sum(1 for inst in netlist.instances if inst.cell == "BUF")

@@ -1,0 +1,103 @@
+"""Unit tests for the camouflage library and required-function matching."""
+
+import pytest
+
+from repro.camo import (
+    CamouflageLibrary,
+    camouflage_cell,
+    default_camouflage_library,
+)
+from repro.logic import TruthTable
+
+
+@pytest.fixture(scope="module")
+def camo():
+    return default_camouflage_library()
+
+
+class TestLibraryBasics:
+    def test_buffer_excluded(self, camo):
+        assert "CAMO_BUF" not in camo
+        assert "CAMO_NAND2" in camo
+
+    def test_max_pins(self, camo):
+        assert camo.max_pins() == 4
+
+    def test_lookup(self, camo):
+        assert camo["CAMO_INV"].num_inputs == 1
+        with pytest.raises(KeyError):
+            camo["CAMO_NAND9"]
+
+    def test_duplicate_rejected(self, library):
+        cell = camouflage_cell(library["INV"])
+        with pytest.raises(ValueError):
+            CamouflageLibrary([cell, cell])
+
+    def test_as_cell_library_contains_both(self, camo, library):
+        merged = camo.as_cell_library(include=library)
+        assert "NAND2" in merged
+        assert "CAMO_NAND2" in merged
+        assert merged["CAMO_NAND2"].function == library["NAND2"].function
+
+
+class TestMatching:
+    def test_single_function_matches_same_gate(self, camo, library):
+        nand = library["NAND2"].function
+        match = camo.best_match([nand])
+        assert match is not None
+        assert match.cell.name == "CAMO_NAND2"
+        assert match.cost == pytest.approx(1.0)
+
+    def test_cofactor_set_matches_nand(self, camo):
+        # {~B, 1} over one leaf: exactly what NAND2(select, B) abstracts to.
+        required = [~TruthTable.variable(0, 1), TruthTable.constant(1, True)]
+        match = camo.best_match(required)
+        assert match is not None
+        assert all(function in match.cell.plausible for function in match.realisations.values())
+
+    def test_identity_and_complement_requires_xor_like_cell(self, camo):
+        required = [TruthTable.variable(0, 1), ~TruthTable.variable(0, 1)]
+        match = camo.best_match(required)
+        assert match is not None
+        # Only XOR/XNOR/MUX-style cells contain both x and ~x as cofactors.
+        assert match.cell.name in {"CAMO_XOR2", "CAMO_XNOR2", "CAMO_MUX2"}
+
+    def test_constants_only_requirement(self, camo):
+        required = [TruthTable.constant(0, True), TruthTable.constant(0, False)]
+        match = camo.best_match(required)
+        assert match is not None
+
+    def test_unmatchable_requirement(self, camo):
+        # A 2-input XOR together with an AND of the same leaves is not in any
+        # single cell's cofactor family.
+        xor = TruthTable.variable(0, 2) ^ TruthTable.variable(1, 2)
+        conj = TruthTable.variable(0, 2) & TruthTable.variable(1, 2)
+        assert camo.best_match([xor, conj]) is None
+
+    def test_match_returns_sorted_by_area(self, camo):
+        required = [TruthTable.variable(0, 1)]
+        matches = camo.match(required)
+        areas = [match.cost for match in matches]
+        assert areas == sorted(areas)
+        assert len(matches) >= 2
+
+    def test_match_arity_validation(self, camo):
+        with pytest.raises(ValueError):
+            camo.match([])
+        with pytest.raises(ValueError):
+            camo.match([TruthTable.variable(0, 1), TruthTable.variable(0, 2)])
+
+    def test_pin_mapping_is_injective(self, camo):
+        required = [TruthTable.variable(0, 2) & TruthTable.variable(1, 2)]
+        match = camo.best_match(required)
+        assert match is not None
+        assert len(set(match.pin_of_leaf)) == len(match.pin_of_leaf)
+
+    def test_realisations_respect_pin_mapping(self, camo):
+        required = [~TruthTable.variable(0, 1)]
+        match = camo.best_match(required)
+        realisation = match.realisations[required[0]]
+        # The realisation must not depend on any pin other than the mapped one.
+        for pin in range(match.cell.num_inputs):
+            if pin != match.pin_of_leaf[0]:
+                assert not realisation.depends_on(pin)

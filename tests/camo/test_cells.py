@@ -1,0 +1,93 @@
+"""Unit tests for camouflaged cell types and plausible-function families."""
+
+import pytest
+
+from repro.camo import CamouflagedCellType, camouflage_cell, plausible_family
+from repro.logic import TruthTable
+
+
+class TestPlausibleFamily:
+    def test_nand2_matches_figure_1b(self, library):
+        """Fig. 1b of the paper: NAND2 -> {NAND, ~A, ~B, 1, 0}."""
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        family = plausible_family(library["NAND2"].function)
+        assert family == frozenset(
+            {~(a & b), ~a, ~b, TruthTable.constant(2, True), TruthTable.constant(2, False)}
+        )
+
+    def test_nor2_family(self, library):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        family = plausible_family(library["NOR2"].function)
+        assert family == frozenset(
+            {~(a | b), ~a, ~b, TruthTable.constant(2, True), TruthTable.constant(2, False)}
+        )
+
+    def test_and2_family_has_positive_projections(self, library):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        family = plausible_family(library["AND2"].function)
+        assert a in family and b in family
+        # Fixing one input to 0 gives constant 0; fixing both to 1 gives 1.
+        assert TruthTable.constant(2, False) in family
+        assert TruthTable.constant(2, True) in family
+        # Doping can never invert an input of an AND gate.
+        assert ~a not in family
+        assert ~b not in family
+
+    def test_xor2_family_contains_both_polarities(self, library):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        family = plausible_family(library["XOR2"].function)
+        assert {a, ~a, b, ~b} <= family
+
+    def test_mux2_family_contains_both_data_inputs(self, library):
+        family = plausible_family(library["MUX2"].function)
+        assert TruthTable.variable(0, 3) in family
+        assert TruthTable.variable(1, 3) in family
+
+    def test_inverter_family(self, library):
+        family = plausible_family(library["INV"].function)
+        assert family == frozenset(
+            {TruthTable(1, 0b01), TruthTable.constant(1, True), TruthTable.constant(1, False)}
+        )
+
+    def test_family_sizes_grow_with_pin_count(self, library):
+        nand2 = plausible_family(library["NAND2"].function)
+        nand4 = plausible_family(library["NAND4"].function)
+        assert len(nand4) > len(nand2)
+
+
+class TestCamouflagedCellType:
+    def test_camouflage_cell_defaults(self, library):
+        camo = camouflage_cell(library["NAND2"])
+        assert camo.name == "CAMO_NAND2"
+        assert camo.num_inputs == 2
+        assert camo.area == library["NAND2"].area
+        assert camo.nominal_function == library["NAND2"].function
+
+    def test_area_overhead(self, library):
+        camo = camouflage_cell(library["NAND2"], area_overhead=0.25)
+        assert camo.area == pytest.approx(1.25)
+        with pytest.raises(ValueError):
+            camouflage_cell(library["NAND2"], area_overhead=-0.1)
+
+    def test_can_implement(self, library):
+        camo = camouflage_cell(library["NAND2"])
+        a = TruthTable.variable(0, 2)
+        assert camo.can_implement(~a)
+        assert not camo.can_implement(a)
+        assert not camo.can_implement(TruthTable.variable(0, 3))  # wrong arity
+        assert camo.can_implement_all([~a, TruthTable.constant(2, True)])
+        assert not camo.can_implement_all([~a, a])
+
+    def test_as_cell_type_is_lookalike(self, library):
+        camo = camouflage_cell(library["NOR3"])
+        lookalike = camo.as_cell_type()
+        assert lookalike.function == library["NOR3"].function
+        assert lookalike.name == "CAMO_NOR3"
+        assert lookalike.area == camo.area
+
+    def test_repr(self, library):
+        assert "CAMO_NAND2" in repr(camouflage_cell(library["NAND2"]))

@@ -1,0 +1,55 @@
+"""Unit tests for circuit configurations of camouflaged instances."""
+
+import pytest
+
+from repro.camo import CircuitConfiguration
+from repro.logic import TruthTable
+from repro.netlist import Netlist, standard_cell_library
+
+
+@pytest.fixture
+def netlist(library):
+    netlist = Netlist("t", library)
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_output("y")
+    netlist.add_instance("NAND2", ["a", "b"], output="y", name="u_nand")
+    return netlist
+
+
+class TestCircuitConfiguration:
+    def test_set_get(self):
+        config = CircuitConfiguration()
+        table = TruthTable.constant(2, True)
+        config.set("u1", table)
+        assert config.get("u1") == table
+        assert config.get("u2") is None
+        assert len(config) == 1
+        assert list(iter(config)) == ["u1"]
+
+    def test_as_cell_functions_is_copy(self):
+        config = CircuitConfiguration({"u1": TruthTable.constant(2, True)})
+        exported = config.as_cell_functions()
+        assert exported == config.functions
+        assert exported is not config.functions
+
+    def test_validate_against(self, netlist):
+        good = CircuitConfiguration({"u_nand": ~TruthTable.variable(0, 2)})
+        good.validate_against(netlist)
+        bad_arity = CircuitConfiguration({"u_nand": TruthTable.constant(3, True)})
+        with pytest.raises(ValueError):
+            bad_arity.validate_against(netlist)
+        missing = CircuitConfiguration({"ghost": TruthTable.constant(2, True)})
+        with pytest.raises(Exception):
+            missing.validate_against(netlist)
+
+    def test_merged_with(self):
+        first = CircuitConfiguration({"u1": TruthTable.constant(2, True)})
+        second = CircuitConfiguration(
+            {"u1": TruthTable.constant(2, False), "u2": TruthTable.constant(2, True)}
+        )
+        merged = first.merged_with(second)
+        assert merged.get("u1").is_constant_zero()
+        assert merged.get("u2").is_constant_one()
+        # Originals untouched.
+        assert first.get("u1").is_constant_one()

@@ -1,0 +1,63 @@
+"""Unit tests for the experiment profiles and workloads."""
+
+import pytest
+
+from repro.evaluation import (
+    DES_FAMILY,
+    PRESENT_FAMILY,
+    PROFILES,
+    get_profile,
+    workload_functions,
+)
+from repro.evaluation.workloads import PROFILE_ENV_VAR
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {"quick", "medium", "paper"}
+        quick = PROFILES["quick"]
+        paper = PROFILES["paper"]
+        assert quick.ga_population < paper.ga_population
+        assert quick.ga_generations < paper.ga_generations
+        # The paper profile covers the full Table I sweep.
+        assert paper.present_counts == (2, 4, 8, 16)
+        assert paper.des_counts == (2, 4, 8)
+        assert paper.random_samples == 9726
+
+    def test_default_profile_is_quick(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV_VAR, raising=False)
+        assert get_profile().name == "quick"
+
+    def test_environment_selection(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV_VAR, "medium")
+        assert get_profile().name == "medium"
+
+    def test_explicit_name_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV_VAR, "medium")
+        assert get_profile("paper").name == "paper"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            get_profile("heroic")
+
+    def test_ga_parameters(self):
+        params = PROFILES["quick"].ga_parameters(seed=7)
+        assert params.population_size == PROFILES["quick"].ga_population
+        assert params.generations == PROFILES["quick"].ga_generations
+        assert params.seed == 7
+
+
+class TestWorkloads:
+    def test_present_family(self):
+        functions = workload_functions(PRESENT_FAMILY, 4)
+        assert len(functions) == 4
+        assert all(f.num_inputs == 4 and f.num_outputs == 4 for f in functions)
+
+    def test_des_family(self):
+        functions = workload_functions(DES_FAMILY, 2)
+        assert len(functions) == 2
+        assert all(f.num_inputs == 6 and f.num_outputs == 4 for f in functions)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            workload_functions("AES", 2)

@@ -1,0 +1,50 @@
+"""Unit tests for the Table I style reporting helpers."""
+
+import pytest
+
+from repro.flow import AreaRow, format_table, improvement_percent
+
+
+class TestImprovement:
+    def test_basic(self):
+        assert improvement_percent(100.0, 62.0) == pytest.approx(38.0)
+        assert improvement_percent(100.0, 100.0) == pytest.approx(0.0)
+        assert improvement_percent(100.0, 120.0) == pytest.approx(-20.0)
+
+    def test_invalid_reference(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0.0, 1.0)
+
+
+class TestAreaRow:
+    def test_improvement_property(self):
+        row = AreaRow("PRESENT", 8, random_avg=205, random_best=164, ga_area=118, ga_tm_area=101)
+        assert row.improvement == pytest.approx(100 * (164 - 101) / 164)
+
+    def test_as_dict(self):
+        row = AreaRow("DES", 2, 257, 217, 200, 195)
+        data = row.as_dict()
+        assert data["circuit"] == "DES"
+        assert data["num_functions"] == 2
+        assert data["improvement_percent"] == pytest.approx(row.improvement)
+
+
+class TestFormatTable:
+    def test_layout(self):
+        rows = [
+            AreaRow("PRESENT", 2, 54, 42, 41, 39),
+            AreaRow("DES", 8, 923, 805, 473, 416),
+        ]
+        text = format_table(rows, title="Table I")
+        lines = text.splitlines()
+        assert lines[0] == "Table I"
+        assert "Circuit" in lines[1]
+        assert len(lines) == 2 + 1 + len(rows)
+        assert "PRESENT" in lines[3]
+        assert "DES" in lines[4]
+        # Improvement column for the DES row: (805-416)/805 = 48%.
+        assert lines[4].rstrip().endswith("48")
+
+    def test_without_title(self):
+        text = format_table([AreaRow("PRESENT", 2, 54, 42, 41, 39)])
+        assert text.splitlines()[0].startswith("Circuit")

@@ -1,0 +1,93 @@
+"""Unit tests for the S-box quality measures (DDT, Walsh spectrum, degree)."""
+
+import pytest
+
+from repro.logic import (
+    algebraic_degree,
+    difference_distribution_table,
+    differential_uniformity,
+    is_optimal_4bit_sbox,
+    linearity,
+    nonlinearity,
+    walsh_spectrum,
+)
+from repro.sboxes import PRESENT_SBOX
+
+IDENTITY = list(range(16))
+#: An affine S-box: y = x ^ 5.  Linear structures make it maximally weak.
+AFFINE = [x ^ 5 for x in range(16)]
+
+
+class TestDdt:
+    def test_row_zero_is_concentrated(self):
+        ddt = difference_distribution_table(PRESENT_SBOX, 4, 4)
+        assert ddt[0][0] == 16
+        assert all(ddt[0][b] == 0 for b in range(1, 16))
+
+    def test_rows_sum_to_input_count(self):
+        ddt = difference_distribution_table(PRESENT_SBOX, 4, 4)
+        for row in ddt:
+            assert sum(row) == 16
+
+    def test_ddt_entries_are_even(self):
+        ddt = difference_distribution_table(PRESENT_SBOX, 4, 4)
+        for row in ddt:
+            assert all(entry % 2 == 0 for entry in row)
+
+    def test_present_differential_uniformity(self):
+        assert differential_uniformity(PRESENT_SBOX, 4, 4) == 4
+
+    def test_affine_sbox_is_weak(self):
+        assert differential_uniformity(AFFINE, 4, 4) == 16
+
+    def test_lookup_validation(self):
+        with pytest.raises(ValueError):
+            differential_uniformity([0, 1, 2], 4, 4)
+        with pytest.raises(ValueError):
+            differential_uniformity([16] + [0] * 15, 4, 4)
+
+
+class TestWalsh:
+    def test_present_linearity(self):
+        assert linearity(PRESENT_SBOX, 4, 4) == 8
+
+    def test_present_nonlinearity(self):
+        assert nonlinearity(PRESENT_SBOX, 4, 4) == 4
+
+    def test_affine_sbox_linearity_is_maximal(self):
+        assert linearity(AFFINE, 4, 4) == 16
+
+    def test_spectrum_zero_mask_column(self):
+        spectrum = walsh_spectrum(PRESENT_SBOX, 4, 4)
+        # For output mask 0 the correlation with input mask 0 is 2^n.
+        assert spectrum[0][0] == 16
+        assert all(spectrum[a][0] == 0 for a in range(1, 16))
+
+    def test_parseval_like_energy(self):
+        spectrum = walsh_spectrum(PRESENT_SBOX, 4, 4)
+        for mask_out in range(1, 16):
+            energy = sum(spectrum[a][mask_out] ** 2 for a in range(16))
+            assert energy == 16 * 16  # Parseval for a balanced component function
+
+
+class TestDegreeAndOptimality:
+    def test_present_degree(self):
+        assert algebraic_degree(PRESENT_SBOX, 4, 4) == 3
+
+    def test_affine_degree(self):
+        assert algebraic_degree(AFFINE, 4, 4) == 1
+
+    def test_constant_degree(self):
+        assert algebraic_degree([0] * 16, 4, 4) == 0
+
+    def test_present_is_optimal(self):
+        assert is_optimal_4bit_sbox(PRESENT_SBOX)
+
+    def test_identity_is_not_optimal(self):
+        assert not is_optimal_4bit_sbox(IDENTITY)
+
+    def test_non_bijective_rejected(self):
+        assert not is_optimal_4bit_sbox([0] * 16)
+
+    def test_wrong_size_rejected(self):
+        assert not is_optimal_4bit_sbox(list(range(8)))

@@ -1,0 +1,111 @@
+"""Unit tests for multi-output Boolean functions."""
+
+import pytest
+
+from repro.logic import BoolFunction, TruthTable
+
+
+@pytest.fixture
+def swap_function():
+    """A 2-in/2-out function that swaps its inputs."""
+    return BoolFunction.from_lookup([0b00, 0b10, 0b01, 0b11], 2, 2, name="swap")
+
+
+class TestConstruction:
+    def test_from_lookup_roundtrip(self):
+        table = [3, 0, 2, 1]
+        function = BoolFunction.from_lookup(table, 2, 2)
+        assert function.lookup_table() == table
+
+    def test_from_lookup_length_check(self):
+        with pytest.raises(ValueError):
+            BoolFunction.from_lookup([0, 1, 2], 2, 2)
+
+    def test_from_lookup_range_check(self):
+        with pytest.raises(ValueError):
+            BoolFunction.from_lookup([0, 1, 2, 4], 2, 2)
+
+    def test_from_callable(self):
+        function = BoolFunction.from_callable(3, 2, lambda x: x % 4)
+        assert function.lookup_table() == [x % 4 for x in range(8)]
+
+    def test_requires_at_least_one_output(self):
+        with pytest.raises(ValueError):
+            BoolFunction([])
+
+    def test_outputs_must_share_inputs(self):
+        with pytest.raises(ValueError):
+            BoolFunction([TruthTable.variable(0, 2), TruthTable.variable(0, 3)])
+
+    def test_name_length_checks(self):
+        with pytest.raises(ValueError):
+            BoolFunction([TruthTable.variable(0, 2)], input_names=["a"])
+        with pytest.raises(ValueError):
+            BoolFunction([TruthTable.variable(0, 2)], output_names=["y", "z"])
+
+
+class TestEvaluation:
+    def test_evaluate_word(self, swap_function):
+        assert swap_function.evaluate_word(0b01) == 0b10
+        assert swap_function.evaluate_word(0b10) == 0b01
+
+    def test_evaluate_word_range(self, swap_function):
+        with pytest.raises(ValueError):
+            swap_function.evaluate_word(4)
+
+    def test_output_accessor(self, swap_function):
+        assert swap_function.output(0) == TruthTable.variable(1, 2)
+        assert swap_function.output(1) == TruthTable.variable(0, 2)
+
+    def test_is_permutation(self, swap_function):
+        assert swap_function.is_permutation()
+        constant = BoolFunction.from_lookup([0, 0, 0, 0], 2, 2)
+        assert not constant.is_permutation()
+        non_square = BoolFunction.from_lookup([0, 1, 1, 0], 2, 1)
+        assert not non_square.is_permutation()
+
+
+class TestPinPermutations:
+    def test_permute_inputs_semantics(self):
+        # f(x0, x1) = x0 (identity on bit 0).
+        function = BoolFunction([TruthTable.variable(0, 2)], name="proj")
+        permuted = function.permute_inputs([1, 0])
+        # Old input 0 moved to slot 1, so the output now follows input 1.
+        assert permuted.output(0) == TruthTable.variable(1, 2)
+
+    def test_permute_outputs_semantics(self, swap_function):
+        permuted = swap_function.permute_outputs([1, 0])
+        assert permuted.output(0) == swap_function.output(1)
+        assert permuted.output(1) == swap_function.output(0)
+
+    def test_permute_outputs_invalid(self, swap_function):
+        with pytest.raises(ValueError):
+            swap_function.permute_outputs([0, 0])
+
+    def test_input_names_follow_permutation(self):
+        function = BoolFunction.from_lookup([0, 1, 2, 3], 2, 2)
+        permuted = function.permute_inputs([1, 0])
+        assert permuted.input_names == (function.input_names[1], function.input_names[0])
+
+    def test_permutation_preserves_behaviour(self, swap_function):
+        permuted = swap_function.permute_inputs([1, 0]).permute_outputs([1, 0])
+        # Swapping both inputs and outputs of the swap function yields the
+        # same function again.
+        assert permuted.lookup_table() == swap_function.lookup_table()
+
+
+class TestMisc:
+    def test_rename(self, swap_function):
+        renamed = swap_function.rename("other")
+        assert renamed.name == "other"
+        assert renamed == swap_function  # equality ignores the name
+
+    def test_equality_and_hash(self, swap_function):
+        same = BoolFunction.from_lookup([0b00, 0b10, 0b01, 0b11], 2, 2, name="x")
+        assert swap_function == same
+        assert hash(swap_function) == hash(same)
+        assert swap_function != BoolFunction.from_lookup([0, 1, 2, 3], 2, 2)
+        assert swap_function != 42
+
+    def test_repr(self, swap_function):
+        assert "swap" in repr(swap_function)

@@ -1,0 +1,117 @@
+"""Unit tests for the Boolean expression language."""
+
+import pytest
+
+from repro.logic import (
+    And,
+    Const,
+    Not,
+    Or,
+    TruthTable,
+    Var,
+    Xor,
+    expression_to_table,
+    parse_expression,
+)
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "text, variables, expected_bits",
+        [
+            ("a & b", ["a", "b"], 0b1000),
+            ("a | b", ["a", "b"], 0b1110),
+            ("a ^ b", ["a", "b"], 0b0110),
+            ("~a", ["a"], 0b01),
+            ("a & ~b | c", ["a", "b", "c"], None),
+            ("0", ["a"], 0b00),
+            ("1", ["a"], 0b11),
+        ],
+    )
+    def test_parse_and_evaluate(self, text, variables, expected_bits):
+        table = expression_to_table(parse_expression(text), variables)
+        if expected_bits is not None:
+            assert table.bits == expected_bits
+        else:
+            # Spot-check (a & ~b | c) on a few rows.
+            assert table.evaluate([1, 0, 0]) == 1
+            assert table.evaluate([1, 1, 0]) == 0
+            assert table.evaluate([0, 0, 1]) == 1
+
+    def test_alternate_operators(self):
+        variables = ["a", "b"]
+        assert expression_to_table(parse_expression("a * b"), variables) == \
+            expression_to_table(parse_expression("a & b"), variables)
+        assert expression_to_table(parse_expression("a + b"), variables) == \
+            expression_to_table(parse_expression("a | b"), variables)
+        assert expression_to_table(parse_expression("!a"), ["a"]) == \
+            expression_to_table(parse_expression("~a"), ["a"])
+
+    def test_implicit_and_by_adjacency(self):
+        variables = ["a", "b", "c"]
+        implicit = expression_to_table(parse_expression("a b c"), variables)
+        explicit = expression_to_table(parse_expression("a & b & c"), variables)
+        assert implicit == explicit
+
+    def test_precedence_and_parentheses(self):
+        variables = ["a", "b", "c"]
+        no_parens = expression_to_table(parse_expression("a | b & c"), variables)
+        with_parens = expression_to_table(parse_expression("a | (b & c)"), variables)
+        assert no_parens == with_parens
+        grouped = expression_to_table(parse_expression("(a | b) & c"), variables)
+        assert grouped != no_parens
+
+    def test_bracketed_identifiers(self):
+        table = expression_to_table(parse_expression("i[0] & i[1]"), ["i[0]", "i[1]"])
+        assert table == TruthTable.variable(0, 2) & TruthTable.variable(1, 2)
+
+    def test_paper_fig3_functions_differ(self):
+        variables = ["a", "b", "c", "d", "e"]
+        f0 = expression_to_table(parse_expression("(a&b | c&d) & e"), variables)
+        f1 = expression_to_table(parse_expression("(a&b | c&d) | e"), variables)
+        assert f0 != f1
+        assert f0.implies(f1)
+
+    @pytest.mark.parametrize("bad", ["", "a &", "(a", "a))", "a @ b", "~"])
+    def test_parse_errors(self, bad):
+        with pytest.raises(ValueError):
+            parse_expression(bad)
+
+    def test_missing_variable_in_order(self):
+        with pytest.raises(ValueError):
+            expression_to_table(parse_expression("a & b"), ["a"])
+
+
+class TestAst:
+    def test_variables_collection(self):
+        expression = parse_expression("(a & b) | ~c | a")
+        assert expression.variables() == ("a", "b", "c")
+
+    def test_evaluate_missing_variable(self):
+        with pytest.raises(KeyError):
+            Var("x").evaluate({})
+
+    def test_operator_overloads(self):
+        a, b = Var("a"), Var("b")
+        table = expression_to_table((a & b) | ~a, ["a", "b"])
+        reference = expression_to_table(parse_expression("(a&b) | ~a"), ["a", "b"])
+        assert table == reference
+        xor_table = expression_to_table(a ^ b, ["a", "b"])
+        assert xor_table == TruthTable.variable(0, 2) ^ TruthTable.variable(1, 2)
+
+    def test_str_roundtrip(self):
+        expression = parse_expression("(a & ~b) | (c ^ d)")
+        text = str(expression)
+        reparsed = parse_expression(text)
+        order = ["a", "b", "c", "d"]
+        assert expression_to_table(expression, order) == expression_to_table(reparsed, order)
+
+    def test_const_and_not_str(self):
+        assert str(Const(1)) == "1"
+        assert str(Const(0)) == "0"
+        assert str(Not(Var("a"))) == "~a"
+
+    def test_xor_evaluation(self):
+        expression = Xor((Var("a"), Var("b"), Var("c")))
+        assert expression.evaluate({"a": 1, "b": 1, "c": 1}) == 1
+        assert expression.evaluate({"a": 1, "b": 1, "c": 0}) == 0

@@ -1,0 +1,74 @@
+"""Unit tests for algebraic factoring of SOP covers."""
+
+import random
+
+import pytest
+
+from repro.logic import (
+    TruthTable,
+    expression_literal_count,
+    expression_to_table,
+    factor_cover,
+    factor_table,
+    isop,
+)
+
+
+def _variables(count):
+    return [f"x{index}" for index in range(count)]
+
+
+class TestFactorTable:
+    def test_constants(self):
+        zero = factor_table(TruthTable.constant(3, False))
+        one = factor_table(TruthTable.constant(3, True))
+        assert expression_to_table(zero, _variables(3)).is_constant_zero()
+        assert expression_to_table(one, _variables(3)).is_constant_one()
+
+    def test_equivalence_on_random_functions(self):
+        rng = random.Random(11)
+        for num_vars in (2, 3, 4, 5):
+            for _ in range(15):
+                table = TruthTable(num_vars, rng.getrandbits(1 << num_vars))
+                expression = factor_table(table)
+                rebuilt = expression_to_table(expression, _variables(num_vars))
+                assert rebuilt == table
+
+    def test_factoring_reduces_literals_of_shared_literal_sop(self):
+        # f = a&b | a&c | a&d has 6 SOP literals but factors to a&(b|c|d) = 4.
+        a = TruthTable.variable(0, 4)
+        b = TruthTable.variable(1, 4)
+        c = TruthTable.variable(2, 4)
+        d = TruthTable.variable(3, 4)
+        table = (a & b) | (a & c) | (a & d)
+        cover = isop(table)
+        expression = factor_cover(cover)
+        assert expression_literal_count(expression) < cover.num_literals()
+        assert expression_to_table(expression, _variables(4)) == table
+
+    def test_single_cube_stays_a_cube(self):
+        a = TruthTable.variable(0, 3)
+        c = TruthTable.variable(2, 3)
+        expression = factor_table(a & ~c)
+        assert expression_literal_count(expression) == 2
+
+    def test_dont_cares_forwarded(self):
+        onset = TruthTable.variable(0, 2) & TruthTable.variable(1, 2)
+        dc = TruthTable.variable(0, 2) & ~TruthTable.variable(1, 2)
+        expression = factor_table(onset, dc)
+        rebuilt = expression_to_table(expression, _variables(2))
+        assert onset.implies(rebuilt)
+        assert rebuilt.implies(onset | dc)
+
+
+class TestLiteralCount:
+    def test_counts(self):
+        expression = factor_table(
+            (TruthTable.variable(0, 3) & TruthTable.variable(1, 3))
+            | TruthTable.variable(2, 3)
+        )
+        assert expression_literal_count(expression) == 3
+
+    def test_unknown_node_type_rejected(self):
+        with pytest.raises(TypeError):
+            expression_literal_count(object())

@@ -1,0 +1,93 @@
+"""Unit tests for ISOP extraction and cube covers."""
+
+import random
+
+import pytest
+
+from repro.logic import Cube, TruthTable, cover_to_table, isop
+
+
+class TestCube:
+    def test_literals_and_count(self):
+        cube = Cube(positive=0b101, negative=0b010)
+        assert set(cube.literals()) == {(0, True), (2, True), (1, False)}
+        assert cube.num_literals() == 3
+
+    def test_with_literal(self):
+        cube = Cube(0, 0).with_literal(1, True).with_literal(0, False)
+        assert cube.positive == 0b10
+        assert cube.negative == 0b01
+
+    def test_to_table(self):
+        cube = Cube(positive=0b01, negative=0b10)  # x0 & ~x1
+        table = cube.to_table(2)
+        assert table == TruthTable.variable(0, 2) & ~TruthTable.variable(1, 2)
+
+    def test_empty_cube_is_tautology(self):
+        assert Cube(0, 0).to_table(3).is_constant_one()
+
+    def test_contradiction_flag(self):
+        assert Cube(0b1, 0b1).contradicts()
+        assert not Cube(0b1, 0b10).contradicts()
+
+
+class TestIsop:
+    def test_constant_functions(self):
+        zero = isop(TruthTable.constant(3, False))
+        assert len(zero) == 0
+        assert zero.to_table().is_constant_zero()
+        one = isop(TruthTable.constant(3, True))
+        assert len(one) == 1
+        assert one.to_table().is_constant_one()
+
+    def test_single_variable(self):
+        cover = isop(TruthTable.variable(1, 3))
+        assert cover.to_table() == TruthTable.variable(1, 3)
+        assert cover.num_literals() == 1
+
+    def test_exactness_on_random_functions(self):
+        rng = random.Random(7)
+        for num_vars in (1, 2, 3, 4, 5):
+            for _ in range(20):
+                bits = rng.getrandbits(1 << num_vars)
+                table = TruthTable(num_vars, bits)
+                cover = isop(table)
+                assert cover.to_table() == table, f"ISOP not exact for {table!r}"
+
+    def test_xor_needs_expected_cubes(self):
+        xor = TruthTable.variable(0, 2) ^ TruthTable.variable(1, 2)
+        cover = isop(xor)
+        assert len(cover) == 2
+        assert cover.num_literals() == 4
+
+    def test_dont_cares_are_used(self):
+        # onset = {x0 & x1}, dc = {x0 & ~x1}: the cover may collapse to x0.
+        onset = TruthTable.variable(0, 2) & TruthTable.variable(1, 2)
+        dc = TruthTable.variable(0, 2) & ~TruthTable.variable(1, 2)
+        cover = isop(onset, dc)
+        result = cover.to_table()
+        assert onset.implies(result)
+        assert result.implies(onset | dc)
+        assert cover.num_literals() <= 2
+
+    def test_dc_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            isop(TruthTable.constant(2, True), TruthTable.constant(3, False))
+
+    def test_irredundancy_on_small_functions(self):
+        # Removing any cube from the cover must lose part of the on-set.
+        rng = random.Random(3)
+        for _ in range(10):
+            table = TruthTable(3, rng.getrandbits(8))
+            if table.is_constant():
+                continue
+            cover = isop(table)
+            for skip in range(len(cover.cubes)):
+                remaining = [cube for index, cube in enumerate(cover.cubes) if index != skip]
+                assert cover_to_table(remaining, 3) != table
+
+    def test_cover_repr_and_len(self):
+        cover = isop(TruthTable.variable(0, 2))
+        assert len(cover) == 1
+        assert "Cover" in repr(cover)
+        assert list(iter(cover)) == cover.cubes

@@ -1,0 +1,88 @@
+"""Property-based tests (hypothesis) for the Boolean-function substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import TruthTable, expression_to_table, factor_table, isop
+
+
+def tables(max_vars=4):
+    """Strategy producing random truth tables of 1..max_vars variables."""
+    return st.integers(min_value=1, max_value=max_vars).flatmap(
+        lambda n: st.builds(
+            TruthTable,
+            st.just(n),
+            st.integers(min_value=0, max_value=(1 << (1 << n)) - 1),
+        )
+    )
+
+
+@given(tables())
+def test_double_negation(table):
+    assert ~(~table) == table
+
+
+@given(tables())
+def test_and_or_absorption(table):
+    other = ~table
+    assert (table & (table | other)) == table
+    assert (table | (table & other)) == table
+
+
+@given(tables(), st.data())
+def test_shannon_expansion(table, data):
+    var = data.draw(st.integers(min_value=0, max_value=table.num_vars - 1))
+    x = TruthTable.variable(var, table.num_vars)
+    rebuilt = (x & table.cofactor(var, 1)) | (~x & table.cofactor(var, 0))
+    assert rebuilt == table
+
+
+@given(tables(), st.data())
+def test_cofactor_is_independent_of_variable(table, data):
+    var = data.draw(st.integers(min_value=0, max_value=table.num_vars - 1))
+    value = data.draw(st.integers(min_value=0, max_value=1))
+    assert not table.cofactor(var, value).depends_on(var)
+
+
+@given(tables(), st.data())
+def test_permute_inputs_roundtrip(table, data):
+    permutation = data.draw(st.permutations(list(range(table.num_vars))))
+    inverse = [0] * table.num_vars
+    for old, new in enumerate(permutation):
+        inverse[new] = old
+    assert table.permute_inputs(permutation).permute_inputs(inverse) == table
+
+
+@given(tables(), st.data())
+def test_permute_inputs_preserves_weight(table, data):
+    permutation = data.draw(st.permutations(list(range(table.num_vars))))
+    assert table.permute_inputs(permutation).count_ones() == table.count_ones()
+
+
+@given(tables())
+@settings(max_examples=60)
+def test_isop_is_exact(table):
+    assert isop(table).to_table() == table
+
+
+@given(tables(max_vars=4))
+@settings(max_examples=40, deadline=None)
+def test_factoring_preserves_function(table):
+    expression = factor_table(table)
+    variables = [f"x{index}" for index in range(table.num_vars)]
+    assert expression_to_table(expression, variables) == table
+
+
+@given(tables())
+def test_cofactor_family_contains_all_single_cofactors(table):
+    family = set(table.all_partial_cofactors())
+    for var in range(table.num_vars):
+        for value in (0, 1):
+            assert table.cofactor(var, value) in family
+
+
+@given(tables())
+def test_support_matches_dependence(table):
+    support = set(table.support())
+    for var in range(table.num_vars):
+        assert (var in support) == table.depends_on(var)

@@ -1,0 +1,224 @@
+"""Unit tests for the packed truth-table representation."""
+
+import pytest
+
+from repro.logic import TruthTable
+
+
+class TestConstruction:
+    def test_constant_zero(self):
+        table = TruthTable.constant(3, False)
+        assert table.num_vars == 3
+        assert table.bits == 0
+        assert table.is_constant_zero()
+
+    def test_constant_one(self):
+        table = TruthTable.constant(2, True)
+        assert table.bits == 0b1111
+        assert table.is_constant_one()
+
+    def test_variable_patterns(self):
+        assert TruthTable.variable(0, 2).bits == 0b1010
+        assert TruthTable.variable(1, 2).bits == 0b1100
+        assert TruthTable.variable(2, 3).bits == 0b11110000
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(2, 2)
+
+    def test_from_values(self):
+        table = TruthTable.from_values([0, 1, 1, 0])
+        assert table.num_vars == 2
+        assert table.bits == 0b0110
+
+    def test_from_values_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_values([0, 1, 1])
+
+    def test_from_minterms(self):
+        table = TruthTable.from_minterms(3, [0, 7])
+        assert table.value_at(0) == 1
+        assert table.value_at(7) == 1
+        assert table.count_ones() == 2
+
+    def test_from_minterms_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_minterms(2, [4])
+
+    def test_from_function(self):
+        table = TruthTable.from_function(2, lambda a, b: a and not b)
+        assert table.values() == [0, 1, 0, 0]
+
+    def test_rejects_oversized_bits(self):
+        with pytest.raises(ValueError):
+            TruthTable(1, 0b10000)
+
+    def test_rejects_negative_num_vars(self):
+        with pytest.raises(ValueError):
+            TruthTable(-1, 0)
+
+
+class TestEvaluation:
+    def test_evaluate_matches_value_at(self):
+        table = TruthTable.from_values([1, 0, 0, 1, 1, 1, 0, 0])
+        for row in range(8):
+            assignment = [(row >> var) & 1 for var in range(3)]
+            assert table.evaluate(assignment) == table.value_at(row)
+
+    def test_evaluate_wrong_arity(self):
+        table = TruthTable.constant(2, True)
+        with pytest.raises(ValueError):
+            table.evaluate([1])
+
+    def test_minterms_roundtrip(self):
+        table = TruthTable.from_minterms(4, [1, 5, 9])
+        assert table.minterms() == [1, 5, 9]
+
+
+class TestConnectives:
+    def test_and_or_xor_invert(self):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        assert (a & b).bits == 0b1000
+        assert (a | b).bits == 0b1110
+        assert (a ^ b).bits == 0b0110
+        assert (~a).bits == 0b0101
+
+    def test_de_morgan(self):
+        a = TruthTable.variable(0, 3)
+        b = TruthTable.variable(2, 3)
+        assert ~(a & b) == (~a) | (~b)
+        assert ~(a | b) == (~a) & (~b)
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(0, 2) & TruthTable.variable(0, 3)
+
+    def test_implies(self):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        assert (a & b).implies(a)
+        assert not a.implies(a & b)
+
+
+class TestCofactorsAndQuantification:
+    def test_cofactor_removes_dependence(self):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        function = a & b
+        assert function.cofactor(0, 1) == b
+        assert function.cofactor(0, 0).is_constant_zero()
+        assert not function.cofactor(0, 1).depends_on(0)
+
+    def test_shannon_expansion_identity(self):
+        function = TruthTable.from_values([1, 0, 1, 1, 0, 1, 0, 0])
+        for var in range(3):
+            x = TruthTable.variable(var, 3)
+            rebuilt = (x & function.cofactor(var, 1)) | (~x & function.cofactor(var, 0))
+            assert rebuilt == function
+
+    def test_exists_forall(self):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        function = a & b
+        assert function.exists(0) == b
+        assert function.forall(0).is_constant_zero()
+
+    def test_restrict_multiple(self):
+        function = TruthTable.from_values([0, 1, 1, 0, 1, 0, 0, 1])
+        restricted = function.restrict({0: 1, 2: 0})
+        assert restricted.value_at(0b001) == function.value_at(0b001)
+        assert not restricted.depends_on(0)
+        assert not restricted.depends_on(2)
+
+    def test_support(self):
+        a = TruthTable.variable(0, 3)
+        c = TruthTable.variable(2, 3)
+        assert (a & c).support() == (0, 2)
+        assert TruthTable.constant(3, True).support() == ()
+
+
+class TestStructuralOperations:
+    def test_permute_inputs_swap(self):
+        a = TruthTable.variable(0, 2)
+        permuted = a.permute_inputs([1, 0])
+        assert permuted == TruthTable.variable(1, 2)
+
+    def test_permute_inputs_is_inverse_applied_twice(self):
+        function = TruthTable.from_values([1, 0, 0, 1, 1, 1, 0, 1])
+        permutation = [2, 0, 1]
+        inverse = [1, 2, 0]
+        assert function.permute_inputs(permutation).permute_inputs(inverse) == function
+
+    def test_permute_inputs_invalid(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(0, 2).permute_inputs([0, 0])
+
+    def test_negate_input(self):
+        a = TruthTable.variable(0, 2)
+        assert a.negate_input(0) == ~a
+        b = TruthTable.variable(1, 2)
+        assert (a & b).negate_input(1) == (a & ~b)
+
+    def test_extend_preserves_function(self):
+        a = TruthTable.variable(0, 1)
+        extended = a.extend(3)
+        assert extended.num_vars == 3
+        assert extended == TruthTable.variable(0, 3)
+        with pytest.raises(ValueError):
+            extended.extend(2)
+
+    def test_shrink_to_support(self):
+        b = TruthTable.variable(1, 3)
+        c = TruthTable.variable(2, 3)
+        function = b ^ c
+        reduced, support = function.shrink_to_support()
+        assert support == (1, 2)
+        assert reduced.num_vars == 2
+        assert reduced == TruthTable.variable(0, 2) ^ TruthTable.variable(1, 2)
+
+    def test_compose(self):
+        # f(x0, x1) = x0 & x1 composed with g0 = a|b, g1 = ~a gives (a|b) & ~a.
+        f = TruthTable.variable(0, 2) & TruthTable.variable(1, 2)
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        composed = f.compose([a | b, ~a])
+        assert composed == (a | b) & ~a
+
+    def test_compose_arity_mismatch(self):
+        f = TruthTable.variable(0, 2)
+        with pytest.raises(ValueError):
+            f.compose([TruthTable.variable(0, 2)])
+
+
+class TestCofactorFamily:
+    def test_nand2_family_matches_figure_1b(self):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        nand = ~(a & b)
+        family = set(nand.all_partial_cofactors())
+        expected = {nand, ~a, ~b, TruthTable.constant(2, True), TruthTable.constant(2, False)}
+        assert family == expected
+
+    def test_family_always_contains_original_and_constants(self):
+        function = TruthTable.from_values([0, 1, 1, 1, 0, 0, 1, 0])
+        family = set(function.all_partial_cofactors())
+        assert function in family
+        # A non-constant function fixed on all inputs yields both constants
+        # only if both output values occur; this one has both.
+        assert TruthTable.constant(3, True) in family
+        assert TruthTable.constant(3, False) in family
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = TruthTable.variable(0, 2)
+        assert a == TruthTable.variable(0, 2)
+        assert hash(a) == hash(TruthTable.variable(0, 2))
+        assert a != TruthTable.variable(1, 2)
+        assert a != "not a table"
+
+    def test_repr_and_binary_string(self):
+        table = TruthTable.from_values([1, 0, 1, 1])
+        assert "TruthTable" in repr(table)
+        assert table.to_binary_string() == "1011"

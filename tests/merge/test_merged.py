@@ -1,0 +1,93 @@
+"""Unit tests for Phase I: the merged multi-function design."""
+
+import pytest
+
+from repro.logic import BoolFunction
+from repro.merge import PinAssignment, merge_functions, naive_merged_netlist, num_select_inputs
+from repro.netlist import extract_function, validate_netlist
+from repro.sboxes import optimal_sboxes
+
+
+class TestSelectCount:
+    @pytest.mark.parametrize("count, selects", [(1, 0), (2, 1), (3, 2), (4, 2), (8, 3), (16, 4)])
+    def test_num_select_inputs(self, count, selects):
+        assert num_select_inputs(count) == selects
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            num_select_inputs(0)
+
+
+class TestMergeFunctions:
+    def test_two_functions_shape(self, two_sboxes):
+        design = merge_functions(two_sboxes)
+        assert design.num_data_inputs == 4
+        assert design.num_selects == 1
+        assert design.function.num_inputs == 5
+        assert design.function.num_outputs == 4
+        assert design.select_input_indices == (4,)
+
+    def test_merged_behaviour_matches_each_function(self, four_sboxes):
+        design = merge_functions(four_sboxes)
+        for select in range(4):
+            expected = design.function_for_select(select)
+            for word in range(16):
+                merged_word = word | (select << 4)
+                assert design.function.evaluate_word(merged_word) == expected.evaluate_word(word)
+
+    def test_select_out_of_range(self, two_sboxes):
+        design = merge_functions(two_sboxes)
+        with pytest.raises(ValueError):
+            design.function_for_select(2)
+
+    def test_non_power_of_two_clamps(self):
+        functions = optimal_sboxes(3)
+        design = merge_functions(functions)
+        assert design.num_selects == 2
+        # Select value 3 falls back to the last function.
+        assert design.function_for_select(3).lookup_table() == functions[2].lookup_table()
+
+    def test_assignment_changes_merged_function(self, two_sboxes):
+        identity = merge_functions(two_sboxes)
+        permuted = merge_functions(
+            two_sboxes,
+            PinAssignment(
+                ((0, 1, 2, 3), (1, 0, 2, 3)),
+                ((0, 1, 2, 3), (0, 1, 2, 3)),
+            ),
+        )
+        assert identity.function != permuted.function
+
+    def test_single_function(self, present):
+        design = merge_functions([present])
+        assert design.num_selects == 0
+        assert design.function.outputs == present.outputs
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_functions([])
+
+    def test_input_names(self, two_sboxes):
+        design = merge_functions(two_sboxes)
+        assert design.function.input_names == ("i[0]", "i[1]", "i[2]", "i[3]", "sel[0]")
+
+
+class TestNaiveMergedNetlist:
+    def test_structure_and_function(self, two_sboxes, library):
+        netlist = naive_merged_netlist(two_sboxes, library=library)
+        assert validate_netlist(netlist) == []
+        assert "sel[0]" in netlist.primary_inputs
+        assert netlist.cell_histogram().get("MUX2", 0) == 4
+        extracted = extract_function(netlist)
+        design = merge_functions(two_sboxes)
+        assert extracted.lookup_table() == design.function.lookup_table()
+
+    def test_naive_is_larger_than_shared_synthesis(self, two_sboxes, merged_two_synthesis, library):
+        naive = naive_merged_netlist(two_sboxes, library=library)
+        # The whole point of Phase I: synthesising the merged description
+        # shares logic and beats the "two copies + muxes" structure.
+        assert merged_two_synthesis.area < naive.area()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            naive_merged_netlist([])

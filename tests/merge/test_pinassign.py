@@ -1,0 +1,112 @@
+"""Unit tests for pin assignments."""
+
+import random
+
+import pytest
+
+from repro.merge import PinAssignment
+from repro.sboxes import optimal_sboxes
+
+
+class TestConstruction:
+    def test_identity(self):
+        assignment = PinAssignment.identity(3, 4, 2)
+        assert assignment.num_functions == 3
+        assert assignment.num_inputs == 4
+        assert assignment.num_outputs == 2
+        assert all(perm == (0, 1, 2, 3) for perm in assignment.input_perms)
+
+    def test_for_functions(self, two_sboxes):
+        assignment = PinAssignment.for_functions(two_sboxes)
+        assert assignment.num_functions == 2
+        assert assignment.num_inputs == 4
+        assert assignment.num_outputs == 4
+
+    def test_for_functions_shape_mismatch(self, two_sboxes, des_pair):
+        with pytest.raises(ValueError):
+            PinAssignment.for_functions([two_sboxes[0], des_pair[0]])
+
+    def test_for_functions_empty(self):
+        with pytest.raises(ValueError):
+            PinAssignment.for_functions([])
+
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            PinAssignment(((0, 0, 1, 2),), ((0, 1, 2, 3),))
+        with pytest.raises(ValueError):
+            PinAssignment(((0, 1),), ())
+        with pytest.raises(ValueError):
+            PinAssignment((), ())
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            PinAssignment(((0, 1), (0, 1, 2)), ((0,), (0,)))
+
+    def test_random_is_valid(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            assignment = PinAssignment.random(3, 5, 2, rng)
+            for perm in assignment.input_perms:
+                assert sorted(perm) == list(range(5))
+            for perm in assignment.output_perms:
+                assert sorted(perm) == list(range(2))
+
+
+class TestGenotype:
+    def test_roundtrip(self):
+        rng = random.Random(9)
+        assignment = PinAssignment.random(4, 4, 4, rng)
+        genes = assignment.to_genotype()
+        assert len(genes) == 4 * (4 + 4)
+        rebuilt = PinAssignment.from_genotype(genes, 4, 4, 4)
+        assert rebuilt == assignment
+        assert rebuilt.canonical_key() == tuple(genes)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            PinAssignment.from_genotype([0, 1, 2], 2, 4, 4)
+
+
+class TestApply:
+    def test_identity_apply_is_noop(self, two_sboxes):
+        assignment = PinAssignment.for_functions(two_sboxes)
+        applied = assignment.apply(two_sboxes)
+        assert [f.lookup_table() for f in applied] == [f.lookup_table() for f in two_sboxes]
+
+    def test_apply_permutes_behaviour(self, two_sboxes):
+        # Move input 0 to position 1 for the first function only.
+        assignment = PinAssignment(
+            ((1, 0, 2, 3), (0, 1, 2, 3)),
+            ((0, 1, 2, 3), (0, 1, 2, 3)),
+        )
+        applied = assignment.apply(two_sboxes)
+        original = two_sboxes[0]
+        permuted = applied[0]
+        # Evaluating the permuted function on a swapped input word must match
+        # the original on the unswapped word.
+        for word in range(16):
+            swapped = (word & 0b1100) | ((word & 1) << 1) | ((word >> 1) & 1)
+            assert permuted.evaluate_word(swapped) == original.evaluate_word(word)
+        # The second function is untouched.
+        assert applied[1].lookup_table() == two_sboxes[1].lookup_table()
+
+    def test_apply_output_permutation(self, two_sboxes):
+        assignment = PinAssignment(
+            ((0, 1, 2, 3), (0, 1, 2, 3)),
+            ((3, 2, 1, 0), (0, 1, 2, 3)),
+        )
+        applied = assignment.apply(two_sboxes)
+        for word in range(16):
+            original = two_sboxes[0].evaluate_word(word)
+            reversed_bits = int(f"{original:04b}"[::-1], 2)
+            assert applied[0].evaluate_word(word) == reversed_bits
+
+    def test_apply_count_mismatch(self, two_sboxes):
+        assignment = PinAssignment.identity(3, 4, 4)
+        with pytest.raises(ValueError):
+            assignment.apply(two_sboxes)
+
+    def test_apply_shape_mismatch(self, des_pair):
+        assignment = PinAssignment.identity(2, 4, 4)
+        with pytest.raises(ValueError):
+            assignment.apply(des_pair)

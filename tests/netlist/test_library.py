@@ -1,0 +1,85 @@
+"""Unit tests for the standard-cell library."""
+
+import pytest
+
+from repro.logic import TruthTable
+from repro.netlist import GE_AREAS, CellLibrary, CellType, standard_cell_library
+
+
+class TestCellType:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CellType("BROKEN", ("A",), TruthTable.constant(2, True), 1.0)
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ValueError):
+            CellType("BROKEN", ("A",), TruthTable.constant(1, True), -1.0)
+
+    def test_evaluate(self):
+        library = standard_cell_library()
+        nand2 = library["NAND2"]
+        assert nand2.evaluate([1, 1]) == 0
+        assert nand2.evaluate([0, 1]) == 1
+
+
+class TestStandardLibrary:
+    @pytest.fixture(scope="class")
+    def library(self):
+        return standard_cell_library()
+
+    def test_expected_cells_present(self, library):
+        expected = {"INV", "BUF", "XOR2", "XNOR2", "MUX2"}
+        for width in (2, 3, 4):
+            expected |= {f"{kind}{width}" for kind in ("NAND", "NOR", "AND", "OR")}
+        assert expected <= set(library.names())
+
+    def test_areas_normalised_to_nand2(self, library):
+        assert library["NAND2"].area == 1.0
+        assert library["INV"].area < library["NAND2"].area
+        assert library["NAND3"].area > library["NAND2"].area
+        for name, area in GE_AREAS.items():
+            assert library[name].area == pytest.approx(area)
+
+    @pytest.mark.parametrize(
+        "name, inputs, expected",
+        [
+            ("INV", [0], 1),
+            ("INV", [1], 0),
+            ("BUF", [1], 1),
+            ("NAND3", [1, 1, 1], 0),
+            ("NAND3", [1, 0, 1], 1),
+            ("NOR2", [0, 0], 1),
+            ("NOR2", [1, 0], 0),
+            ("AND4", [1, 1, 1, 1], 1),
+            ("AND4", [1, 1, 1, 0], 0),
+            ("OR3", [0, 0, 0], 0),
+            ("OR3", [0, 1, 0], 1),
+            ("XOR2", [1, 0], 1),
+            ("XOR2", [1, 1], 0),
+            ("XNOR2", [1, 1], 1),
+            ("MUX2", [1, 0, 0], 1),  # S=0 selects A
+            ("MUX2", [1, 0, 1], 0),  # S=1 selects B
+        ],
+    )
+    def test_cell_functions(self, library, name, inputs, expected):
+        assert library[name].evaluate(inputs) == expected
+
+    def test_by_num_inputs(self, library):
+        three_input = {cell.name for cell in library.by_num_inputs(3)}
+        assert {"NAND3", "NOR3", "AND3", "OR3", "MUX2"} == three_input
+
+    def test_lookup_errors(self, library):
+        with pytest.raises(KeyError):
+            library["NAND9"]
+        assert library.get("NAND9") is None
+        assert "NAND2" in library
+        assert "NAND9" not in library
+
+    def test_duplicate_cell_rejected(self, library):
+        duplicate = CellLibrary("dup", [library["INV"]])
+        with pytest.raises(ValueError):
+            duplicate.add(library["INV"])
+
+    def test_len_and_repr(self, library):
+        assert len(library) == len(library.cells())
+        assert "standard" in repr(library)

@@ -1,0 +1,169 @@
+"""Unit tests for the netlist container."""
+
+import pytest
+
+from repro.netlist import (
+    CONST0_NET,
+    CONST1_NET,
+    Netlist,
+    NetlistError,
+    standard_cell_library,
+)
+
+
+@pytest.fixture
+def library():
+    return standard_cell_library()
+
+
+@pytest.fixture
+def xor_netlist(library):
+    """A hand-built XOR from NANDs: y = a xor b."""
+    netlist = Netlist("xor", library)
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    netlist.add_output("y")
+    n1 = netlist.add_instance("NAND2", [a, b]).output
+    n2 = netlist.add_instance("NAND2", [a, n1]).output
+    n3 = netlist.add_instance("NAND2", [b, n1]).output
+    netlist.add_instance("NAND2", [n2, n3], output="y")
+    return netlist
+
+
+class TestConstruction:
+    def test_duplicate_input_rejected(self, library):
+        netlist = Netlist("t", library)
+        netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_input("a")
+
+    def test_duplicate_output_rejected(self, library):
+        netlist = Netlist("t", library)
+        netlist.add_output("y")
+        with pytest.raises(NetlistError):
+            netlist.add_output("y")
+
+    def test_unknown_cell_rejected(self, library):
+        netlist = Netlist("t", library)
+        netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_instance("FOO", ["a"])
+
+    def test_wrong_pin_count_rejected(self, library):
+        netlist = Netlist("t", library)
+        netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_instance("NAND2", ["a"])
+
+    def test_double_driver_rejected(self, library):
+        netlist = Netlist("t", library)
+        netlist.add_input("a")
+        netlist.add_instance("INV", ["a"], output="n")
+        with pytest.raises(NetlistError):
+            netlist.add_instance("BUF", ["a"], output="n")
+
+    def test_driving_primary_input_rejected(self, library):
+        netlist = Netlist("t", library)
+        netlist.add_input("a")
+        netlist.add_input("b")
+        with pytest.raises(NetlistError):
+            netlist.add_instance("INV", ["a"], output="b")
+
+    def test_duplicate_instance_name_rejected(self, library):
+        netlist = Netlist("t", library)
+        netlist.add_input("a")
+        netlist.add_instance("INV", ["a"], name="u1")
+        with pytest.raises(NetlistError):
+            netlist.add_instance("BUF", ["a"], name="u1")
+
+    def test_new_net_is_fresh(self, xor_netlist):
+        fresh = xor_netlist.new_net()
+        assert fresh not in xor_netlist.nets()
+
+
+class TestQueries:
+    def test_counts_and_area(self, xor_netlist):
+        assert xor_netlist.num_instances() == 4
+        assert xor_netlist.area() == pytest.approx(4.0)
+        assert xor_netlist.cell_histogram() == {"NAND2": 4}
+
+    def test_driver_of(self, xor_netlist):
+        assert xor_netlist.driver_of("a") is None
+        assert xor_netlist.driver_of("y").cell == "NAND2"
+
+    def test_fanout_counts(self, xor_netlist):
+        fanout = xor_netlist.fanout_counts()
+        assert fanout["a"] == 2
+        assert fanout["b"] == 2
+        assert fanout["y"] == 1  # the primary output counts as a sink
+
+    def test_topological_order(self, xor_netlist):
+        order = xor_netlist.topological_order()
+        position = {instance.name: index for index, instance in enumerate(order)}
+        for instance in order:
+            for net in instance.inputs:
+                driver = xor_netlist.driver_of(net)
+                if driver is not None:
+                    assert position[driver.name] < position[instance.name]
+
+    def test_cycle_detected(self, library):
+        netlist = Netlist("loop", library)
+        netlist.add_input("a")
+        netlist.add_instance("NAND2", ["a", "n2"], output="n1")
+        netlist.add_instance("INV", ["n1"], output="n2")
+        with pytest.raises(NetlistError):
+            netlist.topological_order()
+
+    def test_transitive_fanin(self, xor_netlist):
+        cone = xor_netlist.transitive_fanin("y")
+        assert len(cone) == 4
+        names = [instance.name for instance in cone]
+        assert len(names) == len(set(names))
+
+    def test_instance_lookup(self, xor_netlist):
+        first = xor_netlist.instances[0]
+        assert xor_netlist.instance(first.name) is first
+        with pytest.raises(NetlistError):
+            xor_netlist.instance("nope")
+
+    def test_remove_instance(self, xor_netlist):
+        name = xor_netlist.instances[-1].name
+        xor_netlist.remove_instance(name)
+        assert xor_netlist.num_instances() == 3
+        with pytest.raises(NetlistError):
+            xor_netlist.remove_instance(name)
+
+
+class TestEditing:
+    def test_rename_net(self, xor_netlist):
+        xor_netlist.rename_net("a", "alpha")
+        assert "alpha" in xor_netlist.primary_inputs
+        assert all("a" != net for inst in xor_netlist.instances for net in inst.inputs)
+
+    def test_rename_to_existing_net_rejected(self, xor_netlist):
+        with pytest.raises(NetlistError):
+            xor_netlist.rename_net("a", "b")
+
+    def test_rename_noop(self, xor_netlist):
+        xor_netlist.rename_net("a", "a")
+        assert "a" in xor_netlist.primary_inputs
+
+    def test_copy_is_deep(self, xor_netlist):
+        clone = xor_netlist.copy("clone")
+        clone.remove_instance(clone.instances[0].name)
+        assert xor_netlist.num_instances() == 4
+        assert clone.num_instances() == 3
+        assert clone.name == "clone"
+
+    def test_constants_are_implicitly_available(self, library):
+        netlist = Netlist("const", library)
+        netlist.add_output("y")
+        netlist.add_instance("BUF", [CONST1_NET], output="y")
+        order = netlist.topological_order()
+        assert len(order) == 1
+        assert CONST1_NET in netlist.nets()
+        assert CONST0_NET not in netlist.nets()
+
+    def test_repr(self, xor_netlist):
+        text = repr(xor_netlist)
+        assert "xor" in text and "instances=4" in text

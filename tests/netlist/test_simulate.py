@@ -1,0 +1,93 @@
+"""Unit tests for netlist simulation (single-pattern and bit-parallel)."""
+
+import pytest
+
+from repro.logic import TruthTable
+from repro.netlist import (
+    Netlist,
+    NetlistError,
+    extract_function,
+    simulate_assignment,
+    simulate_word,
+    standard_cell_library,
+)
+
+
+@pytest.fixture
+def majority_netlist(library):
+    """maj(a, b, c) built from AND/OR gates."""
+    netlist = Netlist("maj", library)
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    c = netlist.add_input("c")
+    netlist.add_output("y")
+    ab = netlist.add_instance("AND2", [a, b]).output
+    ac = netlist.add_instance("AND2", [a, c]).output
+    bc = netlist.add_instance("AND2", [b, c]).output
+    netlist.add_instance("OR3", [ab, ac, bc], output="y")
+    return netlist
+
+
+class TestSimulateWord:
+    def test_majority_all_patterns(self, majority_netlist):
+        for word in range(8):
+            bits = [(word >> k) & 1 for k in range(3)]
+            expected = 1 if sum(bits) >= 2 else 0
+            assert simulate_word(majority_netlist, word) == expected
+
+    def test_missing_input_value(self, majority_netlist):
+        with pytest.raises(NetlistError):
+            simulate_assignment(majority_netlist, {"a": 1, "b": 0})
+
+    def test_assignment_returns_all_nets(self, majority_netlist):
+        values = simulate_assignment(majority_netlist, {"a": 1, "b": 1, "c": 0})
+        assert values["y"] == 1
+        assert all(net in values for net in majority_netlist.nets())
+
+
+class TestExtractFunction:
+    def test_matches_word_simulation(self, majority_netlist):
+        function = extract_function(majority_netlist)
+        for word in range(8):
+            assert function.evaluate_word(word) == simulate_word(majority_netlist, word)
+
+    def test_input_output_names(self, majority_netlist):
+        function = extract_function(majority_netlist)
+        assert function.input_names == ("a", "b", "c")
+        assert function.output_names == ("y",)
+
+    def test_undriven_output_rejected(self, library):
+        netlist = Netlist("broken", library)
+        netlist.add_input("a")
+        netlist.add_output("y")
+        with pytest.raises(NetlistError):
+            extract_function(netlist)
+
+
+class TestCellFunctionOverrides:
+    def test_override_changes_behaviour(self, majority_netlist):
+        # Reconfigure the OR3 as constant 1 (a camouflage-style override).
+        or3_instance = next(
+            inst for inst in majority_netlist.instances if inst.cell == "OR3"
+        )
+        override = {or3_instance.name: TruthTable.constant(3, True)}
+        function = extract_function(majority_netlist, cell_functions=override)
+        assert all(function.evaluate_word(word) == 1 for word in range(8))
+
+    def test_override_single_pattern(self, majority_netlist):
+        and_instance = majority_netlist.instances[0]
+        # Force the first AND2 to behave as its B input (a cofactor).
+        override = {and_instance.name: TruthTable.variable(1, 2)}
+        with_override = simulate_word(majority_netlist, 0b010, cell_functions=override)
+        without = simulate_word(majority_netlist, 0b010)
+        assert with_override == 1
+        assert without == 0
+
+    def test_override_ignores_unknown_instances(self, majority_netlist):
+        override = {"not_an_instance": TruthTable.constant(2, True)}
+        function = extract_function(majority_netlist, cell_functions=override)
+        assert function.evaluate_word(0b111) == 1
+
+    def test_synthesized_netlist_roundtrip(self, present, present_netlist):
+        function = extract_function(present_netlist)
+        assert function.lookup_table() == present.lookup_table()

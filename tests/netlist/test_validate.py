@@ -1,0 +1,73 @@
+"""Unit tests for netlist structural validation."""
+
+import pytest
+
+from repro.netlist import (
+    Netlist,
+    NetlistError,
+    assert_valid,
+    standard_cell_library,
+    validate_netlist,
+)
+
+
+class TestValidate:
+    def test_clean_netlist(self, present_netlist):
+        assert validate_netlist(present_netlist) == []
+        assert_valid(present_netlist)
+
+    def test_undriven_output(self, library):
+        netlist = Netlist("t", library)
+        netlist.add_input("a")
+        netlist.add_output("y")
+        problems = validate_netlist(netlist)
+        assert any("undriven" in problem for problem in problems)
+        with pytest.raises(NetlistError):
+            assert_valid(netlist)
+
+    def test_undriven_instance_input(self, library):
+        netlist = Netlist("t", library)
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_instance("AND2", ["a", "ghost"], output="y")
+        problems = validate_netlist(netlist)
+        assert any("ghost" in problem for problem in problems)
+
+    def test_cycle_reported(self, library):
+        netlist = Netlist("t", library)
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_instance("NAND2", ["a", "n2"], output="n1")
+        netlist.add_instance("INV", ["n1"], output="n2")
+        netlist.add_instance("BUF", ["n2"], output="y")
+        problems = validate_netlist(netlist)
+        assert any("cycle" in problem or "blocked" in problem for problem in problems)
+
+    def test_duplicate_primary_ports_reported(self, library):
+        netlist = Netlist("t", library)
+        netlist.add_input("a")
+        netlist.primary_inputs.append("a")  # force the inconsistent state
+        netlist.add_output("y")
+        netlist.primary_outputs.append("y")
+        netlist.add_instance("INV", ["a"], output="y")
+        problems = validate_netlist(netlist)
+        assert any("duplicate primary inputs" in problem for problem in problems)
+        assert any("duplicate primary outputs" in problem for problem in problems)
+
+    def test_unknown_cell_reported(self, library):
+        netlist = Netlist("t", library)
+        netlist.add_input("a")
+        netlist.add_output("y")
+        instance = netlist.add_instance("INV", ["a"], output="y")
+        instance.cell = "MYSTERY"  # corrupt it behind the API's back
+        problems = validate_netlist(netlist)
+        assert any("unknown cell" in problem for problem in problems)
+
+    def test_wrong_connection_count_reported(self, library):
+        netlist = Netlist("t", library)
+        netlist.add_input("a")
+        netlist.add_output("y")
+        instance = netlist.add_instance("INV", ["a"], output="y")
+        instance.inputs.append("a")
+        problems = validate_netlist(netlist)
+        assert any("pins" in problem for problem in problems)

@@ -1,0 +1,71 @@
+"""Unit tests for structural Verilog emission."""
+
+import re
+
+import pytest
+
+from repro.netlist import (
+    CONST1_NET,
+    Netlist,
+    sanitize_identifier,
+    standard_cell_library,
+    write_verilog,
+)
+
+
+class TestSanitize:
+    @pytest.mark.parametrize(
+        "name, expected_pattern",
+        [
+            ("abc", r"^abc$"),
+            ("i[0]", r"^i_0_$"),
+            ("sel[3]", r"^sel_3_$"),
+            ("3net", r"^n_3net$"),
+            ("a.b", r"^a_b$"),
+        ],
+    )
+    def test_identifiers(self, name, expected_pattern):
+        assert re.match(expected_pattern, sanitize_identifier(name))
+
+
+class TestWriteVerilog:
+    def test_module_structure(self, present_netlist):
+        text = write_verilog(present_netlist, module_name="present_box")
+        assert text.startswith("module present_box")
+        assert text.rstrip().endswith("endmodule")
+        assert text.count("input  wire") == 4
+        assert text.count("output wire") == 4
+
+    def test_one_instance_line_per_gate(self, present_netlist):
+        text = write_verilog(present_netlist)
+        instance_lines = [line for line in text.splitlines() if re.match(r"\s+\w+ \w+ \(", line)]
+        assert len(instance_lines) == present_netlist.num_instances()
+
+    def test_constant_wires_emitted_when_used(self, library):
+        netlist = Netlist("c", library)
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_instance("AND2", ["a", CONST1_NET], output="y")
+        text = write_verilog(netlist)
+        assert "1'b1" in text
+
+    def test_instance_comments(self, library):
+        netlist = Netlist("c", library)
+        netlist.add_input("a")
+        netlist.add_output("y")
+        instance = netlist.add_instance("INV", ["a"], output="y")
+        text = write_verilog(netlist, instance_comments={instance.name: "configured as ~A"})
+        assert "// configured as ~A" in text
+
+    def test_unique_names_for_colliding_identifiers(self, library):
+        netlist = Netlist("c", library)
+        netlist.add_input("n[0]")
+        netlist.add_input("n_0_")
+        netlist.add_output("y")
+        netlist.add_instance("AND2", ["n[0]", "n_0_"], output="y")
+        text = write_verilog(netlist)
+        # Both inputs must appear as distinct identifiers.
+        header = text.split(");")[0]
+        identifiers = re.findall(r"input  wire (\w+)", header)
+        assert len(identifiers) == 2
+        assert len(set(identifiers)) == 2

@@ -1,0 +1,78 @@
+"""Unit tests for CNF formulas and DIMACS I/O."""
+
+import pytest
+
+from repro.sat import Cnf
+
+
+class TestCnf:
+    def test_new_var_and_names(self):
+        cnf = Cnf()
+        x = cnf.new_var("x")
+        y = cnf.new_var()
+        assert x == 1 and y == 2
+        assert cnf.var("x") == 1
+        assert cnf.has_var("x")
+        assert not cnf.has_var("z")
+        assert cnf.names() == {"x": 1}
+        with pytest.raises(KeyError):
+            cnf.var("z")
+        with pytest.raises(ValueError):
+            cnf.new_var("x")
+
+    def test_add_clause_validation(self):
+        cnf = Cnf(2)
+        cnf.add_clause([1, -2])
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+        with pytest.raises(ValueError):
+            cnf.add_clause([3])
+        assert cnf.num_clauses == 1
+
+    def test_empty_clause_kept(self):
+        cnf = Cnf(1)
+        cnf.add_clause([])
+        assert cnf.num_clauses == 1
+        assert cnf.clauses[0] == ()
+
+    def test_add_clauses_and_unit(self):
+        cnf = Cnf(3)
+        cnf.add_clauses([[1, 2], [-2, 3]])
+        cnf.extend_unit(-1)
+        assert cnf.num_clauses == 3
+
+    def test_invalid_num_vars(self):
+        with pytest.raises(ValueError):
+            Cnf(-1)
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = Cnf(3)
+        cnf.add_clause([1, -2])
+        cnf.add_clause([2, 3])
+        cnf.add_clause([-1, -3])
+        text = cnf.to_dimacs()
+        assert text.splitlines()[0] == "p cnf 3 3"
+        parsed = Cnf.from_dimacs(text)
+        assert parsed.num_vars == 3
+        assert parsed.clauses == cnf.clauses
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np cnf 2 1\n1 -2 0\n"
+        parsed = Cnf.from_dimacs(text)
+        assert parsed.num_vars == 2
+        assert parsed.clauses == [(1, -2)]
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError):
+            Cnf.from_dimacs("1 2 0\n")
+        with pytest.raises(ValueError):
+            Cnf.from_dimacs("p cnf x y\n")
+        with pytest.raises(ValueError):
+            Cnf.from_dimacs("")
+
+    def test_repr(self):
+        cnf = Cnf(2)
+        cnf.add_clause([1, 2])
+        assert "clauses=1" in repr(cnf)

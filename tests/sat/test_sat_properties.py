@@ -1,0 +1,63 @@
+"""Property-based tests for the SAT solver against a brute-force oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import Cnf, solve
+
+
+@st.composite
+def cnf_instances(draw, max_vars=7, max_clauses=20):
+    num_vars = draw(st.integers(min_value=1, max_value=max_vars))
+    num_clauses = draw(st.integers(min_value=0, max_value=max_clauses))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=min(3, num_vars)))
+        variables = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=num_vars),
+                min_size=width, max_size=width, unique=True,
+            )
+        )
+        clause = [
+            var if draw(st.booleans()) else -var for var in variables
+        ]
+        clauses.append(tuple(clause))
+    return num_vars, clauses
+
+
+def brute_force(num_vars, clauses):
+    for bits in range(1 << num_vars):
+        assignment = {v: bool((bits >> (v - 1)) & 1) for v in range(1, num_vars + 1)}
+        if all(
+            any(assignment[abs(l)] if l > 0 else not assignment[abs(l)] for l in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+@given(cnf_instances())
+@settings(max_examples=120, deadline=None)
+def test_solver_agrees_with_brute_force(instance):
+    num_vars, clauses = instance
+    cnf = Cnf(num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    result = solve(cnf)
+    assert result.satisfiable == brute_force(num_vars, clauses)
+
+
+@given(cnf_instances())
+@settings(max_examples=80, deadline=None)
+def test_models_satisfy_all_clauses(instance):
+    num_vars, clauses = instance
+    cnf = Cnf(num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    result = solve(cnf)
+    if result.satisfiable:
+        for clause in clauses:
+            assert any(
+                result.model.get(abs(literal), False) == (literal > 0) for literal in clause
+            )

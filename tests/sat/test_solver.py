@@ -1,0 +1,138 @@
+"""Unit tests for the CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat import Cnf, SatSolver, solve
+
+
+def brute_force_satisfiable(num_vars, clauses):
+    for bits in range(1 << num_vars):
+        assignment = {var: bool((bits >> (var - 1)) & 1) for var in range(1, num_vars + 1)}
+        if all(
+            any(assignment[abs(lit)] if lit > 0 else not assignment[abs(lit)] for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def model_satisfies(model, clauses):
+    return all(
+        any(model.get(abs(lit), False) if lit > 0 else not model.get(abs(lit), False)
+            for lit in clause)
+        for clause in clauses
+    )
+
+
+class TestBasicCases:
+    def test_empty_formula_is_sat(self):
+        assert solve(Cnf(0)).satisfiable
+
+    def test_single_unit(self):
+        cnf = Cnf(1)
+        cnf.add_clause([1])
+        result = solve(cnf)
+        assert result.satisfiable
+        assert result.model[1] is True
+
+    def test_contradicting_units(self):
+        cnf = Cnf(1)
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert not solve(cnf).satisfiable
+
+    def test_empty_clause_unsat(self):
+        cnf = Cnf(1)
+        cnf.add_clause([])
+        assert not solve(cnf).satisfiable
+
+    def test_tautological_clause_dropped(self):
+        cnf = Cnf(2)
+        cnf.add_clause([1, -1])
+        cnf.add_clause([2])
+        result = solve(cnf)
+        assert result.satisfiable
+        assert result.model[2] is True
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # Variables p[i][j]: pigeon i in hole j (i in 0..2, j in 0..1).
+        cnf = Cnf(6)
+        var = lambda i, j: 1 + i * 2 + j
+        for i in range(3):
+            cnf.add_clause([var(i, 0), var(i, 1)])
+        for j in range(2):
+            for i1, i2 in itertools.combinations(range(3), 2):
+                cnf.add_clause([-var(i1, j), -var(i2, j)])
+        assert not solve(cnf).satisfiable
+
+    def test_xor_chain_sat(self):
+        # (x1 xor x2), (x2 xor x3), forcing alternation; satisfiable.
+        cnf = Cnf(3)
+        for a, b in ((1, 2), (2, 3)):
+            cnf.add_clause([a, b])
+            cnf.add_clause([-a, -b])
+        result = solve(cnf)
+        assert result.satisfiable
+        assert result.model[1] != result.model[2]
+        assert result.model[2] != result.model[3]
+
+
+class TestAssumptions:
+    def test_assumptions_restrict_models(self):
+        cnf = Cnf(2)
+        cnf.add_clause([1, 2])
+        result = solve(cnf, assumptions=[-1])
+        assert result.satisfiable
+        assert result.model[1] is False
+        assert result.model[2] is True
+
+    def test_conflicting_assumptions(self):
+        cnf = Cnf(2)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-2])
+        assert not solve(cnf, assumptions=[-1]).satisfiable
+
+    def test_reusable_solver_with_different_assumptions(self):
+        cnf = Cnf(2)
+        cnf.add_clause([1, 2])
+        solver = SatSolver(cnf)
+        assert solver.solve(assumptions=[1]).satisfiable
+        assert solver.solve(assumptions=[-1]).satisfiable
+        cnf2 = Cnf(1)
+        cnf2.add_clause([1])
+        solver2 = SatSolver(cnf2)
+        assert not solver2.solve(assumptions=[-1]).satisfiable
+
+
+class TestRandomisedAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_3sat_instances(self, seed):
+        rng = random.Random(seed)
+        for _ in range(40):
+            num_vars = rng.randint(2, 9)
+            num_clauses = rng.randint(1, 4 * num_vars)
+            cnf = Cnf(num_vars)
+            clauses = []
+            for _ in range(num_clauses):
+                width = rng.randint(1, min(3, num_vars))
+                variables = rng.sample(range(1, num_vars + 1), width)
+                clause = [v if rng.random() < 0.5 else -v for v in variables]
+                clauses.append(clause)
+                cnf.add_clause(clause)
+            result = solve(cnf)
+            assert result.satisfiable == brute_force_satisfiable(num_vars, clauses)
+            if result.satisfiable:
+                assert model_satisfies(result.model, clauses)
+
+    def test_statistics_populated(self):
+        rng = random.Random(99)
+        cnf = Cnf(12)
+        for _ in range(50):
+            variables = rng.sample(range(1, 13), 3)
+            cnf.add_clause([v if rng.random() < 0.5 else -v for v in variables])
+        result = solve(cnf)
+        assert result.propagations > 0
+        assert result.decisions >= 0

@@ -1,0 +1,100 @@
+"""Unit tests for the Tseitin circuit-to-CNF encoders."""
+
+import random
+
+import pytest
+
+from repro.logic import TruthTable
+from repro.netlist import Netlist, standard_cell_library
+from repro.sat import Cnf, encode_function, encode_netlist, equality_clauses, solve
+
+
+class TestEncodeFunction:
+    def _assert_encodes(self, function):
+        """The CNF must be satisfiable exactly on rows consistent with f."""
+        num_vars = function.num_vars
+        for row in range(1 << num_vars):
+            for out_value in (0, 1):
+                cnf = Cnf()
+                inputs = [cnf.new_var() for _ in range(num_vars)]
+                output = cnf.new_var()
+                encode_function(cnf, function, inputs, output)
+                for var_index, literal in enumerate(inputs):
+                    cnf.add_clause([literal if (row >> var_index) & 1 else -literal])
+                cnf.add_clause([output if out_value else -output])
+                expected = function.value_at(row) == out_value
+                assert solve(cnf).satisfiable == expected
+
+    def test_random_functions(self):
+        rng = random.Random(13)
+        for num_vars in (1, 2, 3):
+            for _ in range(4):
+                self._assert_encodes(TruthTable(num_vars, rng.getrandbits(1 << num_vars)))
+
+    def test_constants(self):
+        self._assert_encodes(TruthTable.constant(2, True))
+        self._assert_encodes(TruthTable.constant(2, False))
+
+    def test_arity_mismatch(self):
+        cnf = Cnf()
+        with pytest.raises(ValueError):
+            encode_function(cnf, TruthTable.constant(2, True), [cnf.new_var()], cnf.new_var())
+
+    def test_equality_clauses(self):
+        cnf = Cnf()
+        a = cnf.new_var()
+        b = cnf.new_var()
+        equality_clauses(cnf, a, b)
+        cnf.add_clause([a])
+        cnf.add_clause([-b])
+        assert not solve(cnf).satisfiable
+
+
+class TestEncodeNetlist:
+    def test_netlist_encoding_agrees_with_simulation(self, present, present_netlist):
+        from repro.netlist import simulate_word
+
+        cnf = Cnf()
+        net_vars = encode_netlist(cnf, present_netlist, prefix="p.")
+        # Force input word 0b1010 and check the outputs are forced to S(0b1010).
+        word = 0b1010
+        for index, net in enumerate(present_netlist.primary_inputs):
+            literal = net_vars[net]
+            cnf.add_clause([literal if (word >> index) & 1 else -literal])
+        result = solve(cnf)
+        assert result.satisfiable
+        expected = simulate_word(present_netlist, word)
+        for index, net in enumerate(present_netlist.primary_outputs):
+            literal = net_vars[net]
+            value = result.model.get(abs(literal), False)
+            if literal < 0:
+                value = not value
+            assert int(value) == (expected >> index) & 1
+
+    def test_cell_function_override(self, library):
+        netlist = Netlist("t", library)
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.add_output("y")
+        instance = netlist.add_instance("AND2", [a, b], output="y")
+        cnf = Cnf()
+        override = {instance.name: TruthTable.constant(2, True)}
+        net_vars = encode_netlist(cnf, netlist, cell_functions=override)
+        cnf.add_clause([-net_vars["y"]])  # demand y = 0, impossible with the override
+        assert not solve(cnf).satisfiable
+
+    def test_shared_inputs_between_circuits(self, library):
+        netlist = Netlist("t", library)
+        a = netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_instance("INV", [a], output="y")
+        cnf = Cnf()
+        vars_first = encode_netlist(cnf, netlist, prefix="x.")
+        vars_second = encode_netlist(
+            cnf, netlist, prefix="z.", input_literals={"a": vars_first["a"]}
+        )
+        # Same input variable: the two copies must always agree, so forcing
+        # them to differ is unsatisfiable.
+        cnf.add_clause([vars_first["y"], vars_second["y"]])
+        cnf.add_clause([-vars_first["y"], -vars_second["y"]])
+        assert not solve(cnf).satisfiable

@@ -1,0 +1,50 @@
+"""Unit tests for the GE area reports."""
+
+import pytest
+
+from repro.netlist import CellLibrary, CellType, Netlist, standard_cell_library
+from repro.logic import TruthTable
+from repro.synth import area_in_ge, area_report
+
+
+class TestAreaInGe:
+    def test_matches_netlist_area_for_default_library(self, present_netlist):
+        assert area_in_ge(present_netlist) == pytest.approx(present_netlist.area())
+
+    def test_normalisation_with_scaled_library(self):
+        # A library in um^2 where NAND2 = 2.0 units: GE must divide by 2.
+        inv = CellType("INV", ("A",), TruthTable(1, 0b01), 1.4)
+        nand2 = CellType("NAND2", ("A", "B"), ~(_var(0) & _var(1)), 2.0)
+        library = CellLibrary("um2", [inv, nand2])
+        netlist = Netlist("t", library)
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_output("y")
+        netlist.add_instance("NAND2", ["a", "b"], output="y")
+        assert netlist.area() == pytest.approx(2.0)
+        assert area_in_ge(netlist) == pytest.approx(1.0)
+
+    def test_zero_reference_rejected(self):
+        nand2 = CellType("NAND2", ("A", "B"), ~(_var(0) & _var(1)), 0.0)
+        library = CellLibrary("bad", [nand2])
+        netlist = Netlist("t", library)
+        with pytest.raises(ValueError):
+            area_in_ge(netlist)
+
+
+class TestAreaReport:
+    def test_report_totals(self, present_netlist):
+        report = area_report(present_netlist)
+        assert report.total_ge == pytest.approx(present_netlist.area())
+        assert sum(report.cell_counts.values()) == present_netlist.num_instances()
+        assert sum(report.cell_areas.values()) == pytest.approx(present_netlist.area())
+
+    def test_report_text(self, present_netlist):
+        text = area_report(present_netlist).to_text()
+        assert "total" in text
+        for cell in present_netlist.cell_histogram():
+            assert cell in text
+
+
+def _var(index):
+    return TruthTable.variable(index, 2)

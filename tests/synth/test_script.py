@@ -1,0 +1,69 @@
+"""Unit tests for the synthesis scripts (pass sequences + full synthesis)."""
+
+import pytest
+
+from repro.aig import aig_from_function
+from repro.logic import BoolFunction
+from repro.netlist import extract_function, validate_netlist
+from repro.synth import SynthesisEffort, optimize_aig, synthesize
+
+
+class TestEffortLevels:
+    def test_known_levels(self):
+        assert SynthesisEffort.passes("fast") == ["balance", "rewrite"]
+        assert len(SynthesisEffort.passes("high")) > len(SynthesisEffort.passes("standard"))
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            SynthesisEffort.passes("heroic")
+
+    def test_optimize_unknown_pass_rejected(self, present):
+        aig = aig_from_function(present)
+        with pytest.raises(ValueError):
+            optimize_aig(aig, effort="heroic")
+
+
+class TestOptimizeAig:
+    def test_improves_or_keeps_and_count(self, present):
+        aig = aig_from_function(present)
+        optimized = optimize_aig(aig, effort="standard")
+        assert optimized.num_ands <= aig.num_ands
+        assert optimized.to_bool_function().lookup_table() == present.lookup_table()
+
+    def test_trace_records_passes(self, present):
+        trace = []
+        optimize_aig(aig_from_function(present), effort="fast", trace=trace)
+        assert trace[0][0] == "strash"
+        assert [name for name, _ in trace[1:3]] == ["balance", "rewrite"]
+
+    def test_early_stop_when_no_progress(self, present):
+        trace = []
+        optimize_aig(aig_from_function(present), effort="fast", max_rounds=5, trace=trace)
+        # With early stopping the trace cannot contain 5 full rounds unless
+        # every round kept improving; either way it must terminate and stay
+        # bounded.
+        assert len(trace) <= 1 + 5 * len(SynthesisEffort.passes("fast"))
+
+
+class TestSynthesize:
+    def test_result_fields_consistent(self, present, library):
+        result = synthesize(present, library=library)
+        assert result.area == pytest.approx(result.netlist.area())
+        assert result.and_count == result.aig.num_ands
+        assert validate_netlist(result.netlist) == []
+        assert "GE" in repr(result)
+
+    def test_functional_correctness(self, present, library):
+        result = synthesize(present, library=library, effort="high")
+        assert extract_function(result.netlist).lookup_table() == present.lookup_table()
+
+    def test_effort_ordering(self, merged_two, library):
+        fast = synthesize(merged_two.function, library=library, effort="fast")
+        high = synthesize(merged_two.function, library=library, effort="high")
+        # Higher effort must never be worse than fast by more than rounding.
+        assert high.area <= fast.area + 1e-9
+
+    def test_multi_output_naming(self, present, library):
+        result = synthesize(present, library=library)
+        assert result.netlist.primary_inputs == list(present.input_names)
+        assert result.netlist.primary_outputs == list(present.output_names)

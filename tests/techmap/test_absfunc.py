@@ -1,0 +1,109 @@
+"""Unit tests for ABSFUNC (select-signal abstraction)."""
+
+import pytest
+
+from repro.logic import TruthTable
+from repro.netlist import Netlist, standard_cell_library
+from repro.techmap import abstract_select_functions, subtree_output_function
+
+
+@pytest.fixture
+def mux_like_netlist(library):
+    """y = (d0 & ~sel) | (d1 & sel) built from gates."""
+    netlist = Netlist("mux", library)
+    d0 = netlist.add_input("d0")
+    d1 = netlist.add_input("d1")
+    sel = netlist.add_input("sel")
+    netlist.add_output("y")
+    nsel = netlist.add_instance("INV", [sel]).output
+    a0 = netlist.add_instance("AND2", [d0, nsel]).output
+    a1 = netlist.add_instance("AND2", [d1, sel]).output
+    netlist.add_instance("OR2", [a0, a1], output="y")
+    return netlist
+
+
+class TestSubtreeOutputFunction:
+    def test_whole_circuit_function(self, mux_like_netlist):
+        table = subtree_output_function(
+            mux_like_netlist,
+            mux_like_netlist.instances,
+            "y",
+            ["d0", "d1", "sel"],
+        )
+        d0 = TruthTable.variable(0, 3)
+        d1 = TruthTable.variable(1, 3)
+        sel = TruthTable.variable(2, 3)
+        assert table == (d0 & ~sel) | (d1 & sel)
+
+    def test_partial_subtree(self, mux_like_netlist):
+        and_instance = next(i for i in mux_like_netlist.instances if i.cell == "AND2")
+        table = subtree_output_function(
+            mux_like_netlist, [and_instance], and_instance.output, list(and_instance.inputs)
+        )
+        assert table == TruthTable.variable(0, 2) & TruthTable.variable(1, 2)
+
+    def test_unclosed_subtree_rejected(self, mux_like_netlist):
+        or_instance = next(i for i in mux_like_netlist.instances if i.cell == "OR2")
+        with pytest.raises(ValueError):
+            subtree_output_function(mux_like_netlist, [or_instance], "y", ["d0", "d1"])
+
+    def test_wrong_output_net_rejected(self, mux_like_netlist):
+        and_instance = next(i for i in mux_like_netlist.instances if i.cell == "AND2")
+        with pytest.raises(ValueError):
+            subtree_output_function(
+                mux_like_netlist, [and_instance], "nonexistent", list(and_instance.inputs)
+            )
+
+
+class TestAbstractSelect:
+    def test_mux_abstracts_to_both_data_inputs(self, mux_like_netlist):
+        abstracted = abstract_select_functions(
+            mux_like_netlist,
+            mux_like_netlist.instances,
+            "y",
+            ["d0", "d1", "sel"],
+            select_nets=["sel"],
+        )
+        assert abstracted.data_leaves == ("d0", "d1")
+        assert abstracted.select_leaves == ("sel",)
+        d0 = TruthTable.variable(0, 2)
+        d1 = TruthTable.variable(1, 2)
+        assert abstracted.by_select[(0,)] == d0
+        assert abstracted.by_select[(1,)] == d1
+        assert set(abstracted.required_functions()) == {d0, d1}
+
+    def test_no_select_leaves(self, mux_like_netlist):
+        and_instance = next(i for i in mux_like_netlist.instances if i.cell == "AND2")
+        abstracted = abstract_select_functions(
+            mux_like_netlist, [and_instance], and_instance.output,
+            list(and_instance.inputs), select_nets=["sel_other"],
+        )
+        assert abstracted.select_leaves == ()
+        assert len(abstracted.by_select) == 1
+        assert abstracted.by_select[()] == TruthTable.variable(0, 2) & TruthTable.variable(1, 2)
+
+    def test_only_select_leaves(self, library):
+        netlist = Netlist("selonly", library)
+        s0 = netlist.add_input("s0")
+        s1 = netlist.add_input("s1")
+        netlist.add_output("y")
+        netlist.add_instance("AND2", [s0, s1], output="y")
+        abstracted = abstract_select_functions(
+            netlist, netlist.instances, "y", ["s0", "s1"], select_nets=["s0", "s1"]
+        )
+        assert abstracted.data_leaves == ()
+        assert len(abstracted.by_select) == 4
+        assert abstracted.by_select[(1, 1)].is_constant_one()
+        assert abstracted.by_select[(0, 1)].is_constant_zero()
+        # Distinct required functions collapse to the two constants.
+        assert len(abstracted.required_functions()) == 2
+
+    def test_select_assignment_order_matches_select_leaves(self, mux_like_netlist):
+        abstracted = abstract_select_functions(
+            mux_like_netlist, mux_like_netlist.instances, "y",
+            ["sel", "d0", "d1"], select_nets=["sel"],
+        )
+        # Leaf order in the call puts sel first, but data/select separation is
+        # by membership, not position.
+        assert abstracted.data_leaves == ("d0", "d1")
+        assert abstracted.select_leaves == ("sel",)

@@ -1,0 +1,121 @@
+"""Unit tests for the Alg. 1 tree covering."""
+
+import pytest
+
+from repro.camo import CamouflageLibrary, camouflage_cell, default_camouflage_library
+from repro.netlist import Netlist, standard_cell_library
+from repro.techmap import CoverError, cover_tree, decompose_into_trees
+
+
+@pytest.fixture
+def camo(camo_library):
+    return camo_library
+
+
+def _single_tree(netlist):
+    trees = decompose_into_trees(netlist)
+    assert len(trees) == 1
+    return trees[0]
+
+
+class TestCoverSimple:
+    def test_single_gate_no_select(self, library, camo):
+        netlist = Netlist("t", library)
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.add_output("y")
+        netlist.add_instance("NAND2", [a, b], output="y")
+        cover = cover_tree(netlist, _single_tree(netlist), [], camo)
+        assert len(cover.cells) == 1
+        covered = cover.cells[0]
+        assert covered.cell_name == "CAMO_NAND2"
+        assert covered.output_net == "y"
+        assert cover.cost == pytest.approx(1.0)
+
+    def test_single_gate_with_select_leaf(self, library, camo):
+        # AND2(data, sel) abstracts to {0, data}: the AND2 camo cell covers it
+        # and the select pin disappears.
+        netlist = Netlist("t", library)
+        d = netlist.add_input("d")
+        s = netlist.add_input("s")
+        netlist.add_output("y")
+        netlist.add_instance("AND2", [d, s], output="y")
+        cover = cover_tree(netlist, _single_tree(netlist), ["s"], camo)
+        covered = cover.cells[0]
+        assert covered.select_leaves == ("s",)
+        assert covered.data_leaves == ("d",)
+        assert "s" not in covered.pin_nets
+        assert set(covered.config_by_select) == {(0,), (1,)}
+
+    def test_mux_tree_absorbed_into_one_cell(self, library, camo):
+        # A 2:1 select structure over two data inputs must collapse into a
+        # single camouflaged cell whose plausible set holds both projections.
+        netlist = Netlist("t", library)
+        d0 = netlist.add_input("d0")
+        d1 = netlist.add_input("d1")
+        sel = netlist.add_input("sel")
+        netlist.add_output("y")
+        netlist.add_instance("MUX2", [d0, d1, sel], output="y")
+        cover = cover_tree(netlist, _single_tree(netlist), ["sel"], camo)
+        assert len(cover.cells) == 1
+        covered = cover.cells[0]
+        assert set(covered.data_leaves) == {"d0", "d1"}
+        config0 = covered.config_by_select[(0,)]
+        config1 = covered.config_by_select[(1,)]
+        assert config0 != config1
+
+    def test_depth_two_cover_can_beat_per_gate_cover(self, library, camo):
+        # y = (d & ~sel) | (e & sel): four gates, but ABSFUNC over the whole
+        # tree is {d, e} which a single camouflaged cell can realise.
+        netlist = Netlist("t", library)
+        d = netlist.add_input("d")
+        e = netlist.add_input("e")
+        sel = netlist.add_input("sel")
+        netlist.add_output("y")
+        nsel = netlist.add_instance("INV", [sel]).output
+        a0 = netlist.add_instance("AND2", [d, nsel]).output
+        a1 = netlist.add_instance("AND2", [e, sel]).output
+        netlist.add_instance("OR2", [a0, a1], output="y")
+        per_gate_cost = sum(library[i.cell].area for i in netlist.instances)
+        cover = cover_tree(netlist, _single_tree(netlist), ["sel"], camo, max_depth=3)
+        assert cover.cost < per_gate_cost
+
+    def test_cover_error_with_empty_library(self, library):
+        netlist = Netlist("t", library)
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.add_output("y")
+        netlist.add_instance("XOR2", [a, b], output="y")
+        # A camouflage library with only an inverter cannot cover an XOR.
+        tiny = CamouflageLibrary([camouflage_cell(library["INV"])])
+        with pytest.raises(CoverError):
+            cover_tree(netlist, _single_tree(netlist), [], tiny)
+
+    def test_padding_pins_do_not_matter(self, library, camo):
+        # The single data leaf of an INV must be padded up to the pin count of
+        # whatever camouflaged cell is chosen; the configured functions must
+        # not depend on padded pins.
+        netlist = Netlist("t", library)
+        a = netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_instance("INV", [a], output="y")
+        cover = cover_tree(netlist, _single_tree(netlist), [], camo, padding_net="a")
+        covered = cover.cells[0]
+        assert len(covered.pin_nets) == camo[covered.cell_name].num_inputs
+        config = covered.config_by_select[()]
+        mapped_pins = {covered.pin_nets.index("a")} if "a" in covered.pin_nets else set()
+        for pin in range(len(covered.pin_nets)):
+            if pin not in mapped_pins and config.depends_on(pin):
+                pytest.fail("configured function depends on a padding pin")
+
+
+class TestCoverOnSynthesizedCircuit:
+    def test_all_trees_coverable(self, merged_two, merged_two_synthesis, camo):
+        netlist = merged_two_synthesis.netlist
+        select_nets = [f"sel[{k}]" for k in range(merged_two.num_selects)]
+        total = 0.0
+        for tree in decompose_into_trees(netlist):
+            cover = cover_tree(netlist, tree, select_nets, camo, padding_net="i[0]")
+            assert cover.cells, f"tree {tree.root_net} produced no cells"
+            total += cover.cost
+        assert total > 0

@@ -1,0 +1,64 @@
+"""Unit tests for the Phase III camouflage mapper."""
+
+import pytest
+
+from repro.camo.cells import CAMO_PREFIX
+from repro.netlist import extract_function, validate_netlist
+from repro.techmap import camouflage_map
+
+
+class TestCamouflageMap:
+    def test_select_inputs_removed(self, merged_two, merged_two_synthesis, camo_mapping_two):
+        mapping = camo_mapping_two
+        assert all(not net.startswith("sel[") for net in mapping.netlist.primary_inputs)
+        assert mapping.netlist.primary_inputs == [
+            net for net in merged_two_synthesis.netlist.primary_inputs
+            if not net.startswith("sel[")
+        ]
+        assert mapping.netlist.primary_outputs == merged_two_synthesis.netlist.primary_outputs
+
+    def test_structurally_valid(self, camo_mapping_two):
+        assert validate_netlist(camo_mapping_two.netlist) == []
+
+    def test_every_instance_is_camouflaged(self, camo_mapping_two):
+        for instance in camo_mapping_two.netlist.instances:
+            assert instance.cell.startswith(CAMO_PREFIX)
+        assert camo_mapping_two.num_camouflaged_cells() == camo_mapping_two.netlist.num_instances()
+
+    def test_every_viable_function_realisable(self, merged_two, camo_mapping_two):
+        for select in range(len(merged_two.viable_functions)):
+            config = camo_mapping_two.configuration_for_select(select)
+            realised = extract_function(
+                camo_mapping_two.netlist, cell_functions=config.as_cell_functions()
+            )
+            expected = merged_two.function_for_select(select)
+            assert realised.lookup_table() == expected.lookup_table()
+
+    def test_area_not_larger_than_synthesized(self, merged_two_synthesis, camo_mapping_two):
+        # Removing the select logic should not make the circuit bigger.
+        assert camo_mapping_two.area() <= merged_two_synthesis.area + 1e-9
+
+    def test_configuration_bounds(self, camo_mapping_two):
+        with pytest.raises(ValueError):
+            camo_mapping_two.configuration_for_select(-1)
+        with pytest.raises(ValueError):
+            camo_mapping_two.configuration_for_select(2)
+
+    def test_configurations_are_plausible(self, camo_mapping_two):
+        # Every configured function must belong to the instance's plausible set.
+        for select in range(2):
+            config = camo_mapping_two.configuration_for_select(select)
+            for name, function in config.as_cell_functions().items():
+                assert function in camo_mapping_two.plausible_functions_of(name)
+
+    def test_select_net_validation(self, merged_two_synthesis, camo_library):
+        with pytest.raises(ValueError):
+            camouflage_map(merged_two_synthesis.netlist, ["not_a_net"], camo_library)
+
+    def test_instance_bookkeeping(self, camo_mapping_two):
+        for name in camo_mapping_two.camouflaged_instances():
+            assert name in camo_mapping_two.instance_selects
+            assert name in camo_mapping_two.instance_configs
+            selects = camo_mapping_two.instance_selects[name]
+            configs = camo_mapping_two.instance_configs[name]
+            assert len(configs) == 1 << len(selects)

@@ -1,0 +1,88 @@
+"""Unit tests for the fanout-free tree decomposition."""
+
+import pytest
+
+from repro.netlist import Netlist, standard_cell_library
+from repro.techmap import decompose_into_trees
+
+
+@pytest.fixture
+def branching_netlist(library):
+    """A netlist with one multi-fanout internal net feeding two outputs."""
+    netlist = Netlist("branching", library)
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    c = netlist.add_input("c")
+    netlist.add_output("y0")
+    netlist.add_output("y1")
+    shared = netlist.add_instance("AND2", [a, b]).output  # multi-fanout net
+    netlist.add_instance("OR2", [shared, c], output="y0")
+    netlist.add_instance("NAND2", [shared, a], output="y1")
+    return netlist
+
+
+class TestDecomposition:
+    def test_every_instance_in_exactly_one_tree(self, merged_two_synthesis):
+        netlist = merged_two_synthesis.netlist
+        trees = decompose_into_trees(netlist)
+        seen = {}
+        for tree in trees:
+            for instance in tree.instances:
+                assert instance.name not in seen, "instance assigned to two trees"
+                seen[instance.name] = tree.root_net
+        assert len(seen) == netlist.num_instances()
+
+    def test_roots_are_outputs_or_multifanout(self, merged_two_synthesis):
+        netlist = merged_two_synthesis.netlist
+        fanout = netlist.fanout_counts()
+        for tree in decompose_into_trees(netlist):
+            assert (
+                tree.root_net in netlist.primary_outputs
+                or fanout[tree.root_net] > 1
+                or fanout[tree.root_net] == 0
+            )
+
+    def test_leaves_are_outside_the_tree(self, merged_two_synthesis):
+        netlist = merged_two_synthesis.netlist
+        for tree in decompose_into_trees(netlist):
+            produced = {instance.output for instance in tree.instances}
+            for leaf in tree.leaf_nets:
+                assert leaf not in produced
+
+    def test_branching_example(self, branching_netlist):
+        trees = decompose_into_trees(branching_netlist)
+        roots = {tree.root_net for tree in trees}
+        assert roots == {"y0", "y1"} | {
+            instance.output
+            for instance in branching_netlist.instances
+            if instance.cell == "AND2"
+        }
+        # The shared AND2 forms its own single-instance tree.
+        shared_tree = next(t for t in trees if t.root_net not in ("y0", "y1"))
+        assert len(shared_tree.instances) == 1
+        assert set(shared_tree.leaf_nets) == {"a", "b"}
+
+    def test_topological_root_order(self, branching_netlist):
+        trees = decompose_into_trees(branching_netlist)
+        roots = [tree.root_net for tree in trees]
+        shared_root = next(r for r in roots if r not in ("y0", "y1"))
+        assert roots.index(shared_root) < roots.index("y0")
+        assert roots.index(shared_root) < roots.index("y1")
+
+    def test_tree_instance_order_is_topological(self, merged_two_synthesis):
+        netlist = merged_two_synthesis.netlist
+        for tree in decompose_into_trees(netlist):
+            produced = set()
+            for instance in tree.instances:
+                for net in instance.inputs:
+                    in_tree_driver = any(other.output == net for other in tree.instances)
+                    if in_tree_driver:
+                        assert net in produced, "tree instances not topologically ordered"
+                produced.add(instance.output)
+
+    def test_driver_within(self, branching_netlist):
+        trees = decompose_into_trees(branching_netlist)
+        tree = next(t for t in trees if t.root_net == "y0")
+        assert tree.driver_within("y0").cell == "OR2"
+        assert tree.driver_within("a") is None
+        assert "Tree" in repr(tree)

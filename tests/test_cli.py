@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_obfuscate_defaults(self):
+        args = build_parser().parse_args(["obfuscate"])
+        assert args.family == "PRESENT"
+        assert args.count == 2
+
+    def test_table1_profile_argument(self):
+        args = build_parser().parse_args(["table1", "--profile", "quick"])
+        assert args.profile == "quick"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_obfuscate_writes_outputs(self, tmp_path, capsys):
+        verilog_path = tmp_path / "camo.v"
+        blif_path = tmp_path / "camo.blif"
+        exit_code = main(
+            [
+                "obfuscate",
+                "--count", "2",
+                "--population", "4",
+                "--generations", "1",
+                "--report",
+                "--verilog", str(verilog_path),
+                "--blif", str(blif_path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "camouflaged area" in captured.out
+        assert "Area report" in captured.out
+        assert verilog_path.exists()
+        assert blif_path.exists()
+        assert "module" in verilog_path.read_text()
+        assert ".model" in blif_path.read_text()
+
+    def test_attack_command(self, capsys):
+        exit_code = main(
+            ["attack", "--count", "2", "--population", "4", "--generations", "1"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "plausible=True" in captured.out
