@@ -16,7 +16,9 @@ from __future__ import annotations
 import pytest
 
 from repro.attacks import PlausibleFunctionOracle, random_camouflage_experiment
+from repro.attacks.oracle_guided import attack_mapping
 from repro.flow import obfuscate_with_assignment
+from repro.flow.report import SolverStatsRow, format_solver_stats
 from repro.sboxes import optimal_sboxes
 from repro.synth import synthesize
 
@@ -38,12 +40,38 @@ def test_attack_proposed_flow_keeps_all_viable_functions(benchmark, record, obfu
 
     verdicts = benchmark.pedantic(adversary_checks, rounds=1, iterations=1)
     assert verdicts == [True, True], "a viable function became distinguishable"
+    stats = oracle.solver_stats()
     benchmark.extra_info["plausible"] = verdicts
+    benchmark.extra_info["solver"] = stats
     record(
         "attack_proposed_flow",
         "\n".join(
             f"{function.name}: plausible={verdict}"
             for function, verdict in zip(functions, verdicts)
+        )
+        + "\n"
+        + format_solver_stats(
+            [SolverStatsRow.from_stats("plausibility oracle", stats)]
+        ),
+    )
+
+
+def test_attack_oracle_guided_dip_loop(benchmark, record, obfuscated_pair):
+    """The stronger (oracle-equipped) adversary: the incremental DIP loop."""
+    functions, result = obfuscated_pair
+
+    def run_attack():
+        return attack_mapping(result.mapping, true_select=1, max_queries=64)
+
+    outcome = benchmark.pedantic(run_attack, rounds=1, iterations=1)
+    assert outcome.success, "the oracle-guided adversary failed to recover the function"
+    benchmark.extra_info["num_queries"] = outcome.num_queries
+    benchmark.extra_info["solver"] = outcome.solver_stats
+    record(
+        "attack_oracle_guided",
+        f"queries={outcome.num_queries}\n"
+        + format_solver_stats(
+            [SolverStatsRow.from_stats("DIP loop", outcome.solver_stats)]
         ),
     )
 

@@ -9,6 +9,15 @@ instances that makes the circuit implement ``f``?*  This is the QBF-style
 query of the paper (reference [14]) specialised to combinational blocks with
 a handful of inputs, which lets us unroll the universal quantification over
 the inputs and answer it with a single SAT call.
+
+The oracle is incremental: the configuration selectors and the circuit
+unrolled over every input word are encoded **once** into a persistent
+:class:`~repro.sat.solver.SatSolver`, and each candidate query is a
+``solve(assumptions=...)`` call that pins the unrolled output literals to
+the candidate's truth table.  Learned clauses about the circuit structure
+are therefore shared across all candidate checks, and witness enumeration
+(:meth:`PlausibleFunctionOracle.enumerate_witnesses`) adds blocking clauses
+guarded by a per-session activation literal to the same solver.
 """
 
 from __future__ import annotations
@@ -17,12 +26,12 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..camo.library import CamouflageLibrary
 from ..logic.boolfunc import BoolFunction
 from ..logic.truthtable import TruthTable
 from ..netlist.netlist import CONST0_NET, CONST1_NET, Netlist
 from ..sat.cnf import Cnf
 from ..sat.solver import SatSolver
+from ..sat.tseitin import add_exactly_one, encode_camouflaged_copy
 from ..techmap.mapper import CamouflagedMapping
 
 __all__ = [
@@ -49,10 +58,11 @@ class DecamouflageResult:
 class PlausibleFunctionOracle:
     """SAT-based oracle answering "can this circuit implement function f?".
 
-    The oracle is built once per camouflaged netlist; each query unrolls the
-    circuit over all input words, shares the per-instance configuration
-    variables across the unrolled copies, and constrains the outputs to match
-    the candidate function.
+    The oracle is built once per camouflaged netlist; the circuit is
+    unrolled over all input words with the per-instance configuration
+    variables shared across the unrolled copies.  The encoding lives in one
+    persistent incremental solver, and each query merely assumes the output
+    literals of every word to match the candidate function.
     """
 
     def __init__(
@@ -68,6 +78,11 @@ class PlausibleFunctionOracle:
         for name, functions in self._plausible.items():
             if not functions:
                 raise ValueError(f"instance {name!r} has an empty plausible set")
+        self._cnf: Optional[Cnf] = None
+        self._solver: Optional[SatSolver] = None
+        self._selector_vars: Dict[Tuple[str, int], int] = {}
+        #: Per input word, the literal of every primary output of that copy.
+        self._word_outputs: List[List[int]] = []
 
     @classmethod
     def from_mapping(cls, mapping: CamouflagedMapping) -> "PlausibleFunctionOracle":
@@ -79,119 +94,116 @@ class PlausibleFunctionOracle:
         return cls(mapping.netlist, plausible)
 
     # -------------------------------------------------------------- #
-    # Encoding
+    # Encoding (once, lazily)
     # -------------------------------------------------------------- #
-    def _encode(self, candidate: BoolFunction) -> Tuple[Cnf, Dict[Tuple[str, int], int]]:
+    def _ensure_encoded(self) -> SatSolver:
+        if self._solver is not None:
+            return self._solver
         netlist = self._netlist
         num_inputs = len(netlist.primary_inputs)
-        if candidate.num_inputs != num_inputs:
-            raise ValueError(
-                f"candidate has {candidate.num_inputs} inputs, circuit has {num_inputs}"
-            )
-        if candidate.num_outputs != len(netlist.primary_outputs):
-            raise ValueError("candidate and circuit have different numbers of outputs")
 
         cnf = Cnf()
-        selector_vars: Dict[Tuple[str, int], int] = {}
+        solver = SatSolver(cnf, follow=True)
+        true_var = cnf.new_var("const.true")
+        cnf.add_clause([true_var])
+
         for name, functions in self._plausible.items():
             literals = []
             for index in range(len(functions)):
                 variable = cnf.new_var(f"cfg.{name}.{index}")
-                selector_vars[(name, index)] = variable
+                self._selector_vars[(name, index)] = variable
                 literals.append(variable)
             # Exactly one configuration per camouflaged instance.
-            cnf.add_clause(literals)
-            for first, second in itertools.combinations(literals, 2):
-                cnf.add_clause([-first, -second])
+            add_exactly_one(cnf, literals)
 
         order = netlist.topological_order()
         for word in range(1 << num_inputs):
-            net_literal: Dict[str, int] = {}
-            true_var = cnf.new_var()
-            cnf.add_clause([true_var])
-            net_literal[CONST1_NET] = true_var
-            net_literal[CONST0_NET] = -true_var
+            inputs: Dict[str, int] = {
+                CONST1_NET: true_var,
+                CONST0_NET: -true_var,
+            }
             for position, net in enumerate(netlist.primary_inputs):
                 value = (word >> position) & 1
-                net_literal[net] = true_var if value else -true_var
+                inputs[net] = true_var if value else -true_var
+            net_literal = encode_camouflaged_copy(
+                cnf, netlist, order, self._plausible, self._selector_vars, inputs
+            )
+            self._word_outputs.append(
+                [net_literal[net] for net in netlist.primary_outputs]
+            )
+        self._cnf = cnf
+        self._solver = solver
+        return solver
 
-            for instance in order:
-                output_var = cnf.new_var()
-                net_literal[instance.output] = output_var
-                input_literals = [net_literal[net] for net in instance.inputs]
-                functions = self._plausible.get(instance.name)
-                if functions is None:
-                    # Not camouflaged: encode the library function directly.
-                    self._encode_under_selector(
-                        cnf, None, netlist.library[instance.cell].function,
-                        input_literals, output_var,
-                    )
-                    continue
-                for index, function in enumerate(functions):
-                    selector = selector_vars[(instance.name, index)]
-                    self._encode_under_selector(
-                        cnf, selector, function, input_literals, output_var
-                    )
-
+    def _candidate_assumptions(self, candidate: BoolFunction) -> List[int]:
+        """Output-pinning assumptions encoding ``circuit == candidate``."""
+        netlist = self._netlist
+        if candidate.num_inputs != len(netlist.primary_inputs):
+            raise ValueError(
+                f"candidate has {candidate.num_inputs} inputs, circuit has "
+                f"{len(netlist.primary_inputs)}"
+            )
+        if candidate.num_outputs != len(netlist.primary_outputs):
+            raise ValueError("candidate and circuit have different numbers of outputs")
+        self._ensure_encoded()
+        assumptions: List[int] = []
+        for word, output_literals in enumerate(self._word_outputs):
             expected = candidate.evaluate_word(word)
-            for position, net in enumerate(netlist.primary_outputs):
-                literal = net_literal[net]
-                if (expected >> position) & 1:
-                    cnf.add_clause([literal])
-                else:
-                    cnf.add_clause([-literal])
-        return cnf, selector_vars
+            for position, literal in enumerate(output_literals):
+                assumptions.append(
+                    literal if (expected >> position) & 1 else -literal
+                )
+        return assumptions
 
-    @staticmethod
-    def _encode_under_selector(
-        cnf: Cnf,
-        selector: Optional[int],
-        function: TruthTable,
-        input_literals: Sequence[int],
-        output_literal: int,
-    ) -> None:
-        """Encode ``selector -> (output == function(inputs))`` with fixed inputs.
-
-        Because the inputs here are concrete literals (constants or other net
-        variables), the implication is expressed cube-wise from the ISOP of
-        the on-set and off-set, guarded by the selector.
-        """
-        from ..logic.isop import isop
-
-        guard = [] if selector is None else [-selector]
-        if function.is_constant_zero():
-            cnf.add_clause(guard + [-output_literal])
-            return
-        if function.is_constant_one():
-            cnf.add_clause(guard + [output_literal])
-            return
-        for cube in isop(function):
-            clause = list(guard) + [output_literal]
-            for variable, positive in cube.literals():
-                literal = input_literals[variable]
-                clause.append(-literal if positive else literal)
-            cnf.add_clause(clause)
-        for cube in isop(~function):
-            clause = list(guard) + [-output_literal]
-            for variable, positive in cube.literals():
-                literal = input_literals[variable]
-                clause.append(-literal if positive else literal)
-            cnf.add_clause(clause)
+    def _model_witness(self, model: Dict[int, bool]) -> Dict[str, TruthTable]:
+        witness: Dict[str, TruthTable] = {}
+        for (name, index), variable in self._selector_vars.items():
+            if model.get(variable, False):
+                witness[name] = self._plausible[name][index]
+        return witness
 
     # -------------------------------------------------------------- #
     # Queries
     # -------------------------------------------------------------- #
     def is_plausible(self, candidate: BoolFunction) -> DecamouflageResult:
         """Can the camouflaged circuit implement the candidate function?"""
-        cnf, selector_vars = self._encode(candidate)
-        result = SatSolver(cnf).solve()
+        assumptions = self._candidate_assumptions(candidate)
+        result = self._solver.solve(assumptions)
         if not result.satisfiable:
             return DecamouflageResult(False, conflicts=result.conflicts)
-        witness: Dict[str, TruthTable] = {}
-        for (name, index), variable in selector_vars.items():
-            if result.model.get(variable, False):
-                witness[name] = self._plausible[name][index]
-        return DecamouflageResult(True, witness=witness, conflicts=result.conflicts)
+        return DecamouflageResult(
+            True, witness=self._model_witness(result.model), conflicts=result.conflicts
+        )
+
+    def enumerate_witnesses(
+        self, candidate: BoolFunction, limit: Optional[int] = None
+    ) -> List[Dict[str, TruthTable]]:
+        """All configurations under which the circuit implements ``candidate``.
+
+        Enumeration runs on the same persistent solver: each found witness is
+        excluded by a blocking clause over its selector variables, guarded by
+        a fresh session activation literal so the blocking clauses become
+        inert (a single permanent unit clause disables them) once the
+        enumeration finishes.
+        """
+        assumptions = self._candidate_assumptions(candidate)
+        session = self._cnf.new_var()
+        assumptions.append(session)
+        witnesses: List[Dict[str, TruthTable]] = []
+        while limit is None or len(witnesses) < limit:
+            result = self._solver.solve(assumptions)
+            if not result.satisfiable:
+                break
+            witnesses.append(self._model_witness(result.model))
+            blocking = [-session]
+            for variable in self._selector_vars.values():
+                if result.model.get(variable, False):
+                    blocking.append(-variable)
+            self._cnf.add_clause(blocking)
+        # Retire the session: the blocking clauses are all satisfied by the
+        # unit and never constrain later queries.
+        self._cnf.add_clause([-session])
+        return witnesses
 
     def is_plausible_under_any_interpretation(
         self,
@@ -204,7 +216,8 @@ class PlausibleFunctionOracle:
         pin, so she must consider every input and output permutation of the
         candidate (Section III-B of the paper).  This is exponential in the
         pin count; ``max_permutations`` caps the number of interpretations
-        tried (None means exhaustive).
+        tried (None means exhaustive).  All interpretations are solved on the
+        one persistent solver.
         """
         tried = 0
         for input_perm in itertools.permutations(range(candidate.num_inputs)):
@@ -219,6 +232,12 @@ class PlausibleFunctionOracle:
                 if outcome.plausible:
                     return outcome
         return DecamouflageResult(False)
+
+    def solver_stats(self) -> Dict[str, int]:
+        """Cumulative statistics of the persistent solver (empty before use)."""
+        if self._solver is None:
+            return {}
+        return self._solver.stats()
 
 
 def is_function_plausible(
@@ -238,7 +257,8 @@ def plausible_viable_functions(
 
     ``assignment_views`` optionally provides the pin-permuted view of each
     viable function (what the designer actually embedded); when omitted the
-    functions are checked under the identity interpretation.
+    functions are checked under the identity interpretation.  Every check
+    reuses the same persistent solver.
     """
     oracle = PlausibleFunctionOracle.from_mapping(mapping)
     views = assignment_views if assignment_views is not None else viable_functions

@@ -18,19 +18,53 @@ Against the paper's *threat model* (no oracle access) this attack is not
 available; it is included to quantify how many I/O queries an oracle-equipped
 adversary would need, which is a useful hardness measure for the generated
 designs.
+
+Incremental encoding
+--------------------
+
+The whole attack runs on **one** incremental :class:`~repro.sat.solver.
+SatSolver` that follows the persistent CNF:
+
+* The two-copy *miter* (both configuration copies evaluated on a shared
+  free input word, plus the "some output differs" constraint) is encoded
+  **once** at construction time.  The difference constraint is guarded by an
+  *activation literal* ``act``: the clause is ``(-act v diff_1 v ... v
+  diff_n)``, so it only bites when ``act`` is assumed.
+* Each DIP query is then simply ``solve(assumptions=[act])`` — no clauses
+  are added and **no variables are allocated**, so the formula does not grow
+  at all for the query half of the loop.
+* Each oracle observation appends a bounded number of clauses: both copies
+  are evaluated at the (constant) queried word and their outputs pinned to
+  the observed response.  Constant inputs reuse one persistent
+  constant-true variable allocated in ``__init__``.
+* The final configuration extraction is ``solve(assumptions=[-act])``,
+  which disables the miter and asks only for consistency with every
+  recorded observation.
+
+Learned clauses, activity, and phases therefore carry over across the whole
+DIP loop instead of being recomputed from scratch each iteration, and the
+per-iteration variable footprint is bounded by the observation encoding (the
+old implementation leaked the miter variables of every iteration).
+
+Query-count invariance: the rewrite does not change what a DIP is, only how
+cheaply one is found, so on the seed mapping workload the DIP sequence,
+``num_queries``, and the recovered function are unchanged, and every seed
+workload stays within its asserted query budget (the regression tests pin
+this).  On degenerate toy cases the warm solver may find a *more*
+informative DIP and finish in fewer queries.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..logic.isop import isop
 from ..logic.truthtable import TruthTable
 from ..netlist.netlist import CONST0_NET, CONST1_NET, Netlist
 from ..sat.cnf import Cnf
+from ..sat.equivalence import add_difference_miter
 from ..sat.solver import SatSolver
+from ..sat.tseitin import add_exactly_one, encode_camouflaged_copy
 from ..techmap.mapper import CamouflagedMapping
 
 __all__ = ["OracleGuidedResult", "OracleGuidedAttack", "attack_mapping"]
@@ -50,6 +84,8 @@ class OracleGuidedResult:
     queries: List[int] = field(default_factory=list)
     #: The recovered word-level function (input word -> output word).
     recovered_function: List[int] = field(default_factory=list)
+    #: Cumulative statistics of the single incremental solver run by the attack.
+    solver_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def num_queries(self) -> int:
@@ -58,7 +94,7 @@ class OracleGuidedResult:
 
 
 class OracleGuidedAttack:
-    """DIP-based SAT attack on a camouflaged netlist."""
+    """DIP-based SAT attack on a camouflaged netlist (one incremental solver)."""
 
     def __init__(
         self,
@@ -79,11 +115,46 @@ class OracleGuidedAttack:
         self._num_outputs = len(netlist.primary_outputs)
         self._order = netlist.topological_order()
 
-        # Persistent CNF: two configuration copies plus constraints added as
-        # the attack learns oracle responses.
+        # Persistent CNF followed by the single incremental solver.  The
+        # solver is constructed exactly once; everything below and every
+        # later observation flows into it through the Cnf listener hook.
         self._cnf = Cnf()
+        self._solver = SatSolver(self._cnf, follow=True)
+
+        # One persistent constant-true variable, reused by every constant
+        # input encoding (the old code allocated a fresh one per call).
+        self._true_var = self._cnf.new_var("const.true")
+        self._cnf.add_clause([self._true_var])
+
         self._selectors_a = self._allocate_selectors("a")
         self._selectors_b = self._allocate_selectors("b")
+
+        # The miter: both copies over one shared set of free input variables,
+        # encoded once.  The "outputs differ" clause is guarded by an
+        # activation literal so observation-consistency queries can disable it.
+        self._input_vars = {
+            net: self._cnf.new_var(f"in.{net}") for net in netlist.primary_inputs
+        }
+        free_inputs = {CONST1_NET: self._true_var, CONST0_NET: -self._true_var}
+        free_inputs.update(self._input_vars)
+        nets_a = self._encode_copy(self._selectors_a, free_inputs)
+        nets_b = self._encode_copy(self._selectors_b, free_inputs)
+        self._activation = self._cnf.new_var("miter.enable")
+        add_difference_miter(
+            self._cnf,
+            [(nets_a[net], nets_b[net]) for net in self._netlist.primary_outputs],
+            activation=self._activation,
+        )
+
+    @property
+    def solver(self) -> SatSolver:
+        """The single incremental solver driving the whole attack."""
+        return self._solver
+
+    @property
+    def num_cnf_vars(self) -> int:
+        """Current size of the persistent formula (diagnostics/tests)."""
+        return self._cnf.num_vars
 
     # -------------------------------------------------------------- #
     # Encoding helpers
@@ -96,9 +167,7 @@ class OracleGuidedAttack:
                 variable = self._cnf.new_var(f"{tag}.cfg.{name}.{index}")
                 selectors[(name, index)] = variable
                 literals.append(variable)
-            self._cnf.add_clause(literals)
-            for first, second in itertools.combinations(literals, 2):
-                self._cnf.add_clause([-first, -second])
+            add_exactly_one(self._cnf, literals)
         return selectors
 
     def _encode_copy(
@@ -107,65 +176,20 @@ class OracleGuidedAttack:
         input_literals: Dict[str, int],
     ) -> Dict[str, int]:
         """Encode one evaluation of the circuit under a configuration copy."""
-        cnf = self._cnf
-        net_literal: Dict[str, int] = dict(input_literals)
-        for instance in self._order:
-            output_var = cnf.new_var()
-            inputs = [net_literal[net] for net in instance.inputs]
-            functions = self._plausible.get(instance.name)
-            if functions is None:
-                self._encode_guarded(None, self._netlist.library[instance.cell].function,
-                                     inputs, output_var)
-            else:
-                for index, function in enumerate(functions):
-                    self._encode_guarded(selectors[(instance.name, index)], function,
-                                         inputs, output_var)
-            net_literal[instance.output] = output_var
-        return net_literal
-
-    def _encode_guarded(
-        self,
-        selector: Optional[int],
-        function: TruthTable,
-        input_literals: Sequence[int],
-        output_literal: int,
-    ) -> None:
-        guard = [] if selector is None else [-selector]
-        if function.is_constant_zero():
-            self._cnf.add_clause(guard + [-output_literal])
-            return
-        if function.is_constant_one():
-            self._cnf.add_clause(guard + [output_literal])
-            return
-        for cube in isop(function):
-            clause = list(guard) + [output_literal]
-            for variable, positive in cube.literals():
-                literal = input_literals[variable]
-                clause.append(-literal if positive else literal)
-            self._cnf.add_clause(clause)
-        for cube in isop(~function):
-            clause = list(guard) + [-output_literal]
-            for variable, positive in cube.literals():
-                literal = input_literals[variable]
-                clause.append(-literal if positive else literal)
-            self._cnf.add_clause(clause)
+        return encode_camouflaged_copy(
+            self._cnf, self._netlist, self._order, self._plausible,
+            selectors, input_literals,
+        )
 
     def _constant_inputs(self, word: int) -> Dict[str, int]:
-        """Input literals for a fixed input word (plus constant nets)."""
-        true_var = self._cnf.new_var()
-        self._cnf.add_clause([true_var])
-        literals = {CONST1_NET: true_var, CONST0_NET: -true_var}
-        for position, net in enumerate(self._netlist.primary_inputs):
-            literals[net] = true_var if (word >> position) & 1 else -true_var
-        return literals
+        """Input literals for a fixed input word (plus constant nets).
 
-    def _free_inputs(self) -> Dict[str, int]:
-        """Fresh input variables shared by both configuration copies."""
-        true_var = self._cnf.new_var()
-        self._cnf.add_clause([true_var])
-        literals = {CONST1_NET: true_var, CONST0_NET: -true_var}
-        for net in self._netlist.primary_inputs:
-            literals[net] = self._cnf.new_var()
+        Reuses the persistent constant-true variable — no new variables or
+        clauses are allocated here.
+        """
+        literals = {CONST1_NET: self._true_var, CONST0_NET: -self._true_var}
+        for position, net in enumerate(self._netlist.primary_inputs):
+            literals[net] = self._true_var if (word >> position) & 1 else -self._true_var
         return literals
 
     # -------------------------------------------------------------- #
@@ -175,19 +199,24 @@ class OracleGuidedAttack:
         """Run the attack against a black-box oracle."""
         queries: List[int] = []
 
-        while len(queries) < self._max_queries:
+        while True:
             dip = self._find_distinguishing_input()
             if dip is None:
                 break
+            if len(queries) >= self._max_queries:
+                # Distinguishing inputs remain but the query budget is spent.
+                return OracleGuidedResult(
+                    False, queries=queries, solver_stats=self._solver.stats()
+                )
             response = oracle(dip)
             queries.append(dip)
             self._constrain_to_observation(dip, response)
-        else:
-            return OracleGuidedResult(False, queries=queries)
 
         configuration = self._extract_configuration()
         if configuration is None:
-            return OracleGuidedResult(False, queries=queries)
+            return OracleGuidedResult(
+                False, queries=queries, solver_stats=self._solver.stats()
+            )
         recovered = self._simulate_configuration(configuration)
         success = all(
             recovered[word] == oracle(word) for word in range(1 << self._num_inputs)
@@ -197,41 +226,29 @@ class OracleGuidedAttack:
             configuration=configuration,
             queries=queries,
             recovered_function=recovered,
+            solver_stats=self._solver.stats(),
         )
 
     def _find_distinguishing_input(self) -> Optional[int]:
-        """SAT query: an input where two consistent configurations differ."""
-        cnf_size_before = len(self._cnf.clauses)
-        inputs = self._free_inputs()
-        nets_a = self._encode_copy(self._selectors_a, inputs)
-        nets_b = self._encode_copy(self._selectors_b, inputs)
-        difference = []
-        for net in self._netlist.primary_outputs:
-            diff = self._cnf.new_var()
-            a, b = nets_a[net], nets_b[net]
-            self._cnf.add_clause([-diff, a, b])
-            self._cnf.add_clause([-diff, -a, -b])
-            self._cnf.add_clause([diff, -a, b])
-            self._cnf.add_clause([diff, a, -b])
-            difference.append(diff)
-        self._cnf.add_clause(difference)
+        """SAT query: an input where two consistent configurations differ.
 
-        result = SatSolver(self._cnf).solve()
-        # The miter copy is one-shot: whatever the outcome, remove it so the
-        # persistent formula only accumulates oracle observations.
-        del self._cnf.clauses[cnf_size_before:]
+        The miter is already encoded; this is a pure assumption query under
+        the activation literal and adds nothing to the formula.
+        """
+        result = self._solver.solve(assumptions=[self._activation])
         if not result.satisfiable:
             return None
         word = 0
         for position, net in enumerate(self._netlist.primary_inputs):
-            if result.model.get(inputs[net], False):
+            if result.model.get(self._input_vars[net], False):
                 word |= 1 << position
         return word
 
     def _constrain_to_observation(self, word: int, response: int) -> None:
         """Both configuration copies must reproduce the observed I/O pair."""
+        inputs = self._constant_inputs(word)
         for selectors in (self._selectors_a, self._selectors_b):
-            nets = self._encode_copy(selectors, self._constant_inputs(word))
+            nets = self._encode_copy(selectors, inputs)
             for position, net in enumerate(self._netlist.primary_outputs):
                 literal = nets[net]
                 if (response >> position) & 1:
@@ -240,7 +257,9 @@ class OracleGuidedAttack:
                     self._cnf.add_clause([-literal])
 
     def _extract_configuration(self) -> Optional[Dict[str, TruthTable]]:
-        result = SatSolver(self._cnf).solve()
+        # Disable the miter: only the accumulated observations constrain the
+        # configuration copies here.
+        result = self._solver.solve(assumptions=[-self._activation])
         if not result.satisfiable:
             return None
         configuration: Dict[str, TruthTable] = {}

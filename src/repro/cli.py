@@ -35,6 +35,7 @@ from .evaluation.workloads import (
     workload_functions,
 )
 from .flow.obfuscate import obfuscate
+from .flow.report import SolverStatsRow, format_solver_stats
 from .ga.engine import GAParameters
 from .netlist.verilog import write_verilog
 from .netlist.blif import write_blif
@@ -149,7 +150,14 @@ def _command_attack(args: argparse.Namespace) -> int:
     for function, view in zip(functions, views):
         outcome = oracle.is_plausible(view)
         all_plausible &= bool(outcome)
-        print(f"  {function.name:<12} plausible={bool(outcome)}")
+        print(f"  {function.name:<12} plausible={bool(outcome)} conflicts={outcome.conflicts}")
+    print()
+    print(
+        format_solver_stats(
+            [SolverStatsRow.from_stats("plausibility oracle", oracle.solver_stats())],
+            title="incremental solver work:",
+        )
+    )
     return 0 if all_plausible else 1
 
 

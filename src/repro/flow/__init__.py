@@ -1,7 +1,13 @@
 """End-to-end obfuscation flow and reporting."""
 
 from .obfuscate import ObfuscationResult, obfuscate, obfuscate_with_assignment
-from .report import AreaRow, format_table, improvement_percent
+from .report import (
+    AreaRow,
+    SolverStatsRow,
+    format_solver_stats,
+    format_table,
+    improvement_percent,
+)
 
 __all__ = [
     "ObfuscationResult",
@@ -10,4 +16,6 @@ __all__ = [
     "AreaRow",
     "format_table",
     "improvement_percent",
+    "SolverStatsRow",
+    "format_solver_stats",
 ]

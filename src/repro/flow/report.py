@@ -1,4 +1,4 @@
-"""Reporting helpers: the area comparisons of Table I.
+"""Reporting helpers: the area comparisons of Table I and SAT solver work.
 
 The paper compares, for every merged-S-box configuration, four areas — the
 average and best of a batch of random pin assignments, the GA result, and
@@ -6,14 +6,25 @@ the GA result after camouflage technology mapping — plus the relative
 improvement of GA+TM over the best random assignment.  :class:`AreaRow`
 holds one such row and :func:`format_table` renders a list of rows the way
 Table I is laid out.
+
+:class:`SolverStatsRow` / :func:`format_solver_stats` render the cumulative
+statistics of the incremental SAT solvers that power the adversary stack
+(conflicts / decisions / propagations per workload), which the attack
+benchmarks and the CLI surface alongside the hardness numbers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Mapping, Optional
 
-__all__ = ["AreaRow", "improvement_percent", "format_table"]
+__all__ = [
+    "AreaRow",
+    "improvement_percent",
+    "format_table",
+    "SolverStatsRow",
+    "format_solver_stats",
+]
 
 
 def improvement_percent(reference: float, improved: float) -> float:
@@ -68,5 +79,61 @@ def format_table(rows: Iterable[AreaRow], title: Optional[str] = None) -> str:
             f"{row.circuit:<10}{row.num_functions:>9}{row.random_avg:>10.0f}"
             f"{row.random_best:>11.0f}{row.ga_area:>8.0f}{row.ga_tm_area:>8.0f}"
             f"{row.improvement:>9.0f}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class SolverStatsRow:
+    """Cumulative incremental-solver statistics for one workload."""
+
+    label: str
+    solve_calls: int
+    conflicts: int
+    decisions: int
+    propagations: int
+    learned_clauses: int = 0
+
+    @classmethod
+    def from_stats(cls, label: str, stats: Mapping[str, int]) -> "SolverStatsRow":
+        """Build a row from :meth:`repro.sat.solver.SatSolver.stats` output."""
+        return cls(
+            label=label,
+            solve_calls=stats.get("solve_calls", 0),
+            conflicts=stats.get("conflicts", 0),
+            decisions=stats.get("decisions", 0),
+            propagations=stats.get("propagations", 0),
+            learned_clauses=stats.get("learned_clauses", 0),
+        )
+
+    def as_dict(self) -> dict:
+        """Return the row as a plain dictionary (for JSON dumps)."""
+        return {
+            "label": self.label,
+            "solve_calls": self.solve_calls,
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "learned_clauses": self.learned_clauses,
+        }
+
+
+def format_solver_stats(
+    rows: Iterable[SolverStatsRow], title: Optional[str] = None
+) -> str:
+    """Render solver-work rows as a small aligned table."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'Workload':<24}{'Calls':>7}{'Conflicts':>11}{'Decisions':>11}"
+        f"{'Props':>10}{'Learned':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row.label:<24}{row.solve_calls:>7}{row.conflicts:>11}"
+            f"{row.decisions:>11}{row.propagations:>10}{row.learned_clauses:>9}"
         )
     return "\n".join(lines)

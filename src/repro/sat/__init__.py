@@ -3,6 +3,7 @@
 from .cnf import Cnf
 from .equivalence import (
     EquivalenceResult,
+    EquivalenceChecker,
     check_netlist_equivalence,
     check_netlist_function,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "encode_netlist",
     "equality_clauses",
     "EquivalenceResult",
+    "EquivalenceChecker",
     "check_netlist_equivalence",
     "check_netlist_function",
 ]

@@ -4,6 +4,12 @@ Variables are positive integers; literals are non-zero integers where a
 negative value denotes the complement (the DIMACS convention).  The class is
 a thin container used by the Tseitin encoder and the CDCL solver, with
 DIMACS import/export for interoperability and debugging.
+
+A formula can have *listeners* attached (see :meth:`Cnf.attach`): every
+variable allocation and clause addition is forwarded to them.  This is how a
+live :class:`~repro.sat.solver.SatSolver` follows a growing formula
+incrementally — the Cnf stays the readable record (names, DIMACS export)
+while the solver ingests each addition as it happens.
 """
 
 from __future__ import annotations
@@ -22,6 +28,25 @@ class Cnf:
         self.num_vars = num_vars
         self.clauses: List[Tuple[int, ...]] = []
         self._names: Dict[str, int] = {}
+        self._listeners: List[object] = []
+
+    # -------------------------------------------------------------- #
+    # Listeners (incremental solving)
+    # -------------------------------------------------------------- #
+    def attach(self, listener: object) -> None:
+        """Attach a listener notified of every new variable and clause.
+
+        A listener provides ``on_new_var(variable)`` and ``on_clause(clause)``
+        callbacks; :class:`~repro.sat.solver.SatSolver` implements both so it
+        can follow this formula as it grows.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def detach(self, listener: object) -> None:
+        """Remove a previously attached listener (no-op when absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     # -------------------------------------------------------------- #
     # Variable management
@@ -34,6 +59,8 @@ class Cnf:
             if name in self._names:
                 raise ValueError(f"variable name {name!r} already used")
             self._names[name] = variable
+        for listener in self._listeners:
+            listener.on_new_var(variable)
         return variable
 
     def var(self, name: str) -> int:
@@ -61,6 +88,8 @@ class Cnf:
             # An empty clause makes the formula trivially unsatisfiable; keep
             # it so the solver reports UNSAT rather than silently dropping it.
             self.clauses.append(clause)
+            for listener in self._listeners:
+                listener.on_clause(clause)
             return
         for literal in clause:
             if literal == 0:
@@ -70,6 +99,8 @@ class Cnf:
                     f"literal {literal} references a variable beyond num_vars={self.num_vars}"
                 )
         self.clauses.append(clause)
+        for listener in self._listeners:
+            listener.on_clause(clause)
 
     def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
         """Add several clauses."""

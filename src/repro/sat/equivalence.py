@@ -3,6 +3,14 @@
 Used to validate that synthesis and technology mapping preserve function
 (the role ModelSim plays in the paper's Section IV) and as a building block
 of the SAT-based adversary in :mod:`repro.attacks.decamouflage`.
+
+Two entry points are one-shot functions (:func:`check_netlist_equivalence`,
+:func:`check_netlist_function`); :class:`EquivalenceChecker` is the reusable
+variant: it encodes a netlist **once** into a persistent incremental solver
+and checks it against any number of candidate functions, each behind a
+fresh activation literal.  The activation literal guards the "some output
+differs" miter clause, so a finished check is retired with one permanent
+unit clause and its learned clauses keep benefiting later checks.
 """
 
 from __future__ import annotations
@@ -17,7 +25,13 @@ from .cnf import Cnf
 from .solver import SatSolver
 from .tseitin import encode_function, encode_netlist
 
-__all__ = ["EquivalenceResult", "check_netlist_equivalence", "check_netlist_function"]
+__all__ = [
+    "EquivalenceResult",
+    "add_difference_miter",
+    "EquivalenceChecker",
+    "check_netlist_equivalence",
+    "check_netlist_function",
+]
 
 
 @dataclass
@@ -31,9 +45,16 @@ class EquivalenceResult:
         return self.equivalent
 
 
-def _add_miter(cnf: Cnf, pairs: List[Tuple[int, int]]) -> None:
-    """Constrain that at least one output pair differs."""
-    difference_literals = []
+def add_difference_miter(
+    cnf: Cnf, pairs: List[Tuple[int, int]], activation: Optional[int] = None
+) -> None:
+    """Constrain that at least one output pair differs.
+
+    With an ``activation`` literal the difference constraint only applies
+    while that literal is assumed true, which lets several miters share one
+    incremental solver.
+    """
+    difference_literals = [] if activation is None else [-activation]
     for literal_a, literal_b in pairs:
         diff = cnf.new_var()
         # diff -> (a xor b)  and  (a xor b) -> diff
@@ -43,6 +64,65 @@ def _add_miter(cnf: Cnf, pairs: List[Tuple[int, int]]) -> None:
         cnf.add_clause([diff, literal_a, -literal_b])
         difference_literals.append(diff)
     cnf.add_clause(difference_literals)
+
+
+class EquivalenceChecker:
+    """Reusable miter checker: one netlist, many candidate functions.
+
+    The netlist is Tseitin-encoded once into a persistent incremental
+    solver.  Every :meth:`check_function` call encodes only the candidate's
+    reference outputs plus an activation-guarded miter, solves under the
+    activation assumption, and then permanently disables that miter — the
+    circuit encoding and everything learned about it are shared across
+    checks.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        cell_functions: Optional[Mapping[str, TruthTable]] = None,
+    ):
+        self._netlist = netlist
+        self._cnf = Cnf()
+        self._solver = SatSolver(self._cnf, follow=True)
+        self._net_vars = encode_netlist(
+            self._cnf, netlist, prefix="n.", cell_functions=cell_functions
+        )
+        self._input_literals = [self._net_vars[net] for net in netlist.primary_inputs]
+        self._checks = 0
+
+    def check_function(self, function: BoolFunction) -> EquivalenceResult:
+        """Check that the netlist implements ``function`` (pin-by-position)."""
+        netlist = self._netlist
+        if len(netlist.primary_inputs) != function.num_inputs:
+            raise ValueError("netlist and function have different numbers of inputs")
+        if len(netlist.primary_outputs) != function.num_outputs:
+            raise ValueError("netlist and function have different numbers of outputs")
+
+        self._checks += 1
+        activation = self._cnf.new_var(f"miter.enable.{self._checks}")
+        pairs: List[Tuple[int, int]] = []
+        for index, net in enumerate(netlist.primary_outputs):
+            reference = self._cnf.new_var(f"ref.{self._checks}.o{index}")
+            encode_function(self._cnf, function.output(index), self._input_literals,
+                            reference)
+            pairs.append((self._net_vars[net], reference))
+        add_difference_miter(self._cnf, pairs, activation=activation)
+
+        result = self._solver.solve(assumptions=[activation])
+        # Retire this miter; later checks must not be forced to differ here.
+        self._cnf.add_clause([-activation])
+        if not result.satisfiable:
+            return EquivalenceResult(True)
+        counterexample = {
+            net: int(result.model.get(abs(self._net_vars[net]), False))
+            for net in netlist.primary_inputs
+        }
+        return EquivalenceResult(False, counterexample=counterexample)
+
+    def solver_stats(self) -> Dict[str, int]:
+        """Cumulative statistics of the persistent solver."""
+        return self._solver.stats()
 
 
 def check_netlist_equivalence(
@@ -75,7 +155,7 @@ def check_netlist_equivalence(
         (vars_a[net_a], vars_b[net_b])
         for net_a, net_b in zip(netlist_a.primary_outputs, netlist_b.primary_outputs)
     ]
-    _add_miter(cnf, pairs)
+    add_difference_miter(cnf, pairs)
 
     result = SatSolver(cnf).solve()
     if not result.satisfiable:
@@ -95,28 +175,9 @@ def check_netlist_function(
     """Check that a netlist implements a given multi-output function.
 
     Netlist primary input ``k`` corresponds to function variable ``k`` and
-    primary output ``k`` to function output ``k``.
+    primary output ``k`` to function output ``k``.  One-shot wrapper around
+    :class:`EquivalenceChecker`.
     """
-    if len(netlist.primary_inputs) != function.num_inputs:
-        raise ValueError("netlist and function have different numbers of inputs")
-    if len(netlist.primary_outputs) != function.num_outputs:
-        raise ValueError("netlist and function have different numbers of outputs")
-
-    cnf = Cnf()
-    net_vars = encode_netlist(cnf, netlist, prefix="n.", cell_functions=cell_functions)
-    input_literals = [net_vars[net] for net in netlist.primary_inputs]
-    pairs: List[Tuple[int, int]] = []
-    for index, net in enumerate(netlist.primary_outputs):
-        reference = cnf.new_var(f"ref.o{index}")
-        encode_function(cnf, function.output(index), input_literals, reference)
-        pairs.append((net_vars[net], reference))
-    _add_miter(cnf, pairs)
-
-    result = SatSolver(cnf).solve()
-    if not result.satisfiable:
-        return EquivalenceResult(True)
-    counterexample = {
-        net: int(result.model.get(abs(net_vars[net]), False))
-        for net in netlist.primary_inputs
-    }
-    return EquivalenceResult(False, counterexample=counterexample)
+    return EquivalenceChecker(netlist, cell_functions=cell_functions).check_function(
+        function
+    )

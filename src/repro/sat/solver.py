@@ -1,7 +1,7 @@
-"""A CDCL SAT solver (conflict-driven clause learning).
+"""An incremental CDCL SAT solver (conflict-driven clause learning).
 
 This is the reproduction's stand-in for MiniSat/PySAT, used by the
-equivalence checker and by the adversary's decamouflaging test.  It
+equivalence checker and by the adversary's decamouflaging attacks.  It
 implements the standard modern architecture:
 
 * two-literal watching for unit propagation,
@@ -12,12 +12,46 @@ implements the standard modern architecture:
 
 The solver works on :class:`repro.sat.cnf.Cnf` formulas with DIMACS-style
 integer literals and supports solving under assumptions.
+
+Incremental interface
+---------------------
+
+A :class:`SatSolver` is a *live* object, in the MiniSat mould, rather than a
+one-shot function over a frozen formula:
+
+* :meth:`SatSolver.add_clause` accepts new clauses at any time — also after
+  a :meth:`solve` call.  The solver backtracks to decision level 0, attaches
+  watches, simplifies the clause against the level-0 assignment, propagates
+  new units, and records permanent unsatisfiability when the addition
+  closes the formula.
+* :meth:`SatSolver.reserve_vars` / :meth:`SatSolver.new_var` grow the
+  per-variable arrays on demand; :meth:`add_clause` auto-grows when a
+  clause references a variable beyond the current range.
+* Learned clauses, VSIDS activities, and saved phases are all *kept* across
+  successive :meth:`solve` calls, so a sequence of related queries (the DIP
+  loop of the oracle-guided attack, candidate enumeration, miter checks
+  under different activation literals) gets cheaper as the solver warms up.
+* Solving under *assumptions* distinguishes "UNSAT under these assumptions"
+  (a later call with other assumptions may succeed) from outright
+  unsatisfiability of the clause database (permanent: every later call
+  fails immediately).
+
+A solver can also *follow* a growing :class:`~repro.sat.cnf.Cnf`: construct
+it with ``SatSolver(cnf, follow=True)`` and every subsequent
+``cnf.new_var()`` / ``cnf.add_clause()`` is mirrored into the live solver,
+so client code keeps a readable CNF record (names, DIMACS export) while the
+solver incrementally ingests the formula.
+
+Statistics are kept both cumulatively on the solver (``solver.conflicts``,
+``solver.stats()``) and per call on the returned :class:`SatResult`
+(``result.conflicts`` is the number of conflicts *this* call needed).
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .cnf import Cnf
 
@@ -30,7 +64,7 @@ _FALSE = -1
 
 @dataclass
 class SatResult:
-    """Outcome of a SAT call."""
+    """Outcome of a SAT call (statistics are per call, not cumulative)."""
 
     satisfiable: bool
     model: Dict[int, bool] = field(default_factory=dict)
@@ -44,60 +78,137 @@ class SatResult:
 
 
 class SatSolver:
-    """CDCL solver over a fixed CNF formula."""
+    """Incremental CDCL solver over a growable clause database."""
 
-    def __init__(self, formula: Cnf):
-        self._num_vars = formula.num_vars
+    def __init__(self, formula: Optional[Cnf] = None, follow: bool = False):
+        self._num_vars = 0
         self._clauses: List[List[int]] = []
+        self._learned_flags: List[bool] = []
+        self._num_learned = 0
+        # Problem clauses as added by the client, including units and
+        # clauses simplified away at level 0 (which never reach _clauses).
+        self._num_problem_clauses = 0
         self._watches: Dict[int, List[int]] = {}
-        self._assign: List[int] = [_UNASSIGNED] * (self._num_vars + 1)
-        self._level: List[int] = [0] * (self._num_vars + 1)
-        self._reason: List[Optional[int]] = [None] * (self._num_vars + 1)
-        self._activity: List[float] = [0.0] * (self._num_vars + 1)
-        self._phase: List[bool] = [False] * (self._num_vars + 1)
+        self._assign: List[int] = [_UNASSIGNED]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[int]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
+        # Lazy max-heap of branching candidates as (-activity, variable)
+        # entries; stale entries (assigned variables, outdated activities)
+        # are discarded on pop.  Picks the same variable as a linear scan —
+        # highest activity, lowest index on ties — in O(log n).
+        self._order_heap: List[Tuple[float, int]] = []
         self._queue_head = 0
         self._activity_increment = 1.0
         self._activity_decay = 0.95
-        self._learned_start = 0
         self._trivially_unsat = False
 
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.solve_calls = 0
 
-        for clause in formula.clauses:
-            self._add_initial_clause(list(clause))
-        self._learned_start = len(self._clauses)
+        if formula is not None:
+            self.reserve_vars(formula.num_vars)
+            for clause in formula.clauses:
+                self.add_clause(clause)
+            if follow:
+                formula.attach(self)
+
+    # -------------------------------------------------------------- #
+    # Variable management
+    # -------------------------------------------------------------- #
+    @property
+    def num_vars(self) -> int:
+        """Number of variables the solver currently knows about."""
+        return self._num_vars
+
+    def reserve_vars(self, num_vars: int) -> None:
+        """Grow the per-variable arrays so variables up to ``num_vars`` exist."""
+        grow = num_vars - self._num_vars
+        if grow <= 0:
+            return
+        self._assign.extend([_UNASSIGNED] * grow)
+        self._level.extend([0] * grow)
+        self._reason.extend([None] * grow)
+        self._activity.extend([0.0] * grow)
+        self._phase.extend([False] * grow)
+        for variable in range(self._num_vars + 1, num_vars + 1):
+            heapq.heappush(self._order_heap, (-0.0, variable))
+        self._num_vars = num_vars
+
+    def new_var(self) -> int:
+        """Allocate (and return) a fresh variable."""
+        self.reserve_vars(self._num_vars + 1)
+        return self._num_vars
+
+    # ---- Cnf follow hooks (see Cnf.attach) ----------------------- #
+    def on_new_var(self, variable: int) -> None:
+        self.reserve_vars(variable)
+
+    def on_clause(self, clause: Sequence[int]) -> None:
+        self.add_clause(clause)
 
     # -------------------------------------------------------------- #
     # Clause management
     # -------------------------------------------------------------- #
-    def _add_initial_clause(self, literals: List[int]) -> None:
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause to the live solver (allowed between solve calls).
+
+        The clause is simplified against the permanent (level-0) assignment:
+        satisfied clauses are dropped, falsified literals are removed, and a
+        resulting unit is propagated immediately.  An empty (or fully
+        falsified) clause makes the solver permanently UNSAT.
+        """
+        clause = list(literals)
+        for literal in clause:
+            if literal == 0:
+                raise ValueError("0 is not a valid literal")
+        self._num_problem_clauses += 1
         if self._trivially_unsat:
             return
-        # Remove duplicates; drop tautologies.
+        self._backtrack(0)
+        if clause:
+            self.reserve_vars(max(abs(literal) for literal in clause))
+        # Remove duplicates and level-0-falsified literals; drop tautologies
+        # and clauses already satisfied at level 0.
         seen = set()
         cleaned: List[int] = []
-        for literal in literals:
+        for literal in clause:
             if -literal in seen:
                 return
-            if literal not in seen:
-                seen.add(literal)
-                cleaned.append(literal)
+            if literal in seen:
+                continue
+            value = self._literal_value(literal)
+            if value == _TRUE:
+                return
+            if value == _FALSE:
+                continue
+            seen.add(literal)
+            cleaned.append(literal)
         if not cleaned:
             self._trivially_unsat = True
             return
         if len(cleaned) == 1:
-            if not self._enqueue(cleaned[0], None):
+            if not self._enqueue(cleaned[0], None) or self._propagate() is not None:
                 self._trivially_unsat = True
             return
         self._attach_clause(cleaned)
 
-    def _attach_clause(self, literals: List[int]) -> int:
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Add several clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def _attach_clause(self, literals: List[int], learned: bool = False) -> int:
         index = len(self._clauses)
         self._clauses.append(literals)
+        self._learned_flags.append(learned)
+        if learned:
+            self._num_learned += 1
         self._watches.setdefault(literals[0], []).append(index)
         self._watches.setdefault(literals[1], []).append(index)
         return index
@@ -229,6 +340,16 @@ class SatSolver:
             for index in range(1, self._num_vars + 1):
                 self._activity[index] *= 1e-100
             self._activity_increment *= 1e-100
+            # Every heap key is stale after rescaling.
+            self._rebuild_order_heap()
+
+    def _rebuild_order_heap(self) -> None:
+        self._order_heap = [
+            (-self._activity[index], index)
+            for index in range(1, self._num_vars + 1)
+            if self._assign[index] == _UNASSIGNED
+        ]
+        heapq.heapify(self._order_heap)
 
     def _decay_activities(self) -> None:
         self._activity_increment /= self._activity_decay
@@ -244,34 +365,40 @@ class SatSolver:
             variable = abs(literal)
             self._assign[variable] = _UNASSIGNED
             self._reason[variable] = None
+            heapq.heappush(self._order_heap, (-self._activity[variable], variable))
         del self._trail[boundary:]
         del self._trail_lim[level:]
         self._queue_head = len(self._trail)
 
     def _reduce_learned(self, keep_fraction: float = 0.5) -> None:
         """Drop long, inactive learned clauses (simple size-based policy)."""
-        learned_indices = list(range(self._learned_start, len(self._clauses)))
-        if len(learned_indices) < 2000:
-            return
-        # Keep short clauses; rebuilding the watch lists is simpler than
-        # surgically removing entries.
-        keep = [
-            self._clauses[index]
-            for index in learned_indices
-            if len(self._clauses[index]) <= 4 or self._clause_is_reason(index)
-        ]
-        long_clauses = [
-            self._clauses[index]
-            for index in learned_indices
-            if len(self._clauses[index]) > 4 and not self._clause_is_reason(index)
-        ]
-        keep_count = int(len(long_clauses) * keep_fraction)
-        keep.extend(long_clauses[-keep_count:] if keep_count else [])
-        reasons_remap_needed = False
         # Only safe at decision level 0 with no active reasons.
         if self._decision_level() != 0:
             return
-        self._clauses = self._clauses[: self._learned_start] + keep
+        if self._num_learned < 2000:
+            return
+        # No clause needs to survive as a reason: at level 0 the only
+        # reasons belong to level-0 assignments, which conflict analysis
+        # skips, and they are all nulled after the rebuild below.
+        kept_clauses: List[List[int]] = []
+        kept_flags: List[bool] = []
+        long_clauses: List[List[int]] = []
+        for index, clause in enumerate(self._clauses):
+            if not self._learned_flags[index]:
+                kept_clauses.append(clause)
+                kept_flags.append(False)
+            elif len(clause) <= 4:
+                kept_clauses.append(clause)
+                kept_flags.append(True)
+            else:
+                long_clauses.append(clause)
+        keep_count = int(len(long_clauses) * keep_fraction)
+        if keep_count:
+            kept_clauses.extend(long_clauses[-keep_count:])
+            kept_flags.extend([True] * keep_count)
+        self._clauses = kept_clauses
+        self._learned_flags = kept_flags
+        self._num_learned = sum(kept_flags)
         self._watches = {}
         for index, clause in enumerate(self._clauses):
             if len(clause) >= 2:
@@ -280,35 +407,53 @@ class SatSolver:
         for variable in range(1, self._num_vars + 1):
             if self._reason[variable] is not None:
                 self._reason[variable] = None
-        del reasons_remap_needed
-
-    def _clause_is_reason(self, clause_index: int) -> bool:
-        return any(reason == clause_index for reason in self._reason if reason is not None)
 
     # -------------------------------------------------------------- #
     # Decisions
     # -------------------------------------------------------------- #
     def _pick_branch_variable(self) -> Optional[int]:
-        best_variable = None
-        best_activity = -1.0
-        for variable in range(1, self._num_vars + 1):
-            if self._assign[variable] == _UNASSIGNED and self._activity[variable] > best_activity:
-                best_activity = self._activity[variable]
-                best_variable = variable
-        return best_variable
+        # Stale entries are discarded lazily at the top, so on long-lived
+        # solvers the heap can accumulate one tuple per unassignment;
+        # compact it once it clearly outgrows the variable range.
+        if len(self._order_heap) > 64 + 4 * self._num_vars:
+            self._rebuild_order_heap()
+        heap = self._order_heap
+        while heap:
+            negated_activity, variable = heap[0]
+            if (
+                self._assign[variable] != _UNASSIGNED
+                or -negated_activity != self._activity[variable]
+            ):
+                heapq.heappop(heap)
+                continue
+            return variable
+        return None
 
     # -------------------------------------------------------------- #
     # Main loop
     # -------------------------------------------------------------- #
     def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
-        """Solve the formula, optionally under assumptions (literals)."""
+        """Solve the current clause database, optionally under assumptions.
+
+        Assumptions are literals tried as the first decisions; a failure
+        that traces back to them means *UNSAT under these assumptions* and
+        leaves the solver usable for later calls, while a conflict at
+        decision level 0 proves the clause database itself unsatisfiable
+        (every later call returns UNSAT immediately).
+        """
+        self.solve_calls += 1
+        stats_base = (self.conflicts, self.decisions, self.propagations)
+        for literal in assumptions:
+            if literal == 0:
+                raise ValueError("0 is not a valid assumption literal")
+            self.reserve_vars(abs(literal))
         if self._trivially_unsat:
-            return SatResult(False, conflicts=self.conflicts, decisions=self.decisions,
-                             propagations=self.propagations)
+            return self._unsat_result(stats_base)
         self._backtrack(0)
-        conflict = self._propagate()
-        if conflict is not None:
-            return self._unsat_result()
+        # No pending propagation can exist here: add_clause drains the queue
+        # after every unit it enqueues, so any level-0 conflict would already
+        # have flagged _trivially_unsat (and one surfacing in the main loop
+        # below is handled the same way).
 
         restart_limit = 100
         conflicts_since_restart = 0
@@ -320,14 +465,16 @@ class SatSolver:
                 self.conflicts += 1
                 conflicts_since_restart += 1
                 if self._decision_level() == 0:
-                    return self._unsat_result()
+                    self._trivially_unsat = True
+                    return self._unsat_result(stats_base)
                 learned, backtrack_level = self._analyze(conflict)
                 self._backtrack(backtrack_level)
                 if len(learned) == 1:
                     if not self._enqueue(learned[0], None):
-                        return self._unsat_result()
+                        self._trivially_unsat = True
+                        return self._unsat_result(stats_base)
                 else:
-                    clause_index = self._attach_clause(learned)
+                    clause_index = self._attach_clause(learned, learned=True)
                     self._enqueue(learned[0], clause_index)
                 self._decay_activities()
                 if conflicts_since_restart >= restart_limit:
@@ -342,7 +489,9 @@ class SatSolver:
                 literal = assumption_queue[len(self._trail_lim)]
                 value = self._literal_value(literal)
                 if value == _FALSE:
-                    return self._unsat_result()
+                    # Failed under the assumptions only; the clause database
+                    # may well be satisfiable under other assumptions.
+                    return self._unsat_result(stats_base)
                 self._trail_lim.append(len(self._trail))
                 if value == _UNASSIGNED:
                     self._enqueue(literal, None)
@@ -350,16 +499,28 @@ class SatSolver:
 
             variable = self._pick_branch_variable()
             if variable is None:
-                return self._sat_result()
+                return self._sat_result(stats_base)
             self.decisions += 1
             self._trail_lim.append(len(self._trail))
             phase = self._phase[variable]
             self._enqueue(variable if phase else -variable, None)
 
     # -------------------------------------------------------------- #
-    # Results
+    # Results / statistics
     # -------------------------------------------------------------- #
-    def _sat_result(self) -> SatResult:
+    def stats(self) -> Dict[str, int]:
+        """Cumulative statistics over the lifetime of this solver."""
+        return {
+            "solve_calls": self.solve_calls,
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "num_vars": self._num_vars,
+            "num_clauses": self._num_problem_clauses,
+            "learned_clauses": self._num_learned,
+        }
+
+    def _sat_result(self, stats_base: Tuple[int, int, int]) -> SatResult:
         model = {
             variable: self._assign[variable] == _TRUE
             for variable in range(1, self._num_vars + 1)
@@ -368,20 +529,20 @@ class SatSolver:
         return SatResult(
             True,
             model=model,
-            conflicts=self.conflicts,
-            decisions=self.decisions,
-            propagations=self.propagations,
+            conflicts=self.conflicts - stats_base[0],
+            decisions=self.decisions - stats_base[1],
+            propagations=self.propagations - stats_base[2],
         )
 
-    def _unsat_result(self) -> SatResult:
+    def _unsat_result(self, stats_base: Tuple[int, int, int]) -> SatResult:
         return SatResult(
             False,
-            conflicts=self.conflicts,
-            decisions=self.decisions,
-            propagations=self.propagations,
+            conflicts=self.conflicts - stats_base[0],
+            decisions=self.decisions - stats_base[1],
+            propagations=self.propagations - stats_base[2],
         )
 
 
 def solve(formula: Cnf, assumptions: Sequence[int] = ()) -> SatResult:
-    """Convenience wrapper: build a solver and solve the formula."""
+    """Convenience wrapper: build a solver and solve the formula once."""
     return SatSolver(formula).solve(assumptions)

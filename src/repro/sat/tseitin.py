@@ -12,6 +12,7 @@ Two encoders are provided:
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..logic.isop import isop
@@ -19,7 +20,63 @@ from ..logic.truthtable import TruthTable
 from ..netlist.netlist import CONST0_NET, CONST1_NET, Netlist
 from .cnf import Cnf
 
-__all__ = ["encode_function", "encode_netlist", "equality_clauses"]
+__all__ = [
+    "encode_function",
+    "encode_guarded_function",
+    "encode_camouflaged_copy",
+    "encode_netlist",
+    "equality_clauses",
+    "add_exactly_one",
+]
+
+
+def add_exactly_one(cnf: Cnf, literals: Sequence[int]) -> None:
+    """Constrain exactly one of ``literals`` to be true (pairwise encoding).
+
+    This is the selector constraint of the decamouflaging attacks: every
+    camouflaged instance is configured with exactly one plausible function.
+    """
+    cnf.add_clause(list(literals))
+    for first, second in itertools.combinations(literals, 2):
+        cnf.add_clause([-first, -second])
+
+
+def encode_guarded_function(
+    cnf: Cnf,
+    selector: Optional[int],
+    function: TruthTable,
+    input_literals: Sequence[int],
+    output_literal: int,
+) -> None:
+    """Add clauses for ``selector -> (output_literal == function(inputs))``.
+
+    With ``selector=None`` the equivalence is unconditional.  The inputs may
+    be arbitrary literals (constants or other net variables); the guarded
+    implication is expressed cube-wise from the ISOP covers of the on-set
+    and off-set.  Both SAT attacks use this to encode each camouflaged cell
+    under each candidate configuration.
+    """
+    if function.num_vars != len(input_literals):
+        raise ValueError("one input literal per function variable is required")
+    guard = [] if selector is None else [-selector]
+    if function.is_constant_zero():
+        cnf.add_clause(guard + [-output_literal])
+        return
+    if function.is_constant_one():
+        cnf.add_clause(guard + [output_literal])
+        return
+    for cube in isop(function):
+        clause = list(guard) + [output_literal]
+        for variable, positive in cube.literals():
+            literal = input_literals[variable]
+            clause.append(-literal if positive else literal)
+        cnf.add_clause(clause)
+    for cube in isop(~function):
+        clause = list(guard) + [-output_literal]
+        for variable, positive in cube.literals():
+            literal = input_literals[variable]
+            clause.append(-literal if positive else literal)
+        cnf.add_clause(clause)
 
 
 def encode_function(
@@ -33,29 +90,45 @@ def encode_function(
     Constants and functions of any arity up to the practical cube-cover size
     are supported; inputs may be arbitrary literals (not just variables).
     """
-    if function.num_vars != len(input_literals):
-        raise ValueError("one input literal per function variable is required")
-    if function.is_constant_zero():
-        cnf.add_clause([-output_literal])
-        return
-    if function.is_constant_one():
-        cnf.add_clause([output_literal])
-        return
+    encode_guarded_function(cnf, None, function, input_literals, output_literal)
 
-    # On-set cubes: cube satisfied -> output true.
-    for cube in isop(function):
-        clause = [output_literal]
-        for variable, positive in cube.literals():
-            literal = input_literals[variable]
-            clause.append(-literal if positive else literal)
-        cnf.add_clause(clause)
-    # Off-set cubes: cube satisfied -> output false.
-    for cube in isop(~function):
-        clause = [-output_literal]
-        for variable, positive in cube.literals():
-            literal = input_literals[variable]
-            clause.append(-literal if positive else literal)
-        cnf.add_clause(clause)
+
+def encode_camouflaged_copy(
+    cnf: Cnf,
+    netlist: Netlist,
+    order: Sequence,
+    plausible: Mapping[str, Sequence[TruthTable]],
+    selectors: Mapping,
+    input_literals: Mapping[str, int],
+) -> Dict[str, int]:
+    """Encode one evaluation copy of a partially camouflaged netlist.
+
+    ``order`` is the netlist's topological instance order; camouflaged
+    instances (keys of ``plausible``) are encoded once per candidate
+    function, guarded by ``selectors[(instance_name, candidate_index)]``,
+    while ordinary instances use their library function unconditionally.
+    Returns the net -> literal map of this copy (inputs included).  Shared
+    by both SAT attacks, which differ only in how inputs and selectors are
+    chosen per copy.
+    """
+    net_literal: Dict[str, int] = dict(input_literals)
+    for instance in order:
+        output_var = cnf.new_var()
+        inputs = [net_literal[net] for net in instance.inputs]
+        functions = plausible.get(instance.name)
+        if functions is None:
+            encode_guarded_function(
+                cnf, None, netlist.library[instance.cell].function,
+                inputs, output_var,
+            )
+        else:
+            for index, function in enumerate(functions):
+                encode_guarded_function(
+                    cnf, selectors[(instance.name, index)], function,
+                    inputs, output_var,
+                )
+        net_literal[instance.output] = output_var
+    return net_literal
 
 
 def equality_clauses(cnf: Cnf, literal_a: int, literal_b: int) -> None:

@@ -80,6 +80,54 @@ class TestOracleOnTinyCircuit:
         assert not result.plausible
 
 
+class TestIncrementalOracle:
+    def test_queries_share_one_persistent_solver(self, tiny_camo_netlist):
+        netlist, plausible = tiny_camo_netlist
+        oracle = PlausibleFunctionOracle(netlist, plausible)
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        oracle.is_plausible(BoolFunction([~a]))
+        solver = oracle._solver
+        assert solver is not None
+        vars_after_first = solver.num_vars
+        oracle.is_plausible(BoolFunction([~(a & b)]))
+        oracle.is_plausible(BoolFunction([a]))
+        # Same solver, same encoding: plain queries never grow the formula.
+        assert oracle._solver is solver
+        assert solver.num_vars == vars_after_first
+        assert solver.solve_calls == 3
+        assert oracle.solver_stats()["solve_calls"] == 3
+
+    def test_verdicts_stable_across_interleaved_queries(self, tiny_camo_netlist):
+        # Assumption-based queries must not contaminate one another.
+        netlist, plausible = tiny_camo_netlist
+        oracle = PlausibleFunctionOracle(netlist, plausible)
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        for _ in range(3):
+            assert oracle.is_plausible(BoolFunction([~a]))
+            assert not oracle.is_plausible(BoolFunction([a]))
+            assert oracle.is_plausible(BoolFunction([~(a & b)]))
+            assert not oracle.is_plausible(BoolFunction([a ^ b]))
+
+    def test_enumerate_witnesses(self, tiny_camo_netlist):
+        netlist, plausible = tiny_camo_netlist
+        oracle = PlausibleFunctionOracle(netlist, plausible)
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        # Exactly one plausible behaviour realises each candidate here.
+        witnesses = oracle.enumerate_witnesses(BoolFunction([~a]))
+        assert [w["u_camo"] for w in witnesses] == [~a]
+        assert oracle.enumerate_witnesses(BoolFunction([a])) == []
+        # The blocking clauses of a finished enumeration are retired: later
+        # queries and enumerations see the full configuration space again.
+        assert oracle.is_plausible(BoolFunction([~a]))
+        again = oracle.enumerate_witnesses(BoolFunction([~a]))
+        assert [w["u_camo"] for w in again] == [~a]
+        # A limit caps the enumeration.
+        assert len(oracle.enumerate_witnesses(BoolFunction([~(a & b)]), limit=1)) == 1
+
+
 class TestOracleOnObfuscatedDesign:
     def test_both_viable_functions_plausible(self, small_obfuscation):
         mapping = small_obfuscation.mapping

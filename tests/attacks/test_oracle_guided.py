@@ -48,6 +48,21 @@ class TestOracleGuidedAttackSmall:
         realised = extract_function(netlist, cell_functions=result.configuration)
         assert realised.lookup_table() == result.recovered_function
 
+    def test_converges_on_exact_query_budget(self, single_camo_nand):
+        # Recovering ~a needs exactly two DIPs; a budget of exactly two must
+        # therefore succeed (the budget check happens only when another
+        # distinguishing input actually remains).
+        netlist, plausible = single_camo_nand
+        baseline = OracleGuidedAttack(netlist, plausible, max_queries=16)
+        needed = baseline.run(lambda word: 1 - (word & 1)).num_queries
+        attack = OracleGuidedAttack(netlist, plausible, max_queries=needed)
+        result = attack.run(lambda word: 1 - (word & 1))
+        assert result.success
+        assert result.num_queries == needed
+        # One query fewer genuinely fails.
+        starved = OracleGuidedAttack(netlist, plausible, max_queries=needed - 1)
+        assert not starved.run(lambda word: 1 - (word & 1)).success
+
     def test_query_budget_respected(self, single_camo_nand):
         netlist, plausible = single_camo_nand
         attack = OracleGuidedAttack(netlist, plausible, max_queries=0)
@@ -59,6 +74,74 @@ class TestOracleGuidedAttackSmall:
         netlist, _ = single_camo_nand
         with pytest.raises(ValueError):
             OracleGuidedAttack(netlist, {"u_camo": []})
+
+
+class TestIncrementalSolverUsage:
+    def test_dip_loop_builds_exactly_one_solver(self, single_camo_nand, monkeypatch):
+        import repro.attacks.oracle_guided as module
+
+        constructed = []
+        real_solver = module.SatSolver
+
+        class CountingSolver(real_solver):
+            def __init__(self, *args, **kwargs):
+                constructed.append(self)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(module, "SatSolver", CountingSolver)
+        netlist, plausible = single_camo_nand
+        attack = module.OracleGuidedAttack(netlist, plausible, max_queries=16)
+        result = attack.run(lambda word: 1 - (word & (word >> 1) & 1))
+        assert result.success
+        assert len(constructed) == 1, "the DIP loop must reuse one incremental solver"
+        assert constructed[0] is attack.solver
+        assert attack.solver.solve_calls >= result.num_queries + 1
+
+    def test_cnf_vars_bounded_across_iterations(self, single_camo_nand):
+        netlist, plausible = single_camo_nand
+        attack = OracleGuidedAttack(netlist, plausible, max_queries=16)
+        vars_before_run = attack.num_cnf_vars
+        growth_per_query = []
+
+        def oracle(word):
+            growth_per_query.append(attack.num_cnf_vars)
+            return 1 - (word & 1)  # ~a
+
+        result = attack.run(oracle)
+        assert result.success
+        assert result.num_queries >= 2
+        # A DIP query itself allocates nothing: the formula at the first
+        # oracle call is exactly the once-encoded miter.
+        assert growth_per_query[0] == vars_before_run
+        # Each observation adds at most a fixed number of variables (two
+        # circuit copies), so the per-iteration footprint is bounded and
+        # growth is linear, not quadratic.
+        per_observation = 2 * len(netlist.topological_order())
+        deltas = [
+            later - earlier
+            for earlier, later in zip(growth_per_query, growth_per_query[1:])
+        ]
+        assert all(delta <= per_observation for delta in deltas)
+        assert attack.num_cnf_vars - vars_before_run <= per_observation * result.num_queries
+
+    def test_constant_true_variable_is_persistent(self, single_camo_nand):
+        netlist, plausible = single_camo_nand
+        attack = OracleGuidedAttack(netlist, plausible, max_queries=16)
+        before = attack.num_cnf_vars
+        # Constant-input construction reuses the persistent true variable.
+        literals_a = attack._constant_inputs(0b01)
+        literals_b = attack._constant_inputs(0b10)
+        assert attack.num_cnf_vars == before
+        true_vars = {abs(literal) for literal in literals_a.values()}
+        true_vars |= {abs(literal) for literal in literals_b.values()}
+        assert true_vars == {attack._true_var}
+
+    def test_solver_stats_surfaced(self, single_camo_nand):
+        netlist, plausible = single_camo_nand
+        attack = OracleGuidedAttack(netlist, plausible, max_queries=16)
+        result = attack.run(lambda word: 1)
+        assert result.solver_stats["solve_calls"] == attack.solver.solve_calls
+        assert result.solver_stats["propagations"] > 0
 
 
 class TestAttackAgainstMapping:

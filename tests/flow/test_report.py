@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.flow import AreaRow, format_table, improvement_percent
+from repro.flow import (
+    AreaRow,
+    SolverStatsRow,
+    format_solver_stats,
+    format_table,
+    improvement_percent,
+)
 
 
 class TestImprovement:
@@ -48,3 +54,44 @@ class TestFormatTable:
     def test_without_title(self):
         text = format_table([AreaRow("PRESENT", 2, 54, 42, 41, 39)])
         assert text.splitlines()[0].startswith("Circuit")
+
+
+class TestSolverStats:
+    def test_from_stats_and_as_dict(self):
+        stats = {
+            "solve_calls": 7,
+            "conflicts": 12,
+            "decisions": 90,
+            "propagations": 640,
+            "learned_clauses": 11,
+            "num_vars": 55,
+        }
+        row = SolverStatsRow.from_stats("DIP loop", stats)
+        assert row.solve_calls == 7
+        assert row.learned_clauses == 11
+        data = row.as_dict()
+        assert data["label"] == "DIP loop"
+        assert data["propagations"] == 640
+
+    def test_from_solver(self):
+        from repro.sat import SatSolver
+
+        solver = SatSolver()
+        x = solver.new_var()
+        solver.add_clause([x])
+        solver.solve()
+        row = SolverStatsRow.from_stats("unit", solver.stats())
+        assert row.solve_calls == 1
+
+    def test_layout(self):
+        rows = [
+            SolverStatsRow("oracle", 4, 32, 86, 639, 31),
+            SolverStatsRow("DIP loop", 5, 0, 12, 99, 0),
+        ]
+        text = format_solver_stats(rows, title="solver work")
+        lines = text.splitlines()
+        assert lines[0] == "solver work"
+        assert "Workload" in lines[1]
+        assert len(lines) == 2 + 1 + len(rows)
+        assert lines[3].startswith("oracle")
+        assert lines[4].rstrip().endswith("0")

@@ -4,7 +4,11 @@ import pytest
 
 from repro.logic import BoolFunction, TruthTable
 from repro.netlist import Netlist, standard_cell_library
-from repro.sat import check_netlist_equivalence, check_netlist_function
+from repro.sat import (
+    EquivalenceChecker,
+    check_netlist_equivalence,
+    check_netlist_function,
+)
 from repro.synth import synthesize
 
 
@@ -83,3 +87,36 @@ class TestNetlistEquivalence:
         first = synthesize(present, library=library, effort="fast").netlist
         second = synthesize(present, library=library, effort="high").netlist
         assert check_netlist_equivalence(first, second)
+
+
+class TestReusableChecker:
+    def test_many_candidates_one_solver(self, present, present_netlist):
+        checker = EquivalenceChecker(present_netlist)
+        assert checker.check_function(present)
+        for shift in (1, 5, 11):
+            wrong = BoolFunction.from_lookup(
+                [(x + shift) % 16 for x in range(16)], 4, 4
+            )
+            result = checker.check_function(wrong)
+            assert not result
+            assert set(result.counterexample) == set(present_netlist.primary_inputs)
+        # The original candidate still checks out after the failed miters
+        # were retired — the activation literals isolate the checks.
+        assert checker.check_function(present)
+        stats = checker.solver_stats()
+        assert stats["solve_calls"] == 5
+
+    def test_counterexample_distinguishes(self, and_netlist):
+        checker = EquivalenceChecker(and_netlist)
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        assert checker.check_function(BoolFunction([a & b]))
+        result = checker.check_function(BoolFunction([a | b]))
+        assert not result
+        values = list(result.counterexample.values())
+        assert sum(values) == 1
+
+    def test_interface_validation(self, and_netlist):
+        checker = EquivalenceChecker(and_netlist)
+        with pytest.raises(ValueError):
+            checker.check_function(BoolFunction([TruthTable.variable(0, 3)]))

@@ -107,6 +107,153 @@ class TestAssumptions:
         assert not solver2.solve(assumptions=[-1]).satisfiable
 
 
+class TestIncrementalInterface:
+    def test_add_clause_after_solve_and_resolve(self):
+        solver = SatSolver()
+        x = solver.new_var()
+        y = solver.new_var()
+        solver.add_clause([x, y])
+        assert solver.solve().satisfiable
+        # Narrow the formula step by step on the same live solver.
+        solver.add_clause([-x])
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.model[x] is False
+        assert result.model[y] is True
+        solver.add_clause([-y])
+        assert not solver.solve().satisfiable
+
+    def test_add_clause_auto_grows_variables(self):
+        solver = SatSolver()
+        solver.add_clause([5, -7])
+        assert solver.num_vars == 7
+        assert solver.solve().satisfiable
+
+    def test_follow_mode_mirrors_cnf_growth(self):
+        cnf = Cnf()
+        solver = SatSolver(cnf, follow=True)
+        a = cnf.new_var()
+        b = cnf.new_var()
+        cnf.add_clause([a, b])
+        assert solver.solve().satisfiable
+        cnf.add_clause([-a])
+        cnf.add_clause([-b])
+        assert not solver.solve().satisfiable
+
+    def test_unsat_under_assumptions_is_recoverable(self):
+        solver = SatSolver()
+        x = solver.new_var()
+        y = solver.new_var()
+        solver.add_clause([x, y])
+        solver.add_clause([-x, y])
+        # UNSAT only because of the assumptions...
+        assert not solver.solve(assumptions=[-y]).satisfiable
+        # ...so the solver stays usable and the formula is still SAT.
+        assert solver.solve().satisfiable
+        assert solver.solve(assumptions=[y]).satisfiable
+
+    def test_outright_unsat_is_permanent(self):
+        solver = SatSolver()
+        x = solver.new_var()
+        solver.add_clause([x])
+        solver.add_clause([-x])
+        assert not solver.solve().satisfiable
+        assert not solver.solve(assumptions=[x]).satisfiable
+        # Adding more clauses cannot resurrect an UNSAT database.
+        solver.add_clause([solver.new_var()])
+        assert not solver.solve().satisfiable
+
+    def test_trivially_unsat_on_empty_clause_addition(self):
+        solver = SatSolver()
+        solver.new_var()
+        solver.add_clause([])
+        assert not solver.solve().satisfiable
+
+    def test_level_zero_propagation_on_addition(self):
+        solver = SatSolver()
+        x, y, z = solver.new_var(), solver.new_var(), solver.new_var()
+        solver.add_clause([x])
+        solver.add_clause([-x, y])  # unit under the level-0 assignment
+        solver.add_clause([-y, z])
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.model[x] and result.model[y] and result.model[z]
+        # Contradicting the propagated chain closes the formula for good.
+        solver.add_clause([-z])
+        assert not solver.solve().satisfiable
+
+    def test_activation_literal_miter_pattern(self):
+        # An activation-guarded constraint "x != y" is switched on and off
+        # purely through assumptions — the pattern the attack stack uses.
+        solver = SatSolver()
+        x, y, act = solver.new_var(), solver.new_var(), solver.new_var()
+        solver.add_clause([-act, x, y])
+        solver.add_clause([-act, -x, -y])
+        solver.add_clause([x])  # pin x true
+        enabled = solver.solve(assumptions=[act])
+        assert enabled.satisfiable
+        assert enabled.model[x] != enabled.model[y]
+        solver.add_clause([y])  # now x == y is forced
+        assert not solver.solve(assumptions=[act]).satisfiable
+        # Disabled (or retired with a permanent unit) the miter is inert.
+        assert solver.solve(assumptions=[-act]).satisfiable
+        solver.add_clause([-act])
+        assert solver.solve().satisfiable
+
+    def test_per_call_statistics_reset_cumulative_kept(self):
+        rng = random.Random(5)
+        solver = SatSolver()
+        for _ in range(60):
+            variables = rng.sample(range(1, 13), 3)
+            solver.add_clause([v if rng.random() < 0.5 else -v for v in variables])
+        first = solver.solve()
+        second = solver.solve()
+        assert solver.solve_calls == 2
+        # Per-call statistics are deltas; cumulative counters only grow.
+        assert solver.propagations >= first.propagations + second.propagations
+        stats = solver.stats()
+        assert stats["solve_calls"] == 2
+        assert stats["propagations"] == solver.propagations
+        assert stats["num_vars"] == solver.num_vars
+
+    def test_incremental_matches_from_scratch(self):
+        # Adding clauses one by one must agree with a fresh solve of the
+        # accumulated formula at every step.
+        rng = random.Random(11)
+        for _ in range(20):
+            num_vars = rng.randint(3, 8)
+            incremental = SatSolver()
+            incremental.reserve_vars(num_vars)
+            clauses = []
+            for _ in range(rng.randint(4, 3 * num_vars)):
+                width = rng.randint(1, 3)
+                variables = rng.sample(range(1, num_vars + 1), width)
+                clause = [v if rng.random() < 0.5 else -v for v in variables]
+                clauses.append(clause)
+                incremental.add_clause(clause)
+                expected = brute_force_satisfiable(num_vars, clauses)
+                result = incremental.solve()
+                assert result.satisfiable == expected
+                if result.satisfiable:
+                    assert model_satisfies(result.model, clauses)
+                # Interleave a solve under random assumptions: it must agree
+                # with brute force over the formula plus assumption units,
+                # and must not corrupt later assumption-free solves.
+                assumed = [
+                    v if rng.random() < 0.5 else -v
+                    for v in rng.sample(range(1, num_vars + 1), rng.randint(1, 2))
+                ]
+                assumed_clauses = clauses + [[literal] for literal in assumed]
+                under = incremental.solve(assumptions=assumed)
+                assert under.satisfiable == brute_force_satisfiable(
+                    num_vars, assumed_clauses
+                )
+                if under.satisfiable:
+                    assert model_satisfies(under.model, assumed_clauses)
+                if not expected:
+                    break
+
+
 class TestRandomisedAgainstBruteForce:
     @pytest.mark.parametrize("seed", range(6))
     def test_random_3sat_instances(self, seed):
