@@ -26,7 +26,7 @@ def four_sboxes():
     return optimal_sboxes(4)
 
 
-def test_ablation_merged_vs_naive_structure(benchmark, record, four_sboxes):
+def test_ablation_merged_vs_naive_structure(benchmark, record, bench_json, four_sboxes):
     """Phase I ablation: shared synthesis vs the explicit Fig. 2 structure."""
 
     def run():
@@ -45,9 +45,13 @@ def test_ablation_merged_vs_naive_structure(benchmark, record, four_sboxes):
         f"naive Fig.2 structure : {naive:.1f} GE\n"
         f"saving                : {100 * (naive - shared) / naive:.0f}%",
     )
+    bench_json(
+        "ablation_merged_vs_naive",
+        {"shared_area": shared, "naive_area": naive},
+    )
 
 
-def test_ablation_technology_mapping_contribution(benchmark, record, four_sboxes):
+def test_ablation_technology_mapping_contribution(benchmark, record, bench_json, four_sboxes):
     """Phase III ablation: area before and after camouflage mapping."""
 
     def run():
@@ -57,6 +61,13 @@ def test_ablation_technology_mapping_contribution(benchmark, record, four_sboxes
     assert result.camouflaged_area <= result.synthesized_area + 1e-9
     benchmark.extra_info["synthesized_area"] = result.synthesized_area
     benchmark.extra_info["camouflaged_area"] = result.camouflaged_area
+    bench_json(
+        "ablation_techmap_contribution",
+        {
+            "synthesized_area": result.synthesized_area,
+            "camouflaged_area": result.camouflaged_area,
+        },
+    )
     record(
         "ablation_techmap_contribution",
         f"synthesised (GA input) area : {result.synthesized_area:.1f} GE\n"
@@ -66,7 +77,7 @@ def test_ablation_technology_mapping_contribution(benchmark, record, four_sboxes
     )
 
 
-def test_ablation_symmetry_breaking_in_genotype(benchmark, record):
+def test_ablation_symmetry_breaking_in_genotype(benchmark, record, bench_json):
     """GA encoding ablation: pinning function 0's pins vs the free encoding."""
     functions = optimal_sboxes(2)
     parameters = GAParameters(population_size=6, generations=3, seed=5)
@@ -91,6 +102,10 @@ def test_ablation_symmetry_breaking_in_genotype(benchmark, record):
     pinned, free = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["pinned_area"] = pinned
     benchmark.extra_info["free_area"] = free
+    bench_json(
+        "ablation_symmetry_breaking",
+        {"pinned_area": pinned, "free_area": free},
+    )
     record(
         "ablation_symmetry_breaking",
         f"GA with function-0 pins fixed : {pinned:.1f} GE\n"

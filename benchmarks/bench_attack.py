@@ -30,7 +30,7 @@ def obfuscated_pair():
     return functions, result
 
 
-def test_attack_proposed_flow_keeps_all_viable_functions(benchmark, record, obfuscated_pair):
+def test_attack_proposed_flow_keeps_all_viable_functions(benchmark, record, bench_json, obfuscated_pair):
     functions, result = obfuscated_pair
     oracle = PlausibleFunctionOracle.from_mapping(result.mapping)
     views = result.assignment.apply(list(functions))
@@ -43,6 +43,7 @@ def test_attack_proposed_flow_keeps_all_viable_functions(benchmark, record, obfu
     stats = oracle.solver_stats()
     benchmark.extra_info["plausible"] = verdicts
     benchmark.extra_info["solver"] = stats
+    bench_json("attack_proposed_flow", {"plausible": verdicts, "solver": dict(stats)})
     record(
         "attack_proposed_flow",
         "\n".join(
@@ -56,7 +57,7 @@ def test_attack_proposed_flow_keeps_all_viable_functions(benchmark, record, obfu
     )
 
 
-def test_attack_oracle_guided_dip_loop(benchmark, record, obfuscated_pair):
+def test_attack_oracle_guided_dip_loop(benchmark, record, bench_json, obfuscated_pair):
     """The stronger (oracle-equipped) adversary: the incremental DIP loop."""
     functions, result = obfuscated_pair
 
@@ -67,6 +68,10 @@ def test_attack_oracle_guided_dip_loop(benchmark, record, obfuscated_pair):
     assert outcome.success, "the oracle-guided adversary failed to recover the function"
     benchmark.extra_info["num_queries"] = outcome.num_queries
     benchmark.extra_info["solver"] = outcome.solver_stats
+    bench_json(
+        "attack_oracle_guided",
+        {"num_queries": outcome.num_queries, "solver": dict(outcome.solver_stats)},
+    )
     record(
         "attack_oracle_guided",
         f"queries={outcome.num_queries}\n"
@@ -76,7 +81,7 @@ def test_attack_oracle_guided_dip_loop(benchmark, record, obfuscated_pair):
     )
 
 
-def test_attack_random_camouflage_fails(benchmark, record):
+def test_attack_random_camouflage_fails(benchmark, record, bench_json):
     functions = optimal_sboxes(2)
     single = synthesize(functions[0], effort="fast").netlist
 
@@ -89,6 +94,7 @@ def test_attack_random_camouflage_fails(benchmark, record):
         "random camouflaging unexpectedly made another viable function plausible"
     )
     benchmark.extra_info["plausible"] = experiment.plausible
+    bench_json("attack_random_camouflage", {"plausible": list(experiment.plausible)})
     record(
         "attack_random_camouflage",
         "\n".join(

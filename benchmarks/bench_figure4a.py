@@ -13,7 +13,7 @@ import pytest
 from repro.evaluation import run_figure4a
 
 
-def test_figure4a_random_distribution(benchmark, profile, record):
+def test_figure4a_random_distribution(benchmark, profile, record, bench_json):
     data = benchmark.pedantic(
         run_figure4a, kwargs={"profile": profile, "seed": 11}, rounds=1, iterations=1
     )
@@ -30,3 +30,12 @@ def test_figure4a_random_distribution(benchmark, profile, record):
     benchmark.extra_info["average"] = data.average
     benchmark.extra_info["worst"] = data.worst
     record("figure4a", data.to_text())
+    bench_json(
+        "figure4a",
+        {
+            "samples": len(data.areas),
+            "best": data.best,
+            "average": data.average,
+            "worst": data.worst,
+        },
+    )

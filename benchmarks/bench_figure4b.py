@@ -14,7 +14,7 @@ import pytest
 from repro.evaluation import run_figure4b
 
 
-def test_figure4b_ga_vs_random(benchmark, profile, record):
+def test_figure4b_ga_vs_random(benchmark, profile, record, bench_json):
     data = benchmark.pedantic(
         run_figure4b, kwargs={"profile": profile, "seed": 11}, rounds=1, iterations=1
     )
@@ -33,3 +33,14 @@ def test_figure4b_ga_vs_random(benchmark, profile, record):
     benchmark.extra_info["random_average"] = data.random_average
     benchmark.extra_info["crossover_generation"] = data.crossover_generation()
     record("figure4b", data.to_text())
+    bench_json(
+        "figure4b",
+        {
+            "ga_final_best": data.best_so_far[-1],
+            "random_best": data.random_best,
+            "random_average": data.random_average,
+            "crossover_generation": data.crossover_generation(),
+            "ga_evaluations": data.ga_evaluations,
+            "random_evaluations": data.random_evaluations,
+        },
+    )

@@ -19,25 +19,28 @@ from repro.synth import synthesize
 from repro.techmap import camouflage_map
 
 
-def test_bench_synthesize_present_sbox(benchmark):
+def test_bench_synthesize_present_sbox(benchmark, bench_json):
     function = present_sbox()
     result = benchmark(lambda: synthesize(function, effort="fast"))
     assert result.area > 0
+    bench_json("substrate_synthesize_present_sbox", {"area": result.area})
 
 
-def test_bench_synthesize_merged_four_sboxes(benchmark):
+def test_bench_synthesize_merged_four_sboxes(benchmark, bench_json):
     design = merge_functions(optimal_sboxes(4))
     result = benchmark(lambda: synthesize(design.function, effort="fast"))
     assert result.area > 0
+    bench_json("substrate_synthesize_merged_four_sboxes", {"area": result.area})
 
 
-def test_bench_synthesize_des_sbox(benchmark):
+def test_bench_synthesize_des_sbox(benchmark, bench_json):
     function = des_sboxes(1)[0]
     result = benchmark(lambda: synthesize(function, effort="fast"))
     assert result.area > 0
+    bench_json("substrate_synthesize_des_sbox", {"area": result.area})
 
 
-def test_bench_camouflage_map_two_sboxes(benchmark):
+def test_bench_camouflage_map_two_sboxes(benchmark, bench_json):
     design = merge_functions(optimal_sboxes(2))
     synthesis = synthesize(design.function, effort="fast")
     camo = default_camouflage_library(synthesis.netlist.library)
@@ -47,10 +50,12 @@ def test_bench_camouflage_map_two_sboxes(benchmark):
         lambda: camouflage_map(synthesis.netlist, select_nets, camo_library=camo)
     )
     assert mapping.area() > 0
+    bench_json("substrate_camouflage_map_two_sboxes", {"area": mapping.area()})
 
 
-def test_bench_sat_equivalence_check(benchmark):
+def test_bench_sat_equivalence_check(benchmark, bench_json):
     function = present_sbox()
     netlist = synthesize(function, effort="fast").netlist
     outcome = benchmark(lambda: check_netlist_function(netlist, function))
     assert bool(outcome)
+    bench_json("substrate_sat_equivalence_check", {"equivalent": bool(outcome)})

@@ -17,7 +17,7 @@ def _run_entry(profile, count):
 
 
 @pytest.mark.parametrize("count", [2, 4, 8])
-def test_table1_des(benchmark, profile, record, count):
+def test_table1_des(benchmark, profile, record, bench_json, count):
     if count not in profile.des_counts:
         pytest.skip(f"{count} merged DES S-boxes not part of profile {profile.name!r}")
     entry = benchmark.pedantic(_run_entry, args=(profile, count), rounds=1, iterations=1)
@@ -32,4 +32,13 @@ def test_table1_des(benchmark, profile, record, count):
     record(
         f"table1_des_{count:02d}",
         table1_text([entry], profile_name=profile.name),
+    )
+    optimization = entry.obfuscation.pin_optimization
+    bench_json(
+        f"table1_des_{count:02d}",
+        {
+            "row": row.as_dict(),
+            "ga_evaluations": entry.ga_evaluations,
+            "cache_stats": optimization.cache_stats if optimization else {},
+        },
     )

@@ -18,7 +18,7 @@ def _run_entry(profile, count):
 
 
 @pytest.mark.parametrize("count", [2, 4, 8, 16])
-def test_table1_present(benchmark, profile, record, count):
+def test_table1_present(benchmark, profile, record, bench_json, count):
     if count not in profile.present_counts:
         pytest.skip(f"{count} merged PRESENT S-boxes not part of profile {profile.name!r}")
     entry = benchmark.pedantic(_run_entry, args=(profile, count), rounds=1, iterations=1)
@@ -33,4 +33,13 @@ def test_table1_present(benchmark, profile, record, count):
     record(
         f"table1_present_{count:02d}",
         table1_text([entry], profile_name=profile.name),
+    )
+    optimization = entry.obfuscation.pin_optimization
+    bench_json(
+        f"table1_present_{count:02d}",
+        {
+            "row": row.as_dict(),
+            "ga_evaluations": entry.ga_evaluations,
+            "cache_stats": optimization.cache_stats if optimization else {},
+        },
     )

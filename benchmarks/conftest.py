@@ -5,20 +5,27 @@ Every benchmark runs the real experiment pipeline exactly once per benchmark
 reproduced table/figure data, with the wall-clock time of the flow recorded
 as a by-product.  The experiment profile is selected with the
 ``REPRO_PROFILE`` environment variable (quick / medium / paper); the default
-``quick`` profile finishes the whole suite in a few minutes.
+``quick`` profile finishes the whole suite in a few minutes.  The worker
+count used by the parallel harnesses comes from ``REPRO_JOBS`` (default:
+serial); seeded results are identical for every jobs value.
 
 Reproduced numbers are printed to stdout and appended to
 ``benchmarks/results/`` so that EXPERIMENTS.md can be updated from a run.
+Each benchmark additionally emits a machine-readable
+``benchmarks/results/BENCH_<name>.json`` (timings, cache statistics, jobs)
+via the ``bench_json`` fixture, so the performance trajectory can be tracked
+across commits and CI runs.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
-from repro.evaluation import get_profile
+from repro.evaluation import get_profile, resolve_jobs
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -27,6 +34,12 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def profile():
     """The experiment profile used by every benchmark in this session."""
     return get_profile()
+
+
+@pytest.fixture(scope="session")
+def jobs():
+    """The worker count used by every benchmark in this session."""
+    return resolve_jobs(None)
 
 
 @pytest.fixture(scope="session")
@@ -47,3 +60,44 @@ def record(results_dir):
         print(text)
 
     return _record
+
+
+def _benchmark_timings(benchmark) -> dict:
+    """Extract the wall-clock timings pytest-benchmark measured (seconds)."""
+    try:
+        stats = benchmark.stats.stats
+        return {
+            "total_seconds": float(stats.total),
+            "mean_seconds": float(stats.mean),
+            "rounds": int(stats.rounds),
+        }
+    except (AttributeError, TypeError):
+        return {}
+
+
+@pytest.fixture
+def bench_json(results_dir, benchmark, jobs):
+    """Emit a machine-readable ``BENCH_<name>.json`` for one benchmark.
+
+    The payload always carries the benchmark name, the active profile and
+    jobs setting, and the timings pytest-benchmark measured; callers add
+    workload-specific numbers (areas, cache statistics, solver work).  Call
+    it after the timed section so the timings are available.
+    """
+
+    def _write(name: str, payload: dict) -> None:
+        data = {
+            "name": name,
+            "profile": os.environ.get("REPRO_PROFILE", "quick"),
+            "jobs": jobs,
+        }
+        data.update(_benchmark_timings(benchmark))
+        data.update(payload)
+        path = results_dir / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(data, indent=2, sort_keys=True, default=str) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nwrote {path}")
+
+    return _write

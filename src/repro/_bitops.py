@@ -31,11 +31,21 @@ def mask_for(num_vars: int) -> int:
     return (1 << (1 << num_vars)) - 1
 
 
-def popcount(value: int) -> int:
-    """Return the number of set bits in ``value`` (which must be >= 0)."""
-    if value < 0:
-        raise ValueError("popcount is only defined for non-negative integers")
-    return bin(value).count("1")
+if hasattr(int, "bit_count"):
+
+    def popcount(value: int) -> int:
+        """Return the number of set bits in ``value`` (which must be >= 0)."""
+        if value < 0:
+            raise ValueError("popcount is only defined for non-negative integers")
+        return value.bit_count()
+
+else:  # Python < 3.10 fallback
+
+    def popcount(value: int) -> int:
+        """Return the number of set bits in ``value`` (which must be >= 0)."""
+        if value < 0:
+            raise ValueError("popcount is only defined for non-negative integers")
+        return bin(value).count("1")
 
 
 def bit_at(value: int, position: int) -> int:

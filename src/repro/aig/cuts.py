@@ -5,6 +5,13 @@ enumerate small sets of "leaf" nodes (the cut) such that the node's function
 can be expressed over the leaves alone.  The module also provides the cut
 function computation and the maximum-fanout-free-cone (MFFC) size used to
 estimate the gain of replacing a cone.
+
+Cut functions are memoised *across* AIGs: the truth table of a cone depends
+only on its local structure (how the cone's AND nodes wire the leaves
+together), so a structural descriptor of the cone serves as a cache key that
+keeps working between rewrite/refactor invocations and between genotype
+evaluations of the Phase II search, where the same small cones recur
+constantly.
 """
 
 from __future__ import annotations
@@ -17,6 +24,21 @@ from .aig import Aig, is_complemented, node_of
 __all__ = ["enumerate_cuts", "cut_function", "mffc_size", "collect_cone_cut"]
 
 Cut = FrozenSet[int]
+
+#: Structural cone descriptor -> packed truth-table bits of the cone output.
+#: Bounded: cleared wholesale when full (entries are cheap to recompute).
+_CONE_CACHE: Dict[Tuple, int] = {}
+_CONE_CACHE_LIMIT = 1 << 16
+
+
+def clear_cut_function_cache() -> None:
+    """Drop all memoised cone functions (mainly for tests/benchmarks)."""
+    _CONE_CACHE.clear()
+
+
+def cut_function_cache_size() -> int:
+    """Number of memoised cone functions currently held."""
+    return len(_CONE_CACHE)
 
 
 def enumerate_cuts(
@@ -59,36 +81,81 @@ def _is_dominated(candidate: Cut, existing: Sequence[Cut]) -> bool:
     return any(cut != candidate and cut <= candidate for cut in existing[1:])
 
 
+def _cone_topological_order(aig: Aig, root: int, cut: Cut) -> List[int]:
+    """AND nodes of the cone of ``root`` bounded by ``cut``, fanins first."""
+    order: List[int] = []
+    visited = set(cut)
+    stack: List[Tuple[int, bool]] = [(root, False)]
+    while stack:
+        node, emit = stack.pop()
+        if emit:
+            order.append(node)
+            continue
+        if node in visited:
+            continue
+        visited.add(node)
+        if not aig.is_and_node(node):
+            raise ValueError(f"node {node} is outside the cut cone but not a leaf")
+        fanin0, fanin1 = aig.fanins(node)
+        stack.append((node, True))
+        for fanin in (node_of(fanin1), node_of(fanin0)):
+            if fanin not in visited:
+                stack.append((fanin, False))
+    return order
+
+
 def cut_function(aig: Aig, root: int, cut: Cut) -> Tuple[TruthTable, List[int]]:
     """Return the function of ``root`` over the cut leaves.
 
     The leaves are ordered by node id; the returned list gives that order so
     the caller knows which truth-table variable corresponds to which leaf.
+    Results are memoised on the cone's local structure, so identical cones in
+    different AIGs (or in successive passes over the same design) share one
+    computation.
     """
     leaves = sorted(cut)
     num_vars = len(leaves)
+    if root in cut:
+        index = leaves.index(root)
+        return TruthTable.variable(index, num_vars), leaves
+
+    order = _cone_topological_order(aig, root, cut)
+
+    # Structural descriptor: every cone node encoded by its two fanin slots,
+    # each slot a (position, complement) pair where position indexes the
+    # sorted leaves followed by the cone nodes in topological order.
+    position: Dict[int, int] = {leaf: index for index, leaf in enumerate(leaves)}
+    descriptor: List[Tuple[int, int]] = []
+    for node in order:
+        fanin0, fanin1 = aig.fanins(node)
+        slot0 = position[node_of(fanin0)] * 2 + (1 if is_complemented(fanin0) else 0)
+        slot1 = position[node_of(fanin1)] * 2 + (1 if is_complemented(fanin1) else 0)
+        descriptor.append((slot0, slot1))
+        position[node] = len(position)
+    key = (num_vars, tuple(descriptor))
+
+    bits = _CONE_CACHE.get(key)
+    if bits is not None:
+        return TruthTable(num_vars, bits), leaves
+
     tables: Dict[int, TruthTable] = {
         leaf: TruthTable.variable(index, num_vars) for index, leaf in enumerate(leaves)
     }
-
-    def _table_of(node: int) -> TruthTable:
-        cached = tables.get(node)
-        if cached is not None:
-            return cached
-        if not aig.is_and_node(node):
-            raise ValueError(f"node {node} is outside the cut cone but not a leaf")
+    for node in order:
         fanin0, fanin1 = aig.fanins(node)
-        table0 = _table_of(node_of(fanin0))
+        table0 = tables[node_of(fanin0)]
         if is_complemented(fanin0):
             table0 = ~table0
-        table1 = _table_of(node_of(fanin1))
+        table1 = tables[node_of(fanin1)]
         if is_complemented(fanin1):
             table1 = ~table1
-        result = table0 & table1
-        tables[node] = result
-        return result
+        tables[node] = table0 & table1
 
-    return _table_of(root), leaves
+    result = tables[root]
+    if len(_CONE_CACHE) >= _CONE_CACHE_LIMIT:
+        _CONE_CACHE.clear()
+    _CONE_CACHE[key] = result.bits
+    return result, leaves
 
 
 def mffc_size(aig: Aig, root: int, cut: Cut, reference_counts: Dict[int, int]) -> int:

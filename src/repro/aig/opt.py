@@ -85,21 +85,40 @@ def balance(aig: Aig) -> Aig:
     return result.compact()
 
 
+#: (num_vars, bits) -> (factored expression, AND-node cost).  Algebraic
+#: factoring through ISOP is the single most expensive step of the rewrite
+#: and refactor passes, and the same small cut functions recur across every
+#: pass invocation and every Phase II genotype evaluation, so the cache is a
+#: process-wide singleton rather than per-pass state.  Expressions are
+#: immutable, making sharing safe; the bound keeps memory in check.
+_FACTORED_FORM_CACHE: Dict[Tuple[int, int], Tuple[Expression, int]] = {}
+_FACTORED_FORM_CACHE_LIMIT = 1 << 16
+
+
+def clear_factored_form_cache() -> None:
+    """Drop the global factored-form cache (mainly for tests/benchmarks)."""
+    _FACTORED_FORM_CACHE.clear()
+
+
+def factored_form_cache_size() -> int:
+    """Number of memoised factored forms currently held."""
+    return len(_FACTORED_FORM_CACHE)
+
+
 class _Resynthesizer:
     """Shared machinery: resynthesise a cut function and estimate its cost."""
-
-    def __init__(self) -> None:
-        self._expression_cache: Dict[Tuple[int, int], Tuple[Expression, int]] = {}
 
     def factored_form(self, table: TruthTable) -> Tuple[Expression, int]:
         """Return the factored expression of ``table`` and its AND-node cost."""
         key = (table.num_vars, table.bits)
-        cached = self._expression_cache.get(key)
+        cached = _FACTORED_FORM_CACHE.get(key)
         if cached is not None:
             return cached
         expression = factor_table(table)
         cost = self._count_cost(expression, table.num_vars)
-        self._expression_cache[key] = (expression, cost)
+        if len(_FACTORED_FORM_CACHE) >= _FACTORED_FORM_CACHE_LIMIT:
+            _FACTORED_FORM_CACHE.clear()
+        _FACTORED_FORM_CACHE[key] = (expression, cost)
         return expression, cost
 
     @staticmethod

@@ -17,6 +17,10 @@ Reproduce Figure 4::
 Run the adversary analysis on a small obfuscated design::
 
     python -m repro.cli attack --count 2
+
+The experiment commands accept ``--jobs N`` to spread synthesis work over N
+worker processes (default: the ``REPRO_JOBS`` environment variable, else
+serial).  Seeded results are identical for every ``--jobs`` value.
 """
 
 from __future__ import annotations
@@ -35,8 +39,14 @@ from .evaluation.workloads import (
     workload_functions,
 )
 from .flow.obfuscate import obfuscate
-from .flow.report import SolverStatsRow, format_solver_stats
+from .flow.report import (
+    CacheStatsRow,
+    SolverStatsRow,
+    format_cache_stats,
+    format_solver_stats,
+)
 from .ga.engine import GAParameters
+from .parallel import resolve_jobs
 from .netlist.verilog import write_verilog
 from .netlist.blif import write_blif
 from .synth.area import area_report
@@ -72,15 +82,24 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="write the camouflaged netlist to this BLIF file")
     obfuscate_parser.add_argument("--report", action="store_true",
                                   help="print the per-cell area report")
+    obfuscate_parser.add_argument("--jobs", type=int, default=0,
+                                  help="worker processes for fitness evaluation "
+                                       "(0 = REPRO_JOBS env var, else serial)")
 
     table_parser = subparsers.add_parser("table1", help="reproduce Table I")
     table_parser.add_argument("--profile", type=str, default="",
                               help="experiment profile (quick, medium, paper)")
     table_parser.add_argument("--seed", type=int, default=1)
+    table_parser.add_argument("--jobs", type=int, default=0,
+                              help="worker processes for the sweep "
+                                   "(0 = REPRO_JOBS env var, else serial)")
 
     figure_parser = subparsers.add_parser("figure4", help="reproduce Figure 4a/4b")
     figure_parser.add_argument("--profile", type=str, default="")
     figure_parser.add_argument("--seed", type=int, default=11)
+    figure_parser.add_argument("--jobs", type=int, default=0,
+                               help="worker processes for the sweeps "
+                                    "(0 = REPRO_JOBS env var, else serial)")
 
     attack_parser = subparsers.add_parser(
         "attack", help="run the adversary's plausibility analysis on a small design"
@@ -98,7 +117,9 @@ def _command_obfuscate(args: argparse.Namespace) -> int:
     parameters = GAParameters(
         population_size=args.population, generations=args.generations, seed=args.seed
     )
-    result = obfuscate(functions, ga_parameters=parameters)
+    result = obfuscate(
+        functions, ga_parameters=parameters, jobs=resolve_jobs(args.jobs or None)
+    )
     print(result.summary())
     if args.report:
         print()
@@ -116,9 +137,25 @@ def _command_obfuscate(args: argparse.Namespace) -> int:
 
 def _command_table1(args: argparse.Namespace) -> int:
     profile = get_profile(args.profile)
-    entries = run_table1(profile=profile, seed=args.seed, progress=print)
+    jobs = resolve_jobs(args.jobs or None)
+    entries = run_table1(profile=profile, seed=args.seed, progress=print, jobs=jobs)
     print()
     print(table1_text(entries, profile_name=profile.name))
+    # Mirror run_table1's budget split: in a parallel sweep each row runs
+    # with the leftover per-row worker budget, not the outer --jobs value.
+    row_jobs = max(1, jobs // len(entries)) if jobs > 1 and len(entries) > 1 else jobs
+    cache_rows = [
+        CacheStatsRow.from_stats(
+            f"{entry.row.circuit} x{entry.row.num_functions}",
+            entry.obfuscation.pin_optimization.cache_stats,
+            jobs=row_jobs,
+        )
+        for entry in entries
+        if entry.obfuscation.pin_optimization is not None
+    ]
+    if cache_rows:
+        print()
+        print(format_cache_stats(cache_rows, title="fitness-cache work (GA, parent process):"))
     ok = all(entry.verification_ok for entry in entries)
     print()
     print("validation:", "all viable functions realisable" if ok else "FAILURES present")
@@ -127,10 +164,11 @@ def _command_table1(args: argparse.Namespace) -> int:
 
 def _command_figure4(args: argparse.Namespace) -> int:
     profile = get_profile(args.profile)
-    data_a = run_figure4a(profile=profile, seed=args.seed)
+    jobs = resolve_jobs(args.jobs or None)
+    data_a = run_figure4a(profile=profile, seed=args.seed, jobs=jobs)
     print(data_a.to_text())
     print()
-    data_b = run_figure4b(profile=profile, seed=args.seed)
+    data_b = run_figure4b(profile=profile, seed=args.seed, jobs=jobs)
     print(data_b.to_text())
     return 0
 

@@ -4,10 +4,12 @@ from .figure4 import Figure4aData, Figure4bData, run_figure4a, run_figure4b
 from .table1 import Table1Entry, run_table1, run_table1_entry, table1_text
 from .workloads import (
     DES_FAMILY,
+    JOBS_ENV_VAR,
     PRESENT_FAMILY,
     PROFILES,
     ExperimentProfile,
     get_profile,
+    resolve_jobs,
     workload_functions,
 )
 
@@ -16,6 +18,8 @@ __all__ = [
     "PROFILES",
     "get_profile",
     "workload_functions",
+    "resolve_jobs",
+    "JOBS_ENV_VAR",
     "PRESENT_FAMILY",
     "DES_FAMILY",
     "Table1Entry",

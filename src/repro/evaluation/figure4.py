@@ -19,6 +19,7 @@ from typing import List, Optional, Tuple
 
 from ..ga.pinopt import PinAssignmentProblem, optimize_pin_assignment
 from ..ga.random_search import RandomSearchResult, random_pin_search
+from ..parallel import resolve_jobs
 from .workloads import PRESENT_FAMILY, ExperimentProfile, get_profile, workload_functions
 
 __all__ = ["Figure4aData", "Figure4bData", "run_figure4a", "run_figure4b"]
@@ -99,16 +100,26 @@ def run_figure4a(
     num_samples: Optional[int] = None,
     seed: int = 11,
     bin_width: float = 5.0,
+    jobs: Optional[int] = None,
 ) -> Figure4aData:
-    """Evaluate random pin assignments for the Fig. 4a histogram."""
+    """Evaluate random pin assignments for the Fig. 4a histogram.
+
+    ``jobs`` (default: ``REPRO_JOBS``, else serial) parallelises the
+    synthesis of the random batch; the histogram is identical either way.
+    """
     profile = profile or get_profile()
+    jobs = resolve_jobs(jobs)
     functions = _figure4_functions(profile)
     if num_samples is None:
         num_samples = profile.random_samples or (
             profile.ga_population * (profile.ga_generations + 1)
         )
     result = random_pin_search(
-        functions, num_samples=num_samples, seed=seed, effort=profile.fitness_effort
+        functions,
+        num_samples=num_samples,
+        seed=seed,
+        effort=profile.fitness_effort,
+        jobs=jobs,
     )
     return Figure4aData(
         areas=result.areas,
@@ -122,9 +133,16 @@ def run_figure4a(
 def run_figure4b(
     profile: Optional[ExperimentProfile] = None,
     seed: int = 11,
+    jobs: Optional[int] = None,
 ) -> Figure4bData:
-    """Run the GA and the equal-budget random baseline for Fig. 4b."""
+    """Run the GA and the equal-budget random baseline for Fig. 4b.
+
+    ``jobs`` (default: ``REPRO_JOBS``, else serial) parallelises both the GA
+    fitness evaluations and the random baseline; the seeded series are
+    identical for every ``jobs`` value.
+    """
     profile = profile or get_profile()
+    jobs = resolve_jobs(jobs)
     functions = _figure4_functions(profile)
 
     optimization = optimize_pin_assignment(
@@ -132,6 +150,7 @@ def run_figure4b(
         parameters=profile.ga_parameters(seed=seed),
         effort=profile.fitness_effort,
         final_effort=profile.fitness_effort,
+        jobs=jobs,
     )
     history = optimization.ga_result.history
 
@@ -141,6 +160,7 @@ def run_figure4b(
         num_samples=max(1, num_random),
         seed=seed + 1000,
         effort=profile.fitness_effort,
+        jobs=jobs,
     )
 
     return Figure4bData(

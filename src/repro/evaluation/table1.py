@@ -9,6 +9,12 @@ For every (family, number of merged S-boxes) configuration the harness
 
 and reports the four areas plus the improvement of GA+TM over the best
 random assignment — the same columns as the paper's Table I.
+
+``jobs`` controls parallelism: :func:`run_table1_entry` spreads the fitness
+synthesis runs of one configuration over worker processes, while
+:func:`run_table1` evaluates whole rows (one merged-S-box configuration
+each) concurrently.  Every row is seeded independently, so the sweep result
+is bit-identical for any ``jobs`` setting.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from ..flow.obfuscate import ObfuscationResult, obfuscate_with_assignment
 from ..flow.report import AreaRow, format_table
 from ..ga.pinopt import PinAssignmentProblem, optimize_pin_assignment
 from ..ga.random_search import RandomSearchResult, random_pin_search
+from ..parallel import parallel_map, resolve_jobs
 from .workloads import (
     DES_FAMILY,
     PRESENT_FAMILY,
@@ -48,9 +55,16 @@ def run_table1_entry(
     profile: Optional[ExperimentProfile] = None,
     seed: int = 1,
     verify: bool = True,
+    jobs: Optional[int] = None,
 ) -> Table1Entry:
-    """Run one row of Table I (one merged S-box configuration)."""
+    """Run one row of Table I (one merged S-box configuration).
+
+    ``jobs`` (default: the ``REPRO_JOBS`` environment variable, else serial)
+    parallelises the GA fitness evaluations and the random baseline of this
+    single configuration; the result is identical for every ``jobs`` value.
+    """
     profile = profile or get_profile()
+    jobs = resolve_jobs(jobs)
     functions = workload_functions(family, count)
 
     optimization = optimize_pin_assignment(
@@ -58,6 +72,7 @@ def run_table1_entry(
         parameters=profile.ga_parameters(seed=seed),
         effort=profile.fitness_effort,
         final_effort=profile.final_effort,
+        jobs=jobs,
     )
     ga_area = optimization.best_area
 
@@ -68,6 +83,7 @@ def run_table1_entry(
         num_samples=max(1, num_random),
         seed=seed + 1000,
         problem=problem,
+        jobs=jobs,
     )
 
     obfuscation = obfuscate_with_assignment(
@@ -95,24 +111,56 @@ def run_table1_entry(
     )
 
 
+def _run_entry_task(task: Tuple) -> Table1Entry:
+    """Worker-process task: run one Table I row (module-level so it pickles).
+
+    ``entry_jobs`` is the leftover worker budget this row may use for its own
+    fitness evaluations (nested pools are supported; 1 means serial)."""
+    family, count, profile, seed, verify, entry_jobs = task
+    return run_table1_entry(
+        family, count, profile=profile, seed=seed, verify=verify, jobs=entry_jobs
+    )
+
+
 def run_table1(
     profile: Optional[ExperimentProfile] = None,
     families: Optional[Sequence[Tuple[str, int]]] = None,
     seed: int = 1,
     verify: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = None,
 ) -> List[Table1Entry]:
-    """Run the full Table I sweep for the selected profile."""
+    """Run the full Table I sweep for the selected profile.
+
+    With ``jobs > 1`` the rows of the sweep (each an independent, seeded
+    experiment) are evaluated concurrently in worker processes; entries are
+    returned in sweep order and are identical to a serial run.
+    """
     profile = profile or get_profile()
+    jobs = resolve_jobs(jobs)
     if families is None:
         families = [(PRESENT_FAMILY, count) for count in profile.present_counts]
         families += [(DES_FAMILY, count) for count in profile.des_counts]
+    if jobs > 1 and len(families) > 1:
+        if progress is not None:
+            for family, count in families:
+                progress(f"Table I: {family} x{count} (queued, jobs={jobs})")
+        # Rows run in parallel; any leftover worker budget beyond the row
+        # count is handed down to each row's own fitness evaluation.
+        entry_jobs = max(1, jobs // len(families))
+        tasks = [
+            (family, count, profile, seed, verify, entry_jobs)
+            for family, count in families
+        ]
+        return parallel_map(_run_entry_task, tasks, jobs=jobs)
     entries: List[Table1Entry] = []
     for family, count in families:
         if progress is not None:
             progress(f"Table I: {family} x{count}")
         entries.append(
-            run_table1_entry(family, count, profile=profile, seed=seed, verify=verify)
+            run_table1_entry(
+                family, count, profile=profile, seed=seed, verify=verify, jobs=jobs
+            )
         )
     return entries
 

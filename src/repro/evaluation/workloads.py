@@ -6,6 +6,12 @@ synthesiser.  The benchmark harness therefore supports profiles that scale
 the GA budget and the sweep while preserving every comparison the paper
 makes.  The profile is selected with the ``REPRO_PROFILE`` environment
 variable (``quick`` — the default, ``medium``, or ``paper``).
+
+The worker count of the parallel harnesses (``--jobs`` on the CLI, the
+``jobs`` arguments of :mod:`repro.evaluation.table1` and
+:mod:`repro.evaluation.figure4`) defaults to the ``REPRO_JOBS`` environment
+variable via :func:`resolve_jobs`; seeded results are identical for every
+``jobs`` value.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..ga.engine import GAParameters
 from ..logic.boolfunc import BoolFunction
+from ..parallel import JOBS_ENV_VAR, resolve_jobs
 from ..sboxes.des import des_sboxes
 from ..sboxes.optimal4 import optimal_sboxes
 
@@ -24,6 +31,8 @@ __all__ = [
     "PROFILES",
     "get_profile",
     "workload_functions",
+    "resolve_jobs",
+    "JOBS_ENV_VAR",
     "PRESENT_FAMILY",
     "DES_FAMILY",
 ]

@@ -119,8 +119,13 @@ def obfuscate(
     max_cover_depth: int = 2,
     verify: bool = True,
     progress: Optional[Callable[[GenerationStats], None]] = None,
+    jobs: int = 1,
 ) -> ObfuscationResult:
-    """Run the full three-phase flow (GA pin optimisation included)."""
+    """Run the full three-phase flow (GA pin optimisation included).
+
+    ``jobs`` parallelises the Phase II fitness evaluations across worker
+    processes (1 = serial); seeded results are identical for every value.
+    """
     if not functions:
         raise ValueError("at least one viable function is required")
     library = library or standard_cell_library()
@@ -133,6 +138,7 @@ def obfuscate(
         effort=fitness_effort,
         final_effort=final_effort,
         progress=progress,
+        jobs=jobs,
     )
     result = obfuscate_with_assignment(
         functions,

@@ -11,6 +11,12 @@ Table I is laid out.
 statistics of the incremental SAT solvers that power the adversary stack
 (conflicts / decisions / propagations per workload), which the attack
 benchmarks and the CLI surface alongside the hardness numbers.
+
+:class:`CacheStatsRow` / :func:`format_cache_stats` do the same for the
+synthesis-side fitness caches of Phase II (genotype-level hits, canonical
+signature hits, actual synthesis runs, worker count), so the experiment
+harnesses can report how much synthesis work batching and memoisation
+avoided — the synthesis-side counterpart of the solver-work table.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ __all__ = [
     "format_table",
     "SolverStatsRow",
     "format_solver_stats",
+    "CacheStatsRow",
+    "format_cache_stats",
 ]
 
 
@@ -135,5 +143,81 @@ def format_solver_stats(
         lines.append(
             f"{row.label:<24}{row.solve_calls:>7}{row.conflicts:>11}"
             f"{row.decisions:>11}{row.propagations:>10}{row.learned_clauses:>9}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class CacheStatsRow:
+    """Fitness-cache counters for one Phase II workload.
+
+    ``evaluations`` is the number of actual synthesis runs; ``genotype_hits``
+    and ``signature_hits`` count evaluations served by the genotype cache and
+    the canonical-signature cache respectively (see
+    :meth:`repro.ga.pinopt.PinAssignmentProblem.cache_stats`).  When the run
+    used worker processes, the counters reflect the parent process only.
+    """
+
+    label: str
+    evaluations: int
+    genotype_hits: int = 0
+    signature_hits: int = 0
+    jobs: int = 1
+
+    @property
+    def requests(self) -> int:
+        """Total fitness requests the counters account for."""
+        return self.evaluations + self.genotype_hits + self.signature_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of fitness requests served without synthesis."""
+        requests = self.requests
+        if requests == 0:
+            return 0.0
+        return (self.genotype_hits + self.signature_hits) / requests
+
+    @classmethod
+    def from_stats(
+        cls, label: str, stats: Mapping[str, int], jobs: int = 1
+    ) -> "CacheStatsRow":
+        """Build a row from :meth:`PinAssignmentProblem.cache_stats` output."""
+        return cls(
+            label=label,
+            evaluations=stats.get("evaluations", 0),
+            genotype_hits=stats.get("genotype_hits", 0),
+            signature_hits=stats.get("signature_hits", 0),
+            jobs=jobs,
+        )
+
+    def as_dict(self) -> dict:
+        """Return the row as a plain dictionary (for JSON dumps)."""
+        return {
+            "label": self.label,
+            "evaluations": self.evaluations,
+            "genotype_hits": self.genotype_hits,
+            "signature_hits": self.signature_hits,
+            "hit_rate": self.hit_rate,
+            "jobs": self.jobs,
+        }
+
+
+def format_cache_stats(
+    rows: Iterable[CacheStatsRow], title: Optional[str] = None
+) -> str:
+    """Render fitness-cache rows as a small aligned table."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'Workload':<24}{'Synth':>7}{'GenoHits':>10}{'SigHits':>9}"
+        f"{'HitRate':>9}{'Jobs':>6}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row.label:<24}{row.evaluations:>7}{row.genotype_hits:>10}"
+            f"{row.signature_hits:>9}{100 * row.hit_rate:>8.1f}%{row.jobs:>6}"
         )
     return "\n".join(lines)

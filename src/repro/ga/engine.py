@@ -5,6 +5,14 @@ It evolves a population of genotypes (lists of integers) under user-supplied
 ``sample``, ``evaluate``, ``crossover`` and ``mutate`` callables, with
 tournament selection, elitism, a hall of fame, and per-generation statistics.
 Fitness is minimised (the paper's fitness is synthesised area).
+
+Evaluation is batched per generation: the population is deduplicated by
+genotype, cached fitnesses are reused, and only the unseen genotypes are
+evaluated — concurrently across worker processes when ``jobs > 1`` (the
+``evaluate`` callable must then be picklable).  Because the evaluation
+function is required to be pure and results are applied in deterministic
+order, a seeded run produces bit-identical results for every ``jobs``
+setting.
 """
 
 from __future__ import annotations
@@ -12,6 +20,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..parallel import WorkerPool
 
 __all__ = ["GAParameters", "GenerationStats", "GAResult", "GeneticAlgorithm"]
 
@@ -47,7 +57,13 @@ class GAParameters:
 
 @dataclass
 class GenerationStats:
-    """Fitness statistics for one generation."""
+    """Fitness statistics for one generation.
+
+    ``cache_hits`` counts fitness lookups served from the engine's genotype
+    cache; ``cache_misses`` (the actual evaluation calls) is by construction
+    the same number as ``evaluations_so_far`` and is exposed as a derived
+    property so the two can never drift apart.
+    """
 
     generation: int
     best: float
@@ -55,6 +71,12 @@ class GenerationStats:
     worst: float
     best_so_far: float
     evaluations_so_far: int
+    cache_hits: int = 0
+
+    @property
+    def cache_misses(self) -> int:
+        """Fitness requests that required an actual evaluation."""
+        return self.evaluations_so_far
 
 
 @dataclass
@@ -84,33 +106,71 @@ class GeneticAlgorithm:
         mutate: Callable[[Genotype, random.Random], Genotype],
         parameters: Optional[GAParameters] = None,
         hall_of_fame_size: int = 5,
+        jobs: int = 1,
     ):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
         self._sample = sample
         self._evaluate_raw = evaluate
         self._crossover = crossover
         self._mutate = mutate
         self.parameters = parameters or GAParameters()
         self._hall_of_fame_size = hall_of_fame_size
+        self.jobs = jobs
         self._fitness_cache: Dict[Tuple[int, ...], float] = {}
         self._evaluations = 0
+        self._cache_hits = 0
 
     # -------------------------------------------------------------- #
     # Fitness with memoisation
     # -------------------------------------------------------------- #
-    def _evaluate(self, genotype: Genotype) -> float:
-        key = tuple(genotype)
-        cached = self._fitness_cache.get(key)
-        if cached is not None:
-            return cached
-        fitness = float(self._evaluate_raw(genotype))
-        self._fitness_cache[key] = fitness
-        self._evaluations += 1
-        return fitness
+    def _evaluate_batch(
+        self, genotypes: Sequence[Genotype], pool: Optional[WorkerPool]
+    ) -> List[Tuple[Genotype, float]]:
+        """Evaluate one generation: dedupe, reuse the cache, batch the rest.
+
+        Unseen genotypes are evaluated in first-occurrence order (possibly
+        across worker processes); the returned population preserves the input
+        order, so results are identical to evaluating serially one by one.
+        """
+        keys = [tuple(genotype) for genotype in genotypes]
+        unseen: List[Tuple[int, ...]] = []
+        scheduled = set()
+        for key in keys:
+            if key not in self._fitness_cache and key not in scheduled:
+                scheduled.add(key)
+                unseen.append(key)
+        self._cache_hits += len(keys) - len(unseen)
+        if unseen:
+            if pool is not None and len(unseen) > 1:
+                results = pool.map([list(key) for key in unseen])
+            else:
+                results = [self._evaluate_raw(list(key)) for key in unseen]
+            for key, fitness in zip(unseen, results):
+                self._fitness_cache[key] = float(fitness)
+                self._evaluations += 1
+        return [
+            (genotype, self._fitness_cache[key])
+            for genotype, key in zip(genotypes, keys)
+        ]
 
     @property
     def evaluations(self) -> int:
         """Number of distinct fitness evaluations performed so far."""
         return self._evaluations
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of fitness lookups served from the genotype cache."""
+        return self._cache_hits
+
+    def cached_fitnesses(self) -> List[Tuple[Tuple[int, ...], float]]:
+        """All (genotype key, fitness) pairs the engine has evaluated.
+
+        With ``jobs > 1`` the evaluations happened in worker processes; this
+        is how callers feed the results back into their own shared caches.
+        """
+        return list(self._fitness_cache.items())
 
     # -------------------------------------------------------------- #
     # Selection
@@ -146,45 +206,52 @@ class GeneticAlgorithm:
         while len(genotypes) < params.population_size:
             genotypes.append(self._sample(rng))
 
-        population = [(genotype, self._evaluate(genotype)) for genotype in genotypes]
-        history: List[GenerationStats] = []
-        hall: List[Tuple[Genotype, float]] = []
+        pool: Optional[WorkerPool] = None
+        if self.jobs > 1:
+            pool = WorkerPool(self._evaluate_raw, jobs=self.jobs)
+        try:
+            population = self._evaluate_batch(genotypes, pool)
+            history: List[GenerationStats] = []
+            hall: List[Tuple[Genotype, float]] = []
 
-        best_so_far = min(population, key=lambda item: item[1])
-        self._update_hall(hall, population)
-        history.append(self._stats(0, population, best_so_far[1]))
-        if progress is not None:
-            progress(history[-1])
-
-        for generation in range(1, params.generations + 1):
-            offspring: List[Genotype] = []
-            # Elitism: carry over the best individuals unchanged.
-            elite = sorted(population, key=lambda item: item[1])[: params.elite_count]
-            offspring.extend(list(genotype) for genotype, _ in elite)
-
-            while len(offspring) < params.population_size:
-                parent_a = self._tournament(population, rng)
-                parent_b = self._tournament(population, rng)
-                if rng.random() < params.crossover_probability:
-                    child_a, child_b = self._crossover(parent_a, parent_b, rng)
-                else:
-                    child_a, child_b = list(parent_a), list(parent_b)
-                if rng.random() < params.mutation_probability:
-                    child_a = self._mutate(child_a, rng)
-                if rng.random() < params.mutation_probability:
-                    child_b = self._mutate(child_b, rng)
-                offspring.append(child_a)
-                if len(offspring) < params.population_size:
-                    offspring.append(child_b)
-
-            population = [(genotype, self._evaluate(genotype)) for genotype in offspring]
-            candidate = min(population, key=lambda item: item[1])
-            if candidate[1] < best_so_far[1]:
-                best_so_far = (list(candidate[0]), candidate[1])
+            best_so_far = min(population, key=lambda item: item[1])
             self._update_hall(hall, population)
-            history.append(self._stats(generation, population, best_so_far[1]))
+            history.append(self._stats(0, population, best_so_far[1]))
             if progress is not None:
                 progress(history[-1])
+
+            for generation in range(1, params.generations + 1):
+                offspring: List[Genotype] = []
+                # Elitism: carry over the best individuals unchanged.
+                elite = sorted(population, key=lambda item: item[1])[: params.elite_count]
+                offspring.extend(list(genotype) for genotype, _ in elite)
+
+                while len(offspring) < params.population_size:
+                    parent_a = self._tournament(population, rng)
+                    parent_b = self._tournament(population, rng)
+                    if rng.random() < params.crossover_probability:
+                        child_a, child_b = self._crossover(parent_a, parent_b, rng)
+                    else:
+                        child_a, child_b = list(parent_a), list(parent_b)
+                    if rng.random() < params.mutation_probability:
+                        child_a = self._mutate(child_a, rng)
+                    if rng.random() < params.mutation_probability:
+                        child_b = self._mutate(child_b, rng)
+                    offspring.append(child_a)
+                    if len(offspring) < params.population_size:
+                        offspring.append(child_b)
+
+                population = self._evaluate_batch(offspring, pool)
+                candidate = min(population, key=lambda item: item[1])
+                if candidate[1] < best_so_far[1]:
+                    best_so_far = (list(candidate[0]), candidate[1])
+                self._update_hall(hall, population)
+                history.append(self._stats(generation, population, best_so_far[1]))
+                if progress is not None:
+                    progress(history[-1])
+        finally:
+            if pool is not None:
+                pool.close()
 
         return GAResult(
             best_genotype=list(best_so_far[0]),
@@ -211,6 +278,7 @@ class GeneticAlgorithm:
             worst=max(fitnesses),
             best_so_far=best_so_far,
             evaluations_so_far=self._evaluations,
+            cache_hits=self._cache_hits,
         )
 
     def _update_hall(

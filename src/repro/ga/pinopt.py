@@ -3,8 +3,21 @@
 The fitness of a pin assignment is the gate-equivalent area of the merged
 circuit after synthesis — exactly the loop the paper runs with DEAP driving
 ABC.  Synthesis is by far the dominant cost, so fitness evaluations are
-cached by genotype (the GA engine also caches, but the problem object keeps
-its own cache so random search and the GA can share evaluations).
+cached at two levels:
+
+* by **genotype** (the GA engine also caches, but the problem object keeps
+  its own cache so random search and the GA can share evaluations), and
+* by **canonical signature** of the merged design: the packed truth tables
+  of the merged function.  Pin-assignment symmetries (permutations a viable
+  function is invariant under, compositions that cancel out) collapse many
+  distinct genotypes onto the same merged circuit, and such genotypes never
+  re-synthesize — the cached area is exact because synthesis is a pure
+  function of the merged truth tables.
+
+Hit/miss counters for both levels are exposed via
+:meth:`PinAssignmentProblem.cache_stats`.  ``optimize_pin_assignment``
+accepts ``jobs`` to evaluate each generation's unseen genotypes across
+worker processes; seeded results are bit-identical for every ``jobs`` value.
 """
 
 from __future__ import annotations
@@ -51,7 +64,10 @@ class PinAssignmentProblem:
         segment_sizes = [self.num_inputs] * len(functions) + [self.num_outputs] * len(functions)
         self.space = SegmentedPermutationSpace(segment_sizes)
         self._area_cache: Dict[Tuple[int, ...], float] = {}
+        self._signature_cache: Dict[Tuple[int, ...], float] = {}
         self.evaluations = 0
+        self.genotype_hits = 0
+        self.signature_hits = 0
 
     # -------------------------------------------------------------- #
     # Genotype plumbing
@@ -79,22 +95,69 @@ class PinAssignmentProblem:
     # -------------------------------------------------------------- #
     # Fitness
     # -------------------------------------------------------------- #
+    def _merged_design(self, genotype: Sequence[int]) -> MergedDesign:
+        """The merged design a genotype describes (the single place where a
+        genotype becomes a circuit — evaluation, signatures and synthesis all
+        go through here so they can never disagree)."""
+        assignment = self.assignment_from_genotype(genotype)
+        return merge_functions(self.functions, assignment)
+
     def synthesize_genotype(self, genotype: Sequence[int]) -> SynthesisResult:
         """Synthesise the merged circuit for a genotype (not cached)."""
-        assignment = self.assignment_from_genotype(genotype)
-        design = merge_functions(self.functions, assignment)
+        design = self._merged_design(genotype)
         return synthesize(design.function, library=self.library, effort=self.effort)
+
+    def canonical_signature(self, genotype: Sequence[int]) -> Tuple[int, ...]:
+        """Canonical key of the merged circuit a genotype produces.
+
+        The signature is the merged function itself (input count plus the
+        packed truth-table bits of every output), so two genotypes share a
+        signature exactly when they merge to the same circuit — the condition
+        under which their synthesised areas are provably equal.
+        """
+        return self._signature_of(self._merged_design(genotype).function)
+
+    @staticmethod
+    def _signature_of(function: BoolFunction) -> Tuple[int, ...]:
+        return (function.num_inputs,) + tuple(table.bits for table in function.outputs)
 
     def evaluate(self, genotype: Sequence[int]) -> float:
         """Synthesised area (GE) of the merged circuit for this genotype."""
         key = tuple(genotype)
         cached = self._area_cache.get(key)
         if cached is not None:
+            self.genotype_hits += 1
             return cached
-        result = self.synthesize_genotype(genotype)
-        self._area_cache[key] = result.area
-        self.evaluations += 1
-        return result.area
+        design = self._merged_design(genotype)
+        signature = self._signature_of(design.function)
+        area = self._signature_cache.get(signature)
+        if area is not None:
+            self.signature_hits += 1
+        else:
+            result = synthesize(design.function, library=self.library, effort=self.effort)
+            area = result.area
+            self._signature_cache[signature] = area
+            self.evaluations += 1
+        self._area_cache[key] = area
+        return area
+
+    def store(self, genotype: Sequence[int], area: float) -> None:
+        """Prime the genotype cache with an externally computed area.
+
+        Used by parallel sweeps to feed results evaluated in worker processes
+        back into the shared cache without re-synthesizing.
+        """
+        self._area_cache[tuple(genotype)] = float(area)
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters and sizes of the two fitness-cache levels."""
+        return {
+            "evaluations": self.evaluations,
+            "genotype_hits": self.genotype_hits,
+            "signature_hits": self.signature_hits,
+            "genotype_entries": len(self._area_cache),
+            "signature_entries": len(self._signature_cache),
+        }
 
     # -------------------------------------------------------------- #
     # GA operators
@@ -127,10 +190,12 @@ class PinOptimizationResult:
     synthesis: SynthesisResult
     ga_result: GAResult
     history: List[GenerationStats] = field(default_factory=list)
+    #: Fitness-cache counters from :meth:`PinAssignmentProblem.cache_stats`.
+    cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def evaluations(self) -> int:
-        """Number of synthesis runs performed by the GA."""
+        """Number of distinct genotypes the GA evaluated."""
         return self.ga_result.evaluations
 
 
@@ -142,12 +207,15 @@ def optimize_pin_assignment(
     final_effort: str = SynthesisEffort.STANDARD,
     seed_identity: bool = True,
     progress: Optional[Callable[[GenerationStats], None]] = None,
+    jobs: int = 1,
 ) -> PinOptimizationResult:
     """Run the Phase II genetic algorithm and return the best pin assignment.
 
     ``effort`` controls the synthesis effort used inside the fitness loop
     (fast by default, as in an exploration loop); ``final_effort`` is used
-    for the one final synthesis of the winning assignment.
+    for the one final synthesis of the winning assignment.  ``jobs`` sets the
+    number of worker processes used for fitness evaluation (1 = serial);
+    seeded results are identical for every ``jobs`` value.
     """
     problem = PinAssignmentProblem(functions, library=library, effort=effort)
     parameters = parameters or GAParameters()
@@ -157,9 +225,30 @@ def optimize_pin_assignment(
         crossover=problem.crossover,
         mutate=problem.mutate,
         parameters=parameters,
+        jobs=jobs,
     )
     initial = [problem.space.identity_genotype()] if seed_identity else None
     ga_result = engine.run(initial_population=initial, progress=progress)
+
+    if jobs > 1:
+        # Some (possibly all) fitness evaluations ran in worker processes,
+        # invisible to the parent problem object: feed the engine's results
+        # back into the shared cache (restoring GA <-> random-search
+        # sharing).
+        for key, fitness in engine.cached_fitnesses():
+            problem.store(key, fitness)
+    stats = problem.cache_stats()
+    # Distinct evaluations the parent's counters did not see ran in worker
+    # processes; count them as synthesis runs (worker-local signature hits
+    # are not observable, so this is an upper bound on actual synths).
+    # Evaluations the pool ran inline (clamped workers, single-item batches)
+    # are already in the parent's counters and must not be double-counted.
+    worker_evaluations = engine.evaluations - stats["evaluations"] - stats["signature_hits"]
+    if worker_evaluations > 0:
+        stats["evaluations"] += worker_evaluations
+    # The engine's genotype cache shields the problem object from duplicate
+    # requests, so the engine-level hits are part of the workload's total.
+    stats["genotype_hits"] += engine.cache_hits
 
     best_assignment = problem.assignment_from_genotype(ga_result.best_genotype)
     merged = merge_functions(functions, best_assignment)
@@ -172,4 +261,5 @@ def optimize_pin_assignment(
         synthesis=final,
         ga_result=ga_result,
         history=list(ga_result.history),
+        cache_stats=stats,
     )

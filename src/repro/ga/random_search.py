@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 from ..logic.boolfunc import BoolFunction
 from ..merge.pinassign import PinAssignment
 from ..netlist.library import CellLibrary
+from ..parallel import parallel_map
 from ..synth.script import SynthesisEffort
 from .pinopt import PinAssignmentProblem
 
@@ -52,8 +53,14 @@ def random_pin_search(
     effort: str = SynthesisEffort.FAST,
     problem: Optional[PinAssignmentProblem] = None,
     include_identity: bool = False,
+    jobs: int = 1,
 ) -> RandomSearchResult:
-    """Evaluate ``num_samples`` random pin assignments and summarise the areas."""
+    """Evaluate ``num_samples`` random pin assignments and summarise the areas.
+
+    ``jobs > 1`` spreads the synthesis runs over worker processes; the
+    genotype batch is drawn from the seeded RNG up front, so the result is
+    identical for every ``jobs`` value.
+    """
     if num_samples < 1:
         raise ValueError("num_samples must be at least 1")
     if problem is None:
@@ -66,11 +73,19 @@ def random_pin_search(
     while len(genotypes) < num_samples:
         genotypes.append(problem.random_genotype(rng))
 
+    if jobs > 1:
+        evaluated = parallel_map(problem.evaluate, genotypes, jobs=jobs)
+        # Feed the worker results back into the shared (parent) cache so a
+        # subsequent GA run on the same problem object still benefits.
+        for genotype, area in zip(genotypes, evaluated):
+            problem.store(genotype, area)
+    else:
+        evaluated = [problem.evaluate(genotype) for genotype in genotypes]
+
     areas: List[float] = []
     best_area = float("inf")
     best_genotype = genotypes[0]
-    for genotype in genotypes:
-        area = problem.evaluate(genotype)
+    for genotype, area in zip(genotypes, evaluated):
         areas.append(area)
         if area < best_area:
             best_area = area

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from .._bitops import parity, popcount
 from .boolfunc import BoolFunction
 
 __all__ = [
@@ -76,7 +77,7 @@ def walsh_spectrum(
         for mask_out in range(cols):
             total = 0
             for x in range(rows):
-                sign = bin((mask_in & x) ^ _masked_parity_word(mask_out, table[x])).count("1") & 1
+                sign = parity((mask_in & x) ^ _masked_parity_word(mask_out, table[x]))
                 total += -1 if sign else 1
             spectrum[mask_in][mask_out] = total
     return spectrum
@@ -112,7 +113,7 @@ def algebraic_degree(table: Sequence[int], num_inputs: int, num_outputs: int) ->
         anf = _moebius_transform(values)
         for monomial, coefficient in enumerate(anf):
             if coefficient:
-                degree = max(degree, bin(monomial).count("1"))
+                degree = max(degree, popcount(monomial))
     return degree
 
 

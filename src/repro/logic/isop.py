@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .._bitops import popcount
 from .truthtable import TruthTable
 
 __all__ = ["Cube", "Cover", "isop", "cover_to_table"]
@@ -42,7 +43,7 @@ class Cube:
 
     def num_literals(self) -> int:
         """Return the number of literals in the cube."""
-        return bin(self.positive).count("1") + bin(self.negative).count("1")
+        return popcount(self.positive) + popcount(self.negative)
 
     def with_literal(self, var: int, is_positive: bool) -> "Cube":
         """Return a copy of the cube with one extra literal."""

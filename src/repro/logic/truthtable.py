@@ -24,6 +24,14 @@ from .._bitops import (
 
 __all__ = ["TruthTable"]
 
+#: Shared projection-function tables, keyed by ``(var, num_vars)``.  Variable
+#: tables are requested extremely often (every cut-function and subtree
+#: evaluation starts from them) and :class:`TruthTable` is immutable, so the
+#: instances can be shared freely.  The bound keeps pathological workloads
+#: from growing the cache without limit.
+_VARIABLE_CACHE: dict = {}
+_VARIABLE_CACHE_LIMIT = 4096
+
 
 class TruthTable:
     """An immutable Boolean function of ``num_vars`` inputs."""
@@ -53,8 +61,18 @@ class TruthTable:
 
     @classmethod
     def variable(cls, var: int, num_vars: int) -> "TruthTable":
-        """Return the projection function ``x_var`` on ``num_vars`` inputs."""
-        return cls(num_vars, variable_pattern(var, num_vars))
+        """Return the projection function ``x_var`` on ``num_vars`` inputs.
+
+        Instances are memoised (tables are immutable), which removes the
+        repeated pattern construction from the cut-enumeration hot path.
+        """
+        key = (var, num_vars)
+        cached = _VARIABLE_CACHE.get(key)
+        if cached is None:
+            cached = cls(num_vars, variable_pattern(var, num_vars))
+            if len(_VARIABLE_CACHE) < _VARIABLE_CACHE_LIMIT:
+                _VARIABLE_CACHE[key] = cached
+        return cached
 
     @classmethod
     def from_values(cls, values: Sequence[int]) -> "TruthTable":

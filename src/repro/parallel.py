@@ -1,0 +1,180 @@
+"""Process-pool helpers for the evaluation and synthesis sweeps.
+
+The Phase II search and the Table I / Figure 4 harnesses are embarrassingly
+parallel across genotypes and across workload rows: every task is a pure
+function of its inputs.  :class:`WorkerPool` wraps
+:class:`concurrent.futures.ProcessPoolExecutor` with the semantics those
+callers need:
+
+* **Deterministic result ordering** — ``map`` returns results in input
+  order, regardless of which worker finished first, so seeded runs are
+  bit-identical for any ``jobs`` setting.
+* **Serial fallback** — ``jobs=1`` (the default everywhere) never spawns a
+  process; the function is applied inline, which also keeps caches in the
+  calling process warm.
+* **Graceful degradation** — if worker processes cannot be used (pickling
+  failure, broken pool, restricted environment), the pool falls back to
+  serial execution instead of failing the experiment.
+
+The worker function is shipped to each worker once (via the pool
+initializer), not once per task, so a fitness callable carrying large
+problem state (S-box truth tables, cell libraries, caches) is pickled
+``jobs`` times per pool rather than once per genotype.
+
+The ``jobs`` count used by the CLI and the benchmark harness defaults to the
+``REPRO_JOBS`` environment variable (see :func:`resolve_jobs`).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import BrokenExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = [
+    "WorkerPool",
+    "parallel_map",
+    "resolve_jobs",
+    "available_cpus",
+    "JOBS_ENV_VAR",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def available_cpus() -> int:
+    """Number of CPUs usable by this process (at least 1)."""
+    getter = getattr(os, "process_cpu_count", None)
+    if getter is not None:
+        return max(1, getter() or 1)
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve an explicit or environment-provided worker count.
+
+    ``jobs`` wins when it is a positive integer; otherwise the ``REPRO_JOBS``
+    environment variable is consulted; otherwise the result is 1 (serial).
+    """
+    if jobs is not None and jobs > 0:
+        return jobs
+    raw = os.environ.get(JOBS_ENV_VAR, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return value if value > 0 else 1
+
+
+# The worker function is installed once per worker process by the pool
+# initializer and looked up by every subsequent task.
+_WORKER_FUNCTION: Optional[Callable] = None
+
+
+def _install_worker(function: Callable) -> None:
+    global _WORKER_FUNCTION
+    _WORKER_FUNCTION = function
+
+
+def _call_worker(item):
+    assert _WORKER_FUNCTION is not None, "worker pool initializer did not run"
+    return _WORKER_FUNCTION(item)
+
+
+class WorkerPool:
+    """An ordered ``map`` over a fixed function, optionally multi-process.
+
+    The pool is lazy: worker processes are only started on the first parallel
+    ``map`` call, and only when more than one worker is useful.  The number
+    of worker processes is clamped to the CPUs actually available unless
+    ``oversubscribe`` is set: every process past the core count merely
+    duplicates work (each worker warms its own memo caches), so on a small
+    machine a large ``jobs`` value silently degrades to what the hardware
+    can exploit — results are identical either way.  Use as a context
+    manager or call :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self, function: Callable[[T], R], jobs: int = 1, oversubscribe: bool = False
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self._function = function
+        self.jobs = jobs
+        self.workers = jobs if oversubscribe else min(jobs, available_cpus())
+        self._executor = None
+        self._broken = False
+
+    # -------------------------------------------------------------- #
+    # Mapping
+    # -------------------------------------------------------------- #
+    def map(self, items: Sequence[T]) -> List[R]:
+        """Apply the function to every item, returning results in order."""
+        items = list(items)
+        if self.workers <= 1 or self._broken or len(items) <= 1:
+            return [self._function(item) for item in items]
+        executor = self._ensure_executor()
+        if executor is None:
+            return [self._function(item) for item in items]
+        chunksize = max(1, len(items) // (self.workers * 4))
+        try:
+            return list(executor.map(_call_worker, items, chunksize=chunksize))
+        except (BrokenExecutor, pickle.PicklingError):
+            # Pool infrastructure failed (killed worker, unpicklable
+            # function/items): run the batch serially and stop trying to
+            # parallelise this pool.  Exceptions raised by the task function
+            # itself are NOT caught — they propagate unchanged, exactly as
+            # in a serial run, instead of silently re-running the batch.
+            self._broken = True
+            self._shutdown()
+            return [self._function(item) for item in items]
+
+    def _ensure_executor(self):
+        if self._executor is not None:
+            return self._executor
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_install_worker,
+                initargs=(self._function,),
+            )
+        except Exception:
+            self._broken = True
+            self._executor = None
+        return self._executor
+
+    # -------------------------------------------------------------- #
+    # Lifecycle
+    # -------------------------------------------------------------- #
+    def close(self) -> None:
+        """Shut down worker processes (idempotent)."""
+        self._shutdown()
+
+    def _shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def parallel_map(
+    function: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int = 1,
+    oversubscribe: bool = False,
+) -> List[R]:
+    """One-shot ordered parallel map (serial when ``jobs == 1``)."""
+    with WorkerPool(function, jobs=jobs, oversubscribe=oversubscribe) as pool:
+        return pool.map(list(items))

@@ -87,6 +87,20 @@ def _apply_pass(aig: Aig, pass_name: str) -> Aig:
     raise ValueError(f"unknown synthesis pass {pass_name!r}")
 
 
+def _aig_structure_key(aig: Aig) -> Tuple:
+    """A hashable key identifying the structure of a compacted AIG.
+
+    Two AIGs with the same key have identical inputs, AND fanins and output
+    literals, so every (deterministic, structure-driven) optimisation pass
+    provably produces the same result on both.
+    """
+    return (
+        aig.num_inputs,
+        tuple(aig.fanins(node) for node in aig.and_nodes()),
+        tuple(aig.outputs),
+    )
+
+
 def optimize_aig(
     aig: Aig,
     effort: str = SynthesisEffort.STANDARD,
@@ -98,16 +112,34 @@ def optimize_aig(
     The sequence is repeated up to ``max_rounds`` times, stopping early when a
     full round makes no further progress.  The best AIG seen (by AND count) is
     returned.
+
+    Per-pass fixed-point detection: every pass is a deterministic function of
+    the AIG structure, so when a pass is about to run on the exact structure
+    it already saw, the previous result is reused instead of re-running the
+    pass.  In particular a pass known to leave a structure unchanged is
+    skipped outright on that structure — the common case in the later rounds
+    of a converged script.  The returned AIG (and the recorded trace) are
+    identical to what the unmemoised loop would produce.
     """
     passes = SynthesisEffort.passes(effort)
     best = aig.compact()
     if trace is not None:
         trace.append(("strash", best.num_ands))
     current = best
+    current_key = _aig_structure_key(current)
+    # pass name -> (input structure key, output AIG, output structure key)
+    last_run: Dict[str, Tuple[Tuple, Aig, Tuple]] = {}
     for _ in range(max_rounds):
         round_start = best.num_ands
         for pass_name in passes:
-            current = _apply_pass(current, pass_name)
+            memo = last_run.get(pass_name)
+            if memo is not None and memo[0] == current_key:
+                current, current_key = memo[1], memo[2]
+            else:
+                current = _apply_pass(current, pass_name)
+                produced_key = _aig_structure_key(current)
+                last_run[pass_name] = (current_key, current, produced_key)
+                current_key = produced_key
             if trace is not None:
                 trace.append((pass_name, current.num_ands))
             if current.num_ands < best.num_ands:

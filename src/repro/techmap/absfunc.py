@@ -17,6 +17,20 @@ from ..netlist.netlist import CONST0_NET, CONST1_NET, Instance, Netlist
 
 __all__ = ["AbstractedFunctions", "abstract_select_functions", "subtree_output_function"]
 
+#: Structural subtree descriptor -> packed bits of the output function.  The
+#: camouflage cover enumerates many overlapping candidate subtrees per
+#: instance and re-runs on every mapping call; structurally identical
+#: subtrees (same cell functions, same wiring relative to the leaf order)
+#: always produce the same output table, so the computation is shared
+#: process-wide.  Bounded: cleared wholesale when full.
+_SUBTREE_CACHE: dict = {}
+_SUBTREE_CACHE_LIMIT = 1 << 15
+
+
+def clear_subtree_function_cache() -> None:
+    """Drop all memoised subtree output functions (mainly for tests)."""
+    _SUBTREE_CACHE.clear()
+
 
 @dataclass(frozen=True)
 class AbstractedFunctions:
@@ -51,22 +65,36 @@ def subtree_output_function(
     nets outside the subtree must appear in ``leaf_order``.
     """
     num_vars = len(leaf_order)
-    tables: Dict[str, TruthTable] = {
-        net: TruthTable.variable(index, num_vars) for index, net in enumerate(leaf_order)
-    }
-    tables.setdefault(CONST0_NET, TruthTable.constant(num_vars, False))
-    tables.setdefault(CONST1_NET, TruthTable.constant(num_vars, True))
+    # Slot assignment: leaves take 0..num_vars-1, the constant nets take the
+    # sentinel slots -1/-2 (unless they are themselves leaves), and every
+    # resolved instance output takes the next fresh slot.  The instances are
+    # scheduled with the same iterative resolution the evaluation uses, so
+    # the structural descriptor determines the output table exactly.
+    position: Dict[str, int] = {net: index for index, net in enumerate(leaf_order)}
+    position.setdefault(CONST0_NET, -1)
+    position.setdefault(CONST1_NET, -2)
 
     remaining = list(instances)
+    schedule: List[Instance] = []
+    descriptor: List[Tuple] = []
+    next_slot = num_vars
     progress = True
     while remaining and progress:
         progress = False
         still: List[Instance] = []
         for instance in remaining:
-            if all(net in tables for net in instance.inputs):
+            if all(net in position for net in instance.inputs):
                 cell = netlist.library[instance.cell]
-                operands = [tables[net] for net in instance.inputs]
-                tables[instance.output] = cell.function.compose(operands)
+                descriptor.append(
+                    (
+                        cell.function.num_vars,
+                        cell.function.bits,
+                        tuple(position[net] for net in instance.inputs),
+                    )
+                )
+                schedule.append(instance)
+                position[instance.output] = next_slot
+                next_slot += 1
                 progress = True
             else:
                 still.append(instance)
@@ -74,9 +102,30 @@ def subtree_output_function(
     if remaining:
         blocked = ", ".join(instance.name for instance in remaining)
         raise ValueError(f"subtree is not closed over its leaves (blocked: {blocked})")
-    if output_net not in tables:
+    output_slot = position.get(output_net)
+    if output_slot is None:
         raise ValueError(f"output net {output_net!r} is not produced by the subtree")
-    return tables[output_net]
+
+    key = (num_vars, tuple(descriptor), output_slot)
+    bits = _SUBTREE_CACHE.get(key)
+    if bits is not None:
+        return TruthTable(num_vars, bits)
+
+    tables: Dict[str, TruthTable] = {
+        net: TruthTable.variable(index, num_vars) for index, net in enumerate(leaf_order)
+    }
+    tables.setdefault(CONST0_NET, TruthTable.constant(num_vars, False))
+    tables.setdefault(CONST1_NET, TruthTable.constant(num_vars, True))
+    for instance in schedule:
+        cell = netlist.library[instance.cell]
+        operands = [tables[net] for net in instance.inputs]
+        tables[instance.output] = cell.function.compose(operands)
+
+    result = tables[output_net]
+    if len(_SUBTREE_CACHE) >= _SUBTREE_CACHE_LIMIT:
+        _SUBTREE_CACHE.clear()
+    _SUBTREE_CACHE[key] = result.bits
+    return result
 
 
 def abstract_select_functions(

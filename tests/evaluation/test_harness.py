@@ -64,6 +64,41 @@ class TestTable1:
         )
         assert len(entries) == 1
 
+    def test_entry_identical_across_jobs(self, tiny_profile, tiny_entry, monkeypatch):
+        # Force real worker processes even on a single-CPU host so the
+        # multiprocess path is what gets compared against the serial entry.
+        import repro.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 4)
+        parallel = run_table1_entry(
+            PRESENT_FAMILY, 2, profile=tiny_profile, seed=1, jobs=2
+        )
+        assert parallel.row.as_dict() == tiny_entry.row.as_dict()
+        assert parallel.ga_evaluations == tiny_entry.ga_evaluations
+        assert parallel.random_result.areas == tiny_entry.random_result.areas
+        serial_opt = tiny_entry.obfuscation.pin_optimization
+        parallel_opt = parallel.obfuscation.pin_optimization
+        assert (
+            parallel_opt.best_assignment.to_genotype()
+            == serial_opt.best_assignment.to_genotype()
+        )
+        assert parallel_opt.ga_result.history == serial_opt.ga_result.history
+
+    def test_sweep_identical_across_jobs(self, tiny_profile, monkeypatch):
+        import repro.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 4)
+        families = [(PRESENT_FAMILY, 2), (PRESENT_FAMILY, 3)]
+        serial = run_table1(
+            profile=tiny_profile, families=families, seed=3, verify=False, jobs=1
+        )
+        parallel = run_table1(
+            profile=tiny_profile, families=families, seed=3, verify=False, jobs=2
+        )
+        assert [entry.row.as_dict() for entry in serial] == [
+            entry.row.as_dict() for entry in parallel
+        ]
+
 
 class TestFigure4:
     def test_figure4a_histogram(self, tiny_profile):

@@ -1,0 +1,141 @@
+"""Parallel-evaluation determinism: seeded runs must be identical for every
+``jobs`` setting, and the fitness caches must never change a result."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ga.engine import GAParameters, GeneticAlgorithm
+from repro.ga.pinopt import PinAssignmentProblem, optimize_pin_assignment
+from repro.ga.random_search import random_pin_search
+from repro.logic.boolfunc import BoolFunction
+from repro.logic.truthtable import TruthTable
+
+
+def _small_functions():
+    """Two tiny same-shape functions (cheap enough to synthesise in tests)."""
+    f_and = BoolFunction([TruthTable(2, 0b1000)], name="and2")
+    f_or = BoolFunction([TruthTable(2, 0b1110)], name="or2")
+    return [f_and, f_or]
+
+
+def _run(jobs: int, seed: int = 9):
+    return optimize_pin_assignment(
+        _small_functions(),
+        parameters=GAParameters(population_size=6, generations=3, seed=seed),
+        effort="fast",
+        final_effort="fast",
+        jobs=jobs,
+    )
+
+
+class TestSeededDeterminismAcrossJobs:
+    def test_ga_result_identical_for_serial_and_parallel(self, monkeypatch):
+        # Force real worker processes even on a single-CPU host so the
+        # multiprocess path is what we compare against the serial run.
+        import repro.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 4)
+        serial = _run(jobs=1)
+        parallel = _run(jobs=4)
+        assert serial.ga_result.best_genotype == parallel.ga_result.best_genotype
+        assert serial.ga_result.best_fitness == parallel.ga_result.best_fitness
+        assert serial.ga_result.evaluations == parallel.ga_result.evaluations
+        assert serial.ga_result.history == parallel.ga_result.history
+        assert serial.ga_result.hall_of_fame == parallel.ga_result.hall_of_fame
+        assert serial.best_area == parallel.best_area
+        assert (
+            serial.best_assignment.to_genotype()
+            == parallel.best_assignment.to_genotype()
+        )
+
+    def test_random_search_identical_for_serial_and_parallel(self):
+        functions = _small_functions()
+        serial = random_pin_search(functions, num_samples=12, seed=5, jobs=1)
+        parallel = random_pin_search(functions, num_samples=12, seed=5, jobs=3)
+        assert serial.areas == parallel.areas
+        assert serial.best_area == parallel.best_area
+        assert (
+            serial.best_assignment.to_genotype()
+            == parallel.best_assignment.to_genotype()
+        )
+
+    def test_cache_stats_not_double_counted_when_clamped(self, monkeypatch):
+        # jobs>1 on a single-CPU host: the pool runs every batch inline in
+        # the parent, so the parent's counters already hold the truth and
+        # the engine's totals must not be added on top of them.
+        import repro.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 1)
+        result = _run(jobs=4)
+        stats = result.cache_stats
+        assert (
+            stats["evaluations"] + stats["signature_hits"]
+            == result.ga_result.evaluations
+        )
+
+    def test_cache_stats_count_worker_evaluations(self, monkeypatch):
+        import repro.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 4)
+        result = _run(jobs=4)
+        stats = result.cache_stats
+        # Worker-side evaluations are reported as synthesis runs; together
+        # with parent-side signature hits they cover every distinct genotype.
+        assert (
+            stats["evaluations"] + stats["signature_hits"]
+            == result.ga_result.evaluations
+        )
+        assert stats["evaluations"] > 0
+
+    def test_parallel_results_feed_shared_cache(self):
+        functions = _small_functions()
+        problem = PinAssignmentProblem(functions, effort="fast")
+        random_pin_search(
+            functions, num_samples=8, seed=5, problem=problem, jobs=2
+        )
+        stats = problem.cache_stats()
+        assert stats["genotype_entries"] >= 1
+
+
+class TestEngineBatchEvaluation:
+    def test_generation_stats_carry_cache_counters(self):
+        result = _run(jobs=1).ga_result
+        last = result.history[-1]
+        assert last.cache_misses == result.evaluations
+        assert last.cache_hits >= 0
+        # Cumulative counters must be monotone over generations.
+        for earlier, later in zip(result.history, result.history[1:]):
+            assert later.cache_hits >= earlier.cache_hits
+            assert later.cache_misses >= earlier.cache_misses
+
+    def test_duplicate_genotypes_counted_as_hits(self):
+        calls = []
+
+        def evaluate(genotype):
+            calls.append(tuple(genotype))
+            return float(sum(genotype))
+
+        engine = GeneticAlgorithm(
+            sample=lambda rng: [rng.randrange(3) for _ in range(4)],
+            evaluate=evaluate,
+            crossover=lambda a, b, rng: (list(a), list(b)),
+            mutate=lambda g, rng: list(g),
+            parameters=GAParameters(population_size=6, generations=2, seed=2),
+        )
+        result = engine.run()
+        # Every distinct genotype is evaluated exactly once...
+        assert len(calls) == len(set(calls))
+        assert result.evaluations == len(calls)
+        # ...and the rest of the fitness requests were cache hits.
+        assert engine.cache_hits > 0
+
+    def test_engine_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(
+                sample=lambda rng: [0],
+                evaluate=lambda g: 0.0,
+                crossover=lambda a, b, rng: (a, b),
+                mutate=lambda g, rng: g,
+                jobs=0,
+            )

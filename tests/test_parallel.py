@@ -1,0 +1,120 @@
+"""Tests for the process-pool helpers in :mod:`repro.parallel`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import (
+    JOBS_ENV_VAR,
+    WorkerPool,
+    available_cpus,
+    parallel_map,
+    resolve_jobs,
+)
+
+
+def _square(value):
+    return value * value
+
+
+def _fail_on_three(value):
+    if value == 3:
+        raise ValueError("boom")
+    return value
+
+
+class TestResolveJobs:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "8")
+        assert resolve_jobs(3) == 3
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "4")
+        assert resolve_jobs(None) == 4
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_garbage_environment_is_serial(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        assert resolve_jobs(None) == 1
+        monkeypatch.setenv(JOBS_ENV_VAR, "-2")
+        assert resolve_jobs(None) == 1
+
+    def test_zero_and_negative_fall_through(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-1) == 1
+
+
+class TestWorkerPool:
+    def test_rejects_non_positive_jobs(self):
+        with pytest.raises(ValueError):
+            WorkerPool(_square, jobs=0)
+
+    def test_workers_clamped_to_available_cpus(self):
+        pool = WorkerPool(_square, jobs=10_000)
+        assert pool.jobs == 10_000
+        assert pool.workers == min(10_000, available_cpus())
+        pool.close()
+
+    def test_oversubscribe_keeps_requested_workers(self):
+        pool = WorkerPool(_square, jobs=3, oversubscribe=True)
+        assert pool.workers == 3
+        pool.close()
+
+    def test_serial_map_preserves_order(self):
+        with WorkerPool(_square, jobs=1) as pool:
+            assert pool.map([3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_map_matches_serial(self):
+        items = list(range(20))
+        serial = [_square(item) for item in items]
+        with WorkerPool(_square, jobs=2, oversubscribe=True) as pool:
+            assert pool.map(items) == serial
+
+    def test_parallel_map_single_item_stays_inline(self):
+        with WorkerPool(_square, jobs=4, oversubscribe=True) as pool:
+            assert pool.map([5]) == [25]
+
+    def test_pool_reuse_across_batches(self):
+        with WorkerPool(_square, jobs=2, oversubscribe=True) as pool:
+            assert pool.map([1, 2, 3]) == [1, 4, 9]
+            assert pool.map([4, 5, 6]) == [16, 25, 36]
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(_square, jobs=2, oversubscribe=True)
+        pool.map([1, 2])
+        pool.close()
+        pool.close()
+
+    def test_task_exception_propagates_without_breaking_pool(self):
+        # An error raised by the task function surfaces unchanged (no silent
+        # serial re-run of the batch), and the pool stays usable.
+        with WorkerPool(_fail_on_three, jobs=2, oversubscribe=True) as pool:
+            with pytest.raises(ValueError):
+                pool.map([1, 2, 3, 4])
+            assert not pool._broken
+            assert pool.map([1, 2]) == [1, 2]
+
+    def test_unpicklable_function_degrades_to_serial(self):
+        captured = []
+
+        def closure(value):  # closures do not pickle
+            captured.append(value)
+            return value + 1
+
+        with WorkerPool(closure, jobs=2, oversubscribe=True) as pool:
+            assert pool.map([1, 2, 3]) == [2, 3, 4]
+
+
+class TestParallelMap:
+    def test_serial_and_parallel_agree(self):
+        items = list(range(10))
+        assert parallel_map(_square, items, jobs=1) == parallel_map(
+            _square, items, jobs=3, oversubscribe=True
+        )
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], jobs=2) == []
