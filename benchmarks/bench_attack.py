@@ -58,11 +58,17 @@ def test_attack_proposed_flow_keeps_all_viable_functions(benchmark, record, benc
 
 
 def test_attack_oracle_guided_dip_loop(benchmark, record, bench_json, obfuscated_pair):
-    """The stronger (oracle-equipped) adversary: the incremental DIP loop."""
+    """The stronger (oracle-equipped) adversary: the incremental DIP loop.
+
+    ``presample=0`` explicitly: this benchmark tracks the pure DIP-loop
+    trajectory, so it must not silently degenerate into the presampled
+    variant (measured separately below) when ``REPRO_FUZZ`` is set.
+    """
     functions, result = obfuscated_pair
 
     def run_attack():
-        return attack_mapping(result.mapping, true_select=1, max_queries=64)
+        return attack_mapping(result.mapping, true_select=1, max_queries=64,
+                              presample=0)
 
     outcome = benchmark.pedantic(run_attack, rounds=1, iterations=1)
     assert outcome.success, "the oracle-guided adversary failed to recover the function"
@@ -77,6 +83,42 @@ def test_attack_oracle_guided_dip_loop(benchmark, record, bench_json, obfuscated
         f"queries={outcome.num_queries}\n"
         + format_solver_stats(
             [SolverStatsRow.from_stats("DIP loop", outcome.solver_stats)]
+        ),
+    )
+
+
+def test_attack_oracle_guided_presample(benchmark, record, bench_json, obfuscated_pair):
+    """The DIP loop with the fuzz presampling phase explicitly enabled.
+
+    Random-simulation preprocessing constrains both configuration copies
+    with cheap oracle observations before the first miter call; on these
+    block sizes the whole input space is observed and the (expensive) miter
+    UNSAT proof is skipped outright.  The recovered function is identical to
+    the default attack's — only the query transcript differs.
+    """
+    functions, result = obfuscated_pair
+
+    def run_attack():
+        return attack_mapping(result.mapping, true_select=1, max_queries=64,
+                              presample=32)
+
+    outcome = benchmark.pedantic(run_attack, rounds=1, iterations=1)
+    assert outcome.success, "the presampled adversary failed to recover the function"
+    benchmark.extra_info["num_queries"] = outcome.num_queries
+    benchmark.extra_info["presample"] = len(outcome.presample_queries)
+    bench_json(
+        "attack_oracle_presample",
+        {
+            "num_queries": outcome.num_queries,
+            "presample_queries": len(outcome.presample_queries),
+            "solver": dict(outcome.solver_stats),
+        },
+    )
+    record(
+        "attack_oracle_presample",
+        f"presample={len(outcome.presample_queries)} dips={outcome.num_queries}\n"
+        + format_solver_stats(
+            [SolverStatsRow.from_stats("presampled DIP loop", outcome.solver_stats)]
         ),
     )
 

@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_*.json`` benchmark artifacts (or directories of them).
+
+The benchmarks emit machine-readable ``benchmarks/results/BENCH_<name>.json``
+files (timings, cache statistics, jobs — see ``benchmarks/conftest.py``).
+This tool compares a *baseline* artifact set against a *candidate* set and
+exits non-zero when any timing metric regressed by more than the threshold,
+which makes performance trajectories enforceable in CI::
+
+    python benchmarks/bench_diff.py benchmarks/baselines benchmarks/results \
+        --threshold 50
+
+Directories are matched by file name; single files are compared directly.
+Non-timing numeric fields (cache counters, solver work, query counts) are
+reported informationally but never fail the diff — they legitimately change
+when features land.  Benchmarks present on only one side are reported and
+skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: Timing fields whose increase beyond the threshold is a regression.
+TIMING_KEYS = ("total_seconds", "mean_seconds")
+
+#: Fields never worth diffing numerically.
+IGNORED_KEYS = ("name", "profile", "rounds")
+
+
+def load_artifacts(path: str) -> Dict[str, dict]:
+    """Load one artifact file or every ``BENCH_*.json`` in a directory.
+
+    Returns a mapping from benchmark name (the ``name`` field, falling back
+    to the file stem) to the decoded payload.  Unreadable files raise — a
+    missing baseline should fail loudly, not silently pass CI.
+    """
+    paths: List[str] = []
+    if os.path.isdir(path):
+        paths = sorted(
+            os.path.join(path, entry)
+            for entry in os.listdir(path)
+            if entry.startswith("BENCH_") and entry.endswith(".json")
+        )
+    else:
+        paths = [path]
+    artifacts: Dict[str, dict] = {}
+    for file_path in paths:
+        with open(file_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        stem = os.path.splitext(os.path.basename(file_path))[0]
+        name = str(payload.get("name", stem.replace("BENCH_", "", 1)))
+        artifacts[name] = payload
+    return artifacts
+
+
+def _numeric_items(payload: dict, prefix: str = "") -> Dict[str, float]:
+    """Flatten the numeric fields of a payload (nested dicts dot-joined)."""
+    numbers: Dict[str, float] = {}
+    for key, value in payload.items():
+        if key in IGNORED_KEYS:
+            continue
+        label = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            numbers[label] = float(value)
+        elif isinstance(value, dict):
+            numbers.update(_numeric_items(value, prefix=f"{label}."))
+    return numbers
+
+
+def diff_payloads(
+    baseline: dict, candidate: dict, threshold: float
+) -> Tuple[List[str], List[str]]:
+    """Compare one benchmark payload pair.
+
+    Returns ``(report_lines, regressions)`` where ``regressions`` lists the
+    timing metrics that worsened by more than ``threshold`` percent.
+    """
+    lines: List[str] = []
+    regressions: List[str] = []
+    base_numbers = _numeric_items(baseline)
+    cand_numbers = _numeric_items(candidate)
+    for key in sorted(set(base_numbers) | set(cand_numbers)):
+        before = base_numbers.get(key)
+        after = cand_numbers.get(key)
+        if before is None or after is None:
+            lines.append(f"    {key:<40} {_fmt(before):>12} -> {_fmt(after):>12}")
+            continue
+        delta = after - before
+        pct: Optional[float] = (delta / before * 100.0) if before else None
+        pct_text = f"{pct:+7.1f}%" if pct is not None else "    new"
+        marker = ""
+        if key in TIMING_KEYS and pct is not None and pct > threshold:
+            marker = "  REGRESSION"
+            regressions.append(f"{key} {pct:+.1f}% (> {threshold:.0f}%)")
+        lines.append(
+            f"    {key:<40} {_fmt(before):>12} -> {_fmt(after):>12} {pct_text}{marker}"
+        )
+    return lines, regressions
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if abs(value) >= 1000 or value == int(value):
+        return f"{value:.0f}"
+    return f"{value:.4f}"
+
+
+def diff_artifacts(
+    baseline: Dict[str, dict], candidate: Dict[str, dict], threshold: float
+) -> Tuple[str, List[str]]:
+    """Diff two artifact sets; returns the report text and all regressions."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    names = sorted(set(baseline) | set(candidate))
+    for name in names:
+        if name not in baseline:
+            lines.append(f"  {name}: only in candidate (no baseline) — skipped")
+            continue
+        if name not in candidate:
+            lines.append(f"  {name}: only in baseline (not rerun) — skipped")
+            continue
+        lines.append(f"  {name}:")
+        body, found = diff_payloads(baseline[name], candidate[name], threshold)
+        lines.extend(body)
+        regressions.extend(f"{name}: {entry}" for entry in found)
+    return "\n".join(lines), regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json artifacts; nonzero exit on timing regression"
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json file or directory")
+    parser.add_argument("candidate", help="candidate BENCH_*.json file or directory")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="allowed timing growth in percent before the diff fails (default 25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_artifacts(args.baseline)
+    candidate = load_artifacts(args.candidate)
+    if not baseline:
+        print(f"no BENCH_*.json artifacts found in baseline {args.baseline!r}")
+        return 2
+    report, regressions = diff_artifacts(baseline, candidate, args.threshold)
+    print(f"benchmark diff (threshold {args.threshold:.0f}% on {', '.join(TIMING_KEYS)}):")
+    print(report)
+    if regressions:
+        print()
+        print("regressions:")
+        for entry in regressions:
+            print(f"  {entry}")
+        return 1
+    print()
+    print("no timing regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

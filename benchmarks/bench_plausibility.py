@@ -1,0 +1,64 @@
+"""Plausibility-heavy paths: the designer-side validation sweep.
+
+``verify_viable_functions`` runs inside every ``obfuscate`` call (the
+paper's ModelSim role), so its cost scales every Table I / Figure 4 sweep.
+Three variants are measured on one four-S-box mapping:
+
+* the packed select-space sweep (default) — all configurations in one
+  word-parallel pass;
+* the SAT-based variant (miter per configuration);
+* the SAT-based variant with the fuzz-before-SAT pre-filter, where packed
+  exhaustive simulation decides each configuration before any CNF is built.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.plausibility import verify_viable_functions
+from repro.flow import obfuscate_with_assignment
+from repro.sboxes import optimal_sboxes
+
+
+@pytest.fixture(scope="module")
+def obfuscated_quad():
+    functions = optimal_sboxes(4)
+    result = obfuscate_with_assignment(functions, effort="fast", verify=False)
+    return result
+
+
+def test_plausibility_packed_sweep(benchmark, bench_json, obfuscated_quad):
+    result = obfuscated_quad
+
+    def run_sweep():
+        return verify_viable_functions(result.mapping, result.merged_design)
+
+    report = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    assert report.all_realisable
+    bench_json("plausibility_packed_sweep", {"total": report.total})
+
+
+def test_plausibility_sat(benchmark, bench_json, obfuscated_quad):
+    result = obfuscated_quad
+
+    def run_sat():
+        return verify_viable_functions(
+            result.mapping, result.merged_design, use_sat=True, prefilter=False
+        )
+
+    report = benchmark.pedantic(run_sat, rounds=1, iterations=1)
+    assert report.all_realisable
+    bench_json("plausibility_sat", {"total": report.total})
+
+
+def test_plausibility_sat_with_fuzz(benchmark, bench_json, obfuscated_quad):
+    result = obfuscated_quad
+
+    def run_fuzzed():
+        return verify_viable_functions(
+            result.mapping, result.merged_design, use_sat=True, prefilter=True
+        )
+
+    report = benchmark.pedantic(run_fuzzed, rounds=1, iterations=1)
+    assert report.all_realisable
+    bench_json("plausibility_sat_fuzz", {"total": report.total})

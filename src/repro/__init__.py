@@ -13,6 +13,8 @@ The package is organised as a small EDA flow:
 * :mod:`repro.techmap` -- Phase III (tree covering with camouflaged cells);
 * :mod:`repro.sat`, :mod:`repro.attacks` -- the adversary model: a CDCL SAT
   solver and the viable-function plausibility tests;
+* :mod:`repro.sim` -- packed word-parallel simulation (pattern batches,
+  netlist/AIG engines, fuzz-before-SAT pre-filters);
 * :mod:`repro.sboxes` -- the PRESENT, optimal 4-bit, and DES S-box workloads;
 * :mod:`repro.flow`, :mod:`repro.evaluation` -- the end-to-end obfuscation flow
   and the Table I / Figure 4 experiment harnesses.

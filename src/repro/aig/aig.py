@@ -315,6 +315,17 @@ class Aig:
             output_names=self._output_names,
         )
 
+    def evaluate_words(self, words: Sequence[int]) -> List[int]:
+        """Evaluate the AIG on a batch of input words (one packed pass).
+
+        Delegates to the word-parallel engine in :mod:`repro.sim.engine`:
+        every node carries a packed bitvector over the whole batch, so the
+        cost is one pass over the nodes regardless of the batch size.
+        """
+        from ..sim.engine import AigSimulator
+
+        return AigSimulator(self).simulate_words(words)
+
     def evaluate_word(self, word: int) -> int:
         """Evaluate the AIG on an input word (bit k = input k)."""
         values: Dict[int, int] = {0: 0}

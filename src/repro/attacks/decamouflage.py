@@ -18,6 +18,28 @@ the candidate's truth table.  Learned clauses about the circuit structure
 are therefore shared across all candidate checks, and witness enumeration
 (:meth:`PlausibleFunctionOracle.enumerate_witnesses`) adds blocking clauses
 guarded by a per-session activation literal to the same solver.
+
+Fuzz-before-SAT: with the pre-filter enabled (``prefilter=True`` or the
+``REPRO_FUZZ`` environment variable), a query is answered by
+simulation-guided abstraction refinement instead of the full unrolling:
+
+1. a three-valued packed *possibility* pass (:func:`repro.sim.prefilter.
+   possibility_refute`) soundly refutes candidates that need an output bit
+   no combination of plausible functions can achieve;
+2. surviving candidates enter a CEGAR loop over a **lazily unrolled** word
+   set: the solver is asked for a configuration consistent with the words
+   encoded so far, the model configuration is checked against the whole
+   input space with one packed word-parallel simulation pass, and the
+   mismatching words — the counterexamples — are added to the encoding.
+   ``UNSAT`` on a subset of the words already proves implausibility, and a
+   simulation-verified model is an exact witness, so verdicts are identical
+   to the eager encoding while typically touching a small fraction of the
+   input space.
+
+Counterexample words persist across queries of one oracle (they are simply
+the encoded words), so each candidate is first confronted with the patterns
+that killed its predecessors — the replay-buffer discipline of classic SAT
+sweeping.
 """
 
 from __future__ import annotations
@@ -32,6 +54,9 @@ from ..netlist.netlist import CONST0_NET, CONST1_NET, Netlist
 from ..sat.cnf import Cnf
 from ..sat.solver import SatSolver
 from ..sat.tseitin import add_exactly_one, encode_camouflaged_copy
+from ..sim.engine import NetlistSimulator
+from ..sim.patterns import PatternBatch
+from ..sim.prefilter import PossibilityAnalysis, fuzz_enabled
 from ..techmap.mapper import CamouflagedMapping
 
 __all__ = [
@@ -69,6 +94,7 @@ class PlausibleFunctionOracle:
         self,
         netlist: Netlist,
         instance_plausible: Mapping[str, Sequence[TruthTable]],
+        prefilter: Optional[bool] = None,
     ):
         self._netlist = netlist
         self._plausible = {
@@ -80,32 +106,47 @@ class PlausibleFunctionOracle:
                 raise ValueError(f"instance {name!r} has an empty plausible set")
         self._cnf: Optional[Cnf] = None
         self._solver: Optional[SatSolver] = None
+        self._true_var: Optional[int] = None
         self._selector_vars: Dict[Tuple[str, int], int] = {}
-        #: Per input word, the literal of every primary output of that copy.
-        self._word_outputs: List[List[int]] = []
+        self._order = None
+        #: Per encoded input word, the literal of every primary output of
+        #: that unrolled copy (insertion-ordered; the eager path encodes all
+        #: words 0..2**n-1 up front, the CEGAR path grows it lazily).
+        self._word_outputs: Dict[int, List[int]] = {}
+        self._prefilter = fuzz_enabled(prefilter)
+        self._simulator: Optional[NetlistSimulator] = None
+        #: Cached three-valued achievability maps (candidate-independent).
+        self._possibility: Optional[PossibilityAnalysis] = None
+        self._prefilter_counters = {
+            "queries": 0,
+            "possibility_refutations": 0,
+            "cegar_rounds": 0,
+            "cegar_verdicts": 0,
+            "words_encoded": 0,
+        }
 
     @classmethod
-    def from_mapping(cls, mapping: CamouflagedMapping) -> "PlausibleFunctionOracle":
+    def from_mapping(
+        cls, mapping: CamouflagedMapping, prefilter: Optional[bool] = None
+    ) -> "PlausibleFunctionOracle":
         """Build the oracle an adversary would build from a mapped design."""
         plausible = {
             name: list(mapping.plausible_functions_of(name))
             for name in mapping.camouflaged_instances()
         }
-        return cls(mapping.netlist, plausible)
+        return cls(mapping.netlist, plausible, prefilter=prefilter)
 
     # -------------------------------------------------------------- #
-    # Encoding (once, lazily)
+    # Encoding (lazily: the base once, words eagerly or on demand)
     # -------------------------------------------------------------- #
-    def _ensure_encoded(self) -> SatSolver:
+    def _ensure_base(self) -> SatSolver:
+        """Create the solver with the per-instance selector constraints."""
         if self._solver is not None:
             return self._solver
-        netlist = self._netlist
-        num_inputs = len(netlist.primary_inputs)
-
         cnf = Cnf()
         solver = SatSolver(cnf, follow=True)
-        true_var = cnf.new_var("const.true")
-        cnf.add_clause([true_var])
+        self._true_var = cnf.new_var("const.true")
+        cnf.add_clause([self._true_var])
 
         for name, functions in self._plausible.items():
             literals = []
@@ -116,27 +157,42 @@ class PlausibleFunctionOracle:
             # Exactly one configuration per camouflaged instance.
             add_exactly_one(cnf, literals)
 
-        order = netlist.topological_order()
-        for word in range(1 << num_inputs):
-            inputs: Dict[str, int] = {
-                CONST1_NET: true_var,
-                CONST0_NET: -true_var,
-            }
-            for position, net in enumerate(netlist.primary_inputs):
-                value = (word >> position) & 1
-                inputs[net] = true_var if value else -true_var
-            net_literal = encode_camouflaged_copy(
-                cnf, netlist, order, self._plausible, self._selector_vars, inputs
-            )
-            self._word_outputs.append(
-                [net_literal[net] for net in netlist.primary_outputs]
-            )
+        self._order = self._netlist.topological_order()
         self._cnf = cnf
         self._solver = solver
         return solver
 
-    def _candidate_assumptions(self, candidate: BoolFunction) -> List[int]:
-        """Output-pinning assumptions encoding ``circuit == candidate``."""
+    def _encode_word(self, word: int) -> None:
+        """Unroll the circuit at one input word (idempotent)."""
+        if word in self._word_outputs:
+            return
+        netlist = self._netlist
+        inputs: Dict[str, int] = {
+            CONST1_NET: self._true_var,
+            CONST0_NET: -self._true_var,
+        }
+        for position, net in enumerate(netlist.primary_inputs):
+            value = (word >> position) & 1
+            inputs[net] = self._true_var if value else -self._true_var
+        net_literal = encode_camouflaged_copy(
+            self._cnf, netlist, self._order, self._plausible, self._selector_vars,
+            inputs,
+        )
+        self._word_outputs[word] = [
+            net_literal[net] for net in netlist.primary_outputs
+        ]
+        self._prefilter_counters["words_encoded"] += 1
+
+    def _ensure_encoded(self) -> SatSolver:
+        """Eager path: the base plus every input word, encoded once."""
+        solver = self._ensure_base()
+        num_inputs = len(self._netlist.primary_inputs)
+        if len(self._word_outputs) < (1 << num_inputs):
+            for word in range(1 << num_inputs):
+                self._encode_word(word)
+        return solver
+
+    def _validate_candidate(self, candidate: BoolFunction) -> None:
         netlist = self._netlist
         if candidate.num_inputs != len(netlist.primary_inputs):
             raise ValueError(
@@ -145,15 +201,23 @@ class PlausibleFunctionOracle:
             )
         if candidate.num_outputs != len(netlist.primary_outputs):
             raise ValueError("candidate and circuit have different numbers of outputs")
-        self._ensure_encoded()
+
+    def _assumptions_for_words(self, candidate: BoolFunction) -> List[int]:
+        """Output-pinning assumptions over the currently encoded words."""
         assumptions: List[int] = []
-        for word, output_literals in enumerate(self._word_outputs):
+        for word, output_literals in self._word_outputs.items():
             expected = candidate.evaluate_word(word)
             for position, literal in enumerate(output_literals):
                 assumptions.append(
                     literal if (expected >> position) & 1 else -literal
                 )
         return assumptions
+
+    def _candidate_assumptions(self, candidate: BoolFunction) -> List[int]:
+        """Output-pinning assumptions encoding ``circuit == candidate``."""
+        self._validate_candidate(candidate)
+        self._ensure_encoded()
+        return self._assumptions_for_words(candidate)
 
     def _model_witness(self, model: Dict[int, bool]) -> Dict[str, TruthTable]:
         witness: Dict[str, TruthTable] = {}
@@ -166,7 +230,18 @@ class PlausibleFunctionOracle:
     # Queries
     # -------------------------------------------------------------- #
     def is_plausible(self, candidate: BoolFunction) -> DecamouflageResult:
-        """Can the camouflaged circuit implement the candidate function?"""
+        """Can the camouflaged circuit implement the candidate function?
+
+        With the pre-filter enabled the query runs the simulation-guided
+        CEGAR loop (possibility refutation, then lazily unrolled words with
+        packed model verification); otherwise the circuit is eagerly
+        unrolled over every word and answered with one solver call.
+        Verdicts are identical either way.
+        """
+        self._validate_candidate(candidate)
+        self._prefilter_counters["queries"] += 1
+        if self._prefilter:
+            return self._is_plausible_cegar(candidate)
         assumptions = self._candidate_assumptions(candidate)
         result = self._solver.solve(assumptions)
         if not result.satisfiable:
@@ -174,6 +249,63 @@ class PlausibleFunctionOracle:
         return DecamouflageResult(
             True, witness=self._model_witness(result.model), conflicts=result.conflicts
         )
+
+    #: Mismatch words added to the lazy encoding per CEGAR round.
+    CEGAR_WORDS_PER_ROUND = 4
+    #: Below this input count the lazy unrolling cannot beat the eager one:
+    #: camouflage spaces are intentionally ambiguous, so CEGAR converges
+    #: only after pinning most of a small space anyway — at extra solve
+    #: cost.  The possibility pre-filter still runs; survivors go eager.
+    CEGAR_MIN_INPUTS = 5
+
+    def _is_plausible_cegar(self, candidate: BoolFunction) -> DecamouflageResult:
+        """Simulation-guided plausibility check over a lazily unrolled space."""
+        if self._possibility is None:
+            self._possibility = PossibilityAnalysis(self._netlist, self._plausible)
+        word = self._possibility.refute(candidate)
+        if word is not None:
+            self._prefilter_counters["possibility_refutations"] += 1
+            return DecamouflageResult(False)
+        if len(self._netlist.primary_inputs) < self.CEGAR_MIN_INPUTS:
+            assumptions = self._candidate_assumptions(candidate)
+            result = self._solver.solve(assumptions)
+            if not result.satisfiable:
+                return DecamouflageResult(False, conflicts=result.conflicts)
+            return DecamouflageResult(
+                True,
+                witness=self._model_witness(result.model),
+                conflicts=result.conflicts,
+            )
+        if self._simulator is None:
+            self._simulator = NetlistSimulator(self._netlist)
+        self._ensure_base()
+        batch = PatternBatch.exhaustive(len(self._netlist.primary_inputs))
+        expected = [table.bits for table in candidate.outputs]
+        conflicts = 0
+        while True:
+            self._prefilter_counters["cegar_rounds"] += 1
+            result = self._solver.solve(self._assumptions_for_words(candidate))
+            conflicts += result.conflicts
+            if not result.satisfiable:
+                # UNSAT on a subset of the words refutes the full query.
+                self._prefilter_counters["cegar_verdicts"] += 1
+                return DecamouflageResult(False, conflicts=conflicts)
+            witness = self._model_witness(result.model)
+            lanes = self._simulator.output_lanes(batch, witness)
+            mismatch = 0
+            for lane, want in zip(lanes, expected):
+                mismatch |= lane ^ want
+            if not mismatch:
+                # The model configuration matches the candidate everywhere:
+                # an exactly verified witness, no full unrolling needed.
+                self._prefilter_counters["cegar_verdicts"] += 1
+                return DecamouflageResult(True, witness=witness, conflicts=conflicts)
+            added = 0
+            while mismatch and added < self.CEGAR_WORDS_PER_ROUND:
+                low = mismatch & -mismatch
+                self._encode_word(low.bit_length() - 1)
+                mismatch ^= low
+                added += 1
 
     def enumerate_witnesses(
         self, candidate: BoolFunction, limit: Optional[int] = None
@@ -239,12 +371,26 @@ class PlausibleFunctionOracle:
             return {}
         return self._solver.stats()
 
+    def prefilter_stats(self) -> Dict[str, int]:
+        """Query and encoding-work counters of this oracle.
+
+        ``queries`` counts every :meth:`is_plausible` call and
+        ``words_encoded`` every unrolled input word, on both paths (the
+        eager path encodes all ``2**n`` words on first use).  The
+        fuzz-specific counters — ``possibility_refutations``,
+        ``cegar_rounds``, ``cegar_verdicts`` — stay zero while the
+        pre-filter is off.
+        """
+        return dict(self._prefilter_counters)
+
 
 def is_function_plausible(
-    mapping: CamouflagedMapping, candidate: BoolFunction
+    mapping: CamouflagedMapping,
+    candidate: BoolFunction,
+    prefilter: Optional[bool] = None,
 ) -> DecamouflageResult:
     """Convenience wrapper: adversary query against a Phase III mapping."""
-    oracle = PlausibleFunctionOracle.from_mapping(mapping)
+    oracle = PlausibleFunctionOracle.from_mapping(mapping, prefilter=prefilter)
     return oracle.is_plausible(candidate)
 
 
@@ -252,14 +398,16 @@ def plausible_viable_functions(
     mapping: CamouflagedMapping,
     viable_functions: Sequence[BoolFunction],
     assignment_views: Optional[Sequence[BoolFunction]] = None,
+    prefilter: Optional[bool] = None,
 ) -> List[bool]:
     """Evaluate the adversary's checklist: which viable functions are plausible?
 
     ``assignment_views`` optionally provides the pin-permuted view of each
     viable function (what the designer actually embedded); when omitted the
     functions are checked under the identity interpretation.  Every check
-    reuses the same persistent solver.
+    reuses the same persistent solver (and, with ``prefilter``, the same
+    packed simulator).
     """
-    oracle = PlausibleFunctionOracle.from_mapping(mapping)
+    oracle = PlausibleFunctionOracle.from_mapping(mapping, prefilter=prefilter)
     views = assignment_views if assignment_views is not None else viable_functions
     return [bool(oracle.is_plausible(view)) for view in views]

@@ -52,6 +52,23 @@ cheaply one is found, so on the seed mapping workload the DIP sequence,
 workload stays within its asserted query budget (the regression tests pin
 this).  On degenerate toy cases the warm solver may find a *more*
 informative DIP and finish in fewer queries.
+
+Fuzz-before-SAT (presampling)
+-----------------------------
+
+``presample=N`` queries the oracle on ``N`` seeded random input words (in
+one batch, answered by packed word-parallel simulation when the oracle is a
+configured netlist) *before* the DIP loop and constrains both configuration
+copies with the observed responses — the classic random-simulation
+front-end of SAT-based attacks.  Cheap observations kill most of the
+configuration space, so far fewer (and far cheaper) miter calls remain; the
+recovered function is identical, but the DIP sequence is not, so
+presampling is **off by default** and the seeded regression transcripts are
+unaffected unless it is requested (``attack_mapping`` turns it on when the
+``REPRO_FUZZ`` environment variable enables the fuzz paths).  Every DIP and
+presample word is recorded in a :class:`~repro.sim.patterns.ReplayBuffer`
+(``OracleGuidedAttack.replay``) so callers can reuse the distinguishing
+patterns across attacks.
 """
 
 from __future__ import annotations
@@ -65,6 +82,8 @@ from ..sat.cnf import Cnf
 from ..sat.equivalence import add_difference_miter
 from ..sat.solver import SatSolver
 from ..sat.tseitin import add_exactly_one, encode_camouflaged_copy
+from ..sim.patterns import RandomPatternSource, ReplayBuffer
+from ..sim.prefilter import fuzz_enabled
 from ..techmap.mapper import CamouflagedMapping
 
 __all__ = ["OracleGuidedResult", "OracleGuidedAttack", "attack_mapping"]
@@ -86,11 +105,18 @@ class OracleGuidedResult:
     recovered_function: List[int] = field(default_factory=list)
     #: Cumulative statistics of the single incremental solver run by the attack.
     solver_stats: Dict[str, int] = field(default_factory=dict)
+    #: Random words queried up-front by the fuzz presampling phase, in order.
+    presample_queries: List[int] = field(default_factory=list)
 
     @property
     def num_queries(self) -> int:
         """Number of oracle queries (DIPs) the attack needed."""
         return len(self.queries)
+
+    @property
+    def total_oracle_queries(self) -> int:
+        """All oracle calls: presample observations plus DIPs."""
+        return len(self.presample_queries) + len(self.queries)
 
 
 class OracleGuidedAttack:
@@ -101,6 +127,8 @@ class OracleGuidedAttack:
         netlist: Netlist,
         instance_plausible: Mapping[str, Sequence[TruthTable]],
         max_queries: int = 256,
+        presample: int = 0,
+        presample_seed: int = 101,
     ):
         self._netlist = netlist
         self._plausible = {
@@ -111,6 +139,10 @@ class OracleGuidedAttack:
             if not functions:
                 raise ValueError(f"instance {name!r} has an empty plausible set")
         self._max_queries = max_queries
+        self._presample = presample
+        self._presample_seed = presample_seed
+        #: Every word shown to the oracle (presample + DIPs), for replay.
+        self.replay = ReplayBuffer()
         self._num_inputs = len(netlist.primary_inputs)
         self._num_outputs = len(netlist.primary_outputs)
         self._order = netlist.topological_order()
@@ -198,24 +230,36 @@ class OracleGuidedAttack:
     def run(self, oracle: Oracle) -> OracleGuidedResult:
         """Run the attack against a black-box oracle."""
         queries: List[int] = []
+        presample_queries = self._run_presample(oracle)
+        # With the whole input space observed, both copies are pinned to the
+        # oracle everywhere, so the miter is unsatisfiable by construction —
+        # the (expensive) UNSAT proof is skipped, not just accelerated.
+        observed_all = len(presample_queries) == (1 << self._num_inputs)
 
-        while True:
+        while not observed_all:
             dip = self._find_distinguishing_input()
             if dip is None:
                 break
             if len(queries) >= self._max_queries:
                 # Distinguishing inputs remain but the query budget is spent.
                 return OracleGuidedResult(
-                    False, queries=queries, solver_stats=self._solver.stats()
+                    False,
+                    queries=queries,
+                    solver_stats=self._solver.stats(),
+                    presample_queries=presample_queries,
                 )
             response = oracle(dip)
             queries.append(dip)
+            self.replay.add(dip)
             self._constrain_to_observation(dip, response)
 
         configuration = self._extract_configuration()
         if configuration is None:
             return OracleGuidedResult(
-                False, queries=queries, solver_stats=self._solver.stats()
+                False,
+                queries=queries,
+                solver_stats=self._solver.stats(),
+                presample_queries=presample_queries,
             )
         recovered = self._simulate_configuration(configuration)
         success = all(
@@ -227,7 +271,27 @@ class OracleGuidedAttack:
             queries=queries,
             recovered_function=recovered,
             solver_stats=self._solver.stats(),
+            presample_queries=presample_queries,
         )
+
+    def _run_presample(self, oracle: Oracle) -> List[int]:
+        """Fuzz phase: constrain the space with random oracle observations.
+
+        The words are drawn deterministically from the presample seed
+        (distinct, capped at the full input space) and every observation is
+        encoded exactly like a DIP observation.  With the whole input space
+        sampled the subsequent miter query is immediately unsatisfiable and
+        the attack degenerates to (cheap) exhaustive oracle reading.
+        """
+        if self._presample <= 0:
+            return []
+        source = RandomPatternSource(self._presample_seed)
+        words = source.words(self._num_inputs, self._presample, distinct=True)
+        for word in words:
+            response = oracle(word)
+            self.replay.add(word)
+            self._constrain_to_observation(word, response)
+        return words
 
     def _find_distinguishing_input(self) -> Optional[int]:
         """SAT query: an input where two consistent configurations differ.
@@ -275,15 +339,26 @@ class OracleGuidedAttack:
         return function.lookup_table()
 
 
+DEFAULT_PRESAMPLE = 32
+
+
 def attack_mapping(
     mapping: CamouflagedMapping,
     true_select: int,
     max_queries: int = 256,
+    presample: Optional[int] = None,
 ) -> OracleGuidedResult:
     """Run the oracle-guided attack against a Phase III mapping.
 
     The oracle is the camouflaged netlist configured for ``true_select`` —
-    i.e. the chip as manufactured for one particular viable function.
+    i.e. the chip as manufactured for one particular viable function.  All
+    oracle queries are answered from one packed word-parallel extraction of
+    the configured netlist (a single batch, not ``2**n`` row simulations).
+
+    ``presample`` turns on the fuzz-before-SAT presampling phase (see the
+    module docstring); ``None`` resolves it from the ``REPRO_FUZZ``
+    environment variable (:data:`DEFAULT_PRESAMPLE` words when enabled, off
+    otherwise) so default runs keep their seeded DIP transcripts.
     """
     from ..netlist.simulate import extract_function
 
@@ -292,9 +367,13 @@ def attack_mapping(
         mapping.netlist, cell_functions=configuration.as_cell_functions()
     ).lookup_table()
 
+    if presample is None:
+        presample = DEFAULT_PRESAMPLE if fuzz_enabled(None) else 0
     plausible = {
         name: list(mapping.plausible_functions_of(name))
         for name in mapping.camouflaged_instances()
     }
-    attack = OracleGuidedAttack(mapping.netlist, plausible, max_queries=max_queries)
+    attack = OracleGuidedAttack(
+        mapping.netlist, plausible, max_queries=max_queries, presample=presample
+    )
     return attack.run(lambda word: truth[word])

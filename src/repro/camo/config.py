@@ -7,17 +7,22 @@ instance.  Configurations are consumed by
 :func:`repro.netlist.simulate.extract_function` via its ``cell_functions``
 override, which is how the designer-side validation and the attack analyses
 evaluate a camouflaged netlist.
+
+:func:`sweep_configurations` evaluates the *entire* select space in one
+packed word-parallel pass (patterns range over data inputs × select words
+simultaneously), which is how the designer-side plausibility check verifies
+every viable function without re-simulating the netlist per configuration.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..logic.truthtable import TruthTable
 from ..netlist.netlist import Netlist
 
-__all__ = ["CircuitConfiguration"]
+__all__ = ["CircuitConfiguration", "sweep_configurations"]
 
 
 @dataclass
@@ -60,3 +65,44 @@ class CircuitConfiguration:
         combined = dict(self.functions)
         combined.update(other.functions)
         return CircuitConfiguration(combined)
+
+
+def sweep_configurations(
+    netlist: Netlist,
+    select_order: Sequence[str],
+    instance_selects: Mapping[str, Sequence[str]],
+    instance_configs: Mapping[str, Mapping[Tuple[int, ...], TruthTable]],
+) -> List[List[int]]:
+    """Realised lookup tables of every select configuration, in one pass.
+
+    Entry ``s`` of the result is the word-level lookup table the netlist
+    implements when every camouflaged instance is configured for select word
+    ``s`` — the same tables per-configuration exhaustive extraction yields,
+    computed with a single packed simulation pass over the combined
+    (data × select) pattern space.  Falls back to one extraction per select
+    word when the combined space is too wide to pack.
+    """
+    from ..netlist.simulate import extract_function
+    from ..sim.engine import SWEEP_WIDTH_LIMIT, sweep_select_space
+
+    num_selects = len(select_order)
+    width = len(netlist.primary_inputs) + num_selects
+    if width <= SWEEP_WIDTH_LIMIT:
+        return sweep_select_space(
+            netlist, select_order, instance_selects, instance_configs
+        )
+    tables: List[List[int]] = []
+    for select_word in range(1 << num_selects):
+        select_value = {
+            net: (select_word >> index) & 1 for index, net in enumerate(select_order)
+        }
+        cell_functions = {
+            name: by_select[
+                tuple(select_value[net] for net in instance_selects[name])
+            ]
+            for name, by_select in instance_configs.items()
+        }
+        tables.append(
+            extract_function(netlist, cell_functions=cell_functions).lookup_table()
+        )
+    return tables

@@ -18,10 +18,21 @@ Hit/miss counters for both levels are exposed via
 :meth:`PinAssignmentProblem.cache_stats`.  ``optimize_pin_assignment``
 accepts ``jobs`` to evaluate each generation's unseen genotypes across
 worker processes; seeded results are bit-identical for every ``jobs`` value.
+
+When the ``REPRO_CACHE_DIR`` environment variable names a directory, the
+canonical-signature cache is additionally persisted to an append-only JSONL
+file there (:class:`SynthesisDiskCache`): entries are loaded read-through at
+start-up and every fresh synthesis appends one line, so repeated sweeps, CI
+runs, and the ``paper`` profile share synthesis work across processes and
+machines.  The cached area is exact — synthesis is a pure function of the
+merged truth tables — so persistence cannot change any result.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -34,7 +45,129 @@ from ..synth.script import SynthesisEffort, SynthesisResult, synthesize
 from .engine import GAParameters, GAResult, GenerationStats, GeneticAlgorithm
 from .operators import SegmentedPermutationSpace
 
-__all__ = ["PinAssignmentProblem", "PinOptimizationResult", "optimize_pin_assignment"]
+__all__ = [
+    "PinAssignmentProblem",
+    "PinOptimizationResult",
+    "SynthesisDiskCache",
+    "library_fingerprint",
+    "optimize_pin_assignment",
+    "CACHE_DIR_ENV_VAR",
+]
+
+#: Environment variable naming the directory of the persistent synthesis cache.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def library_fingerprint(library: CellLibrary) -> str:
+    """Deterministic fingerprint of a cell library's synthesis-relevant data.
+
+    Synthesised area depends on the library (cells, their functions, their
+    areas), so cache entries written under one library must never answer
+    queries under another.  The fingerprint hashes a canonical rendering of
+    every cell; it is stable across processes and machines (unlike
+    ``hash()``).
+    """
+    canon = ";".join(
+        f"{cell.name}:{cell.num_inputs}:{cell.function.bits:x}:{cell.area!r}"
+        for cell in sorted(library.cells(), key=lambda cell: cell.name)
+    )
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+class SynthesisDiskCache:
+    """Append-only JSONL store of synthesised areas keyed by signature.
+
+    One line per entry: ``{"effort": ..., "library": <fingerprint>,
+    "signature": [...], "area": ...}``.  The key includes a fingerprint of
+    the cell library, so caches shared across runs never answer a query
+    synthesised under a different library.  The file is loaded once at
+    construction (corrupt or alien lines are skipped — concurrent appends
+    from worker processes interleave whole lines on POSIX, and a torn final
+    line must not poison the store) and every :meth:`put` appends and
+    flushes a single line.  All I/O failures degrade to an in-memory cache
+    rather than failing the experiment.
+    """
+
+    FILENAME = "synthesis_cache.jsonl"
+
+    def __init__(self, directory: str):
+        self.path = os.path.join(directory, self.FILENAME)
+        self._entries: Dict[Tuple[str, str, Tuple[int, ...]], float] = {}
+        self.loaded = 0
+        self.hits = 0
+        self.appends = 0
+        self._load()
+
+    @classmethod
+    def from_environment(cls) -> Optional["SynthesisDiskCache"]:
+        """Build the cache named by ``REPRO_CACHE_DIR`` (None when unset)."""
+        directory = os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
+        if not directory:
+            return None
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError:
+            return None
+        return cls(directory)
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                        key = (
+                            str(entry["effort"]),
+                            str(entry["library"]),
+                            tuple(int(value) for value in entry["signature"]),
+                        )
+                        self._entries[key] = float(entry["area"])
+                        self.loaded += 1
+                    except (ValueError, KeyError, TypeError):
+                        continue  # torn or alien line; skip it
+        except OSError:
+            pass
+
+    def get(
+        self, effort: str, library: str, signature: Tuple[int, ...]
+    ) -> Optional[float]:
+        """Look up a synthesised area (None on miss)."""
+        area = self._entries.get((effort, library, signature))
+        if area is not None:
+            self.hits += 1
+        return area
+
+    def put(
+        self, effort: str, library: str, signature: Tuple[int, ...], area: float
+    ) -> None:
+        """Record a synthesised area (idempotent; appends one JSONL line)."""
+        key = (effort, library, signature)
+        if key in self._entries:
+            return
+        self._entries[key] = area
+        try:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(
+                        {
+                            "effort": effort,
+                            "library": library,
+                            "signature": list(signature),
+                            "area": area,
+                        }
+                    )
+                    + "\n"
+                )
+                handle.flush()
+            self.appends += 1
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class PinAssignmentProblem:
@@ -46,6 +179,7 @@ class PinAssignmentProblem:
         library: Optional[CellLibrary] = None,
         effort: str = SynthesisEffort.FAST,
         fix_first_function: bool = True,
+        disk_cache: Optional[SynthesisDiskCache] = None,
     ):
         if not functions:
             raise ValueError("at least one viable function is required")
@@ -65,6 +199,13 @@ class PinAssignmentProblem:
         self.space = SegmentedPermutationSpace(segment_sizes)
         self._area_cache: Dict[Tuple[int, ...], float] = {}
         self._signature_cache: Dict[Tuple[int, ...], float] = {}
+        #: Optional persistent read-through store (REPRO_CACHE_DIR by default).
+        self.disk_cache = (
+            disk_cache if disk_cache is not None else SynthesisDiskCache.from_environment()
+        )
+        self._library_fingerprint = (
+            library_fingerprint(self.library) if self.disk_cache is not None else ""
+        )
         self.evaluations = 0
         self.genotype_hits = 0
         self.signature_hits = 0
@@ -134,10 +275,20 @@ class PinAssignmentProblem:
         if area is not None:
             self.signature_hits += 1
         else:
-            result = synthesize(design.function, library=self.library, effort=self.effort)
-            area = result.area
+            if self.disk_cache is not None:
+                area = self.disk_cache.get(
+                    self.effort, self._library_fingerprint, signature
+                )
+            if area is None:
+                result = synthesize(design.function, library=self.library,
+                                    effort=self.effort)
+                area = result.area
+                self.evaluations += 1
+                if self.disk_cache is not None:
+                    self.disk_cache.put(
+                        self.effort, self._library_fingerprint, signature, area
+                    )
             self._signature_cache[signature] = area
-            self.evaluations += 1
         self._area_cache[key] = area
         return area
 
@@ -150,14 +301,23 @@ class PinAssignmentProblem:
         self._area_cache[tuple(genotype)] = float(area)
 
     def cache_stats(self) -> Dict[str, int]:
-        """Hit/miss counters and sizes of the two fitness-cache levels."""
-        return {
+        """Hit/miss counters and sizes of the fitness-cache levels.
+
+        The ``disk_*`` counters are only present when a persistent cache is
+        attached (``REPRO_CACHE_DIR``).
+        """
+        stats = {
             "evaluations": self.evaluations,
             "genotype_hits": self.genotype_hits,
             "signature_hits": self.signature_hits,
             "genotype_entries": len(self._area_cache),
             "signature_entries": len(self._signature_cache),
         }
+        if self.disk_cache is not None:
+            stats["disk_hits"] = self.disk_cache.hits
+            stats["disk_loaded"] = self.disk_cache.loaded
+            stats["disk_entries"] = len(self.disk_cache)
+        return stats
 
     # -------------------------------------------------------------- #
     # GA operators
@@ -242,8 +402,14 @@ def optimize_pin_assignment(
     # processes; count them as synthesis runs (worker-local signature hits
     # are not observable, so this is an upper bound on actual synths).
     # Evaluations the pool ran inline (clamped workers, single-item batches)
-    # are already in the parent's counters and must not be double-counted.
-    worker_evaluations = engine.evaluations - stats["evaluations"] - stats["signature_hits"]
+    # are already in the parent's counters and must not be double-counted —
+    # nor must evaluations answered by the persistent disk cache.
+    worker_evaluations = (
+        engine.evaluations
+        - stats["evaluations"]
+        - stats["signature_hits"]
+        - stats.get("disk_hits", 0)
+    )
     if worker_evaluations > 0:
         stats["evaluations"] += worker_evaluations
     # The engine's genotype cache shields the problem object from duplicate

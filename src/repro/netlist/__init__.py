@@ -3,7 +3,7 @@
 from .blif import BlifError, read_blif, write_blif
 from .library import GE_AREAS, CellLibrary, CellType, standard_cell_library
 from .netlist import CONST0_NET, CONST1_NET, Instance, Netlist, NetlistError
-from .simulate import extract_function, simulate_assignment, simulate_word
+from .simulate import extract_function, simulate_assignment, simulate_word, simulate_words
 from .validate import assert_valid, validate_netlist
 from .verilog import sanitize_identifier, write_verilog
 
@@ -18,6 +18,7 @@ __all__ = [
     "CONST0_NET",
     "CONST1_NET",
     "simulate_word",
+    "simulate_words",
     "simulate_assignment",
     "extract_function",
     "write_blif",

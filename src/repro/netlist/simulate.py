@@ -1,15 +1,18 @@
 """Netlist simulation.
 
-Two levels of service are provided:
+Three levels of service are provided:
 
-* :func:`simulate_word` — evaluate the netlist on a single input word.
+* :func:`simulate_assignment` — evaluate one assignment row-by-row (the
+  readable reference implementation the packed engines are checked against).
+* :func:`simulate_word` / :func:`simulate_words` — word-level evaluation.
+  Batches route through the word-parallel engine in :mod:`repro.sim.engine`,
+  where every net carries a packed bitvector over the whole batch.
 * :func:`extract_function` — exhaustively simulate the netlist and return a
-  :class:`~repro.logic.boolfunc.BoolFunction`, using bit-parallel simulation
-  (every net carries a packed truth table over the primary inputs) so the
-  cost is linear in the number of instances rather than in
-  ``2**num_inputs * instances``.
+  :class:`~repro.logic.boolfunc.BoolFunction`; this is one packed pass over
+  the exhaustive pattern batch, so the cost is linear in the number of
+  instances rather than in ``2**num_inputs * instances``.
 
-Both entry points accept a ``cell_functions`` override that substitutes the
+Every entry point accepts a ``cell_functions`` override that substitutes the
 logic function of individual *instances*.  The camouflage verification flow
 uses this to evaluate a mapped netlist under a specific configuration of its
 camouflaged cells without rebuilding the netlist.
@@ -17,13 +20,18 @@ camouflaged cells without rebuilding the netlist.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..logic.boolfunc import BoolFunction
 from ..logic.truthtable import TruthTable
 from .netlist import CONST0_NET, CONST1_NET, Netlist, NetlistError
 
-__all__ = ["simulate_word", "simulate_assignment", "extract_function"]
+__all__ = [
+    "simulate_word",
+    "simulate_words",
+    "simulate_assignment",
+    "extract_function",
+]
 
 
 def simulate_assignment(
@@ -48,6 +56,12 @@ def simulate_assignment(
             function = cell_functions.get(instance.name)
         if function is None:
             function = netlist.library[instance.cell].function
+        if function.num_vars != len(instance.inputs):
+            raise NetlistError(
+                f"cell function override for instance {instance.name!r} has "
+                f"{function.num_vars} variables but the instance has "
+                f"{len(instance.inputs)} pins"
+            )
         input_values = [values[net] for net in instance.inputs]
         values[instance.output] = function.evaluate(input_values)
 
@@ -67,15 +81,22 @@ def simulate_word(
     Bit ``k`` of ``word`` is the value of ``netlist.primary_inputs[k]``; bit
     ``k`` of the result is the value of ``netlist.primary_outputs[k]``.
     """
-    assignment = {
-        net: (word >> index) & 1 for index, net in enumerate(netlist.primary_inputs)
-    }
-    values = simulate_assignment(netlist, assignment, cell_functions)
-    result = 0
-    for index, net in enumerate(netlist.primary_outputs):
-        if values[net]:
-            result |= 1 << index
-    return result
+    return simulate_words(netlist, [word], cell_functions)[0]
+
+
+def simulate_words(
+    netlist: Netlist,
+    words: Sequence[int],
+    cell_functions: Optional[Mapping[str, TruthTable]] = None,
+) -> List[int]:
+    """Evaluate the netlist on a batch of input words (one packed pass).
+
+    Returns one output word per input word, in order.  This is the batched
+    oracle-query primitive of the attack flows.
+    """
+    from ..sim.engine import NetlistSimulator
+
+    return NetlistSimulator(netlist).simulate_words(words, cell_functions)
 
 
 def extract_function(
@@ -86,42 +107,10 @@ def extract_function(
     """Exhaustively simulate the netlist into a :class:`BoolFunction`.
 
     Primary input ``k`` becomes function variable ``k`` and primary output
-    ``k`` becomes function output ``k``.  Simulation is bit-parallel: each
-    net carries the packed truth table of its value over all input minterms.
+    ``k`` becomes function output ``k``.  Simulation is word-parallel: one
+    packed pass over the exhaustive pattern batch, each net carrying the
+    packed truth table of its value over all input minterms.
     """
-    num_inputs = len(netlist.primary_inputs)
-    tables: Dict[str, TruthTable] = {
-        CONST0_NET: TruthTable.constant(num_inputs, False),
-        CONST1_NET: TruthTable.constant(num_inputs, True),
-    }
-    for index, net in enumerate(netlist.primary_inputs):
-        tables[net] = TruthTable.variable(index, num_inputs)
+    from ..sim.engine import NetlistSimulator
 
-    for instance in netlist.topological_order():
-        function = None
-        if cell_functions is not None:
-            function = cell_functions.get(instance.name)
-        if function is None:
-            function = netlist.library[instance.cell].function
-        operands = [tables[net] for net in instance.inputs]
-        tables[instance.output] = function.compose(operands) if operands else _constant(
-            function, num_inputs
-        )
-
-    outputs: List[TruthTable] = []
-    for net in netlist.primary_outputs:
-        if net not in tables:
-            raise NetlistError(f"primary output {net!r} is undriven")
-        outputs.append(tables[net])
-    return BoolFunction(
-        outputs,
-        name=name or netlist.name,
-        input_names=list(netlist.primary_inputs),
-        output_names=list(netlist.primary_outputs),
-    )
-
-
-def _constant(function: TruthTable, num_inputs: int) -> TruthTable:
-    """Lift a zero-input cell function to a constant over ``num_inputs`` vars."""
-    value = bool(function.bits & 1)
-    return TruthTable.constant(num_inputs, value)
+    return NetlistSimulator(netlist).extract_function(cell_functions, name=name)

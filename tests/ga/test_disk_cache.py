@@ -1,0 +1,110 @@
+"""Unit tests for the persistent (REPRO_CACHE_DIR) synthesis cache."""
+
+import json
+
+import pytest
+
+from repro.ga.engine import GAParameters
+from repro.ga.pinopt import (
+    CACHE_DIR_ENV_VAR,
+    PinAssignmentProblem,
+    SynthesisDiskCache,
+    library_fingerprint,
+    optimize_pin_assignment,
+)
+from repro.sboxes import optimal_sboxes
+
+LIB = "deadbeefcafe0000"  # an arbitrary library fingerprint
+
+
+class TestSynthesisDiskCache:
+    def test_roundtrip(self, tmp_path):
+        cache = SynthesisDiskCache(str(tmp_path))
+        signature = (4, 0x1234, 0x5678)
+        assert cache.get("fast", LIB, signature) is None
+        cache.put("fast", LIB, signature, 42.5)
+        assert cache.get("fast", LIB, signature) == 42.5
+        # Keyed by effort and library as well: either differing is a miss.
+        assert cache.get("standard", LIB, signature) is None
+        assert cache.get("fast", "0" * 16, signature) is None
+        # A fresh instance reloads the appended entry from disk.
+        reloaded = SynthesisDiskCache(str(tmp_path))
+        assert reloaded.loaded == 1
+        assert reloaded.get("fast", LIB, signature) == 42.5
+
+    def test_put_is_idempotent(self, tmp_path):
+        cache = SynthesisDiskCache(str(tmp_path))
+        cache.put("fast", LIB, (2, 9), 1.0)
+        cache.put("fast", LIB, (2, 9), 1.0)
+        with open(cache.path, encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 1
+
+    def test_corrupt_and_alien_lines_skipped(self, tmp_path):
+        path = tmp_path / SynthesisDiskCache.FILENAME
+        lines = [
+            json.dumps({"effort": "fast", "library": LIB, "signature": [2, 5],
+                        "area": 3.0}),
+            "{torn line",
+            json.dumps({"unrelated": True}),
+            "",
+            json.dumps({"effort": "fast", "signature": [2, 6], "area": 4.0}),
+            json.dumps({"effort": "fast", "library": LIB, "signature": [2, 6],
+                        "area": 4.0}),
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        cache = SynthesisDiskCache(str(tmp_path))
+        # The library-less line predates the key format and is skipped too.
+        assert cache.loaded == 2
+        assert cache.get("fast", LIB, (2, 5)) == 3.0
+        assert cache.get("fast", LIB, (2, 6)) == 4.0
+
+    def test_library_fingerprint_is_stable_and_discriminating(self, library):
+        from repro.netlist.library import CellLibrary
+
+        fingerprint = library_fingerprint(library)
+        assert fingerprint == library_fingerprint(library)
+        # Dropping a cell changes the synthesis-relevant content.
+        smaller = CellLibrary("sub", library.cells()[:-1])
+        assert library_fingerprint(smaller) != fingerprint
+
+    def test_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+        assert SynthesisDiskCache.from_environment() is None
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "sub"))
+        cache = SynthesisDiskCache.from_environment()
+        assert cache is not None
+        assert (tmp_path / "sub").is_dir()
+
+
+class TestProblemIntegration:
+    def test_second_problem_reads_through(self, tmp_path, two_sboxes, rng):
+        cache = SynthesisDiskCache(str(tmp_path))
+        problem = PinAssignmentProblem(two_sboxes, disk_cache=cache)
+        genotype = problem.random_genotype(rng)
+        area = problem.evaluate(genotype)
+        assert problem.cache_stats()["evaluations"] == 1
+        assert problem.cache_stats()["disk_hits"] == 0
+
+        fresh = PinAssignmentProblem(
+            two_sboxes, disk_cache=SynthesisDiskCache(str(tmp_path))
+        )
+        assert fresh.evaluate(genotype) == area
+        stats = fresh.cache_stats()
+        assert stats["evaluations"] == 0
+        assert stats["disk_hits"] == 1
+
+    def test_optimize_results_identical_with_cache(self, tmp_path, two_sboxes, monkeypatch):
+        parameters = GAParameters(population_size=4, generations=2, seed=3)
+        monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+        baseline = optimize_pin_assignment(two_sboxes, parameters=parameters)
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        cold = optimize_pin_assignment(two_sboxes, parameters=parameters)
+        warm = optimize_pin_assignment(two_sboxes, parameters=parameters)
+        assert cold.best_area == warm.best_area == baseline.best_area
+        assert (
+            cold.best_assignment.to_genotype()
+            == warm.best_assignment.to_genotype()
+            == baseline.best_assignment.to_genotype()
+        )
+        assert warm.cache_stats["disk_hits"] > 0
+        assert warm.cache_stats["evaluations"] == 0

@@ -4,11 +4,14 @@ import pytest
 
 from repro.logic import TruthTable
 from repro.netlist import (
+    CONST0_NET,
+    CONST1_NET,
     Netlist,
     NetlistError,
     extract_function,
     simulate_assignment,
     simulate_word,
+    simulate_words,
     standard_cell_library,
 )
 
@@ -91,3 +94,65 @@ class TestCellFunctionOverrides:
     def test_synthesized_netlist_roundtrip(self, present, present_netlist):
         function = extract_function(present_netlist)
         assert function.lookup_table() == present.lookup_table()
+
+
+class TestSimulateWords:
+    def test_batch_matches_single_words(self, majority_netlist):
+        words = [0, 3, 5, 7, 2, 3]
+        outputs = simulate_words(majority_netlist, words)
+        assert outputs == [simulate_word(majority_netlist, word) for word in words]
+
+    def test_empty_batch(self, majority_netlist):
+        assert simulate_words(majority_netlist, []) == []
+
+
+class TestEdgeCases:
+    def test_undriven_output_all_entry_points(self, library):
+        netlist = Netlist("broken", library)
+        netlist.add_input("a")
+        netlist.add_output("y")
+        with pytest.raises(NetlistError):
+            simulate_assignment(netlist, {"a": 1})
+        with pytest.raises(NetlistError):
+            simulate_word(netlist, 0)
+        with pytest.raises(NetlistError):
+            extract_function(netlist)
+
+    def test_override_arity_mismatch_rejected(self, majority_netlist):
+        and2 = majority_netlist.instances[0]
+        override = {and2.name: TruthTable.constant(3, True)}  # AND2 has 2 pins
+        with pytest.raises(NetlistError):
+            simulate_assignment(majority_netlist, {"a": 0, "b": 0, "c": 0},
+                                cell_functions=override)
+        with pytest.raises(NetlistError):
+            simulate_word(majority_netlist, 0, cell_functions=override)
+        with pytest.raises(NetlistError):
+            extract_function(majority_netlist, cell_functions=override)
+
+    def test_constant_nets(self, library):
+        # y = a AND const1, z = a OR const0: both reduce to a, every path.
+        netlist = Netlist("consts", library)
+        a = netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_output("z")
+        netlist.add_instance("AND2", [a, CONST1_NET], output="y")
+        netlist.add_instance("OR2", [a, CONST0_NET], output="z")
+        for value in (0, 1):
+            values = simulate_assignment(netlist, {"a": value})
+            assert values["y"] == value and values["z"] == value
+            assert simulate_word(netlist, value) == (0b11 if value else 0)
+        function = extract_function(netlist)
+        assert function.lookup_table() == [0b00, 0b11]
+
+    def test_constant_driven_output(self, library):
+        # An output can be driven by an inverter of const0 — constant one.
+        netlist = Netlist("const_out", library)
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_instance("INV", [CONST0_NET], output="y")
+        assert [simulate_word(netlist, w) for w in (0, 1)] == [1, 1]
+        assert extract_function(netlist).lookup_table() == [1, 1]
+
+    def test_missing_input_is_reported_by_name(self, majority_netlist):
+        with pytest.raises(NetlistError, match="'c'"):
+            simulate_assignment(majority_netlist, {"a": 1, "b": 0})

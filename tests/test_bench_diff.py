@@ -1,0 +1,88 @@
+"""Unit tests for the benchmark-trajectory diff tool (benchmarks/bench_diff.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_diff",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "bench_diff.py",
+)
+bench_diff = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_diff)
+
+
+def _write(directory: Path, name: str, payload: dict) -> Path:
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps({"name": name, **payload}), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def artifact_dirs(tmp_path):
+    base = tmp_path / "base"
+    cand = tmp_path / "cand"
+    base.mkdir()
+    cand.mkdir()
+    return base, cand
+
+
+class TestLoadArtifacts:
+    def test_directory_and_single_file(self, artifact_dirs):
+        base, _ = artifact_dirs
+        _write(base, "alpha", {"total_seconds": 1.0})
+        path = _write(base, "beta", {"total_seconds": 2.0})
+        by_dir = bench_diff.load_artifacts(str(base))
+        assert set(by_dir) == {"alpha", "beta"}
+        by_file = bench_diff.load_artifacts(str(path))
+        assert set(by_file) == {"beta"}
+
+    def test_name_falls_back_to_stem(self, tmp_path):
+        path = tmp_path / "BENCH_gamma.json"
+        path.write_text(json.dumps({"total_seconds": 1.0}), encoding="utf-8")
+        assert set(bench_diff.load_artifacts(str(path))) == {"gamma"}
+
+
+class TestDiff:
+    def test_improvement_passes(self, artifact_dirs):
+        base, cand = artifact_dirs
+        _write(base, "run", {"total_seconds": 10.0, "mean_seconds": 10.0})
+        _write(cand, "run", {"total_seconds": 1.0, "mean_seconds": 1.0})
+        assert bench_diff.main([str(base), str(cand), "--threshold", "10"]) == 0
+
+    def test_regression_fails(self, artifact_dirs):
+        base, cand = artifact_dirs
+        _write(base, "run", {"total_seconds": 1.0, "mean_seconds": 1.0})
+        _write(cand, "run", {"total_seconds": 2.0, "mean_seconds": 2.0})
+        assert bench_diff.main([str(base), str(cand), "--threshold", "50"]) == 1
+
+    def test_within_threshold_passes(self, artifact_dirs):
+        base, cand = artifact_dirs
+        _write(base, "run", {"total_seconds": 1.0})
+        _write(cand, "run", {"total_seconds": 1.2})
+        assert bench_diff.main([str(base), str(cand), "--threshold", "25"]) == 0
+
+    def test_non_timing_fields_never_fail(self, artifact_dirs):
+        base, cand = artifact_dirs
+        _write(base, "run", {"total_seconds": 1.0, "solver": {"conflicts": 10}})
+        _write(cand, "run", {"total_seconds": 1.0, "solver": {"conflicts": 99999}})
+        assert bench_diff.main([str(base), str(cand), "--threshold", "5"]) == 0
+
+    def test_one_sided_benchmarks_are_skipped(self, artifact_dirs):
+        base, cand = artifact_dirs
+        _write(base, "gone", {"total_seconds": 1.0})
+        _write(cand, "new", {"total_seconds": 1.0})
+        assert bench_diff.main([str(base), str(cand)]) == 0
+
+    def test_missing_baseline_directory_fails(self, artifact_dirs):
+        base, cand = artifact_dirs
+        _write(cand, "run", {"total_seconds": 1.0})
+        assert bench_diff.main([str(base), str(cand)]) == 2
+
+    def test_nested_numeric_flattening(self):
+        numbers = bench_diff._numeric_items(
+            {"a": 1, "b": {"c": 2.5, "d": {"e": 3}}, "name": "x", "flag": True}
+        )
+        assert numbers == {"a": 1.0, "b.c": 2.5, "b.d.e": 3.0}
