@@ -14,8 +14,12 @@ The package is organised as a small EDA flow:
 * :mod:`repro.sat`, :mod:`repro.attacks` -- the adversary model: a CDCL SAT
   solver and the viable-function plausibility tests;
 * :mod:`repro.sim` -- packed word-parallel simulation (pattern batches,
-  netlist/AIG engines, fuzz-before-SAT pre-filters);
-* :mod:`repro.sboxes` -- the PRESENT, optimal 4-bit, and DES S-box workloads;
+  netlist/AIG engines, fuzz-before-SAT pre-filters, sharded multi-core
+  batches);
+* :mod:`repro.sboxes` -- the PRESENT, optimal 4-bit, DES, and AES-style
+  S-box workloads;
+* :mod:`repro.scenarios` -- the workload registry (pluggable families) and
+  the resumable campaign runner;
 * :mod:`repro.flow`, :mod:`repro.evaluation` -- the end-to-end obfuscation flow
   and the Table I / Figure 4 experiment harnesses.
 """
@@ -32,9 +36,11 @@ from .merge.merged import MergedDesign, merge_functions
 from .merge.pinassign import PinAssignment
 from .netlist.library import standard_cell_library
 from .camo.library import default_camouflage_library
+from .sboxes.aes import aes_sboxes
 from .sboxes.des import des_sboxes
 from .sboxes.optimal4 import optimal_sboxes
 from .sboxes.present import present_sbox
+from .scenarios import CampaignSpec, build_workload, run_campaign
 from .synth.script import synthesize
 from .techmap.mapper import camouflage_map
 
@@ -56,4 +62,8 @@ __all__ = [
     "present_sbox",
     "optimal_sboxes",
     "des_sboxes",
+    "aes_sboxes",
+    "build_workload",
+    "CampaignSpec",
+    "run_campaign",
 ]

@@ -19,9 +19,10 @@ are therefore shared across all candidate checks, and witness enumeration
 (:meth:`PlausibleFunctionOracle.enumerate_witnesses`) adds blocking clauses
 guarded by a per-session activation literal to the same solver.
 
-Fuzz-before-SAT: with the pre-filter enabled (``prefilter=True`` or the
-``REPRO_FUZZ`` environment variable), a query is answered by
-simulation-guided abstraction refinement instead of the full unrolling:
+Fuzz-before-SAT: with the pre-filter enabled (the default; pass
+``prefilter=False`` or set ``REPRO_FUZZ=0`` to opt out), a query is
+answered by simulation-guided abstraction refinement instead of the full
+unrolling:
 
 1. a three-valued packed *possibility* pass (:func:`repro.sim.prefilter.
    possibility_refute`) soundly refutes candidates that need an output bit

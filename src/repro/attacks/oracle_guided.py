@@ -62,10 +62,12 @@ configured netlist) *before* the DIP loop and constrains both configuration
 copies with the observed responses — the classic random-simulation
 front-end of SAT-based attacks.  Cheap observations kill most of the
 configuration space, so far fewer (and far cheaper) miter calls remain; the
-recovered function is identical, but the DIP sequence is not, so
-presampling is **off by default** and the seeded regression transcripts are
-unaffected unless it is requested (``attack_mapping`` turns it on when the
-``REPRO_FUZZ`` environment variable enables the fuzz paths).  Every DIP and
+recovered function is identical, but the DIP sequence is not.  Constructing
+:class:`OracleGuidedAttack` directly still defaults to ``presample=0`` (the
+classic cold transcript); the :func:`attack_mapping` entry point follows the
+fuzz default — presampling **on** unless the ``REPRO_FUZZ`` environment
+variable opts out — and the regression tests pin both transcript shapes
+explicitly.  Every DIP and
 presample word is recorded in a :class:`~repro.sim.patterns.ReplayBuffer`
 (``OracleGuidedAttack.replay``) so callers can reuse the distinguishing
 patterns across attacks.
@@ -347,24 +349,31 @@ def attack_mapping(
     true_select: int,
     max_queries: int = 256,
     presample: Optional[int] = None,
+    jobs: int = 1,
 ) -> OracleGuidedResult:
     """Run the oracle-guided attack against a Phase III mapping.
 
     The oracle is the camouflaged netlist configured for ``true_select`` —
     i.e. the chip as manufactured for one particular viable function.  All
     oracle queries are answered from one packed word-parallel extraction of
-    the configured netlist (a single batch, not ``2**n`` row simulations).
+    the configured netlist (a single batch, not ``2**n`` row simulations);
+    with ``jobs > 1`` that exhaustive batch is sharded over the worker pool
+    (:func:`repro.sim.shard.sharded_extract_function`), so wide workloads
+    presample at multi-core speed.  The recovered function, the presample
+    word set, and the DIP sequence are identical for every ``jobs`` value.
 
-    ``presample`` turns on the fuzz-before-SAT presampling phase (see the
-    module docstring); ``None`` resolves it from the ``REPRO_FUZZ``
-    environment variable (:data:`DEFAULT_PRESAMPLE` words when enabled, off
-    otherwise) so default runs keep their seeded DIP transcripts.
+    ``presample`` controls the fuzz-before-SAT presampling phase (see the
+    module docstring); ``None`` resolves it from the fuzz default —
+    presampling is on (:data:`DEFAULT_PRESAMPLE` words) unless ``REPRO_FUZZ``
+    opts out, in which case the classic cold-DIP transcript is preserved.
     """
-    from ..netlist.simulate import extract_function
+    from ..sim.shard import sharded_extract_function
 
     configuration = mapping.configuration_for_select(true_select)
-    truth = extract_function(
-        mapping.netlist, cell_functions=configuration.as_cell_functions()
+    truth = sharded_extract_function(
+        mapping.netlist,
+        cell_functions=configuration.as_cell_functions(),
+        jobs=jobs,
     ).lookup_table()
 
     if presample is None:

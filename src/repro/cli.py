@@ -22,13 +22,20 @@ Exercise and benchmark the word-parallel simulation engine::
 
     python -m repro.cli sim --family PRESENT --count 2 --patterns 4096
 
+Run a resumable campaign over registered workloads (AES-style 8-bit S-boxes
+here; rerunning with the same ``--state-dir`` skips completed jobs)::
+
+    python -m repro.cli campaign --workload AES:2 --population 4 \\
+        --generations 1 --jobs 2 --state-dir /tmp/aes-campaign --csv out.csv
+
 The experiment commands accept ``--jobs N`` to spread synthesis work over N
 worker processes (default: the ``REPRO_JOBS`` environment variable, else
-serial).  Seeded results are identical for every ``--jobs`` value.  Setting
-``REPRO_FUZZ=1`` enables the fuzz-before-SAT paths (packed random simulation
-kills most candidates before a solver call); verdicts are unchanged, only
-faster — except the oracle-guided attack, whose presampling trades a
-different query transcript for far fewer SAT calls.
+serial).  Seeded results are identical for every ``--jobs`` value.  The
+fuzz-before-SAT paths (packed random simulation kills most candidates
+before a solver call) are on by default; ``REPRO_FUZZ=0`` opts out.
+Verdicts are unchanged either way, only slower without them — except the
+oracle-guided attack, whose presampling trades a different query transcript
+for far fewer SAT calls.
 """
 
 from __future__ import annotations
@@ -48,10 +55,12 @@ from .evaluation.workloads import (
 )
 from .flow.obfuscate import obfuscate
 from .flow.report import (
+    AreaRow,
     CacheStatsRow,
     SolverStatsRow,
     format_cache_stats,
     format_solver_stats,
+    format_table,
 )
 from .ga.engine import GAParameters
 from .parallel import resolve_jobs
@@ -127,8 +136,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Python-int lane over the whole pattern batch.  The run "
             "cross-checks the packed engine against row-by-row simulation "
             "and against exhaustive extraction, then reports the measured "
-            "throughput of both, which is the speedup the fuzz-before-SAT "
-            "pre-filters (REPRO_FUZZ=1) build on."
+            "throughput of both, which is the speedup the (default-on) "
+            "fuzz-before-SAT pre-filters build on."
         ),
     )
     sim_parser.add_argument("--family", choices=[PRESENT_FAMILY, DES_FAMILY],
@@ -138,6 +147,51 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--patterns", type=int, default=4096,
                             help="random patterns per packed batch")
     sim_parser.add_argument("--seed", type=int, default=7)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="run a declarative experiment campaign (resumable, multi-workload)",
+        description=(
+            "Express a Table-I-style sweep over any registered workload "
+            "family (PRESENT, DES, AES, RANDOM, ...) as a campaign of jobs, "
+            "executed over worker processes with resumable on-disk state: "
+            "rerunning with the same --state-dir skips every job that "
+            "already completed.  Results are written as JSON/CSV artifacts "
+            "compatible with benchmarks/bench_diff.py."
+        ),
+    )
+    campaign_parser.add_argument(
+        "--workload", action="append", default=[], metavar="FAMILY:COUNT",
+        help="workload configuration to sweep, e.g. AES:2 (repeatable; "
+             "default: the profile's PRESENT/DES sweep)")
+    campaign_parser.add_argument("--name", type=str, default="cli",
+                                 help="campaign name (used in artifact file names)")
+    campaign_parser.add_argument("--profile", type=str, default="",
+                                 help="experiment profile (quick, medium, paper)")
+    campaign_parser.add_argument("--seed", type=int, default=1)
+    campaign_parser.add_argument("--population", type=int, default=0,
+                                 help="override the profile's GA population")
+    campaign_parser.add_argument("--generations", type=int, default=0,
+                                 help="override the profile's GA generations")
+    campaign_parser.add_argument("--with-attack", action="store_true",
+                                 help="add an oracle-guided attack job per workload")
+    campaign_parser.add_argument("--no-verify", action="store_true",
+                                 help="skip the per-row realisability verification")
+    campaign_parser.add_argument("--jobs", type=int, default=0,
+                                 help="worker processes (0 = REPRO_JOBS env var, else serial)")
+    campaign_parser.add_argument("--state-dir", type=str, default="",
+                                 help="directory for resumable per-job state files")
+    campaign_parser.add_argument("--limit", type=int, default=-1,
+                                 help="run at most N pending jobs (cached jobs are free; "
+                                      "-1 = no limit)")
+    campaign_parser.add_argument("--json", type=str, default="",
+                                 help="write the full campaign result to this JSON file")
+    campaign_parser.add_argument("--csv", type=str, default="",
+                                 help="write the per-job result table to this CSV file")
+    campaign_parser.add_argument("--bench-dir", type=str, default="",
+                                 help="emit a BENCH_campaign_<name>.json into this directory")
+    campaign_parser.add_argument("--list-workloads", action="store_true",
+                                 help="list the registered workload families and exit")
     return parser
 
 
@@ -286,6 +340,122 @@ def _command_sim(args: argparse.Namespace) -> int:
     return 0 if all_consistent else 1
 
 
+def _parse_workload_selector(selector: str) -> tuple:
+    """Parse a ``FAMILY:COUNT`` CLI selector."""
+    family, _, count_text = selector.partition(":")
+    if not family or not count_text:
+        raise SystemExit(
+            f"invalid workload selector {selector!r}; expected FAMILY:COUNT (e.g. AES:2)"
+        )
+    try:
+        count = int(count_text)
+    except ValueError:
+        raise SystemExit(f"invalid workload count in {selector!r}") from None
+    return family.upper(), count
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .evaluation.workloads import get_profile as get_workload_profile
+    from .scenarios import (
+        CampaignError,
+        CampaignRunner,
+        CampaignSpec,
+        WorkloadError,
+        available_families,
+        get_family,
+    )
+
+    if args.list_workloads:
+        print("registered workload families:")
+        for name in available_families():
+            print(f"  {name:<10} {get_family(name).description}")
+        return 0
+
+    profile = get_workload_profile(args.profile)
+    overrides = {}
+    if args.population > 0:
+        overrides["ga_population"] = args.population
+    if args.generations > 0:
+        overrides["ga_generations"] = args.generations
+    if overrides:
+        profile = dataclasses.replace(profile, **overrides)
+
+    if args.workload:
+        families = [_parse_workload_selector(selector) for selector in args.workload]
+        # Validate selectors up front: a typo'd family or impossible count
+        # should be an argument error, not N buried per-job failures.
+        for family, count in families:
+            try:
+                get_family(family).check_count(count)
+            except WorkloadError as exc:
+                raise SystemExit(str(exc)) from exc
+    else:
+        families = [(PRESENT_FAMILY, count) for count in profile.present_counts]
+        families += [(DES_FAMILY, count) for count in profile.des_counts]
+
+    try:
+        spec = CampaignSpec.table1(
+            profile, families, seed=args.seed, verify=not args.no_verify, name=args.name
+        )
+        if args.with_attack:
+            spec = spec.merged(
+                CampaignSpec.attacks(
+                    families,
+                    population=profile.ga_population,
+                    generations=profile.ga_generations,
+                    seed=args.seed,
+                ),
+                name=args.name,
+            )
+    except CampaignError as exc:
+        # e.g. the same --workload selector given twice: a clean CLI error,
+        # not a traceback.
+        raise SystemExit(f"invalid campaign: {exc}") from exc
+
+    runner = CampaignRunner(
+        spec,
+        state_dir=args.state_dir or None,
+        jobs=resolve_jobs(args.jobs or None),
+        progress=print,
+    )
+    outcome = runner.run(limit=args.limit if args.limit >= 0 else None)
+
+    print()
+    print(f"campaign {outcome.name}: {len(outcome.completed)}/{len(outcome.results)} "
+          f"jobs complete ({len(outcome.cached)} cached, {len(outcome.failed)} failed, "
+          f"{len(outcome.pending)} pending) in {outcome.total_seconds:.1f}s")
+
+    rows = []
+    for result in outcome.results:
+        if result.kind != "table1_row" or not result.ok:
+            continue
+        if result.value is not None:
+            rows.append(result.value.row)
+        elif "row" in result.payload:
+            # Cached jobs carry no rich value; rebuild the row from the
+            # persisted payload so resumed campaigns render complete tables.
+            rows.append(AreaRow.from_dict(result.payload["row"]))
+    if rows:
+        print()
+        print(format_table(rows, title=f"Campaign area rows (profile: {profile.name})"))
+    for result in outcome.results:
+        if result.kind == "attack" and result.ok:
+            queries = result.payload.get("total_oracle_queries", "?")
+            print(f"attack {result.job_id}: success={result.payload.get('success')} "
+                  f"oracle queries={queries}")
+
+    written = outcome.write_artifacts(
+        json_path=args.json or None,
+        csv_path=args.csv or None,
+        bench_dir=args.bench_dir or None,
+    )
+    for path in written:
+        print(f"wrote {path}")
+    return 1 if outcome.failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -296,6 +466,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure4": _command_figure4,
         "attack": _command_attack,
         "sim": _command_sim,
+        "campaign": _command_campaign,
     }
     return handlers[args.command](args)
 

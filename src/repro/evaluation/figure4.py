@@ -95,7 +95,7 @@ def _figure4_functions(profile: ExperimentProfile):
     return workload_functions(PRESENT_FAMILY, profile.figure4_sbox_count)
 
 
-def run_figure4a(
+def compute_figure4a(
     profile: Optional[ExperimentProfile] = None,
     num_samples: Optional[int] = None,
     seed: int = 11,
@@ -103,6 +103,9 @@ def run_figure4a(
     jobs: Optional[int] = None,
 ) -> Figure4aData:
     """Evaluate random pin assignments for the Fig. 4a histogram.
+
+    This is the computational core the campaign runner's ``figure4a`` job
+    kind executes; :func:`run_figure4a` routes through the runner.
 
     ``jobs`` (default: ``REPRO_JOBS``, else serial) parallelises the
     synthesis of the random batch; the histogram is identical either way.
@@ -130,12 +133,15 @@ def run_figure4a(
     )
 
 
-def run_figure4b(
+def compute_figure4b(
     profile: Optional[ExperimentProfile] = None,
     seed: int = 11,
     jobs: Optional[int] = None,
 ) -> Figure4bData:
     """Run the GA and the equal-budget random baseline for Fig. 4b.
+
+    This is the computational core the campaign runner's ``figure4b`` job
+    kind executes; :func:`run_figure4b` routes through the runner.
 
     ``jobs`` (default: ``REPRO_JOBS``, else serial) parallelises both the GA
     fitness evaluations and the random baseline; the seeded series are
@@ -173,3 +179,52 @@ def run_figure4b(
         ga_evaluations=optimization.evaluations,
         random_evaluations=random_result.evaluations,
     )
+
+
+def _run_single_figure_job(kind: str, params: dict, jobs: Optional[int]):
+    """Run one figure job through the campaign runner and unwrap the value."""
+    from ..scenarios.campaign import CampaignJob, CampaignRunner, CampaignSpec
+
+    spec = CampaignSpec(name=kind, jobs=[CampaignJob(kind, kind, params)])
+    outcome = CampaignRunner(spec, jobs=resolve_jobs(jobs)).run(fail_fast=True)
+    result = outcome.results[0]
+    if not result.ok:
+        # Re-raise the original exception so failure types are unchanged
+        # from the pre-runner implementations.
+        if result.exception is not None:
+            raise result.exception
+        raise RuntimeError(f"{kind} job failed: {result.error}")
+    return result.value
+
+
+def run_figure4a(
+    profile: Optional[ExperimentProfile] = None,
+    num_samples: Optional[int] = None,
+    seed: int = 11,
+    bin_width: float = 5.0,
+    jobs: Optional[int] = None,
+) -> Figure4aData:
+    """Fig. 4a through the campaign runner (see :func:`compute_figure4a`)."""
+    profile = profile or get_profile()
+    from ..scenarios.campaign import _profile_to_dict
+
+    params = {
+        "profile": _profile_to_dict(profile),
+        "seed": seed,
+        "num_samples": num_samples,
+        "bin_width": bin_width,
+    }
+    return _run_single_figure_job("figure4a", params, jobs)
+
+
+def run_figure4b(
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 11,
+    jobs: Optional[int] = None,
+) -> Figure4bData:
+    """Fig. 4b through the campaign runner (see :func:`compute_figure4b`)."""
+    profile = profile or get_profile()
+    from ..scenarios.campaign import _profile_to_dict
+
+    params = {"profile": _profile_to_dict(profile), "seed": seed}
+    return _run_single_figure_job("figure4b", params, jobs)

@@ -26,7 +26,7 @@ from ..flow.obfuscate import ObfuscationResult, obfuscate_with_assignment
 from ..flow.report import AreaRow, format_table
 from ..ga.pinopt import PinAssignmentProblem, optimize_pin_assignment
 from ..ga.random_search import RandomSearchResult, random_pin_search
-from ..parallel import parallel_map, resolve_jobs
+from ..parallel import resolve_jobs
 from .workloads import (
     DES_FAMILY,
     PRESENT_FAMILY,
@@ -111,17 +111,6 @@ def run_table1_entry(
     )
 
 
-def _run_entry_task(task: Tuple) -> Table1Entry:
-    """Worker-process task: run one Table I row (module-level so it pickles).
-
-    ``entry_jobs`` is the leftover worker budget this row may use for its own
-    fitness evaluations (nested pools are supported; 1 means serial)."""
-    family, count, profile, seed, verify, entry_jobs = task
-    return run_table1_entry(
-        family, count, profile=profile, seed=seed, verify=verify, jobs=entry_jobs
-    )
-
-
 def run_table1(
     profile: Optional[ExperimentProfile] = None,
     families: Optional[Sequence[Tuple[str, int]]] = None,
@@ -132,36 +121,39 @@ def run_table1(
 ) -> List[Table1Entry]:
     """Run the full Table I sweep for the selected profile.
 
-    With ``jobs > 1`` the rows of the sweep (each an independent, seeded
-    experiment) are evaluated concurrently in worker processes; entries are
-    returned in sweep order and are identical to a serial run.
+    Thin wrapper over the campaign runner: the sweep is expressed as one
+    ``table1_row`` job per configuration (see
+    :meth:`repro.scenarios.campaign.CampaignSpec.table1`) and executed over
+    the worker pool.  With ``jobs > 1`` the rows (each an independent,
+    seeded experiment) are evaluated concurrently; entries are returned in
+    sweep order and are identical to a serial run.
     """
+    from ..scenarios.campaign import CampaignRunner, CampaignSpec
+
     profile = profile or get_profile()
     jobs = resolve_jobs(jobs)
     if families is None:
         families = [(PRESENT_FAMILY, count) for count in profile.present_counts]
         families += [(DES_FAMILY, count) for count in profile.des_counts]
-    if jobs > 1 and len(families) > 1:
-        if progress is not None:
-            for family, count in families:
-                progress(f"Table I: {family} x{count} (queued, jobs={jobs})")
-        # Rows run in parallel; any leftover worker budget beyond the row
-        # count is handed down to each row's own fitness evaluation.
-        entry_jobs = max(1, jobs // len(families))
-        tasks = [
-            (family, count, profile, seed, verify, entry_jobs)
-            for family, count in families
-        ]
-        return parallel_map(_run_entry_task, tasks, jobs=jobs)
+    if progress is not None:
+        suffix = f" (queued, jobs={jobs})" if jobs > 1 and len(families) > 1 else ""
+        for family, count in families:
+            progress(f"Table I: {family} x{count}{suffix}")
+    spec = CampaignSpec.table1(profile, families, seed=seed, verify=verify)
+    # fail_fast: a failing row aborts the sweep at once (and propagates its
+    # own exception type), exactly as the pre-runner loop did.
+    outcome = CampaignRunner(spec, jobs=jobs).run(fail_fast=True)
     entries: List[Table1Entry] = []
-    for family, count in families:
-        if progress is not None:
-            progress(f"Table I: {family} x{count}")
-        entries.append(
-            run_table1_entry(
-                family, count, profile=profile, seed=seed, verify=verify, jobs=jobs
-            )
-        )
+    for result in outcome.results:
+        if not result.ok:
+            # Re-raise the original exception so callers see the same type
+            # the pre-runner sweep loop raised (`except ValueError` etc.
+            # keep working); the runner only swallows it per-job so that a
+            # campaign with a state dir can record its siblings.
+            if result.exception is not None:
+                raise result.exception
+            raise RuntimeError(f"Table I job {result.job_id} failed: {result.error}")
+        entries.append(result.value)
     return entries
 
 

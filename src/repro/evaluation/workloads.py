@@ -17,14 +17,12 @@ variable via :func:`resolve_jobs`; seeded results are identical for every
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from ..ga.engine import GAParameters
-from ..logic.boolfunc import BoolFunction
 from ..parallel import JOBS_ENV_VAR, resolve_jobs
-from ..sboxes.des import des_sboxes
-from ..sboxes.optimal4 import optimal_sboxes
+from ..scenarios.registry import workload_functions
 
 __all__ = [
     "ExperimentProfile",
@@ -35,10 +33,12 @@ __all__ = [
     "JOBS_ENV_VAR",
     "PRESENT_FAMILY",
     "DES_FAMILY",
+    "AES_FAMILY",
 ]
 
 PRESENT_FAMILY = "PRESENT"
 DES_FAMILY = "DES"
+AES_FAMILY = "AES"
 
 #: Environment variable selecting the experiment profile.
 PROFILE_ENV_VAR = "REPRO_PROFILE"
@@ -114,10 +114,7 @@ def get_profile(name: str = "") -> ExperimentProfile:
         ) from exc
 
 
-def workload_functions(family: str, count: int) -> List[BoolFunction]:
-    """Return the viable functions for one Table I configuration."""
-    if family == PRESENT_FAMILY:
-        return optimal_sboxes(count)
-    if family == DES_FAMILY:
-        return des_sboxes(count)
-    raise ValueError(f"unknown workload family {family!r}")
+# ``workload_functions`` used to be an ad-hoc two-entry table here; it now
+# lives in :mod:`repro.scenarios.registry` (re-exported above) where any
+# registered family — PRESENT, DES, AES, RANDOM, BLIF, or user-defined —
+# resolves through the same call.  The PRESENT/DES results are unchanged.

@@ -70,6 +70,18 @@ class AreaRow:
             "improvement_percent": self.improvement,
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AreaRow":
+        """Rebuild a row from :meth:`as_dict` output (campaign state files)."""
+        return cls(
+            circuit=data["circuit"],
+            num_functions=data["num_functions"],
+            random_avg=data["random_avg"],
+            random_best=data["random_best"],
+            ga_area=data["ga"],
+            ga_tm_area=data["ga_tm"],
+        )
+
 
 def format_table(rows: Iterable[AreaRow], title: Optional[str] = None) -> str:
     """Render rows in the layout of Table I."""

@@ -134,6 +134,35 @@ class WorkerPool:
             self._shutdown()
             return [self._function(item) for item in items]
 
+    def imap(self, items: Sequence[T]):
+        """Lazily yield results in input order as they become available.
+
+        Same semantics as :meth:`map` (ordering, serial fallback, graceful
+        pool degradation), but results stream out one by one, so a consumer
+        can checkpoint each finished item before the whole batch is done —
+        the campaign runner persists per-job state this way.  On a pool
+        failure mid-stream the not-yet-yielded items run serially.
+        """
+        items = list(items)
+        executor = None
+        if not (self.workers <= 1 or self._broken or len(items) <= 1):
+            executor = self._ensure_executor()
+        if executor is None:
+            for item in items:
+                yield self._function(item)
+            return
+        chunksize = max(1, len(items) // (self.workers * 4))
+        yielded = 0
+        try:
+            for result in executor.map(_call_worker, items, chunksize=chunksize):
+                yielded += 1
+                yield result
+        except (BrokenExecutor, pickle.PicklingError):
+            self._broken = True
+            self._shutdown()
+            for item in items[yielded:]:
+                yield self._function(item)
+
     def _ensure_executor(self):
         if self._executor is not None:
             return self._executor

@@ -15,8 +15,8 @@ unit clause and its learned clauses keep benefiting later checks.
 Fuzz-before-SAT
 ---------------
 
-With the pre-filter enabled (``prefilter=True`` or the ``REPRO_FUZZ``
-environment variable), every check first runs a packed word-parallel
+With the pre-filter enabled (the default; pass ``prefilter=False`` or set
+``REPRO_FUZZ=0`` to opt out), every check first runs a packed word-parallel
 simulation pass (:mod:`repro.sim.prefilter`): exhaustive — and therefore a
 *complete decision* — for small input counts, otherwise replay-buffer words
 followed by seeded random patterns.  A mismatch refutes the check with a

@@ -1,5 +1,13 @@
-"""S-box workload data: PRESENT, optimal 4-bit S-boxes, DES S-boxes."""
+"""S-box workload data: PRESENT, optimal 4-bit, DES, and AES-style S-boxes."""
 
+from .aes import (
+    AES_VARIANT_CONSTANTS,
+    NUM_AES_SBOXES,
+    aes_sbox,
+    aes_sbox_inverse,
+    aes_sbox_lookup,
+    aes_sboxes,
+)
 from .des import DES_SBOX_ROWS, NUM_DES_SBOXES, des_sbox, des_sbox_lookup, des_sboxes
 from .optimal4 import (
     OPTIMAL_SBOXES,
@@ -24,4 +32,10 @@ __all__ = [
     "des_sbox",
     "des_sbox_lookup",
     "des_sboxes",
+    "AES_VARIANT_CONSTANTS",
+    "NUM_AES_SBOXES",
+    "aes_sbox",
+    "aes_sbox_inverse",
+    "aes_sbox_lookup",
+    "aes_sboxes",
 ]

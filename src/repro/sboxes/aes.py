@@ -1,0 +1,142 @@
+"""AES-style 8-bit S-boxes (the registry's wide workload family).
+
+The AES S-box (FIPS 197) is the composition of multiplicative inversion in
+GF(2^8) (modulo the Rijndael polynomial ``x^8 + x^4 + x^3 + x + 1``) with an
+affine transformation over GF(2).  Instead of transcribing the published
+256-entry table (transcription errors would be silent), this module
+*constructs* it from the field arithmetic; the test suite pins the canonical
+first entries (``63 7c 77 7b ...``) and the structural properties.
+
+"AES-style" variants — the viable-function sets the obfuscation flow merges
+— share the inversion core but use different affine constants, the standard
+way hardened AES implementations derive S-box variants.  Every variant is a
+bijection on bytes and inherits the inversion core's nonlinearity, so the
+family is a credible 8-bit analogue of the paper's 4-bit optimal-S-box
+workload.  Variant 0 is the exact AES S-box; the remaining affine constants
+are pinned so the workload is stable across runs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from ..logic.boolfunc import BoolFunction
+
+__all__ = [
+    "AES_POLY",
+    "AES_AFFINE_CONSTANT",
+    "AES_VARIANT_CONSTANTS",
+    "gf256_multiply",
+    "gf256_inverse_table",
+    "aes_sbox_lookup",
+    "aes_sbox",
+    "aes_sbox_inverse",
+    "aes_sboxes",
+    "NUM_AES_SBOXES",
+]
+
+#: The Rijndael reduction polynomial x^8 + x^4 + x^3 + x + 1 (0x11B), as the
+#: low byte used during reduction.
+AES_POLY = 0x1B
+
+#: The affine constant of the canonical AES S-box.
+AES_AFFINE_CONSTANT = 0x63
+
+#: Affine constants of the variant family.  Entry 0 is the AES constant; the
+#: rest are pinned distinct bytes, so the sixteen variants (the same size as
+#: the 4-bit optimal workload) are stable across runs and platforms.
+AES_VARIANT_CONSTANTS: List[int] = [
+    0x63, 0x5A, 0xA5, 0x0F, 0xF0, 0x39, 0x93, 0xC6,
+    0x6C, 0x17, 0x71, 0x8E, 0xE8, 0x2D, 0xD2, 0x4B,
+]
+
+NUM_AES_SBOXES = len(AES_VARIANT_CONSTANTS)
+
+
+def gf256_multiply(a: int, b: int) -> int:
+    """Multiply two bytes in GF(2^8) modulo the Rijndael polynomial."""
+    product = 0
+    for _ in range(8):
+        if b & 1:
+            product ^= a
+        carry = a & 0x80
+        a = (a << 1) & 0xFF
+        if carry:
+            a ^= AES_POLY
+        b >>= 1
+    return product
+
+
+@lru_cache(maxsize=1)
+def gf256_inverse_table() -> tuple:
+    """The multiplicative-inverse table of GF(2^8) (0 maps to 0, as in AES).
+
+    Built by exponentiation-free Fermat chains would be overkill here; a
+    generator walk over the 255-element multiplicative group gives every
+    inverse in one pass (0x03 is the standard generator).
+    """
+    # powers[k] = g^k; the inverse of g^k is g^(255 - k).
+    powers = [1] * 255
+    for k in range(1, 255):
+        powers[k] = gf256_multiply(powers[k - 1], 0x03)
+    index_of = {value: k for k, value in enumerate(powers)}
+    inverse = [0] * 256
+    for value in range(1, 256):
+        inverse[value] = powers[(255 - index_of[value]) % 255]
+    return tuple(inverse)
+
+
+def _affine_transform(value: int, constant: int) -> int:
+    """The AES affine map: bit i of the result is b_i ^ b_{i+4} ^ b_{i+5} ^
+    b_{i+6} ^ b_{i+7} ^ c_i (indices mod 8)."""
+    result = 0
+    for i in range(8):
+        bit = (
+            (value >> i)
+            ^ (value >> ((i + 4) % 8))
+            ^ (value >> ((i + 5) % 8))
+            ^ (value >> ((i + 6) % 8))
+            ^ (value >> ((i + 7) % 8))
+            ^ (constant >> i)
+        ) & 1
+        result |= bit << i
+    return result
+
+
+def aes_sbox_lookup(variant: int = 0) -> List[int]:
+    """Return AES-style S-box ``variant`` as a flat 256-entry lookup table.
+
+    Variant 0 is the canonical AES S-box; other variants substitute the
+    pinned affine constants of :data:`AES_VARIANT_CONSTANTS`.
+    """
+    if not 0 <= variant < NUM_AES_SBOXES:
+        raise IndexError(
+            f"AES S-box variant {variant} out of range (0..{NUM_AES_SBOXES - 1})"
+        )
+    constant = AES_VARIANT_CONSTANTS[variant]
+    inverse = gf256_inverse_table()
+    return [_affine_transform(inverse[value], constant) for value in range(256)]
+
+
+def aes_sbox(variant: int = 0, name: str = "") -> BoolFunction:
+    """Return AES-style S-box ``variant`` as an 8-input / 8-output function."""
+    return BoolFunction.from_lookup(
+        aes_sbox_lookup(variant), 8, 8, name=name or f"aes_s{variant}"
+    )
+
+
+def aes_sbox_inverse(name: str = "aes_inv") -> BoolFunction:
+    """Return the inverse of the canonical AES S-box as a Boolean function."""
+    table = aes_sbox_lookup(0)
+    inverse = [0] * 256
+    for index, value in enumerate(table):
+        inverse[value] = index
+    return BoolFunction.from_lookup(inverse, 8, 8, name=name)
+
+
+def aes_sboxes(count: int = NUM_AES_SBOXES) -> List[BoolFunction]:
+    """Return the first ``count`` AES-style S-box variants."""
+    if not 1 <= count <= NUM_AES_SBOXES:
+        raise ValueError(f"count must be between 1 and {NUM_AES_SBOXES}")
+    return [aes_sbox(variant) for variant in range(count)]

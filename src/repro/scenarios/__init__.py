@@ -1,0 +1,47 @@
+"""Scenario subsystem: the workload registry and the campaign runner.
+
+* :mod:`repro.scenarios.registry` — pluggable viable-function families
+  (PRESENT, DES, AES-style 8-bit, seeded RANDOM, BLIF-imported) behind a
+  single :func:`~repro.scenarios.registry.workload_functions` resolver.
+* :mod:`repro.scenarios.campaign` — declarative experiment sweeps
+  (workload x configuration x experiment) executed over the worker pool
+  with resumable on-disk state and JSON/CSV artifact emission.
+"""
+
+from .campaign import (
+    CampaignError,
+    CampaignJob,
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    JobResult,
+    run_campaign,
+)
+from .registry import (
+    Workload,
+    WorkloadError,
+    WorkloadFamily,
+    available_families,
+    build_workload,
+    get_family,
+    register_family,
+    workload_functions,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadFamily",
+    "WorkloadError",
+    "register_family",
+    "get_family",
+    "available_families",
+    "build_workload",
+    "workload_functions",
+    "CampaignError",
+    "CampaignJob",
+    "CampaignSpec",
+    "JobResult",
+    "CampaignResult",
+    "CampaignRunner",
+    "run_campaign",
+]

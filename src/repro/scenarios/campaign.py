@@ -1,0 +1,747 @@
+"""Campaign runner: declarative experiment sweeps with resumable state.
+
+A *campaign* is a Table-I/Figure-4-style sweep expressed as data: a
+:class:`CampaignSpec` holds a list of :class:`CampaignJob`\\ s (workload x
+configuration x experiment kind), and :class:`CampaignRunner` executes them
+over :mod:`repro.parallel` worker processes.  The runner is the single
+engine behind :func:`repro.evaluation.table1.run_table1`,
+:func:`repro.evaluation.figure4.run_figure4a` / ``run_figure4b`` and the
+``campaign`` CLI subcommand.
+
+Three properties the ad-hoc sweep loops did not have:
+
+* **Declarative job graph** — a spec is plain JSON-safe data
+  (:meth:`CampaignSpec.to_dict` / :meth:`~CampaignSpec.from_dict`), so
+  sweeps can be stored, diffed and generated.
+* **Resumable on-disk state** — with a ``state_dir`` every finished job is
+  persisted as ``<state_dir>/<job_id>.json`` (written atomically) together
+  with a fingerprint of its parameters; a rerun skips jobs whose state file
+  matches and only executes what is missing, so an interrupted campaign
+  completes from where it stopped instead of recomputing finished rows.
+* **Artifact emission** — results render to CSV and to a ``BENCH_*.json``
+  payload compatible with ``benchmarks/bench_diff.py``, so campaign timings
+  plug into the existing trajectory tooling.
+
+Seeding discipline is inherited from the harnesses: every job is seeded
+independently, so results are bit-identical for any ``jobs`` value and any
+interleaving of cached and fresh jobs.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import json
+import os
+import pickle
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..parallel import WorkerPool, resolve_jobs
+
+__all__ = [
+    "CampaignError",
+    "CampaignJob",
+    "CampaignSpec",
+    "JobResult",
+    "CampaignResult",
+    "CampaignRunner",
+    "run_campaign",
+]
+
+
+class CampaignError(ValueError):
+    """Raised for malformed specs, duplicate job ids, or unknown job kinds."""
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One unit of campaign work (JSON-safe, stable identity).
+
+    ``job_id`` doubles as the state-file name; ``params`` must stay
+    JSON-serialisable because the fingerprint and the on-disk state are
+    derived from it.
+    """
+
+    job_id: str
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Stable hash of (kind, params): the resume-safety token.
+
+        A state file only short-circuits a job whose fingerprint matches, so
+        editing a spec invalidates exactly the jobs it changed.  Non-JSON
+        params are rejected outright — a fallback stringification (e.g. an
+        object repr with a memory address) would fingerprint differently on
+        every run and silently defeat resume.
+        """
+        try:
+            blob = json.dumps(
+                {"kind": self.kind, "params": self.params}, sort_keys=True
+            )
+        except (TypeError, ValueError) as exc:
+            raise CampaignError(
+                f"job {self.job_id!r} params are not JSON-serialisable: {exc}"
+            ) from exc
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _profile_to_dict(profile) -> Dict[str, Any]:
+    """Encode an ExperimentProfile as JSON-safe data."""
+    return asdict(profile)
+
+
+def _profile_from_dict(data: Dict[str, Any]):
+    """Rebuild an ExperimentProfile from :func:`_profile_to_dict` output."""
+    from ..evaluation.workloads import ExperimentProfile
+
+    payload = dict(data)
+    for key in ("present_counts", "des_counts"):
+        if key in payload:
+            payload[key] = tuple(payload[key])
+    return ExperimentProfile(**payload)
+
+
+# ------------------------------------------------------------------ #
+# Job kinds
+# ------------------------------------------------------------------ #
+# Each handler takes (params, task_jobs) and returns (value, payload):
+# ``value`` is the rich in-memory result (picklable; not persisted),
+# ``payload`` the JSON-safe summary written to the state file.
+
+
+def _run_table1_row(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, dict]:
+    from ..evaluation.table1 import run_table1_entry
+
+    entry = run_table1_entry(
+        params["family"],
+        int(params["count"]),
+        profile=_profile_from_dict(params["profile"]),
+        seed=int(params.get("seed", 1)),
+        verify=bool(params.get("verify", True)),
+        jobs=task_jobs,
+    )
+    payload = {
+        "row": entry.row.as_dict(),
+        "ga_evaluations": entry.ga_evaluations,
+        "verification_ok": entry.verification_ok,
+    }
+    return entry, payload
+
+
+def _run_figure4a(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, dict]:
+    from ..evaluation.figure4 import compute_figure4a
+
+    data = compute_figure4a(
+        profile=_profile_from_dict(params["profile"]),
+        num_samples=params.get("num_samples"),
+        seed=int(params.get("seed", 11)),
+        bin_width=float(params.get("bin_width", 5.0)),
+        jobs=task_jobs,
+    )
+    payload = {
+        "average": data.average,
+        "best": data.best,
+        "worst": data.worst,
+        "samples": len(data.areas),
+    }
+    return data, payload
+
+
+def _run_figure4b(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, dict]:
+    from ..evaluation.figure4 import compute_figure4b
+
+    data = compute_figure4b(
+        profile=_profile_from_dict(params["profile"]),
+        seed=int(params.get("seed", 11)),
+        jobs=task_jobs,
+    )
+    payload = {
+        "final_best": data.best_so_far[-1],
+        "random_best": data.random_best,
+        "random_average": data.random_average,
+        "ga_evaluations": data.ga_evaluations,
+        "ga_beats_best_random": data.ga_beats_best_random,
+    }
+    return data, payload
+
+
+def _run_attack(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, dict]:
+    from ..attacks.oracle_guided import attack_mapping
+    from ..evaluation.workloads import workload_functions
+    from ..flow.obfuscate import obfuscate
+    from ..ga.engine import GAParameters
+
+    functions = workload_functions(params["family"], int(params["count"]))
+    parameters = GAParameters(
+        population_size=int(params.get("population", 4)),
+        generations=int(params.get("generations", 1)),
+        seed=int(params.get("seed", 1)),
+    )
+    flow = obfuscate(
+        functions,
+        ga_parameters=parameters,
+        fitness_effort=params.get("fitness_effort", "fast"),
+        final_effort=params.get("final_effort", "fast"),
+        jobs=task_jobs,
+    )
+    outcome = attack_mapping(
+        flow.mapping,
+        true_select=int(params.get("true_select", 0)),
+        max_queries=int(params.get("max_queries", 256)),
+        presample=params.get("presample"),
+        jobs=task_jobs,
+    )
+    payload = {
+        "success": outcome.success,
+        "dip_queries": outcome.num_queries,
+        "presample_queries": len(outcome.presample_queries),
+        "total_oracle_queries": outcome.total_oracle_queries,
+        "camouflaged_area": flow.camouflaged_area,
+        "camouflaged_cells": flow.mapping.num_camouflaged_cells(),
+        "solver": {
+            key: int(value) for key, value in outcome.solver_stats.items()
+        },
+    }
+    return outcome, payload
+
+
+JOB_KINDS: Dict[str, Callable[[Dict[str, Any], int], Tuple[Any, dict]]] = {
+    "table1_row": _run_table1_row,
+    "figure4a": _run_figure4a,
+    "figure4b": _run_figure4b,
+    "attack": _run_attack,
+}
+
+
+# ------------------------------------------------------------------ #
+# Spec
+# ------------------------------------------------------------------ #
+@dataclass
+class CampaignSpec:
+    """A named, ordered collection of campaign jobs."""
+
+    name: str
+    jobs: List[CampaignJob] = field(default_factory=list)
+
+    def __post_init__(self):
+        seen = set()
+        for job in self.jobs:
+            if job.kind not in JOB_KINDS:
+                raise CampaignError(
+                    f"unknown job kind {job.kind!r}; available: {sorted(JOB_KINDS)}"
+                )
+            if job.job_id in seen:
+                raise CampaignError(f"duplicate job id {job.job_id!r}")
+            seen.add(job.job_id)
+            job.fingerprint()  # rejects non-JSON params at build time
+
+    # -------------------------------------------------------------- #
+    # Builders
+    # -------------------------------------------------------------- #
+    @classmethod
+    def table1(
+        cls,
+        profile,
+        families: Sequence[Tuple[str, int]],
+        seed: int = 1,
+        verify: bool = True,
+        name: str = "table1",
+    ) -> "CampaignSpec":
+        """One ``table1_row`` job per (family, count) configuration."""
+        profile_data = _profile_to_dict(profile)
+        jobs = [
+            CampaignJob(
+                job_id=f"table1_{family}_x{count}",
+                kind="table1_row",
+                params={
+                    "family": family,
+                    "count": count,
+                    "profile": profile_data,
+                    "seed": seed,
+                    "verify": verify,
+                },
+            )
+            for family, count in families
+        ]
+        return cls(name=name, jobs=jobs)
+
+    @classmethod
+    def figure4(cls, profile, seed: int = 11, name: str = "figure4") -> "CampaignSpec":
+        """The Fig. 4a histogram job plus the Fig. 4b convergence job."""
+        profile_data = _profile_to_dict(profile)
+        return cls(
+            name=name,
+            jobs=[
+                CampaignJob("figure4a", "figure4a", {"profile": profile_data, "seed": seed}),
+                CampaignJob("figure4b", "figure4b", {"profile": profile_data, "seed": seed}),
+            ],
+        )
+
+    @classmethod
+    def attacks(
+        cls,
+        families: Sequence[Tuple[str, int]],
+        population: int = 4,
+        generations: int = 1,
+        seed: int = 1,
+        max_queries: int = 256,
+        name: str = "attacks",
+    ) -> "CampaignSpec":
+        """One oracle-guided attack job per workload configuration."""
+        jobs = [
+            CampaignJob(
+                job_id=f"attack_{family}_x{count}",
+                kind="attack",
+                params={
+                    "family": family,
+                    "count": count,
+                    "population": population,
+                    "generations": generations,
+                    "seed": seed,
+                    "max_queries": max_queries,
+                },
+            )
+            for family, count in families
+        ]
+        return cls(name=name, jobs=jobs)
+
+    def merged(self, other: "CampaignSpec", name: Optional[str] = None) -> "CampaignSpec":
+        """Concatenate two specs (job ids must stay unique)."""
+        return CampaignSpec(name=name or self.name, jobs=self.jobs + other.jobs)
+
+    # -------------------------------------------------------------- #
+    # JSON round trip
+    # -------------------------------------------------------------- #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe encoding of the spec."""
+        return {
+            "name": self.name,
+            "jobs": [
+                {"job_id": job.job_id, "kind": job.kind, "params": job.params}
+                for job in self.jobs
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        try:
+            jobs = [
+                CampaignJob(entry["job_id"], entry["kind"], dict(entry.get("params", {})))
+                for entry in data["jobs"]
+            ]
+            return cls(name=str(data["name"]), jobs=jobs)
+        except (KeyError, TypeError) as exc:
+            raise CampaignError(f"malformed campaign spec: {exc}") from exc
+
+
+# ------------------------------------------------------------------ #
+# Results
+# ------------------------------------------------------------------ #
+@dataclass
+class JobResult:
+    """Outcome of one campaign job.
+
+    ``value`` is the rich in-memory result (``None`` for jobs restored from
+    on-disk state or not yet executed); ``payload`` is the JSON-safe summary
+    that is persisted and rendered into artifacts.
+    """
+
+    job_id: str
+    kind: str
+    status: str  # "ok" | "error" | "pending"
+    seconds: float = 0.0
+    payload: Dict[str, Any] = field(default_factory=dict)
+    cached: bool = False
+    error: str = ""
+    value: Any = None
+    #: The original exception of an "error" result (not persisted; wrappers
+    #: chain it so library callers keep the real type and traceback).
+    exception: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the job finished successfully (fresh or cached)."""
+        return self.status == "ok"
+
+
+@dataclass
+class CampaignResult:
+    """All job results of one campaign run, in spec order."""
+
+    name: str
+    results: List[JobResult]
+    total_seconds: float
+    jobs: int = 1
+
+    @property
+    def completed(self) -> List[JobResult]:
+        """Successfully finished jobs (fresh and cached)."""
+        return [result for result in self.results if result.ok]
+
+    @property
+    def executed(self) -> List[JobResult]:
+        """Jobs actually run in this invocation (not restored from state)."""
+        return [result for result in self.results if result.ok and not result.cached]
+
+    @property
+    def cached(self) -> List[JobResult]:
+        """Jobs restored from the on-disk campaign state."""
+        return [result for result in self.results if result.cached]
+
+    @property
+    def failed(self) -> List[JobResult]:
+        """Jobs that raised."""
+        return [result for result in self.results if result.status == "error"]
+
+    @property
+    def pending(self) -> List[JobResult]:
+        """Jobs not attempted (e.g. beyond a ``limit``)."""
+        return [result for result in self.results if result.status == "pending"]
+
+    @property
+    def all_ok(self) -> bool:
+        """True when every job of the spec finished successfully."""
+        return all(result.ok for result in self.results)
+
+    def result_for(self, job_id: str) -> JobResult:
+        """Return the result of one job by id."""
+        for result in self.results:
+            if result.job_id == job_id:
+                return result
+        raise KeyError(f"no result for job {job_id!r}")
+
+    # -------------------------------------------------------------- #
+    # Artifacts
+    # -------------------------------------------------------------- #
+    def bench_payload(self) -> Dict[str, Any]:
+        """A ``BENCH_*.json``-style payload (``bench_diff.py`` compatible).
+
+        ``total_seconds`` / ``mean_seconds`` are the timing keys the diff
+        tool enforces thresholds on.  They sum the *recorded per-job*
+        seconds over every completed job — cached jobs contribute the
+        seconds persisted when they actually ran — so the metric measures
+        the campaign's compute cost and stays comparable between fresh and
+        partially-cached invocations.  The wall clock of this invocation is
+        reported separately (``wall_seconds``, informational).
+        """
+        completed = self.completed
+        total = sum(result.seconds for result in completed)
+        return {
+            "name": f"campaign_{self.name}",
+            "total_seconds": total,
+            "mean_seconds": total / len(completed) if completed else 0.0,
+            "wall_seconds": self.total_seconds,
+            "jobs": self.jobs,
+            "campaign": {
+                "executed": len(self.executed),
+                "cached": len(self.cached),
+                "failed": len(self.failed),
+                "pending": len(self.pending),
+            },
+            "job_seconds": {
+                result.job_id: result.seconds for result in completed
+            },
+        }
+
+    def to_json(self) -> str:
+        """Full campaign result as a JSON document."""
+        document = dict(self.bench_payload())
+        document["results"] = [
+            {
+                "job_id": result.job_id,
+                "kind": result.kind,
+                "status": result.status,
+                "cached": result.cached,
+                "seconds": result.seconds,
+                "error": result.error,
+                "payload": result.payload,
+            }
+            for result in self.results
+        ]
+        return json.dumps(document, indent=2, sort_keys=True, default=str)
+
+    def to_csv(self) -> str:
+        """Flat CSV: one row per job, numeric payload fields as columns."""
+        flattened = [
+            _flatten_numeric(result.payload) for result in self.results
+        ]
+        keys: List[str] = sorted({key for row in flattened for key in row})
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(["job_id", "kind", "status", "cached", "seconds"] + keys)
+        for result, row in zip(self.results, flattened):
+            writer.writerow(
+                [
+                    result.job_id,
+                    result.kind,
+                    result.status,
+                    int(result.cached),
+                    f"{result.seconds:.4f}",
+                ]
+                + [row.get(key, "") for key in keys]
+            )
+        return buffer.getvalue()
+
+    def write_artifacts(
+        self,
+        json_path: Optional[str] = None,
+        csv_path: Optional[str] = None,
+        bench_dir: Optional[str] = None,
+    ) -> List[str]:
+        """Write the requested artifact files; returns the paths written."""
+        written: List[str] = []
+        if json_path:
+            _atomic_write(json_path, self.to_json() + "\n")
+            written.append(json_path)
+        if csv_path:
+            _atomic_write(csv_path, self.to_csv())
+            written.append(csv_path)
+        if bench_dir:
+            os.makedirs(bench_dir, exist_ok=True)
+            path = os.path.join(bench_dir, f"BENCH_campaign_{self.name}.json")
+            _atomic_write(
+                path,
+                json.dumps(self.bench_payload(), indent=2, sort_keys=True) + "\n",
+            )
+            written.append(path)
+        return written
+
+
+def _flatten_numeric(payload: Dict[str, Any], prefix: str = "") -> Dict[str, Any]:
+    """Flatten nested payload dicts into dot-joined scalar columns."""
+    flat: Dict[str, Any] = {}
+    for key, value in sorted(payload.items()):
+        label = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten_numeric(value, prefix=f"{label}."))
+        elif isinstance(value, (int, float, bool, str)):
+            flat[label] = value
+    return flat
+
+
+def _atomic_write(path: str, text: str) -> None:
+    """Write a file via rename so readers never see a torn state file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    temp_path = f"{path}.tmp.{os.getpid()}"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    os.replace(temp_path, path)
+
+
+# ------------------------------------------------------------------ #
+# Runner
+# ------------------------------------------------------------------ #
+def _portable_exception(exc: BaseException) -> Optional[BaseException]:
+    """The exception iff it survives a pickle round trip (else None).
+
+    A JobResult may cross the worker-process boundary; an unpicklable
+    exception riding along would crash the pool result transfer — the exact
+    sweep-wide failure the per-job try/except exists to prevent.  Such
+    exceptions are reported through the ``error`` string only.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return None
+
+
+def _execute_job_task(task: Tuple[CampaignJob, int, bool]) -> JobResult:
+    """Worker task: run one campaign job (module-level so it pickles).
+
+    With ``capture_errors`` a failure becomes an "error" JobResult (a sweep
+    with on-disk state must record its siblings); without it the exception
+    propagates, which is how fail-fast wrappers abort a sweep immediately.
+    """
+    job, task_jobs, capture_errors = task
+    start = time.perf_counter()
+    try:
+        value, payload = JOB_KINDS[job.kind](job.params, task_jobs)
+    except Exception as exc:
+        if not capture_errors:
+            raise
+        return JobResult(
+            job_id=job.job_id,
+            kind=job.kind,
+            status="error",
+            seconds=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+            exception=_portable_exception(exc),
+        )
+    return JobResult(
+        job_id=job.job_id,
+        kind=job.kind,
+        status="ok",
+        seconds=time.perf_counter() - start,
+        payload=payload,
+        value=value,
+    )
+
+
+class CampaignRunner:
+    """Execute a :class:`CampaignSpec` over the worker pool, resumably.
+
+    With a ``state_dir`` every successful job writes
+    ``<state_dir>/<job_id>.json`` (atomic rename); a later run loads those
+    files, verifies the parameter fingerprint, and skips matching jobs.
+    Failed jobs are never persisted, so they retry on the next run.
+    """
+
+    STATE_SUFFIX = ".json"
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        state_dir: Optional[str] = None,
+        jobs: Optional[int] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        self.spec = spec
+        self.state_dir = state_dir
+        self.jobs = resolve_jobs(jobs)
+        self._progress = progress or (lambda message: None)
+
+    # -------------------------------------------------------------- #
+    # State files
+    # -------------------------------------------------------------- #
+    def _state_path(self, job: CampaignJob) -> str:
+        assert self.state_dir is not None
+        return os.path.join(self.state_dir, f"{job.job_id}{self.STATE_SUFFIX}")
+
+    def _load_state(self, job: CampaignJob) -> Optional[JobResult]:
+        """Restore a completed job from disk (None = must run)."""
+        if self.state_dir is None:
+            return None
+        path = self._state_path(job)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(data, dict):
+            # Valid JSON but not a state object: corrupt, recompute.
+            return None
+        if data.get("fingerprint") != job.fingerprint():
+            # The spec changed under this job id; the stale result must not
+            # short-circuit the new parameters.
+            return None
+        if data.get("status") != "ok":
+            return None
+        return JobResult(
+            job_id=job.job_id,
+            kind=job.kind,
+            status="ok",
+            seconds=float(data.get("seconds", 0.0)),
+            payload=dict(data.get("payload", {})),
+            cached=True,
+        )
+
+    def _save_state(self, job: CampaignJob, result: JobResult) -> None:
+        if self.state_dir is None or not result.ok:
+            return
+        document = {
+            "job_id": job.job_id,
+            "kind": job.kind,
+            "fingerprint": job.fingerprint(),
+            "status": result.status,
+            "seconds": result.seconds,
+            "payload": result.payload,
+        }
+        _atomic_write(
+            self._state_path(job),
+            json.dumps(document, indent=2, sort_keys=True, default=str) + "\n",
+        )
+
+    # -------------------------------------------------------------- #
+    # Execution
+    # -------------------------------------------------------------- #
+    def run(
+        self, limit: Optional[int] = None, fail_fast: bool = False
+    ) -> CampaignResult:
+        """Run the campaign; ``limit`` caps the number of jobs executed.
+
+        Cached jobs never count against ``limit`` (they cost nothing), so a
+        limited run always makes forward progress until the campaign is
+        complete.
+
+        With ``fail_fast`` the first job failure propagates immediately
+        (remaining serial jobs do not run; in-flight parallel work is
+        abandoned) instead of being recorded as an "error" result — the
+        pre-campaign sweep-loop behaviour the ``table1``/``figure4``
+        wrappers preserve.
+        """
+        start = time.perf_counter()
+        slots: Dict[str, JobResult] = {}
+        pending: List[CampaignJob] = []
+        for job in self.spec.jobs:
+            restored = self._load_state(job)
+            if restored is not None:
+                slots[job.job_id] = restored
+                self._progress(f"{job.job_id}: cached (state matches)")
+            else:
+                pending.append(job)
+
+        if limit is not None and limit >= 0:
+            for job in pending[limit:]:
+                slots[job.job_id] = JobResult(
+                    job_id=job.job_id, kind=job.kind, status="pending"
+                )
+            pending = pending[:limit]
+
+        if pending:
+            # Mirror the historical sweep split: concurrent rows share the
+            # worker budget, any leftover is handed down to each job's own
+            # parallelism (nested pools are supported).
+            capture_errors = not fail_fast
+            parallel = self.jobs > 1 and len(pending) > 1
+            task_jobs = max(1, self.jobs // len(pending)) if parallel else self.jobs
+            if parallel:
+                for job in pending:
+                    self._progress(f"{job.job_id}: queued (jobs={self.jobs})")
+            tasks = [(job, task_jobs, capture_errors) for job in pending]
+            # Results stream back in job order and each is checkpointed as
+            # it lands, so an interrupted run — serial or parallel, even a
+            # fail-fast abort mid-sweep — leaves every finished job's state
+            # on disk for the next invocation to resume from.
+            with WorkerPool(_execute_job_task, jobs=self.jobs) as pool:
+                results = pool.imap(tasks)
+                for job in pending:
+                    if not parallel:
+                        # Serial execution is lazy: the job runs when the
+                        # next result is pulled, so this line precedes it.
+                        self._progress(f"{job.job_id}: running")
+                    result = next(results)
+                    self._save_state(job, result)
+                    slots[job.job_id] = result
+                    self._progress(
+                        f"{job.job_id}: {result.status} ({result.seconds:.1f}s)"
+                        + (f" {result.error}" if result.error else "")
+                    )
+
+        ordered = [slots[job.job_id] for job in self.spec.jobs]
+        return CampaignResult(
+            name=self.spec.name,
+            results=ordered,
+            total_seconds=time.perf_counter() - start,
+            jobs=self.jobs,
+        )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    state_dir: Optional[str] = None,
+    jobs: Optional[int] = None,
+    limit: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    fail_fast: bool = False,
+) -> CampaignResult:
+    """One-shot convenience wrapper around :class:`CampaignRunner`."""
+    return CampaignRunner(
+        spec, state_dir=state_dir, jobs=jobs, progress=progress
+    ).run(limit=limit, fail_fast=fail_fast)

@@ -25,6 +25,12 @@ from .engine import (
     sweep_select_space,
 )
 from .patterns import PatternBatch, RandomPatternSource, ReplayBuffer
+from .shard import (
+    MIN_SHARD_PATTERNS,
+    resolve_shards,
+    sharded_extract_function,
+    sharded_output_lanes,
+)
 from .prefilter import (
     FUZZ_ENV_VAR,
     FuzzOutcome,
@@ -44,6 +50,10 @@ __all__ = [
     "simulate_batch",
     "simulate_words",
     "sweep_select_space",
+    "MIN_SHARD_PATTERNS",
+    "resolve_shards",
+    "sharded_output_lanes",
+    "sharded_extract_function",
     "FUZZ_ENV_VAR",
     "FuzzOutcome",
     "fuzz_enabled",

@@ -20,11 +20,18 @@ module packages that discipline for the three query shapes of this project:
   the packed engine to verify solver models against the whole input space.
 
 All pre-filters are *verdict-preserving*: they only ever return answers
-that the solver would also have returned.  They are disabled by default and
-switched on with the ``REPRO_FUZZ`` environment variable (or an explicit
-``prefilter=True`` argument at the call sites), so solver-call-count
-regression tests and seeded attack transcripts stay byte-stable unless the
-fuzz path is requested.
+that the solver would also have returned.  They are **enabled by default**;
+setting the ``REPRO_FUZZ`` environment variable to ``0``/``false``/``no``/
+``off`` (or passing ``prefilter=False`` at the call sites) opts *out*, which
+is what the solver-call-count regression tests do — they pin solver
+behaviour explicitly instead of relying on a global default.
+
+Wide batches can additionally be **sharded** over the worker pool
+(``jobs > 1``): the batch is split into contiguous shards evaluated
+concurrently via :mod:`repro.sim.shard`, and the globally first
+counterexample is reported — verdicts, replay-buffer contents and
+counterexample words are identical to the single-core pass for every
+``jobs`` value.
 """
 
 from __future__ import annotations
@@ -65,13 +72,16 @@ DEFAULT_FUZZ_PATTERNS = 64
 def fuzz_enabled(explicit: Optional[bool] = None) -> bool:
     """Resolve a fuzz-before-SAT switch: explicit argument wins, else env.
 
-    The environment variable ``REPRO_FUZZ`` enables the pre-filters when set
-    to ``1``/``true``/``yes``/``on``; anything else (including unset) leaves
-    them off so solver behaviour is bit-stable by default.
+    The pre-filters are **on by default**; the environment variable
+    ``REPRO_FUZZ`` opts *out* when set to ``0``/``false``/``no``/``off``
+    (anything else, including unset, leaves them on).  Call sites that need
+    bit-stable solver transcripts pass ``prefilter=False`` explicitly.
     """
     if explicit is not None:
         return explicit
-    return os.environ.get(FUZZ_ENV_VAR, "").strip().lower() in ("1", "true", "yes", "on")
+    return os.environ.get(FUZZ_ENV_VAR, "").strip().lower() not in (
+        "0", "false", "no", "off",
+    )
 
 
 @dataclass
@@ -152,6 +162,7 @@ def fuzz_netlist_vs_function(
     replay: Optional[ReplayBuffer] = None,
     simulator: Optional[NetlistSimulator] = None,
     exhaustive_lanes: Optional[Sequence[int]] = None,
+    jobs: int = 1,
 ) -> FuzzOutcome:
     """Fuzz a netlist against a reference function.
 
@@ -160,21 +171,30 @@ def fuzz_netlist_vs_function(
     first, topped up with seeded random patterns.  A found counterexample is
     recorded in the replay buffer.  Callers checking many candidates against
     one netlist can pass the (candidate-independent) ``exhaustive_lanes``
-    they cached so the exhaustive pass is simulated only once.
+    they cached so the exhaustive pass is simulated only once.  With
+    ``jobs > 1`` a wide batch is sharded over the worker pool (see
+    :mod:`repro.sim.shard`); the outcome is identical for every ``jobs``.
     """
+    from .shard import resolve_shards, sharded_first_difference_vs_function
+
     num_inputs = len(netlist.primary_inputs)
     batch, complete = _fuzz_batch(num_inputs, patterns, seed, replay)
     if complete and exhaustive_lanes is not None:
-        actual = list(exhaustive_lanes)
+        expected = [table.bits for table in function.outputs]
+        position = _first_difference(list(zip(exhaustive_lanes, expected)))
+    elif resolve_shards(batch.num_patterns, jobs) > 1:
+        position = sharded_first_difference_vs_function(
+            netlist, function, batch, cell_functions, exhaustive=complete, jobs=jobs
+        )
     else:
         simulator = simulator if simulator is not None else NetlistSimulator(netlist)
         actual = simulator.output_lanes(batch, cell_functions)
-    expected = (
-        [table.bits for table in function.outputs]
-        if complete
-        else _candidate_lanes(function, batch)
-    )
-    position = _first_difference(list(zip(actual, expected)))
+        expected = (
+            [table.bits for table in function.outputs]
+            if complete
+            else _candidate_lanes(function, batch)
+        )
+        position = _first_difference(list(zip(actual, expected)))
     if position is None:
         return FuzzOutcome(None, complete, batch.num_patterns)
     word = batch.word_at(position)
@@ -191,15 +211,27 @@ def fuzz_netlist_vs_netlist(
     patterns: int = DEFAULT_FUZZ_PATTERNS,
     seed: int = 1,
     replay: Optional[ReplayBuffer] = None,
+    jobs: int = 1,
 ) -> FuzzOutcome:
-    """Fuzz two netlists against each other on a shared pattern batch."""
+    """Fuzz two netlists against each other on a shared pattern batch.
+
+    With ``jobs > 1`` a wide batch is sharded over the worker pool; the
+    outcome is identical for every ``jobs`` value.
+    """
+    from .shard import resolve_shards, sharded_first_difference_vs_netlist
+
     num_inputs = len(netlist_a.primary_inputs)
     if num_inputs != len(netlist_b.primary_inputs):
         raise ValueError("netlists have different numbers of primary inputs")
     batch, complete = _fuzz_batch(num_inputs, patterns, seed, replay)
-    lanes_a = NetlistSimulator(netlist_a).output_lanes(batch, cell_functions_a)
-    lanes_b = NetlistSimulator(netlist_b).output_lanes(batch, cell_functions_b)
-    position = _first_difference(list(zip(lanes_a, lanes_b)))
+    if resolve_shards(batch.num_patterns, jobs) > 1:
+        position = sharded_first_difference_vs_netlist(
+            netlist_a, netlist_b, batch, cell_functions_a, cell_functions_b, jobs=jobs
+        )
+    else:
+        lanes_a = NetlistSimulator(netlist_a).output_lanes(batch, cell_functions_a)
+        lanes_b = NetlistSimulator(netlist_b).output_lanes(batch, cell_functions_b)
+        position = _first_difference(list(zip(lanes_a, lanes_b)))
     if position is None:
         return FuzzOutcome(None, complete, batch.num_patterns)
     word = batch.word_at(position)

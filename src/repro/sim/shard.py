@@ -1,0 +1,238 @@
+"""Sharded (multi-core) packed simulation over :mod:`repro.parallel`.
+
+The packed engines put a whole :class:`~repro.sim.patterns.PatternBatch`
+into one Python-int lane per net, which is already ~3 orders of magnitude
+faster than row-by-row simulation — but a single batch still runs on one
+core.  For *wide* batches (many thousands of patterns: presampling, fuzzing
+campaigns, exhaustive extraction of 8-bit workloads) this module splits the
+batch into contiguous shards, fans the shards out over the worker pool, and
+stitches the per-shard lanes back together.
+
+Everything here is **verdict-identical** to the unsharded path by
+construction:
+
+* shards are contiguous slices in batch order, so re-assembling the lanes
+  (OR of shard lanes shifted by their offsets) reproduces the single-batch
+  lanes bit for bit;
+* "first difference" queries walk the shards in batch order and map the
+  shard-local hit back through its offset, so the reported counterexample is
+  the globally first differing pattern — exactly what the unsharded
+  :func:`~repro.sim.prefilter._first_difference` finds.
+
+Sharding only pays off when each shard carries enough patterns to amortise
+the worker-pool round trip (pickling the netlist, forking the pool); below
+:data:`MIN_SHARD_PATTERNS` patterns per shard the helpers transparently run
+the plain single-core path, so callers can pass any ``jobs`` value
+unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from ..logic.boolfunc import BoolFunction
+from ..logic.truthtable import TruthTable
+from ..netlist.netlist import Netlist
+from ..parallel import parallel_map
+from .engine import NetlistSimulator
+from .patterns import PatternBatch
+
+__all__ = [
+    "MIN_SHARD_PATTERNS",
+    "resolve_shards",
+    "sharded_output_lanes",
+    "sharded_extract_function",
+    "sharded_first_difference_vs_function",
+    "sharded_first_difference_vs_netlist",
+]
+
+#: Minimum patterns per shard for fan-out to be worth the process round trip.
+MIN_SHARD_PATTERNS = 1024
+
+
+def resolve_shards(
+    num_patterns: int, jobs: int, min_shard_patterns: int = MIN_SHARD_PATTERNS
+) -> int:
+    """Number of shards actually worth fanning out (1 = stay single-core).
+
+    Clamped so every shard carries at least ``min_shard_patterns`` patterns
+    (and never exceeds ``jobs`` or the pattern count).
+    """
+    if jobs <= 1 or num_patterns < 2 * max(1, min_shard_patterns):
+        return 1
+    return max(1, min(jobs, num_patterns // max(1, min_shard_patterns)))
+
+
+def _output_lanes_task(task: Tuple) -> List[int]:
+    """Worker task: output lanes of one shard (module-level so it pickles)."""
+    netlist, cell_functions, shard = task
+    return NetlistSimulator(netlist).output_lanes(shard, cell_functions)
+
+
+def sharded_output_lanes(
+    netlist: Netlist,
+    batch: PatternBatch,
+    cell_functions: Optional[Mapping[str, TruthTable]] = None,
+    jobs: int = 1,
+    min_shard_patterns: int = MIN_SHARD_PATTERNS,
+) -> List[int]:
+    """Primary-output lanes of ``batch``, computed over up to ``jobs`` cores.
+
+    Identical to ``NetlistSimulator(netlist).output_lanes(batch, ...)`` for
+    every ``jobs`` value; with ``jobs > 1`` and a wide enough batch the
+    patterns are split into contiguous shards evaluated concurrently.
+    """
+    shards = resolve_shards(batch.num_patterns, jobs, min_shard_patterns)
+    if shards == 1:
+        return NetlistSimulator(netlist).output_lanes(batch, cell_functions)
+    pieces = batch.split(shards)
+    results = parallel_map(
+        _output_lanes_task,
+        [(netlist, cell_functions, shard) for _, shard in pieces],
+        jobs=shards,
+    )
+    lanes = [0] * len(netlist.primary_outputs)
+    for (offset, _), piece_lanes in zip(pieces, results):
+        for index, lane in enumerate(piece_lanes):
+            lanes[index] |= lane << offset
+    return lanes
+
+
+def sharded_extract_function(
+    netlist: Netlist,
+    cell_functions: Optional[Mapping[str, TruthTable]] = None,
+    jobs: int = 1,
+    name: Optional[str] = None,
+    min_shard_patterns: int = MIN_SHARD_PATTERNS,
+) -> BoolFunction:
+    """Exhaustive extraction with the exhaustive batch sharded over workers.
+
+    The 2^n minterm space is split into contiguous shards, so each worker
+    simulates a slice of the truth table; the stitched function is identical
+    to :meth:`NetlistSimulator.extract_function` for every ``jobs`` value.
+    """
+    num_inputs = len(netlist.primary_inputs)
+    batch = PatternBatch.exhaustive(num_inputs)
+    lanes = sharded_output_lanes(
+        netlist, batch, cell_functions, jobs=jobs, min_shard_patterns=min_shard_patterns
+    )
+    return BoolFunction(
+        [TruthTable(num_inputs, lane) for lane in lanes],
+        name=name or netlist.name,
+        input_names=list(netlist.primary_inputs),
+        output_names=list(netlist.primary_outputs),
+    )
+
+
+def _first_difference_lanes(
+    actual: Sequence[int], expected: Sequence[int]
+) -> Optional[int]:
+    """Lowest differing bit position over any lane pair (None when equal)."""
+    # The single source of truth for "first difference" lives in the
+    # prefilter module; sharding must find the same position it would.
+    from .prefilter import _first_difference
+
+    return _first_difference(list(zip(actual, expected)))
+
+
+def _expected_function_lanes(
+    function: BoolFunction, shard: PatternBatch, offset: int, exhaustive: bool
+) -> List[int]:
+    """Reference lanes of ``function`` over one shard.
+
+    Over an exhaustive batch a shard's reference lane is simply a slice of
+    the packed truth table; otherwise every shard pattern is evaluated
+    word-by-word via the prefilter's reference-lane helper (shard
+    ``word_at`` already yields the global input word — patterns carry their
+    words, only their positions are offset).
+    """
+    if exhaustive:
+        mask = (1 << shard.num_patterns) - 1
+        return [(table.bits >> offset) & mask for table in function.outputs]
+    from .prefilter import _candidate_lanes
+
+    return _candidate_lanes(function, shard)
+
+
+def _diff_vs_function_task(task: Tuple) -> Optional[int]:
+    """Worker task: shard-local first difference against a reference function."""
+    netlist, cell_functions, function, offset, shard, exhaustive = task
+    actual = NetlistSimulator(netlist).output_lanes(shard, cell_functions)
+    expected = _expected_function_lanes(function, shard, offset, exhaustive)
+    return _first_difference_lanes(actual, expected)
+
+
+def sharded_first_difference_vs_function(
+    netlist: Netlist,
+    function: BoolFunction,
+    batch: PatternBatch,
+    cell_functions: Optional[Mapping[str, TruthTable]] = None,
+    exhaustive: bool = False,
+    jobs: int = 1,
+    min_shard_patterns: int = MIN_SHARD_PATTERNS,
+) -> Optional[int]:
+    """Global position of the first pattern where netlist and function differ.
+
+    ``exhaustive`` marks ``batch`` as the full minterm enumeration, in which
+    case the reference side is sliced straight out of the packed truth
+    tables.  Workers compute both sides of their shard, so the whole
+    comparison — not just the netlist half — scales with cores; the shards
+    are scanned in batch order, making the answer the globally first
+    difference (verdict-identical to the unsharded scan).
+    """
+    shards = resolve_shards(batch.num_patterns, jobs, min_shard_patterns)
+    if shards == 1:
+        actual = NetlistSimulator(netlist).output_lanes(batch, cell_functions)
+        expected = _expected_function_lanes(function, batch, 0, exhaustive)
+        return _first_difference_lanes(actual, expected)
+    pieces = batch.split(shards)
+    results = parallel_map(
+        _diff_vs_function_task,
+        [
+            (netlist, cell_functions, function, offset, shard, exhaustive)
+            for offset, shard in pieces
+        ],
+        jobs=shards,
+    )
+    for (offset, _), position in zip(pieces, results):
+        if position is not None:
+            return offset + position
+    return None
+
+
+def _diff_vs_netlist_task(task: Tuple) -> Optional[int]:
+    """Worker task: shard-local first difference between two netlists."""
+    netlist_a, netlist_b, cell_functions_a, cell_functions_b, shard = task
+    lanes_a = NetlistSimulator(netlist_a).output_lanes(shard, cell_functions_a)
+    lanes_b = NetlistSimulator(netlist_b).output_lanes(shard, cell_functions_b)
+    return _first_difference_lanes(lanes_a, lanes_b)
+
+
+def sharded_first_difference_vs_netlist(
+    netlist_a: Netlist,
+    netlist_b: Netlist,
+    batch: PatternBatch,
+    cell_functions_a: Optional[Mapping[str, TruthTable]] = None,
+    cell_functions_b: Optional[Mapping[str, TruthTable]] = None,
+    jobs: int = 1,
+    min_shard_patterns: int = MIN_SHARD_PATTERNS,
+) -> Optional[int]:
+    """Global position of the first pattern where the two netlists differ."""
+    shards = resolve_shards(batch.num_patterns, jobs, min_shard_patterns)
+    if shards == 1:
+        lanes_a = NetlistSimulator(netlist_a).output_lanes(batch, cell_functions_a)
+        lanes_b = NetlistSimulator(netlist_b).output_lanes(batch, cell_functions_b)
+        return _first_difference_lanes(lanes_a, lanes_b)
+    pieces = batch.split(shards)
+    results = parallel_map(
+        _diff_vs_netlist_task,
+        [
+            (netlist_a, netlist_b, cell_functions_a, cell_functions_b, shard)
+            for _, shard in pieces
+        ],
+        jobs=shards,
+    )
+    for (offset, _), position in zip(pieces, results):
+        if position is not None:
+            return offset + position
+    return None

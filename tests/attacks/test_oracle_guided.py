@@ -144,6 +144,68 @@ class TestIncrementalSolverUsage:
         assert result.solver_stats["propagations"] > 0
 
 
+class TestPresampleTranscript:
+    """Transcript pins for the on-by-default presampling phase."""
+
+    @pytest.fixture(scope="class")
+    def small_mapping(self, library):
+        f_and = BoolFunction(
+            [TruthTable.variable(0, 2) & TruthTable.variable(1, 2)], name="and"
+        )
+        f_xor = BoolFunction(
+            [TruthTable.variable(0, 2) ^ TruthTable.variable(1, 2)], name="xor"
+        )
+        return obfuscate_with_assignment([f_and, f_xor], library=library, effort="fast")
+
+    def test_default_transcript_is_presampled_and_seeded(self, small_mapping, monkeypatch):
+        from repro.sim.patterns import RandomPatternSource
+        from repro.sim.prefilter import FUZZ_ENV_VAR
+
+        monkeypatch.delenv(FUZZ_ENV_VAR, raising=False)
+        first = attack_mapping(small_mapping.mapping, true_select=1, max_queries=32)
+        second = attack_mapping(small_mapping.mapping, true_select=1, max_queries=32)
+        assert first.success and second.success
+        # The fuzz default turns presampling on; the presample words are the
+        # seeded distinct stream, capped at the input space, and the whole
+        # transcript (presample + DIPs) is reproducible run to run.
+        assert len(first.presample_queries) > 0
+        num_inputs = len(small_mapping.mapping.netlist.primary_inputs)
+        expected_words = RandomPatternSource(101).words(
+            num_inputs, 32, distinct=True
+        )
+        assert first.presample_queries == expected_words
+        assert first.presample_queries == second.presample_queries
+        assert first.queries == second.queries
+        assert first.recovered_function == second.recovered_function
+
+    def test_presample_matches_cold_transcript_function(self, small_mapping, monkeypatch):
+        from repro.sim.prefilter import FUZZ_ENV_VAR
+
+        monkeypatch.delenv(FUZZ_ENV_VAR, raising=False)
+        presampled = attack_mapping(small_mapping.mapping, true_select=0, max_queries=32)
+        cold = attack_mapping(
+            small_mapping.mapping, true_select=0, max_queries=32, presample=0
+        )
+        assert presampled.success and cold.success
+        assert presampled.recovered_function == cold.recovered_function
+        assert cold.presample_queries == []
+        # Full-space presampling replaces DIP queries outright on this tiny
+        # workload: the miter UNSAT proof is skipped, not just accelerated.
+        assert presampled.total_oracle_queries >= len(presampled.presample_queries)
+
+    def test_opt_out_restores_cold_transcript(self, small_mapping, monkeypatch):
+        from repro.sim.prefilter import FUZZ_ENV_VAR
+
+        monkeypatch.setenv(FUZZ_ENV_VAR, "0")
+        opted_out = attack_mapping(small_mapping.mapping, true_select=1, max_queries=32)
+        cold = attack_mapping(
+            small_mapping.mapping, true_select=1, max_queries=32, presample=0
+        )
+        assert opted_out.presample_queries == []
+        assert opted_out.queries == cold.queries
+        assert opted_out.recovered_function == cold.recovered_function
+
+
 class TestAttackAgainstMapping:
     def test_recovers_configured_viable_function(self, library):
         # Two tiny 2-input / 1-output viable functions keep the DIP loop fast.

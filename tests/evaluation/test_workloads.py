@@ -58,6 +58,11 @@ class TestWorkloads:
         assert len(functions) == 2
         assert all(f.num_inputs == 6 and f.num_outputs == 4 for f in functions)
 
+    def test_aes_family_resolves_through_registry(self):
+        functions = workload_functions("AES", 2)
+        assert len(functions) == 2
+        assert all(f.num_inputs == 8 and f.num_outputs == 8 for f in functions)
+
     def test_unknown_family(self):
         with pytest.raises(ValueError):
-            workload_functions("AES", 2)
+            workload_functions("SERPENT", 2)

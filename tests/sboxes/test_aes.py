@@ -1,0 +1,76 @@
+"""Unit tests for the AES-style 8-bit S-box family."""
+
+import pytest
+
+from repro.sboxes.aes import (
+    AES_VARIANT_CONSTANTS,
+    NUM_AES_SBOXES,
+    aes_sbox,
+    aes_sbox_inverse,
+    aes_sbox_lookup,
+    aes_sboxes,
+    gf256_inverse_table,
+    gf256_multiply,
+)
+
+
+class TestFieldArithmetic:
+    def test_multiplication_examples(self):
+        # FIPS 197 worked example: {57} x {83} = {c1}.
+        assert gf256_multiply(0x57, 0x83) == 0xC1
+        assert gf256_multiply(0x57, 0x13) == 0xFE
+
+    def test_inverse_table_is_involutive(self):
+        inverse = gf256_inverse_table()
+        assert inverse[0] == 0
+        for value in range(1, 256):
+            assert gf256_multiply(value, inverse[value]) == 1
+            assert inverse[inverse[value]] == value
+
+
+class TestCanonicalSbox:
+    def test_pinned_fips197_entries(self):
+        table = aes_sbox_lookup(0)
+        # First row of the published AES S-box table.
+        assert table[:16] == [
+            0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5,
+            0x30, 0x01, 0x67, 0x2B, 0xFE, 0xD7, 0xAB, 0x76,
+        ]
+        assert table[0x53] == 0xED
+        assert table[0xFF] == 0x16
+
+    def test_inverse_round_trips(self):
+        forward = aes_sbox_lookup(0)
+        backward = aes_sbox_inverse().lookup_table()
+        assert all(backward[forward[x]] == x for x in range(256))
+
+    def test_no_fixed_points(self):
+        # The AES S-box has no fixed or anti-fixed points.
+        table = aes_sbox_lookup(0)
+        assert all(table[x] != x for x in range(256))
+        assert all(table[x] != x ^ 0xFF for x in range(256))
+
+
+class TestVariantFamily:
+    def test_variants_are_distinct_permutations(self):
+        functions = aes_sboxes(NUM_AES_SBOXES)
+        assert len(functions) == NUM_AES_SBOXES == len(set(AES_VARIANT_CONSTANTS))
+        tables = [tuple(f.lookup_table()) for f in functions]
+        assert len(set(tables)) == NUM_AES_SBOXES
+        assert all(f.is_permutation() for f in functions)
+        assert all(f.num_inputs == 8 and f.num_outputs == 8 for f in functions)
+
+    def test_variants_share_the_inversion_core(self):
+        # Two variants differ exactly by the XOR of their affine constants.
+        base = aes_sbox_lookup(0)
+        other = aes_sbox_lookup(1)
+        delta = AES_VARIANT_CONSTANTS[0] ^ AES_VARIANT_CONSTANTS[1]
+        assert all(other[x] == base[x] ^ delta for x in range(256))
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            aes_sboxes(0)
+        with pytest.raises(ValueError):
+            aes_sboxes(NUM_AES_SBOXES + 1)
+        with pytest.raises(IndexError):
+            aes_sbox(NUM_AES_SBOXES)

@@ -1,0 +1,184 @@
+"""Unit tests for the workload registry."""
+
+import pytest
+
+from repro.netlist.blif import write_blif
+from repro.netlist.simulate import extract_function
+from repro.sboxes import aes_sboxes, des_sboxes, optimal_sboxes
+from repro.scenarios.registry import (
+    RandomFamily,
+    Workload,
+    WorkloadError,
+    WorkloadFamily,
+    available_families,
+    build_workload,
+    get_family,
+    register_family,
+    workload_functions,
+)
+
+
+class TestRegistryCatalogue:
+    def test_builtin_families_registered(self):
+        names = available_families()
+        for expected in ("PRESENT", "DES", "AES", "RANDOM", "BLIF"):
+            assert expected in names
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_family("aes") is get_family("AES")
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_family("SERPENT")
+
+    def test_duplicate_registration_rejected(self):
+        family = get_family("AES")
+        with pytest.raises(WorkloadError):
+            register_family(family)
+        # replace=True is the supported override path.
+        register_family(family, replace=True)
+
+
+class TestBuiltinFamilies:
+    def test_present_matches_legacy_tables(self):
+        workload = build_workload("PRESENT", 4)
+        assert workload.count == 4
+        assert workload.num_inputs == 4 and workload.num_outputs == 4
+        assert [f.lookup_table() for f in workload.functions] == [
+            f.lookup_table() for f in optimal_sboxes(4)
+        ]
+
+    def test_des_matches_legacy_tables(self):
+        workload = build_workload("DES", 2)
+        assert workload.num_inputs == 6 and workload.num_outputs == 4
+        assert [f.lookup_table() for f in workload.functions] == [
+            f.lookup_table() for f in des_sboxes(2)
+        ]
+
+    def test_aes_family(self):
+        workload = build_workload("AES", 3)
+        assert workload.num_inputs == 8 and workload.num_outputs == 8
+        assert [f.lookup_table() for f in workload.functions] == [
+            f.lookup_table() for f in aes_sboxes(3)
+        ]
+
+    def test_count_limits_enforced(self):
+        with pytest.raises(WorkloadError):
+            build_workload("PRESENT", 17)
+        with pytest.raises(WorkloadError):
+            build_workload("DES", 0)
+
+    def test_workload_functions_helper(self):
+        functions = workload_functions("AES", 2)
+        assert len(functions) == 2
+        assert all(f.num_inputs == 8 for f in functions)
+
+
+class TestRandomFamily:
+    def test_deterministic_for_seed(self):
+        first = build_workload("RANDOM", 3, seed=5)
+        second = build_workload("RANDOM", 3, seed=5)
+        assert first.lookup_tables() == second.lookup_tables()
+        different = build_workload("RANDOM", 3, seed=6)
+        assert first.lookup_tables() != different.lookup_tables()
+
+    def test_widths_and_balance(self):
+        workload = build_workload("RANDOM", 2, num_inputs=5, num_outputs=3, seed=1)
+        assert workload.num_inputs == 5 and workload.num_outputs == 3
+        for function in workload.functions:
+            for table in function.outputs:
+                # Balanced outputs: exactly half the rows are ones.
+                assert bin(table.bits).count("1") == 16
+
+    def test_functions_are_distinct(self):
+        workload = build_workload("RANDOM", 8, num_inputs=4, num_outputs=2, seed=3)
+        tables = [tuple(t) for t in workload.lookup_tables()]
+        assert len(set(tables)) == len(tables)
+
+    def test_unknown_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_workload("RANDOM", 2, bogus=1)
+
+    def test_degenerate_widths_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_workload("RANDOM", 1, num_inputs=0)
+
+    def test_count_beyond_balanced_space_rejected(self):
+        # Only C(2,1) = 2 distinct balanced 1x1 functions exist; asking for
+        # three must raise instead of spinning in the dedup loop forever.
+        with pytest.raises(WorkloadError):
+            build_workload("RANDOM", 3, num_inputs=1, num_outputs=1)
+        assert build_workload("RANDOM", 2, num_inputs=1, num_outputs=1).count == 2
+
+
+class TestBlifFamily:
+    def test_round_trip_through_blif(self, tmp_path, present_netlist, present):
+        path = tmp_path / "present.blif"
+        path.write_text(write_blif(present_netlist), encoding="utf-8")
+        workload = build_workload("BLIF", 1, paths=[str(path)])
+        assert workload.count == 1
+        assert len(workload.reference_netlists) == 1
+        assert workload.functions[0].lookup_table() == present.lookup_table()
+        # The reference netlist is the parsed circuit itself.
+        extracted = extract_function(workload.reference_netlists[0])
+        assert extracted.lookup_table() == present.lookup_table()
+
+    def test_comma_separated_paths(self, tmp_path, present_netlist):
+        path = tmp_path / "a.blif"
+        path.write_text(write_blif(present_netlist), encoding="utf-8")
+        workload = build_workload("BLIF", 2, paths=f"{path},{path}")
+        assert workload.count == 2
+
+    def test_missing_paths_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_workload("BLIF", 1)
+
+    def test_path_count_mismatch_rejected(self, tmp_path, present_netlist):
+        path = tmp_path / "a.blif"
+        path.write_text(write_blif(present_netlist), encoding="utf-8")
+        with pytest.raises(WorkloadError):
+            build_workload("BLIF", 2, paths=[str(path)])
+
+
+class TestWorkloadValidation:
+    def test_mixed_widths_rejected(self, present):
+        from repro.sboxes import des_sbox
+
+        with pytest.raises(WorkloadError):
+            Workload(name="bad", family="X", functions=(present, des_sbox(0)))
+
+    def test_empty_functions_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="empty", family="X", functions=())
+
+    def test_reference_netlist_count_checked(self, present, present_netlist):
+        with pytest.raises(WorkloadError):
+            Workload(
+                name="bad",
+                family="X",
+                functions=(present, present),
+                reference_netlists=(present_netlist,),
+            )
+
+    def test_custom_family_registration(self):
+        class TinyFamily(WorkloadFamily):
+            name = "TINY_TEST"
+            description = "test-only"
+            max_count = 1
+
+            def build(self, count, **params):
+                self.check_count(count)
+                from repro.sboxes import present_sbox
+
+                return Workload(
+                    name="tiny", family=self.name, functions=(present_sbox(),)
+                )
+
+        family = register_family(TinyFamily())
+        try:
+            assert get_family("tiny_test") is family
+            assert workload_functions("TINY_TEST", 1)[0].num_inputs == 4
+        finally:
+            from repro.scenarios import registry as registry_module
+
+            registry_module._REGISTRY.pop("TINY_TEST", None)

@@ -1,0 +1,237 @@
+"""Sharded-vs-unsharded equivalence: verdicts must not depend on ``jobs``.
+
+Sharding fans contiguous slices of a pattern batch out over worker
+processes; everything observable — output lanes, extracted functions, fuzz
+verdicts, counterexample words, replay-buffer contents, presample DIP sets —
+must be bit-identical for every ``jobs`` value.  The suite drives randomized
+netlists through jobs ∈ {1, 2, 4} with the shard threshold forced low so the
+multi-shard path actually runs (the host may have a single CPU; the pool
+falls back gracefully, which is itself part of the contract).
+"""
+
+import random
+
+import pytest
+
+from repro.logic import BoolFunction, TruthTable
+from repro.netlist import Netlist, extract_function, standard_cell_library
+from repro.sim import NetlistSimulator, PatternBatch, ReplayBuffer
+from repro.sim.prefilter import fuzz_netlist_vs_function, fuzz_netlist_vs_netlist
+from repro.sim.shard import (
+    resolve_shards,
+    sharded_extract_function,
+    sharded_first_difference_vs_function,
+    sharded_output_lanes,
+)
+
+JOBS_SWEEP = (1, 2, 4)
+
+
+def random_netlist(rng, library, num_inputs=6, num_outputs=3, num_cells=24):
+    """A random connected netlist over the standard cell library."""
+    netlist = Netlist("rand", library)
+    nets = [netlist.add_input(f"i{k}") for k in range(num_inputs)]
+    cells = [cell for cell in library.cells() if cell.num_inputs >= 1]
+    for index in range(num_cells):
+        cell = rng.choice(cells)
+        inputs = [rng.choice(nets) for _ in range(cell.num_inputs)]
+        output = f"w{index}"
+        netlist.add_instance(cell.name, inputs, output=output)
+        nets.append(output)
+    for k in range(num_outputs):
+        netlist.add_output(nets[-(k + 1)])
+    return netlist
+
+
+@pytest.fixture(scope="module")
+def shard_library():
+    return standard_cell_library()
+
+
+@pytest.fixture(autouse=True)
+def fake_cpus(monkeypatch):
+    """Force real worker processes even on a single-CPU host."""
+    import repro.parallel as parallel_module
+
+    monkeypatch.setattr(parallel_module, "available_cpus", lambda: 4)
+
+
+class TestPatternBatchSharding:
+    def test_slice_preserves_words(self):
+        batch = PatternBatch.random(5, 37, seed=9)
+        piece = batch.slice(10, 7)
+        assert piece.num_patterns == 7
+        assert piece.words() == batch.words()[10:17]
+
+    def test_slice_bounds_checked(self):
+        batch = PatternBatch.random(4, 8, seed=1)
+        with pytest.raises(ValueError):
+            batch.slice(4, 5)
+        with pytest.raises(ValueError):
+            batch.slice(-1, 2)
+        with pytest.raises(ValueError):
+            batch.slice(0, 0)
+
+    def test_split_reassembles_exactly(self):
+        batch = PatternBatch.random(6, 100, seed=2)
+        shards = batch.split(7)
+        assert sum(piece.num_patterns for _, piece in shards) == 100
+        words = []
+        for offset, piece in shards:
+            assert len(words) == offset
+            words.extend(piece.words())
+        assert words == batch.words()
+
+    def test_split_clamps_to_pattern_count(self):
+        batch = PatternBatch.random(4, 3, seed=3)
+        shards = batch.split(16)
+        assert len(shards) == 3
+        assert all(piece.num_patterns == 1 for _, piece in shards)
+        with pytest.raises(ValueError):
+            batch.split(0)
+
+    def test_zero_input_batches_survive(self):
+        # 0-input workloads must not crash any constructor or the splitter.
+        exhaustive = PatternBatch.exhaustive(0)
+        assert exhaustive.num_patterns == 1
+        randomized = PatternBatch.random(0, 5, seed=1)
+        assert randomized.words() == [0] * 5
+        shards = randomized.split(8)
+        assert len(shards) == 5
+
+    def test_zero_input_random_source(self):
+        from repro.sim import RandomPatternSource
+
+        source = RandomPatternSource(3)
+        assert source.words(0, 4) == [0, 0, 0, 0]
+        assert source.words(0, 4, distinct=True) == [0]
+
+    def test_resolve_shards_thresholds(self):
+        assert resolve_shards(10_000, 1) == 1
+        assert resolve_shards(100, 4) == 1  # too narrow to be worth forking
+        assert resolve_shards(10_000, 4, min_shard_patterns=1024) == 4
+        assert resolve_shards(3000, 4, min_shard_patterns=1024) == 2
+        assert resolve_shards(10_000, 4, min_shard_patterns=0) == 4
+
+
+class TestShardedLanes:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_output_lanes_identical_across_jobs(self, shard_library, seed):
+        netlist = random_netlist(random.Random(seed), shard_library)
+        batch = PatternBatch.random(6, 257, seed=seed + 10)
+        reference = NetlistSimulator(netlist).output_lanes(batch)
+        for jobs in JOBS_SWEEP:
+            lanes = sharded_output_lanes(
+                netlist, batch, jobs=jobs, min_shard_patterns=16
+            )
+            assert lanes == reference
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_extract_function_identical_across_jobs(self, shard_library, seed):
+        netlist = random_netlist(random.Random(seed), shard_library)
+        reference = extract_function(netlist)
+        for jobs in JOBS_SWEEP:
+            extracted = sharded_extract_function(
+                netlist, jobs=jobs, min_shard_patterns=4
+            )
+            assert extracted.lookup_table() == reference.lookup_table()
+
+    def test_first_difference_is_global_minimum(self, shard_library):
+        netlist = random_netlist(random.Random(7), shard_library)
+        truth = extract_function(netlist)
+        # Flip one high row so the difference sits in a late shard, then also
+        # an early row: the earliest position must always win.
+        for flipped_rows in ([40], [40, 3], [63]):
+            tables = []
+            for table in truth.outputs:
+                tables.append(table)
+            bits = tables[0].bits
+            for row in flipped_rows:
+                bits ^= 1 << row
+            candidate = BoolFunction(
+                [TruthTable(6, bits)] + list(tables[1:]), name="flipped"
+            )
+            batch = PatternBatch.exhaustive(6)
+            for jobs in JOBS_SWEEP:
+                position = sharded_first_difference_vs_function(
+                    netlist, candidate, batch, exhaustive=True,
+                    jobs=jobs, min_shard_patterns=4,
+                )
+                assert position == min(flipped_rows)
+
+
+class TestShardedFuzzVerdicts:
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_fuzz_vs_function_verdicts_and_replay(self, shard_library, seed):
+        rng = random.Random(seed)
+        netlist = random_netlist(rng, shard_library)
+        truth = extract_function(netlist)
+        wrong_bits = truth.outputs[0].bits ^ (1 << rng.randrange(64))
+        wrong = BoolFunction(
+            [TruthTable(6, wrong_bits)] + list(truth.outputs[1:]), name="wrong"
+        )
+        for candidate in (truth, wrong):
+            outcomes = []
+            replays = []
+            for jobs in JOBS_SWEEP:
+                replay = ReplayBuffer()
+                outcome = fuzz_netlist_vs_function(
+                    netlist, candidate, replay=replay, jobs=jobs
+                )
+                outcomes.append(outcome)
+                replays.append(list(replay))
+            assert len({o.refuted for o in outcomes}) == 1
+            assert len({o.proven for o in outcomes}) == 1
+            assert len({o.counterexample for o in outcomes}) == 1
+            assert all(words == replays[0] for words in replays)
+
+    def test_wide_random_fuzz_identical_across_jobs(self, shard_library):
+        # Wide (14-input) circuits leave the exhaustive regime: the fuzz
+        # batch is random, and with a low shard threshold it actually forks.
+        rng = random.Random(21)
+        netlist = random_netlist(rng, shard_library, num_inputs=14, num_cells=40)
+        truth_zero = BoolFunction(
+            [TruthTable(14, 0) for _ in netlist.primary_outputs], name="zero"
+        )
+        results = []
+        for jobs in JOBS_SWEEP:
+            replay = ReplayBuffer()
+            outcome = fuzz_netlist_vs_function(
+                netlist, truth_zero, patterns=4096, replay=replay, jobs=jobs
+            )
+            results.append((outcome.counterexample, outcome.patterns, list(replay)))
+        assert all(result == results[0] for result in results)
+
+    def test_fuzz_vs_netlist_identical_across_jobs(self, shard_library):
+        rng = random.Random(31)
+        netlist_a = random_netlist(rng, shard_library)
+        netlist_b = random_netlist(rng, shard_library)
+        results = []
+        for jobs in JOBS_SWEEP:
+            replay = ReplayBuffer()
+            outcome = fuzz_netlist_vs_netlist(
+                netlist_a, netlist_b, replay=replay, jobs=jobs
+            )
+            results.append((outcome.counterexample, outcome.proven, list(replay)))
+        assert all(result == results[0] for result in results)
+
+
+class TestShardedPresample:
+    def test_presample_dip_sets_identical_across_jobs(self, small_obfuscation):
+        from repro.attacks.oracle_guided import attack_mapping
+
+        mapping = small_obfuscation.mapping
+        transcripts = []
+        for jobs in JOBS_SWEEP:
+            outcome = attack_mapping(
+                mapping, true_select=1, max_queries=64, presample=16, jobs=jobs
+            )
+            assert outcome.success
+            transcripts.append(
+                (
+                    outcome.presample_queries,
+                    outcome.queries,
+                    outcome.recovered_function,
+                )
+            )
+        assert all(entry == transcripts[0] for entry in transcripts)

@@ -28,14 +28,17 @@ class TestFuzzEnabled:
         monkeypatch.delenv(FUZZ_ENV_VAR, raising=False)
         assert fuzz_enabled(True) is True
         assert fuzz_enabled(False) is False
-        assert fuzz_enabled(None) is False
+        # Fuzz-before-SAT is on by default; REPRO_FUZZ opts *out*.
+        assert fuzz_enabled(None) is True
 
-    def test_environment_variable(self, monkeypatch):
+    def test_environment_variable_opts_out(self, monkeypatch):
         monkeypatch.setenv(FUZZ_ENV_VAR, "1")
         assert fuzz_enabled(None) is True
         assert fuzz_enabled(False) is False
-        monkeypatch.setenv(FUZZ_ENV_VAR, "0")
-        assert fuzz_enabled(None) is False
+        for value in ("0", "false", "no", "off", " OFF "):
+            monkeypatch.setenv(FUZZ_ENV_VAR, value)
+            assert fuzz_enabled(None) is False
+            assert fuzz_enabled(True) is True
 
 
 class TestFuzzNetlistVsFunction:

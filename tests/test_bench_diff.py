@@ -86,3 +86,64 @@ class TestDiff:
             {"a": 1, "b": {"c": 2.5, "d": {"e": 3}}, "name": "x", "flag": True}
         )
         assert numbers == {"a": 1.0, "b.c": 2.5, "b.d.e": 3.0}
+
+
+class TestPlot:
+    def test_plot_mode_writes_valid_svg(self, artifact_dirs):
+        import xml.dom.minidom
+
+        base, cand = artifact_dirs
+        _write(base, "alpha", {"total_seconds": 2.0})
+        _write(cand, "alpha", {"total_seconds": 1.0})
+        _write(base, "beta", {"total_seconds": 4.0})
+        _write(cand, "beta", {"total_seconds": 5.0})
+        svg_path = base.parent / "traj.svg"
+        assert (
+            bench_diff.main(
+                [str(base), str(cand), "--threshold", "100", "--plot", str(svg_path)]
+            )
+            == 0
+        )
+        document = xml.dom.minidom.parse(str(svg_path))
+        svg = document.documentElement
+        assert svg.tagName == "svg"
+        text = svg_path.read_text(encoding="utf-8")
+        # One paired bar per common benchmark, both series colors present.
+        assert text.count("<path") == 4
+        assert "#2a78d6" in text and "#eb6834" in text
+        assert "alpha" in text and "beta" in text
+        # The candidate delta is labelled at the bar tip.
+        assert "(-50%)" in text and "(+25%)" in text
+
+    def test_plot_renders_on_disjoint_sets(self, artifact_dirs):
+        base, cand = artifact_dirs
+        _write(base, "only_base", {"total_seconds": 1.0})
+        _write(cand, "only_cand", {"total_seconds": 1.0})
+        svg = bench_diff.render_plot(
+            bench_diff.load_artifacts(str(base)),
+            bench_diff.load_artifacts(str(cand)),
+        )
+        assert "no common benchmarks to plot" in svg
+
+    def test_plot_escapes_xml_specials_in_names(self, artifact_dirs):
+        import xml.dom.minidom
+
+        base, cand = artifact_dirs
+        _write(base, "a&b<c", {"total_seconds": 1.0})
+        _write(cand, "a&b<c", {"total_seconds": 2.0})
+        svg = bench_diff.render_plot(
+            bench_diff.load_artifacts(str(base)),
+            bench_diff.load_artifacts(str(cand)),
+        )
+        xml.dom.minidom.parseString(svg)
+        assert "a&amp;b&lt;c" in svg
+
+    def test_plot_skips_non_numeric_metric(self, artifact_dirs):
+        base, cand = artifact_dirs
+        _write(base, "odd", {"total_seconds": "fast"})
+        _write(cand, "odd", {"total_seconds": 1.0})
+        svg = bench_diff.render_plot(
+            bench_diff.load_artifacts(str(base)),
+            bench_diff.load_artifacts(str(cand)),
+        )
+        assert "no common benchmarks to plot" in svg

@@ -24,6 +24,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_campaign_arguments(self):
+        args = build_parser().parse_args(
+            ["campaign", "--workload", "AES:2", "--workload", "PRESENT:4",
+             "--state-dir", "/tmp/x", "--limit", "1"]
+        )
+        assert args.workload == ["AES:2", "PRESENT:4"]
+        assert args.state_dir == "/tmp/x"
+        assert args.limit == 1
+
+    def test_invalid_workload_selector_rejected(self):
+        from repro.cli import _parse_workload_selector
+
+        with pytest.raises(SystemExit):
+            _parse_workload_selector("AES")
+        with pytest.raises(SystemExit):
+            _parse_workload_selector("AES:two")
+        assert _parse_workload_selector("aes:2") == ("AES", 2)
+
 
 class TestCommands:
     def test_obfuscate_writes_outputs(self, tmp_path, capsys):
@@ -56,3 +74,49 @@ class TestCommands:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "plausible=True" in captured.out
+
+    def test_campaign_duplicate_workload_is_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["campaign", "--workload", "PRESENT:2", "--workload", "PRESENT:2"])
+        assert "invalid campaign" in str(info.value)
+
+    def test_campaign_unknown_family_is_clean_error(self):
+        with pytest.raises(SystemExit) as info:
+            main(["campaign", "--workload", "PRESNT:2"])
+        assert "unknown workload family" in str(info.value)
+
+    def test_campaign_count_out_of_range_is_clean_error(self):
+        with pytest.raises(SystemExit) as info:
+            main(["campaign", "--workload", "PRESENT:99"])
+        assert "exceeds the family maximum" in str(info.value)
+        with pytest.raises(SystemExit) as info:
+            main(["campaign", "--workload", "RANDOM:0"])
+        assert "count must be at least 1" in str(info.value)
+
+    def test_campaign_list_workloads(self, capsys):
+        assert main(["campaign", "--list-workloads"]) == 0
+        captured = capsys.readouterr()
+        for family in ("PRESENT", "DES", "AES", "RANDOM", "BLIF"):
+            assert family in captured.out
+
+    def test_campaign_command_resumes(self, tmp_path, capsys):
+        state_dir = str(tmp_path / "state")
+        csv_path = tmp_path / "campaign.csv"
+        argv = [
+            "campaign",
+            "--workload", "PRESENT:2",
+            "--population", "4",
+            "--generations", "1",
+            "--state-dir", state_dir,
+            "--csv", str(csv_path),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "1/1 jobs complete" in captured.out
+        assert "PRESENT" in captured.out
+        assert csv_path.exists()
+        # Second invocation restores the finished row from the state dir.
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "cached (state matches)" in captured.out
+        assert "1 cached" in captured.out

@@ -109,6 +109,47 @@ class TestWorkerPool:
             assert pool.map([1, 2, 3]) == [2, 3, 4]
 
 
+class TestWorkerPoolImap:
+    def test_streams_in_order(self):
+        with WorkerPool(_square, jobs=2, oversubscribe=True) as pool:
+            assert list(pool.imap([3, 1, 2])) == [9, 1, 4]
+
+    def test_serial_imap_is_lazy(self):
+        executed = []
+
+        def tracked(value):
+            executed.append(value)
+            return value
+
+        with WorkerPool(tracked, jobs=1) as pool:
+            iterator = pool.imap([1, 2, 3])
+            assert executed == []
+            assert next(iterator) == 1
+            # Only the consumed item has run: a consumer can checkpoint
+            # between results and abort without executing the tail.
+            assert executed == [1]
+
+    def test_matches_map(self):
+        items = list(range(15))
+        with WorkerPool(_square, jobs=2, oversubscribe=True) as pool:
+            assert list(pool.imap(items)) == pool.map(items)
+
+    def test_task_exception_propagates(self):
+        with WorkerPool(_fail_on_three, jobs=1) as pool:
+            iterator = pool.imap([1, 2, 3, 4])
+            assert next(iterator) == 1
+            assert next(iterator) == 2
+            with pytest.raises(ValueError):
+                next(iterator)
+
+    def test_unpicklable_function_degrades_to_serial(self):
+        def closure(value):
+            return value + 1
+
+        with WorkerPool(closure, jobs=2, oversubscribe=True) as pool:
+            assert list(pool.imap([1, 2, 3])) == [2, 3, 4]
+
+
 class TestParallelMap:
     def test_serial_and_parallel_agree(self):
         items = list(range(10))
