@@ -71,12 +71,16 @@ def variable_pattern(var: int, num_vars: int) -> int:
         raise ValueError(f"variable index {var} out of range for {num_vars} inputs")
     rows = 1 << num_vars
     block = 1 << var  # run length of identical values of x_var
-    pattern = 0
-    position = block
-    ones_block = (1 << block) - 1
-    while position < rows:
-        pattern |= ones_block << position
-        position += 2 * block
+    # One period (2*block rows: zeros then ones), then double the covered
+    # span until it spans all rows — O(num_vars) big-int operations instead
+    # of one OR per period, which matters enormously for wide exhaustive
+    # batches (2**20+ rows) where low-index variables have millions of
+    # periods.
+    pattern = ((1 << block) - 1) << block
+    size = 2 * block
+    while size < rows:
+        pattern |= pattern << size
+        size *= 2
     return pattern
 
 

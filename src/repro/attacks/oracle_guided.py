@@ -88,10 +88,19 @@ from ..sim.patterns import RandomPatternSource, ReplayBuffer
 from ..sim.prefilter import fuzz_enabled
 from ..techmap.mapper import CamouflagedMapping
 
-__all__ = ["OracleGuidedResult", "OracleGuidedAttack", "attack_mapping"]
+__all__ = [
+    "OracleGuidedResult",
+    "OracleGuidedAttack",
+    "attack_mapping",
+    "attack_netlist",
+    "attack_windowed",
+]
 
 #: Type of the black-box oracle: input word -> output word.
 Oracle = Callable[[int], int]
+
+#: Type of the batched oracle: input words -> output words (one call).
+BatchOracle = Callable[[Sequence[int]], List[int]]
 
 
 @dataclass
@@ -122,7 +131,23 @@ class OracleGuidedResult:
 
 
 class OracleGuidedAttack:
-    """DIP-based SAT attack on a camouflaged netlist (one incremental solver)."""
+    """DIP-based SAT attack on a camouflaged netlist (one incremental solver).
+
+    Works at any input width: the miter, the observation encoding, and the
+    DIP loop are all linear in the circuit size.  Only the final success
+    audit distinguishes widths — up to :data:`EXACT_RECOVERY_LIMIT` inputs
+    the recovered configuration is checked against the oracle exhaustively
+    (and ``recovered_function`` is the full lookup table, exactly as
+    before); beyond it the audit is a seeded random packed cross-check of
+    ``verify_samples`` words plus every word already shown to the oracle,
+    and ``recovered_function`` stays empty (a ``2**n``-entry table would be
+    exponential).  The SAT-attack guarantee — miter UNSAT means every
+    surviving configuration agrees with the oracle everywhere — is what
+    carries the wide case; the sampled audit is a defence-in-depth check.
+    """
+
+    #: Input counts up to this bound get the exhaustive recovery audit.
+    EXACT_RECOVERY_LIMIT = 16
 
     def __init__(
         self,
@@ -131,6 +156,8 @@ class OracleGuidedAttack:
         max_queries: int = 256,
         presample: int = 0,
         presample_seed: int = 101,
+        verify_samples: int = 256,
+        verify_seed: int = 131,
     ):
         self._netlist = netlist
         self._plausible = {
@@ -143,6 +170,8 @@ class OracleGuidedAttack:
         self._max_queries = max_queries
         self._presample = presample
         self._presample_seed = presample_seed
+        self._verify_samples = verify_samples
+        self._verify_seed = verify_seed
         #: Every word shown to the oracle (presample + DIPs), for replay.
         self.replay = ReplayBuffer()
         self._num_inputs = len(netlist.primary_inputs)
@@ -229,10 +258,19 @@ class OracleGuidedAttack:
     # -------------------------------------------------------------- #
     # The DIP loop
     # -------------------------------------------------------------- #
-    def run(self, oracle: Oracle) -> OracleGuidedResult:
-        """Run the attack against a black-box oracle."""
+    def run(
+        self, oracle: Oracle, oracle_batch: Optional[BatchOracle] = None
+    ) -> OracleGuidedResult:
+        """Run the attack against a black-box oracle.
+
+        ``oracle_batch`` optionally answers many words in one call (e.g. a
+        packed word-parallel simulation of the configured chip); the
+        presample phase and the final sampled audit use it when present, so
+        wide-netlist attacks never pay per-word Python dispatch for bulk
+        queries.  The transcript is identical with or without it.
+        """
         queries: List[int] = []
-        presample_queries = self._run_presample(oracle)
+        presample_queries = self._run_presample(oracle, oracle_batch)
         # With the whole input space observed, both copies are pinned to the
         # oracle everywhere, so the miter is unsatisfiable by construction —
         # the (expensive) UNSAT proof is skipped, not just accelerated.
@@ -263,10 +301,22 @@ class OracleGuidedAttack:
                 solver_stats=self._solver.stats(),
                 presample_queries=presample_queries,
             )
-        recovered = self._simulate_configuration(configuration)
-        success = all(
-            recovered[word] == oracle(word) for word in range(1 << self._num_inputs)
-        )
+        if self._num_inputs <= self.EXACT_RECOVERY_LIMIT:
+            recovered = self._simulate_configuration(configuration)
+            if oracle_batch is not None:
+                words = list(range(1 << self._num_inputs))
+                success = recovered == list(oracle_batch(words))
+            else:
+                success = all(
+                    recovered[word] == oracle(word)
+                    for word in range(1 << self._num_inputs)
+                )
+        else:
+            # Wide circuit: the exhaustive table is exponential.  Audit the
+            # recovered configuration on seeded random words plus every word
+            # already shown to the oracle (packed, one simulation pass).
+            recovered = []
+            success = self._sampled_audit(configuration, oracle, oracle_batch)
         return OracleGuidedResult(
             success,
             configuration=configuration,
@@ -276,7 +326,37 @@ class OracleGuidedAttack:
             presample_queries=presample_queries,
         )
 
-    def _run_presample(self, oracle: Oracle) -> List[int]:
+    def _sampled_audit(
+        self,
+        configuration: Dict[str, TruthTable],
+        oracle: Oracle,
+        oracle_batch: Optional[BatchOracle],
+    ) -> bool:
+        """Randomised recovery audit for wide circuits (packed cross-check)."""
+        from ..sim.engine import NetlistSimulator
+
+        words = list(self.replay.words())
+        if self._verify_samples > 0:
+            source = RandomPatternSource(self._verify_seed)
+            seen = set(words)
+            for word in source.words(self._num_inputs, self._verify_samples):
+                if word not in seen:
+                    seen.add(word)
+                    words.append(word)
+        if not words:
+            return True
+        recovered = NetlistSimulator(
+            self._netlist, cell_functions=configuration
+        ).simulate_words(words)
+        if oracle_batch is not None:
+            expected = list(oracle_batch(words))
+        else:
+            expected = [oracle(word) for word in words]
+        return recovered == expected
+
+    def _run_presample(
+        self, oracle: Oracle, oracle_batch: Optional[BatchOracle] = None
+    ) -> List[int]:
         """Fuzz phase: constrain the space with random oracle observations.
 
         The words are drawn deterministically from the presample seed
@@ -289,8 +369,11 @@ class OracleGuidedAttack:
             return []
         source = RandomPatternSource(self._presample_seed)
         words = source.words(self._num_inputs, self._presample, distinct=True)
-        for word in words:
-            response = oracle(word)
+        if oracle_batch is not None and words:
+            responses = list(oracle_batch(words))
+        else:
+            responses = [oracle(word) for word in words]
+        for word, response in zip(words, responses):
             self.replay.add(word)
             self._constrain_to_observation(word, response)
         return words
@@ -386,3 +469,87 @@ def attack_mapping(
         mapping.netlist, plausible, max_queries=max_queries, presample=presample
     )
     return attack.run(lambda word: truth[word])
+
+
+def attack_netlist(
+    netlist: Netlist,
+    instance_plausible: Mapping[str, Sequence[TruthTable]],
+    true_configuration: Mapping[str, TruthTable],
+    max_queries: int = 256,
+    presample: Optional[int] = None,
+    verify_samples: int = 256,
+    jobs: int = 1,
+) -> OracleGuidedResult:
+    """Oracle-guided attack on an arbitrary-width camouflaged netlist.
+
+    The oracle is the netlist configured with ``true_configuration`` (the
+    chip as manufactured), answered by packed word-parallel simulation: bulk
+    phases (presampling, the final audit) go through one batched simulation
+    call, DIP queries through single-word packed passes.  Unlike
+    :func:`attack_mapping` no exhaustive truth table is ever built, so
+    stitched windowed netlists with dozens of inputs attack at the same
+    per-query cost as S-boxes.  ``jobs`` shards the bulk simulation batches
+    over the worker pool when they are wide enough to amortise it.
+    """
+    from ..sim.engine import NetlistSimulator, _word_from_lanes
+    from ..sim.shard import MIN_SHARD_PATTERNS, sharded_output_lanes
+    from ..sim.patterns import PatternBatch
+
+    configuration = dict(true_configuration)
+    simulator = NetlistSimulator(netlist, cell_functions=configuration)
+
+    def oracle(word: int) -> int:
+        return simulator.simulate_words([word])[0]
+
+    def oracle_batch(words: Sequence[int]) -> List[int]:
+        words = list(words)
+        if not words:
+            return []
+        if jobs > 1 and len(words) >= 2 * MIN_SHARD_PATTERNS:
+            batch = PatternBatch.from_words(
+                len(netlist.primary_inputs), words
+            )
+            lanes = sharded_output_lanes(
+                netlist, batch, cell_functions=configuration, jobs=jobs
+            )
+            return [
+                _word_from_lanes(lanes, position)
+                for position in range(batch.num_patterns)
+            ]
+        return simulator.simulate_words(words)
+
+    if presample is None:
+        presample = DEFAULT_PRESAMPLE if fuzz_enabled(None) else 0
+    attack = OracleGuidedAttack(
+        netlist,
+        instance_plausible,
+        max_queries=max_queries,
+        presample=presample,
+        verify_samples=verify_samples,
+    )
+    return attack.run(oracle, oracle_batch=oracle_batch)
+
+
+def attack_windowed(
+    result,
+    max_queries: int = 256,
+    presample: Optional[int] = None,
+    verify_samples: int = 256,
+    jobs: int = 1,
+) -> OracleGuidedResult:
+    """Attack a stitched windowed obfuscation end-to-end.
+
+    ``result`` is a :class:`~repro.flow.target.WindowedObfuscationResult`;
+    the adversary sees the stitched netlist and the plausible family of
+    every camouflaged cell, and queries the chip configured with the true
+    per-window functions.
+    """
+    return attack_netlist(
+        result.netlist,
+        result.instance_plausible(),
+        result.true_configuration,
+        max_queries=max_queries,
+        presample=presample,
+        verify_samples=verify_samples,
+        jobs=jobs,
+    )

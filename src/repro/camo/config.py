@@ -72,37 +72,20 @@ def sweep_configurations(
     select_order: Sequence[str],
     instance_selects: Mapping[str, Sequence[str]],
     instance_configs: Mapping[str, Mapping[Tuple[int, ...], TruthTable]],
+    jobs: int = 1,
 ) -> List[List[int]]:
-    """Realised lookup tables of every select configuration, in one pass.
+    """Realised lookup tables of every select configuration, packed.
 
     Entry ``s`` of the result is the word-level lookup table the netlist
     implements when every camouflaged instance is configured for select word
-    ``s`` — the same tables per-configuration exhaustive extraction yields,
-    computed with a single packed simulation pass over the combined
-    (data × select) pattern space.  Falls back to one extraction per select
-    word when the combined space is too wide to pack.
+    ``s`` — the same tables per-configuration exhaustive extraction yields.
+    Narrow combined spaces are one packed simulation pass over the
+    (data × select) pattern product; wider select spaces are sharded along
+    the select dimension and fanned over the worker pool (``jobs``), with
+    identical tables for every ``jobs`` value.
     """
-    from ..netlist.simulate import extract_function
-    from ..sim.engine import SWEEP_WIDTH_LIMIT, sweep_select_space
+    from ..sim.engine import sweep_select_space
 
-    num_selects = len(select_order)
-    width = len(netlist.primary_inputs) + num_selects
-    if width <= SWEEP_WIDTH_LIMIT:
-        return sweep_select_space(
-            netlist, select_order, instance_selects, instance_configs
-        )
-    tables: List[List[int]] = []
-    for select_word in range(1 << num_selects):
-        select_value = {
-            net: (select_word >> index) & 1 for index, net in enumerate(select_order)
-        }
-        cell_functions = {
-            name: by_select[
-                tuple(select_value[net] for net in instance_selects[name])
-            ]
-            for name, by_select in instance_configs.items()
-        }
-        tables.append(
-            extract_function(netlist, cell_functions=cell_functions).lookup_table()
-        )
-    return tables
+    return sweep_select_space(
+        netlist, select_order, instance_selects, instance_configs, jobs=jobs
+    )

@@ -83,7 +83,18 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     obfuscate_parser = subparsers.add_parser(
-        "obfuscate", help="run the three-phase flow on an S-box workload"
+        "obfuscate",
+        help="run the three-phase flow on an S-box workload or a BLIF netlist",
+        description=(
+            "Without --blif-in: the classic flow over an S-box workload "
+            "(exact viable functions).  With --blif-in: the windowed "
+            "netlist flow — the circuit is decomposed into bounded-input "
+            "windows, every window is obfuscated through the full Phase "
+            "I-III pipeline (its exact function plus seeded decoy viable "
+            "functions), and the camouflaged windows are stitched back "
+            "together, so circuits with dozens of primary inputs never "
+            "build a whole-circuit truth table."
+        ),
     )
     obfuscate_parser.add_argument(
         "--family", choices=[PRESENT_FAMILY, DES_FAMILY], default=PRESENT_FAMILY
@@ -102,6 +113,24 @@ def build_parser() -> argparse.ArgumentParser:
     obfuscate_parser.add_argument("--jobs", type=int, default=0,
                                   help="worker processes for fitness evaluation "
                                        "(0 = REPRO_JOBS env var, else serial)")
+    obfuscate_parser.add_argument("--blif-in", type=str, default="",
+                                  help="obfuscate this BLIF netlist through the "
+                                       "windowed pipeline instead of an S-box workload")
+    obfuscate_parser.add_argument("--max-window-inputs", type=int, default=8,
+                                  help="boundary-input bound per window (windowed mode)")
+    obfuscate_parser.add_argument("--decoys", type=int, default=1,
+                                  help="decoy viable functions per window (windowed mode)")
+    obfuscate_parser.add_argument("--attack", action="store_true",
+                                  help="run the oracle-guided attack on the stitched "
+                                       "netlist after obfuscating (windowed mode)")
+    obfuscate_parser.add_argument("--attack-queries", type=int, default=64,
+                                  help="DIP budget of the --attack run")
+    obfuscate_parser.add_argument("--presample", type=int, default=-1,
+                                  help="random oracle observations before the DIP loop "
+                                       "(-1 = fuzz default)")
+    obfuscate_parser.add_argument("--sat-check", action="store_true",
+                                  help="force the whole-netlist SAT equivalence check "
+                                       "even beyond the default width limit")
 
     table_parser = subparsers.add_parser("table1", help="reproduce Table I")
     table_parser.add_argument("--profile", type=str, default="",
@@ -175,6 +204,17 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="override the profile's GA generations")
     campaign_parser.add_argument("--with-attack", action="store_true",
                                  help="add an oracle-guided attack job per workload")
+    campaign_parser.add_argument("--with-decamouflage", action="store_true",
+                                 help="add a CEGAR decamouflage-hardness job per workload")
+    campaign_parser.add_argument("--with-random-camo", action="store_true",
+                                 help="add a random-camouflage baseline job per workload")
+    campaign_parser.add_argument("--blif", type=str, default="",
+                                 help="run the windowed obfuscation of this BLIF circuit "
+                                      "as the campaign (one resumable job per window)")
+    campaign_parser.add_argument("--max-window-inputs", type=int, default=8,
+                                 help="boundary-input bound per window (--blif mode)")
+    campaign_parser.add_argument("--decoys", type=int, default=1,
+                                 help="decoy viable functions per window (--blif mode)")
     campaign_parser.add_argument("--no-verify", action="store_true",
                                  help="skip the per-row realisability verification")
     campaign_parser.add_argument("--jobs", type=int, default=0,
@@ -196,6 +236,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_obfuscate(args: argparse.Namespace) -> int:
+    if args.blif_in:
+        return _command_obfuscate_windowed(args)
     functions = workload_functions(args.family, args.count)
     parameters = GAParameters(
         population_size=args.population, generations=args.generations, seed=args.seed
@@ -216,6 +258,65 @@ def _command_obfuscate(args: argparse.Namespace) -> int:
             handle.write(write_blif(result.netlist))
         print(f"wrote {args.blif}")
     return 0 if result.verification.all_realisable else 1
+
+
+def _command_obfuscate_windowed(args: argparse.Namespace) -> int:
+    """Windowed mode of the ``obfuscate`` command (BLIF in, stitched out)."""
+    from .attacks.oracle_guided import attack_windowed
+    from .flow.target import obfuscate_netlist
+    from .ga.engine import GAParameters
+    from .netlist.blif import read_blif
+    from .netlist.library import standard_cell_library
+
+    with open(args.blif_in, "r", encoding="utf-8") as handle:
+        netlist = read_blif(handle.read(), standard_cell_library())
+    print(
+        f"windowed obfuscation of {netlist.name!r}: "
+        f"{len(netlist.primary_inputs)} inputs, {netlist.num_instances()} cells"
+    )
+    parameters = GAParameters(
+        population_size=args.population, generations=args.generations, seed=args.seed
+    )
+    result = obfuscate_netlist(
+        netlist,
+        max_window_inputs=args.max_window_inputs,
+        decoys_per_window=args.decoys,
+        ga_parameters=parameters,
+        seed=args.seed,
+        sat_check=True if args.sat_check else None,
+        jobs=resolve_jobs(args.jobs or None),
+        progress=print,
+    )
+    print()
+    print(result.summary())
+    if args.verilog:
+        with open(args.verilog, "w", encoding="utf-8") as handle:
+            handle.write(write_verilog(result.netlist))
+        print(f"wrote {args.verilog}")
+    if args.blif:
+        with open(args.blif, "w", encoding="utf-8") as handle:
+            handle.write(write_blif(result.netlist))
+        print(f"wrote {args.blif}")
+    ok = result.verification.ok
+    if args.attack:
+        print()
+        presample = None if args.presample < 0 else args.presample
+        outcome = attack_windowed(
+            result, max_queries=args.attack_queries, presample=presample
+        )
+        print(
+            f"oracle-guided attack: success={outcome.success} "
+            f"dips={outcome.num_queries} "
+            f"oracle queries={outcome.total_oracle_queries} "
+            f"(budget {args.attack_queries} DIPs)"
+        )
+        print(
+            format_solver_stats(
+                [SolverStatsRow.from_stats("windowed attack", outcome.solver_stats)],
+                title="incremental solver work:",
+            )
+        )
+    return 0 if ok else 1
 
 
 def _command_table1(args: argparse.Namespace) -> int:
@@ -373,6 +474,9 @@ def _command_campaign(args: argparse.Namespace) -> int:
             print(f"  {name:<10} {get_family(name).description}")
         return 0
 
+    if args.blif:
+        return _command_campaign_windowed(args)
+
     profile = get_workload_profile(args.profile)
     overrides = {}
     if args.population > 0:
@@ -406,6 +510,18 @@ def _command_campaign(args: argparse.Namespace) -> int:
                     population=profile.ga_population,
                     generations=profile.ga_generations,
                     seed=args.seed,
+                ),
+                name=args.name,
+            )
+        if args.with_decamouflage or args.with_random_camo:
+            spec = spec.merged(
+                CampaignSpec.adversary(
+                    families,
+                    population=profile.ga_population,
+                    generations=profile.ga_generations,
+                    seed=args.seed,
+                    decamouflage=args.with_decamouflage,
+                    random_camo=args.with_random_camo,
                 ),
                 name=args.name,
             )
@@ -445,6 +561,16 @@ def _command_campaign(args: argparse.Namespace) -> int:
             queries = result.payload.get("total_oracle_queries", "?")
             print(f"attack {result.job_id}: success={result.payload.get('success')} "
                   f"oracle queries={queries}")
+        elif result.kind == "decamouflage" and result.ok:
+            print(f"decamouflage {result.job_id}: "
+                  f"{result.payload.get('plausible')}/{result.payload.get('total')} "
+                  f"viable functions plausible "
+                  f"(CEGAR rounds={result.payload.get('prefilter', {}).get('cegar_rounds')})")
+        elif result.kind == "random_camo" and result.ok:
+            print(f"random-camo {result.job_id}: "
+                  f"{result.payload.get('num_plausible')}/{result.payload.get('total')} "
+                  f"candidates plausible at fraction "
+                  f"{result.payload.get('fraction')}")
 
     written = outcome.write_artifacts(
         json_path=args.json or None,
@@ -454,6 +580,49 @@ def _command_campaign(args: argparse.Namespace) -> int:
     for path in written:
         print(f"wrote {path}")
     return 1 if outcome.failed else 0
+
+
+def _command_campaign_windowed(args: argparse.Namespace) -> int:
+    """``campaign --blif``: windowed obfuscation with resumable window jobs."""
+    from .scenarios.campaign import CampaignSpec, run_windowed_campaign
+
+    spec = CampaignSpec.windowed(
+        args.blif,
+        max_window_inputs=args.max_window_inputs,
+        decoys=args.decoys,
+        seed=args.seed,
+        population=args.population or 4,
+        generations=args.generations or 2,
+        verify=not args.no_verify,
+        name=args.name,
+    )
+    outcome, assembled = run_windowed_campaign(
+        args.blif,
+        spec=spec,
+        state_dir=args.state_dir or None,
+        jobs=resolve_jobs(args.jobs or None),
+        limit=args.limit if args.limit >= 0 else None,
+        progress=print,
+        verify=not args.no_verify,
+    )
+    print()
+    print(f"campaign {outcome.name}: {len(outcome.completed)}/{len(outcome.results)} "
+          f"window jobs complete ({len(outcome.cached)} cached, "
+          f"{len(outcome.failed)} failed, {len(outcome.pending)} pending) "
+          f"in {outcome.total_seconds:.1f}s")
+    written = outcome.write_artifacts(
+        json_path=args.json or None,
+        csv_path=args.csv or None,
+        bench_dir=args.bench_dir or None,
+    )
+    for path in written:
+        print(f"wrote {path}")
+    if assembled is None:
+        print("windows still pending or failed; rerun to complete the stitch")
+        return 1 if outcome.failed else 0
+    print()
+    print(assembled.summary())
+    return 0 if assembled.verification.ok else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

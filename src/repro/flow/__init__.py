@@ -1,6 +1,11 @@
 """End-to-end obfuscation flow and reporting."""
 
-from .obfuscate import ObfuscationResult, obfuscate, obfuscate_with_assignment
+from .obfuscate import (
+    ObfuscationResult,
+    obfuscate,
+    obfuscate_target,
+    obfuscate_with_assignment,
+)
 from .report import (
     AreaRow,
     SolverStatsRow,
@@ -8,11 +13,24 @@ from .report import (
     format_table,
     improvement_percent,
 )
+from .target import (
+    FunctionTarget,
+    NetlistTarget,
+    ObfuscationTarget,
+    WindowedObfuscationResult,
+    obfuscate_netlist,
+)
 
 __all__ = [
     "ObfuscationResult",
     "obfuscate",
+    "obfuscate_target",
     "obfuscate_with_assignment",
+    "ObfuscationTarget",
+    "FunctionTarget",
+    "NetlistTarget",
+    "WindowedObfuscationResult",
+    "obfuscate_netlist",
     "AreaRow",
     "format_table",
     "improvement_percent",

@@ -24,7 +24,12 @@ from ..camo.library import CamouflageLibrary, default_camouflage_library
 from ..synth.script import SynthesisEffort, SynthesisResult, synthesize
 from ..techmap.mapper import CamouflagedMapping, camouflage_map
 
-__all__ = ["ObfuscationResult", "obfuscate", "obfuscate_with_assignment"]
+__all__ = [
+    "ObfuscationResult",
+    "obfuscate",
+    "obfuscate_with_assignment",
+    "obfuscate_target",
+]
 
 
 @dataclass
@@ -102,7 +107,7 @@ def obfuscate_with_assignment(
         max_depth=max_cover_depth, jobs=jobs,
     )
     if verify:
-        verification = verify_viable_functions(mapping, design)
+        verification = verify_viable_functions(mapping, design, jobs=jobs)
     else:
         verification = PlausibilityReport(total=len(functions))
     return ObfuscationResult(
@@ -159,3 +164,22 @@ def obfuscate(
     )
     result.pin_optimization = optimization
     return result
+
+
+def obfuscate_target(target, jobs: int = 1, progress=None, **kwargs):
+    """Run the flow on any :class:`~repro.flow.target.ObfuscationTarget`.
+
+    Dispatches to the classic function flow for
+    :class:`~repro.flow.target.FunctionTarget` (returning
+    :class:`ObfuscationResult`) and to the windowed netlist flow for
+    :class:`~repro.flow.target.NetlistTarget` (returning
+    :class:`~repro.flow.target.WindowedObfuscationResult`).
+    """
+    from .target import ObfuscationTarget
+
+    if not isinstance(target, ObfuscationTarget):
+        raise TypeError(
+            f"expected an ObfuscationTarget, got {type(target).__name__}; "
+            "wrap plain functions in FunctionTarget or a netlist in NetlistTarget"
+        )
+    return target.obfuscate(jobs=jobs, progress=progress, **kwargs)

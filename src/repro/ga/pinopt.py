@@ -41,6 +41,7 @@ from ..logic.boolfunc import BoolFunction
 from ..merge.merged import MergedDesign, merge_functions
 from ..merge.pinassign import PinAssignment
 from ..netlist.library import CellLibrary, standard_cell_library
+from ..parallel import register_worker_warmup
 from ..synth.script import SynthesisEffort, SynthesisResult, synthesize
 from .engine import GAParameters, GAResult, GenerationStats, GeneticAlgorithm
 from .operators import SegmentedPermutationSpace
@@ -51,6 +52,7 @@ __all__ = [
     "SynthesisDiskCache",
     "library_fingerprint",
     "optimize_pin_assignment",
+    "warm_disk_cache",
     "CACHE_DIR_ENV_VAR",
 ]
 
@@ -90,6 +92,12 @@ class SynthesisDiskCache:
 
     FILENAME = "synthesis_cache.jsonl"
 
+    #: Process-wide shared instances, keyed by absolute directory.  Loading
+    #: the JSONL store is the expensive part; one load per process serves
+    #: every problem object (and the worker-pool warm-up primes it before
+    #: the first task instead of on the first miss).
+    _SHARED: Dict[str, "SynthesisDiskCache"] = {}
+
     def __init__(self, directory: str):
         self.path = os.path.join(directory, self.FILENAME)
         self._entries: Dict[Tuple[str, str, Tuple[int, ...]], float] = {}
@@ -99,8 +107,18 @@ class SynthesisDiskCache:
         self._load()
 
     @classmethod
+    def shared(cls, directory: str) -> "SynthesisDiskCache":
+        """The process-wide cache instance for a directory (loaded once)."""
+        key = os.path.abspath(directory)
+        cache = cls._SHARED.get(key)
+        if cache is None:
+            cache = cls(directory)
+            cls._SHARED[key] = cache
+        return cache
+
+    @classmethod
     def from_environment(cls) -> Optional["SynthesisDiskCache"]:
-        """Build the cache named by ``REPRO_CACHE_DIR`` (None when unset)."""
+        """The shared cache named by ``REPRO_CACHE_DIR`` (None when unset)."""
         directory = os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
         if not directory:
             return None
@@ -108,7 +126,7 @@ class SynthesisDiskCache:
             os.makedirs(directory, exist_ok=True)
         except OSError:
             return None
-        return cls(directory)
+        return cls.shared(directory)
 
     def _load(self) -> None:
         try:
@@ -170,6 +188,20 @@ class SynthesisDiskCache:
         return len(self._entries)
 
 
+def warm_disk_cache() -> Optional[SynthesisDiskCache]:
+    """Load the ``REPRO_CACHE_DIR`` store into the process-wide slot.
+
+    Registered as a worker-pool warm-up hook, so every worker process pays
+    the JSONL load exactly once at start-up — before the first task —
+    instead of on the first synthesis-cache miss of its first job.
+    """
+    return SynthesisDiskCache.from_environment()
+
+
+# Every worker a pool spawns pre-warms the persistent synthesis cache.
+register_worker_warmup(warm_disk_cache)
+
+
 class PinAssignmentProblem:
     """Fitness machinery shared by the GA and the random-search baseline."""
 
@@ -199,12 +231,18 @@ class PinAssignmentProblem:
         self.space = SegmentedPermutationSpace(segment_sizes)
         self._area_cache: Dict[Tuple[int, ...], float] = {}
         self._signature_cache: Dict[Tuple[int, ...], float] = {}
-        #: Optional persistent read-through store (REPRO_CACHE_DIR by default).
+        #: Optional persistent read-through store (REPRO_CACHE_DIR by default;
+        #: the environment-named store is shared process-wide and pre-warmed
+        #: once per worker by the pool initializer).
         self.disk_cache = (
             disk_cache if disk_cache is not None else SynthesisDiskCache.from_environment()
         )
         self._library_fingerprint = (
             library_fingerprint(self.library) if self.disk_cache is not None else ""
+        )
+        # The shared store serves many problems; report per-problem deltas.
+        self._disk_hits_baseline = (
+            self.disk_cache.hits if self.disk_cache is not None else 0
         )
         self.evaluations = 0
         self.genotype_hits = 0
@@ -304,7 +342,10 @@ class PinAssignmentProblem:
         """Hit/miss counters and sizes of the fitness-cache levels.
 
         The ``disk_*`` counters are only present when a persistent cache is
-        attached (``REPRO_CACHE_DIR``).
+        attached (``REPRO_CACHE_DIR``).  The environment-named store is
+        shared process-wide, so ``disk_hits`` reports the hits observed
+        since *this* problem was constructed (``disk_loaded`` and
+        ``disk_entries`` describe the shared store itself).
         """
         stats = {
             "evaluations": self.evaluations,
@@ -314,7 +355,7 @@ class PinAssignmentProblem:
             "signature_entries": len(self._signature_cache),
         }
         if self.disk_cache is not None:
-            stats["disk_hits"] = self.disk_cache.hits
+            stats["disk_hits"] = self.disk_cache.hits - self._disk_hits_baseline
             stats["disk_loaded"] = self.disk_cache.loaded
             stats["disk_entries"] = len(self.disk_cache)
         return stats

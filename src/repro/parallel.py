@@ -37,6 +37,8 @@ __all__ = [
     "parallel_map",
     "resolve_jobs",
     "available_cpus",
+    "register_worker_warmup",
+    "worker_warmups",
     "JOBS_ENV_VAR",
 ]
 
@@ -75,10 +77,39 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 # initializer and looked up by every subsequent task.
 _WORKER_FUNCTION: Optional[Callable] = None
 
+# Warm-up callables run once per worker process at pool start-up (after the
+# worker function is installed), before the first task.  Subsystems register
+# cache-priming hooks here — e.g. the persistent synthesis cache loads its
+# JSONL store once per worker instead of on the first task's first miss.
+_WORKER_WARMUPS: List[Callable[[], None]] = []
 
-def _install_worker(function: Callable) -> None:
+
+def register_worker_warmup(warmup: Callable[[], None]) -> Callable[[], None]:
+    """Register a per-worker warm-up hook (idempotent; returns the hook).
+
+    The hook must be a picklable module-level callable taking no arguments.
+    It runs once in every worker process a :class:`WorkerPool` spawns (and
+    never in the parent); exceptions are swallowed — a failed warm-up only
+    costs the optimisation it would have provided.
+    """
+    if warmup not in _WORKER_WARMUPS:
+        _WORKER_WARMUPS.append(warmup)
+    return warmup
+
+
+def worker_warmups() -> List[Callable[[], None]]:
+    """The currently registered warm-up hooks (mainly for tests)."""
+    return list(_WORKER_WARMUPS)
+
+
+def _install_worker(function: Callable, warmups: Sequence[Callable[[], None]] = ()) -> None:
     global _WORKER_FUNCTION
     _WORKER_FUNCTION = function
+    for warmup in warmups:
+        try:
+            warmup()
+        except Exception:
+            pass  # a warm-up is an optimisation, never a failure mode
 
 
 def _call_worker(item):
@@ -172,7 +203,7 @@ class WorkerPool:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_install_worker,
-                initargs=(self._function,),
+                initargs=(self._function, tuple(_WORKER_WARMUPS)),
             )
         except Exception:
             self._broken = True

@@ -246,6 +246,8 @@ def check_netlist_equivalence(
     cell_functions_a: Optional[Mapping[str, TruthTable]] = None,
     cell_functions_b: Optional[Mapping[str, TruthTable]] = None,
     prefilter: Optional[bool] = None,
+    fuzz_patterns: Optional[int] = None,
+    jobs: int = 1,
 ) -> EquivalenceResult:
     """Check that two netlists implement the same function.
 
@@ -253,7 +255,9 @@ def check_netlist_equivalence(
     netlists must have the same interface sizes.  With the fuzz pre-filter
     enabled, a packed simulation pass over a shared pattern batch refutes
     (or, for small input counts, fully decides) the check before any CNF is
-    built.
+    built; ``fuzz_patterns`` widens that batch for wide (e.g. stitched
+    windowed) netlists and ``jobs`` shards it over the worker pool — the
+    verdict is identical for every setting.
     """
     if len(netlist_a.primary_inputs) != len(netlist_b.primary_inputs):
         raise ValueError("netlists have different numbers of primary inputs")
@@ -261,8 +265,11 @@ def check_netlist_equivalence(
         raise ValueError("netlists have different numbers of primary outputs")
 
     if fuzz_enabled(prefilter):
+        from ..sim.prefilter import DEFAULT_FUZZ_PATTERNS
+
         outcome = fuzz_netlist_vs_netlist(
-            netlist_a, netlist_b, cell_functions_a, cell_functions_b
+            netlist_a, netlist_b, cell_functions_a, cell_functions_b,
+            patterns=fuzz_patterns or DEFAULT_FUZZ_PATTERNS, jobs=jobs,
         )
         if outcome.refuted:
             return EquivalenceResult(

@@ -16,8 +16,10 @@ from .campaign import (
     CampaignSpec,
     JobResult,
     run_campaign,
+    run_windowed_campaign,
 )
 from .registry import (
+    BLIF_EXTRACT_LIMIT,
     Workload,
     WorkloadError,
     WorkloadFamily,
@@ -37,6 +39,7 @@ __all__ = [
     "available_families",
     "build_workload",
     "workload_functions",
+    "BLIF_EXTRACT_LIMIT",
     "CampaignError",
     "CampaignJob",
     "CampaignSpec",
@@ -44,4 +47,5 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "run_campaign",
+    "run_windowed_campaign",
 ]

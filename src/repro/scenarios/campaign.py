@@ -49,6 +49,8 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "run_campaign",
+    "run_windowed_campaign",
+    "window_record_from_payload",
 ]
 
 
@@ -209,11 +211,213 @@ def _run_attack(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, dict]:
     return outcome, payload
 
 
+def _run_decamouflage(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, dict]:
+    """CEGAR decamouflage hardness: which viable functions stay plausible?
+
+    Obfuscates a workload, then runs the adversary's plausibility oracle
+    (possibility pre-filter + simulation-guided CEGAR) over every viable
+    function in its designer pin view.  The payload records the verdicts and
+    the oracle's work counters — the hardness measures of the sweep.
+    """
+    from ..attacks.decamouflage import PlausibleFunctionOracle
+    from ..evaluation.workloads import workload_functions
+    from ..flow.obfuscate import obfuscate
+    from ..ga.engine import GAParameters
+
+    functions = workload_functions(params["family"], int(params["count"]))
+    parameters = GAParameters(
+        population_size=int(params.get("population", 4)),
+        generations=int(params.get("generations", 1)),
+        seed=int(params.get("seed", 1)),
+    )
+    flow = obfuscate(
+        functions,
+        ga_parameters=parameters,
+        fitness_effort=params.get("fitness_effort", "fast"),
+        final_effort=params.get("final_effort", "fast"),
+        jobs=task_jobs,
+    )
+    oracle = PlausibleFunctionOracle.from_mapping(flow.mapping)
+    views = flow.assignment.apply(list(functions))
+    verdicts = [bool(oracle.is_plausible(view)) for view in views]
+    solver_stats = {
+        key: int(value) for key, value in oracle.solver_stats().items()
+    }
+    payload = {
+        "plausible": sum(verdicts),
+        "total": len(verdicts),
+        "all_plausible": all(verdicts),
+        "verdicts": verdicts,
+        "camouflaged_cells": flow.mapping.num_camouflaged_cells(),
+        "prefilter": {
+            key: int(value) for key, value in oracle.prefilter_stats().items()
+        },
+        "solver": solver_stats,
+    }
+    return {"verdicts": verdicts, "prefilter": oracle.prefilter_stats()}, payload
+
+
+def _run_random_camo(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, dict]:
+    """Random-camouflaging baseline: Section I's negative result as a job.
+
+    Synthesises the first viable function alone, camouflages a random
+    fraction of its gates, and asks the adversary which viable functions
+    remain plausible — quantifying how little random camouflage protects
+    against a list of viable functions.
+    """
+    from ..attacks.random_camo import random_camouflage_experiment
+    from ..evaluation.workloads import workload_functions
+    from ..synth.script import synthesize
+
+    functions = workload_functions(params["family"], int(params["count"]))
+    synthesis = synthesize(
+        functions[0], effort=params.get("effort", "fast")
+    )
+    experiment = random_camouflage_experiment(
+        synthesis.netlist,
+        functions,
+        fraction=float(params.get("fraction", 0.5)),
+        seed=int(params.get("seed", 1)),
+    )
+    payload = {
+        "num_plausible": experiment.num_plausible,
+        "total": len(experiment.plausible),
+        "verdicts": list(experiment.plausible),
+        "fraction": float(params.get("fraction", 0.5)),
+        "area": experiment.circuit.area(),
+        "camouflaged_cells": len(experiment.circuit.camouflaged_instances),
+    }
+    return experiment, payload
+
+
+def _run_window_obfuscate(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, dict]:
+    """Obfuscate one window of a BLIF circuit (resumable windowed pipeline).
+
+    The windowed campaign fans one such job per window over the worker
+    pool; each job re-derives the (deterministic) window decomposition from
+    the BLIF source, obfuscates its assigned window, and persists a fully
+    self-describing payload — the camouflaged window as BLIF text plus the
+    serialised true configuration — so a resumed campaign can stitch
+    without re-running finished windows.
+    """
+    from ..flow.target import obfuscate_window
+    from ..ga.engine import GAParameters
+    from ..netlist.blif import write_blif
+    from ..netlist.window import extract_windows, window_subnetlist
+
+    netlist = _read_blif_workload(params["path"])
+    windows = extract_windows(
+        netlist,
+        max_inputs=int(params.get("max_window_inputs", 8)),
+        max_instances=int(params.get("max_window_instances", 48)),
+    )
+    expected = params.get("num_windows")
+    if expected is not None and int(expected) != len(windows):
+        raise CampaignError(
+            f"{params['path']}: circuit decomposes into {len(windows)} windows "
+            f"but the spec was built for {expected}; the BLIF changed — "
+            f"rebuild the campaign spec"
+        )
+    index = int(params["index"])
+    if not 0 <= index < len(windows):
+        raise CampaignError(f"window index {index} out of range")
+    window = windows[index]
+    parameters = GAParameters(
+        population_size=int(params.get("population", 4)),
+        generations=int(params.get("generations", 2)),
+        seed=int(params.get("seed", 1)),
+    )
+    record = obfuscate_window(
+        window_subnetlist(netlist, window),
+        window,
+        decoys=int(params.get("decoys", 1)),
+        seed=int(params.get("seed", 1)) + window.index,
+        ga_parameters=parameters,
+        fitness_effort=params.get("fitness_effort", "fast"),
+        final_effort=params.get("final_effort", "fast"),
+        verify=bool(params.get("verify", True)),
+        jobs=task_jobs,
+    )
+    payload = {
+        "index": window.index,
+        "inputs": window.num_inputs,
+        "outputs": window.num_outputs,
+        "instances": window.num_instances,
+        "num_viable": record.num_viable,
+        "synthesized_area": record.synthesized_area,
+        "camouflaged_area": record.camouflaged_area,
+        "verification_ok": record.verification_ok,
+        "camo_blif": write_blif(record.netlist),
+        # Keyed by output net: BLIF .gate lines carry no instance names, so
+        # the net is the identity that survives the serialisation round trip.
+        "true_config": {
+            record.netlist.instance(name).output: {
+                "vars": table.num_vars,
+                "bits": table.bits,
+            }
+            for name, table in record.true_configuration.items()
+        },
+    }
+    return record, payload
+
+
+def _read_blif_workload(path: str):
+    """Parse a BLIF circuit over the standard cell library."""
+    from ..netlist.blif import read_blif
+    from ..netlist.library import standard_cell_library
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return read_blif(handle.read(), standard_cell_library())
+
+
+def window_record_from_payload(payload: Dict[str, Any], window) -> "object":
+    """Rebuild a :class:`~repro.flow.target.WindowRecord` from job state.
+
+    The camouflaged window netlist is re-parsed from the persisted BLIF text
+    (over the camouflage-extended cell library) and the true configuration
+    from its serialised truth tables, so cached window jobs stitch exactly
+    like freshly executed ones.
+    """
+    from ..camo.library import default_camouflage_library
+    from ..flow.target import WindowRecord
+    from ..logic.truthtable import TruthTable
+    from ..netlist.blif import read_blif
+    from ..netlist.library import standard_cell_library
+
+    base = standard_cell_library()
+    library = default_camouflage_library(base).as_cell_library(include=base)
+    netlist = read_blif(payload["camo_blif"], library)
+    true_configuration = {}
+    for net, entry in payload["true_config"].items():
+        driver = netlist.driver_of(net)
+        if driver is None:
+            raise CampaignError(
+                f"window state is corrupt: configured net {net!r} has no "
+                f"driver in the persisted camouflaged window"
+            )
+        true_configuration[driver.name] = TruthTable(
+            int(entry["vars"]), int(entry["bits"])
+        )
+    return WindowRecord(
+        window=window,
+        netlist=netlist,
+        true_configuration=true_configuration,
+        num_viable=int(payload.get("num_viable", 1)),
+        seed=0,
+        synthesized_area=float(payload.get("synthesized_area", 0.0)),
+        camouflaged_area=float(payload.get("camouflaged_area", 0.0)),
+        verification_ok=bool(payload.get("verification_ok", True)),
+    )
+
+
 JOB_KINDS: Dict[str, Callable[[Dict[str, Any], int], Tuple[Any, dict]]] = {
     "table1_row": _run_table1_row,
     "figure4a": _run_figure4a,
     "figure4b": _run_figure4b,
     "attack": _run_attack,
+    "decamouflage": _run_decamouflage,
+    "random_camo": _run_random_camo,
+    "window_obfuscate": _run_window_obfuscate,
 }
 
 
@@ -308,6 +512,102 @@ class CampaignSpec:
             for family, count in families
         ]
         return cls(name=name, jobs=jobs)
+
+    @classmethod
+    def adversary(
+        cls,
+        families: Sequence[Tuple[str, int]],
+        population: int = 4,
+        generations: int = 1,
+        seed: int = 1,
+        fraction: float = 0.5,
+        name: str = "adversary",
+        decamouflage: bool = True,
+        random_camo: bool = True,
+    ) -> "CampaignSpec":
+        """The adversary-side matrix: CEGAR hardness + random-camo baseline.
+
+        One ``decamouflage`` job (plausibility-oracle hardness sweep) and
+        one ``random_camo`` job (the paper's Section-I negative baseline)
+        per workload configuration.
+        """
+        jobs: List[CampaignJob] = []
+        for family, count in families:
+            if decamouflage:
+                jobs.append(
+                    CampaignJob(
+                        job_id=f"decamo_{family}_x{count}",
+                        kind="decamouflage",
+                        params={
+                            "family": family,
+                            "count": count,
+                            "population": population,
+                            "generations": generations,
+                            "seed": seed,
+                        },
+                    )
+                )
+            if random_camo:
+                jobs.append(
+                    CampaignJob(
+                        job_id=f"randcamo_{family}_x{count}",
+                        kind="random_camo",
+                        params={
+                            "family": family,
+                            "count": count,
+                            "fraction": fraction,
+                            "seed": seed,
+                        },
+                    )
+                )
+        return cls(name=name, jobs=jobs)
+
+    @classmethod
+    def windowed(
+        cls,
+        path: str,
+        max_window_inputs: int = 8,
+        max_window_instances: int = 48,
+        decoys: int = 1,
+        seed: int = 1,
+        population: int = 4,
+        generations: int = 2,
+        verify: bool = True,
+        name: Optional[str] = None,
+    ) -> "CampaignSpec":
+        """One ``window_obfuscate`` job per window of a BLIF circuit.
+
+        The window decomposition is deterministic, so the builder, every
+        worker, and every resumed run agree on the job graph; the window
+        count is baked into the params so a changed BLIF fails loudly
+        instead of stitching stale windows.
+        """
+        from ..netlist.window import extract_windows
+
+        netlist = _read_blif_workload(path)
+        windows = extract_windows(
+            netlist, max_inputs=max_window_inputs, max_instances=max_window_instances
+        )
+        common = {
+            "path": path,
+            "max_window_inputs": max_window_inputs,
+            "max_window_instances": max_window_instances,
+            "num_windows": len(windows),
+            "decoys": decoys,
+            "seed": seed,
+            "population": population,
+            "generations": generations,
+            "verify": verify,
+        }
+        jobs = [
+            CampaignJob(
+                job_id=f"window_{window.index:03d}",
+                kind="window_obfuscate",
+                params={**common, "index": window.index},
+            )
+            for window in windows
+        ]
+        return cls(name=name or f"windowed_{netlist.name}", jobs=jobs)
 
     def merged(self, other: "CampaignSpec", name: Optional[str] = None) -> "CampaignSpec":
         """Concatenate two specs (job ids must stay unique)."""
@@ -745,3 +1045,65 @@ def run_campaign(
     return CampaignRunner(
         spec, state_dir=state_dir, jobs=jobs, progress=progress
     ).run(limit=limit, fail_fast=fail_fast)
+
+
+def run_windowed_campaign(
+    path: str,
+    state_dir: Optional[str] = None,
+    jobs: Optional[int] = None,
+    limit: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    spec: Optional[CampaignSpec] = None,
+    verify: bool = True,
+    sat_check: Optional[bool] = None,
+    **window_params,
+) -> Tuple[CampaignResult, Optional["object"]]:
+    """Run the windowed obfuscation of a BLIF circuit as a campaign.
+
+    Per-window jobs fan out over the worker pool with resumable per-window
+    state (``state_dir``): an interrupted run resumes from the finished
+    windows, whose camouflaged netlists and true configurations are
+    reconstructed from the persisted payloads.  Once every window is done
+    the windows are stitched back into the parent and verified (packed sim
+    plus SAT miter, width permitting); the second element of the returned
+    pair is the :class:`~repro.flow.target.WindowedObfuscationResult`, or
+    ``None`` while windows are still pending or failed.
+    """
+    from ..flow.target import assemble_windowed_result
+    from ..netlist.window import extract_windows
+    from ..parallel import resolve_jobs as _resolve
+
+    spec = spec if spec is not None else CampaignSpec.windowed(path, **window_params)
+    outcome = run_campaign(
+        spec, state_dir=state_dir, jobs=jobs, limit=limit, progress=progress
+    )
+    if outcome.failed or outcome.pending:
+        return outcome, None
+
+    netlist = _read_blif_workload(path)
+    first = spec.jobs[0].params
+    windows = extract_windows(
+        netlist,
+        max_inputs=int(first.get("max_window_inputs", 8)),
+        max_instances=int(first.get("max_window_instances", 48)),
+    )
+    records = []
+    for result in outcome.results:
+        index = int(result.payload["index"]) if "index" in result.payload else None
+        if index is None:
+            raise CampaignError(
+                f"window job {result.job_id!r} has no window index in its state"
+            )
+        if result.value is not None:
+            records.append(result.value)
+        else:
+            records.append(window_record_from_payload(result.payload, windows[index]))
+    records.sort(key=lambda record: record.window.index)
+    assembled = assemble_windowed_result(
+        netlist,
+        records,
+        verify=verify,
+        sat_check=sat_check,
+        jobs=_resolve(jobs),
+    )
+    return outcome, assembled

@@ -61,6 +61,7 @@ __all__ = [
     "AesFamily",
     "RandomFamily",
     "BlifFamily",
+    "BLIF_EXTRACT_LIMIT",
 ]
 
 
@@ -70,11 +71,19 @@ class WorkloadError(ValueError):
 
 @dataclass(frozen=True)
 class Workload:
-    """A resolved workload: the viable functions one experiment merges.
+    """A resolved workload: what one experiment obfuscates.
 
-    All functions share one input/output width (validated at construction);
-    ``reference_netlists`` optionally carries source netlists (e.g. parsed
-    BLIF circuits) aligned with ``functions``.
+    Two shapes exist:
+
+    * **function workloads** — the classic case: viable
+      :class:`~repro.logic.boolfunc.BoolFunction`\\ s sharing one width
+      (validated at construction), optionally with ``reference_netlists``
+      aligned to them;
+    * **netlist workloads** — wide circuits kept as first-class
+      :class:`~repro.netlist.netlist.Netlist` objects with *no* extracted
+      functions (``functions`` empty): truth tables would be exponential in
+      the input count, so these workloads flow through the windowed netlist
+      pipeline (:meth:`targets`) instead of the function pipeline.
     """
 
     name: str
@@ -83,39 +92,77 @@ class Workload:
     reference_netlists: Tuple[Netlist, ...] = ()
 
     def __post_init__(self):
-        if not self.functions:
-            raise WorkloadError(f"workload {self.name!r} has no functions")
-        widths = {(f.num_inputs, f.num_outputs) for f in self.functions}
-        if len(widths) != 1:
+        if not self.functions and not self.reference_netlists:
             raise WorkloadError(
-                f"workload {self.name!r} mixes function widths: {sorted(widths)}"
+                f"workload {self.name!r} has neither functions nor netlists"
             )
-        if self.reference_netlists and len(self.reference_netlists) != len(
-            self.functions
-        ):
-            raise WorkloadError(
-                f"workload {self.name!r} has {len(self.reference_netlists)} "
-                f"reference netlists for {len(self.functions)} functions"
-            )
+        if self.functions:
+            widths = {(f.num_inputs, f.num_outputs) for f in self.functions}
+            if len(widths) != 1:
+                raise WorkloadError(
+                    f"workload {self.name!r} mixes function widths: {sorted(widths)}"
+                )
+            if self.reference_netlists and len(self.reference_netlists) != len(
+                self.functions
+            ):
+                raise WorkloadError(
+                    f"workload {self.name!r} has {len(self.reference_netlists)} "
+                    f"reference netlists for {len(self.functions)} functions"
+                )
+
+    @property
+    def is_netlist_only(self) -> bool:
+        """True for netlist workloads (no exact functions were extracted)."""
+        return not self.functions
 
     @property
     def num_inputs(self) -> int:
-        """Input width shared by every viable function."""
-        return self.functions[0].num_inputs
+        """Input width (of the functions, else of the first netlist)."""
+        if self.functions:
+            return self.functions[0].num_inputs
+        return len(self.reference_netlists[0].primary_inputs)
 
     @property
     def num_outputs(self) -> int:
-        """Output width shared by every viable function."""
-        return self.functions[0].num_outputs
+        """Output width (of the functions, else of the first netlist)."""
+        if self.functions:
+            return self.functions[0].num_outputs
+        return len(self.reference_netlists[0].primary_outputs)
 
     @property
     def count(self) -> int:
-        """Number of viable functions."""
-        return len(self.functions)
+        """Number of viable functions (or netlists, for netlist workloads)."""
+        return len(self.functions) or len(self.reference_netlists)
 
     def lookup_tables(self) -> List[List[int]]:
-        """Word-level lookup tables of every function (for artifacts/tests)."""
+        """Word-level lookup tables of every function (for artifacts/tests).
+
+        Netlist workloads raise: materialising ``2**n``-entry tables is the
+        exact exponential step they exist to avoid.
+        """
+        if self.is_netlist_only:
+            raise WorkloadError(
+                f"workload {self.name!r} is netlist-only; lookup tables would "
+                f"be exponential in {self.num_inputs} inputs"
+            )
         return [function.lookup_table() for function in self.functions]
+
+    def targets(self) -> List["ObfuscationTarget"]:
+        """The workload as :class:`~repro.flow.target.ObfuscationTarget`\\ s.
+
+        Function workloads become one :class:`~repro.flow.target.
+        FunctionTarget` holding the merged viable set; netlist workloads
+        become one :class:`~repro.flow.target.NetlistTarget` per netlist,
+        which the flow windows and stitches instead of extracting.
+        """
+        from ..flow.target import FunctionTarget, NetlistTarget
+
+        if self.functions:
+            return [FunctionTarget(list(self.functions), name=self.name)]
+        return [
+            NetlistTarget(netlist, name=f"{self.name}_{index}")
+            for index, netlist in enumerate(self.reference_netlists)
+        ]
 
 
 class WorkloadFamily(ABC):
@@ -259,11 +306,26 @@ class RandomFamily(WorkloadFamily):
         )
 
 
+#: BLIF netlists with more primary inputs than this stay netlist workloads:
+#: exhaustive truth-table extraction is exponential in the input count, so
+#: wide circuits flow through the windowed netlist pipeline instead.
+BLIF_EXTRACT_LIMIT = 16
+
+
 class BlifFamily(WorkloadFamily):
-    """Workloads imported from structural BLIF netlists (``paths`` param)."""
+    """Workloads imported from structural BLIF netlists (``paths`` param).
+
+    Circuits whose input count is at most ``extract_limit`` (default
+    :data:`BLIF_EXTRACT_LIMIT`) are extracted into exact viable functions,
+    exactly as before.  Wider circuits are kept as first-class netlist
+    workloads — no truth table is ever built — and are obfuscated through
+    the windowed pipeline (:meth:`Workload.targets`).
+    """
 
     name = "BLIF"
-    description = "functions extracted from BLIF netlists (paths param)"
+    description = (
+        "BLIF netlists (paths param); wide circuits stay netlist workloads"
+    )
     max_count = None
 
     def build(self, count: int, **params) -> Workload:
@@ -271,7 +333,7 @@ class BlifFamily(WorkloadFamily):
         from ..netlist.library import standard_cell_library
         from ..netlist.simulate import extract_function
 
-        self._reject_params(params, ("paths", "library"))
+        self._reject_params(params, ("paths", "library", "extract_limit"))
         self.check_count(count)
         paths = params.get("paths")
         if not paths:
@@ -282,18 +344,35 @@ class BlifFamily(WorkloadFamily):
             raise WorkloadError(
                 f"{self.name}: {len(paths)} BLIF paths for count {count}"
             )
+        extract_limit = int(params.get("extract_limit", BLIF_EXTRACT_LIMIT))
         library = params.get("library") or standard_cell_library()
-        functions: List[BoolFunction] = []
         netlists: List[Netlist] = []
         for path in paths:
             with open(path, "r", encoding="utf-8") as handle:
                 netlist = read_blif(handle.read(), library)
             netlists.append(netlist)
-            functions.append(extract_function(netlist, name=netlist.name))
+        wide = [
+            netlist
+            for netlist in netlists
+            if len(netlist.primary_inputs) > extract_limit
+        ]
+        if wide:
+            # One wide circuit makes the whole workload netlist-first: mixed
+            # widths could not form a valid function workload anyway, and the
+            # netlist path handles narrow members just as well.
+            return Workload(
+                name=f"BLIF_x{count}",
+                family=self.name,
+                functions=(),
+                reference_netlists=tuple(netlists),
+            )
+        functions = tuple(
+            extract_function(netlist, name=netlist.name) for netlist in netlists
+        )
         return Workload(
             name=f"BLIF_x{count}",
             family=self.name,
-            functions=tuple(functions),
+            functions=functions,
             reference_netlists=tuple(netlists),
         )
 
@@ -337,9 +416,17 @@ def workload_functions(family: str, count: int, **params) -> List[BoolFunction]:
 
     This is the registry-backed successor of the ad-hoc table that used to
     live in :mod:`repro.evaluation.workloads`; that module re-exports it, so
-    existing callers keep working unchanged.
+    existing callers keep working unchanged.  Netlist-only workloads (wide
+    BLIF circuits) have no extracted functions and raise — route those
+    through :meth:`Workload.targets` and the windowed flow instead.
     """
-    return list(build_workload(family, count, **params).functions)
+    workload = build_workload(family, count, **params)
+    if workload.is_netlist_only:
+        raise WorkloadError(
+            f"workload {workload.name!r} is netlist-only ({workload.num_inputs} "
+            f"inputs); use Workload.targets() and the windowed netlist flow"
+        )
+    return list(workload.functions)
 
 
 for _family in (PresentFamily(), DesFamily(), AesFamily(), RandomFamily(), BlifFamily()):

@@ -289,8 +289,10 @@ def simulate_words(
     return NetlistSimulator(netlist).simulate_words(words, cell_functions)
 
 
-#: Beyond this many combined (data + select) variables the packed sweep would
-#: manipulate multi-megabit integers; callers fall back to per-select passes.
+#: Beyond this many combined (data + select) variables a single packed sweep
+#: would manipulate multi-megabit integers; wider sweeps are sharded over the
+#: select dimension (one block of select words per packed pass, fanned over
+#: the worker pool — see :func:`repro.sim.shard.sharded_sweep_select_space`).
 SWEEP_WIDTH_LIMIT = 20
 
 
@@ -299,8 +301,9 @@ def sweep_select_space(
     select_order: Sequence[str],
     instance_selects: Mapping[str, Sequence[str]],
     instance_configs: Mapping[str, Mapping[Tuple[int, ...], TruthTable]],
+    jobs: int = 1,
 ) -> List[List[int]]:
-    """Evaluate every camouflage configuration in one packed pass.
+    """Evaluate every camouflage configuration with packed passes.
 
     The pattern space is the product of the data inputs and the select word:
     pattern ``x + (s << num_data_inputs)`` applies data word ``x`` under
@@ -310,26 +313,65 @@ def sweep_select_space(
     pass produces the realised behaviour of *all* ``2**num_selects``
     configurations.
 
+    When the combined (data + select) width exceeds
+    :data:`SWEEP_WIDTH_LIMIT`, the sweep is split along the select
+    dimension into blocks that fit the packed width — the high select bits
+    are pinned per block and the blocks fan out over the worker pool
+    (``jobs``).  The result is identical for every ``jobs`` value and for
+    the sharded vs single-pass path.
+
     Returns one word-level lookup table per select word (the same tables
     ``extract_function(...).lookup_table()`` yields per configuration).
     """
-    data_inputs = list(netlist.primary_inputs)
-    num_data = len(data_inputs)
+    num_data = len(netlist.primary_inputs)
     num_selects = len(select_order)
     width = num_data + num_selects
     if width > SWEEP_WIDTH_LIMIT:
-        raise ValueError(
-            f"select sweep over {width} combined variables exceeds the packed "
-            f"width limit ({SWEEP_WIDTH_LIMIT}); evaluate per select word instead"
+        if num_data > SWEEP_WIDTH_LIMIT:
+            raise ValueError(
+                f"select sweep needs {num_data} data variables per packed "
+                f"pass, more than the width limit ({SWEEP_WIDTH_LIMIT}); "
+                f"exhaustive data enumeration is infeasible at this width"
+            )
+        from .shard import sharded_sweep_select_space
+
+        return sharded_sweep_select_space(
+            netlist, select_order, instance_selects, instance_configs, jobs=jobs
         )
+    lanes = _sweep_lanes(
+        netlist, select_order, instance_selects, instance_configs, {}
+    )
+    return _tables_from_sweep_lanes(lanes, num_data, num_selects)
+
+
+def _sweep_lanes(
+    netlist: Netlist,
+    select_order: Sequence[str],
+    instance_selects: Mapping[str, Sequence[str]],
+    instance_configs: Mapping[str, Mapping[Tuple[int, ...], TruthTable]],
+    fixed_selects: Mapping[str, int],
+) -> List[int]:
+    """Primary-output lanes of one packed sweep pass.
+
+    ``fixed_selects`` pins a subset of the select nets to constants (the
+    block sharding uses this to sweep a slice of the select space); the
+    remaining *free* selects become pattern variables above the data inputs,
+    in ``select_order`` order.
+    """
+    data_inputs = list(netlist.primary_inputs)
+    num_data = len(data_inputs)
+    free_selects = [net for net in select_order if net not in fixed_selects]
+    width = num_data + len(free_selects)
     mask = mask_for(width)
     lanes: Dict[str, int] = {CONST0_NET: 0, CONST1_NET: mask}
     for index, net in enumerate(data_inputs):
         lanes[net] = variable_pattern(index, width)
     select_lanes = {
         net: variable_pattern(num_data + index, width)
-        for index, net in enumerate(select_order)
+        for index, net in enumerate(free_selects)
     }
+    for net, value in fixed_selects.items():
+        select_lanes[net] = mask if value else 0
 
     for instance in netlist.topological_order():
         input_lanes = [lanes[net] for net in instance.inputs]
@@ -364,11 +406,17 @@ def sweep_select_space(
         if net not in lanes:
             raise NetlistError(f"primary output {net!r} is undriven")
         output_lanes.append(lanes[net])
+    return output_lanes
 
+
+def _tables_from_sweep_lanes(
+    output_lanes: Sequence[int], num_data: int, num_free_selects: int
+) -> List[List[int]]:
+    """Unpack sweep lanes into one lookup table per (free) select word."""
     data_rows = 1 << num_data
     data_mask = (1 << data_rows) - 1
     tables: List[List[int]] = []
-    for select_word in range(1 << num_selects):
+    for select_word in range(1 << num_free_selects):
         blocks = [
             (lane >> (select_word * data_rows)) & data_mask for lane in output_lanes
         ]

@@ -44,6 +44,7 @@ __all__ = [
     "sharded_extract_function",
     "sharded_first_difference_vs_function",
     "sharded_first_difference_vs_netlist",
+    "sharded_sweep_select_space",
 ]
 
 #: Minimum patterns per shard for fan-out to be worth the process round trip.
@@ -198,6 +199,74 @@ def sharded_first_difference_vs_function(
         if position is not None:
             return offset + position
     return None
+
+
+def _sweep_block_task(task: Tuple) -> List[List[int]]:
+    """Worker task: one select-block of a wide camouflage sweep."""
+    (
+        netlist,
+        select_order,
+        instance_selects,
+        instance_configs,
+        fixed_selects,
+        num_free_selects,
+    ) = task
+    from .engine import _sweep_lanes, _tables_from_sweep_lanes
+
+    lanes = _sweep_lanes(
+        netlist, select_order, instance_selects, instance_configs, fixed_selects
+    )
+    return _tables_from_sweep_lanes(
+        lanes, len(netlist.primary_inputs), num_free_selects
+    )
+
+
+def sharded_sweep_select_space(
+    netlist: Netlist,
+    select_order: Sequence[str],
+    instance_selects: Mapping[str, Sequence[str]],
+    instance_configs: Mapping[str, Mapping[Tuple[int, ...], object]],
+    jobs: int = 1,
+) -> List[List[int]]:
+    """Camouflage select-space sweep sharded along the select dimension.
+
+    A single packed pass over the combined (data × select) pattern space is
+    capped at :data:`~repro.sim.engine.SWEEP_WIDTH_LIMIT` variables.  For
+    wider spaces this helper pins the *high* select bits per block — each
+    block is one packed pass over ``data × low selects``, exactly at the
+    width limit — and fans the blocks over the worker pool.  Select word
+    ``s`` lands in block ``s >> num_free_selects`` at local offset
+    ``s & (2**num_free_selects - 1)``, so concatenating the block tables in
+    block order reproduces the single-pass result bit for bit (the per-word
+    tables are identical for every ``jobs`` value).
+    """
+    from .engine import SWEEP_WIDTH_LIMIT
+
+    num_data = len(netlist.primary_inputs)
+    num_selects = len(select_order)
+    num_free = max(0, min(num_selects, SWEEP_WIDTH_LIMIT - num_data))
+    free_nets = list(select_order[:num_free])
+    fixed_nets = list(select_order[num_free:])
+    tasks = []
+    for block in range(1 << len(fixed_nets)):
+        fixed = {
+            net: (block >> offset) & 1 for offset, net in enumerate(fixed_nets)
+        }
+        tasks.append(
+            (
+                netlist,
+                list(select_order),
+                dict(instance_selects),
+                dict(instance_configs),
+                fixed,
+                len(free_nets),
+            )
+        )
+    block_tables = parallel_map(_sweep_block_task, tasks, jobs=jobs)
+    tables: List[List[int]] = []
+    for block in block_tables:
+        tables.extend(block)
+    return tables
 
 
 def _diff_vs_netlist_task(task: Tuple) -> Optional[int]:

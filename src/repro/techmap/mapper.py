@@ -97,12 +97,14 @@ class CamouflagedMapping:
             configuration.set(instance_name, by_select[local])
         return configuration
 
-    def realised_lookup_tables(self) -> List[List[int]]:
-        """Lookup table realised by every select configuration (one packed pass).
+    def realised_lookup_tables(self, jobs: int = 1) -> List[List[int]]:
+        """Lookup table realised by every select configuration (packed sweep).
 
         Entry ``s`` equals ``extract_function(netlist, cell_functions=
         configuration_for_select(s).as_cell_functions()).lookup_table()`` but
-        the whole select space is swept in a single word-parallel pass.
+        the whole select space is swept word-parallel — one pass when the
+        combined width fits, select-dimension shards over the worker pool
+        (``jobs``) otherwise.  Tables are identical for every ``jobs`` value.
         """
         from ..camo.config import sweep_configurations
 
@@ -111,6 +113,7 @@ class CamouflagedMapping:
             self.select_order,
             self.instance_selects,
             self.instance_configs,
+            jobs=jobs,
         )
 
     def plausible_functions_of(self, instance_name: str) -> Tuple[TruthTable, ...]:

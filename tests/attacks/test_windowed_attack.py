@@ -1,0 +1,105 @@
+"""Tests for the wide-netlist (windowed) oracle-guided attack path."""
+
+import pytest
+
+from repro.netlist.generate import random_netlist as build_random_netlist
+from repro.attacks.oracle_guided import (
+    OracleGuidedAttack,
+    attack_netlist,
+    attack_windowed,
+)
+from repro.flow.target import obfuscate_netlist
+from repro.ga.engine import GAParameters
+from repro.netlist.simulate import extract_function
+
+
+TINY_GA = GAParameters(population_size=4, generations=1, seed=1)
+
+
+@pytest.fixture(scope="module")
+def wide_result(library):
+    """A 24-input windowed obfuscation (camouflage-only, fast to attack)."""
+    netlist = build_random_netlist(
+        5, library, num_inputs=24, num_cells=18, num_outputs=4
+    )
+    result = obfuscate_netlist(
+        netlist, max_window_inputs=6, decoys_per_window=0, seed=3,
+    )
+    assert result.verification.ok
+    return result
+
+
+class TestWindowedAttack:
+    def test_wide_attack_succeeds_end_to_end(self, wide_result):
+        outcome = attack_windowed(wide_result, max_queries=64, presample=32)
+        assert outcome.success
+        # The wide path never materialises the exponential lookup table.
+        assert outcome.recovered_function == []
+        assert outcome.total_oracle_queries == 32 + outcome.num_queries
+        # The recovered configuration is drawn from the plausible families.
+        plausible = wide_result.instance_plausible()
+        for name, table in outcome.configuration.items():
+            assert table in plausible[name]
+
+    def test_wide_attack_deterministic(self, wide_result):
+        first = attack_windowed(wide_result, max_queries=64, presample=16)
+        second = attack_windowed(wide_result, max_queries=64, presample=16)
+        assert first.queries == second.queries
+        assert first.presample_queries == second.presample_queries
+        assert first.success == second.success
+
+    def test_budget_exhaustion_reports_failure(self, wide_result):
+        outcome = attack_windowed(wide_result, max_queries=0, presample=0)
+        assert not outcome.success or outcome.num_queries == 0
+
+    def test_small_netlist_keeps_exact_recovery(self, library):
+        """Below the width limit the classic exhaustive audit still runs."""
+        netlist = build_random_netlist(11, library, num_cells=12)
+        result = obfuscate_netlist(
+            netlist, max_window_inputs=5, decoys_per_window=0,
+            ga_parameters=TINY_GA, seed=2,
+        )
+        outcome = attack_windowed(result, max_queries=128, presample=16)
+        assert outcome.success
+        assert (
+            outcome.recovered_function
+            == extract_function(netlist).lookup_table()
+        )
+
+    def test_oracle_batch_equivalent_to_per_word(self, library):
+        """run() produces the same transcript with and without oracle_batch."""
+        netlist = build_random_netlist(11, library, num_cells=12)
+        result = obfuscate_netlist(
+            netlist, max_window_inputs=5, decoys_per_window=0,
+            ga_parameters=TINY_GA, seed=2,
+        )
+        truth = extract_function(
+            result.netlist, cell_functions=result.true_configuration
+        ).lookup_table()
+        plausible = result.instance_plausible()
+
+        plain = OracleGuidedAttack(
+            result.netlist, plausible, max_queries=64, presample=8
+        ).run(lambda word: truth[word])
+        batched = OracleGuidedAttack(
+            result.netlist, plausible, max_queries=64, presample=8
+        ).run(
+            lambda word: truth[word],
+            oracle_batch=lambda words: [truth[w] for w in words],
+        )
+        assert plain.queries == batched.queries
+        assert plain.presample_queries == batched.presample_queries
+        assert plain.success == batched.success
+        assert plain.recovered_function == batched.recovered_function
+
+
+class TestAttackNetlist:
+    def test_attack_netlist_on_stitched(self, wide_result):
+        outcome = attack_netlist(
+            wide_result.netlist,
+            wide_result.instance_plausible(),
+            wide_result.true_configuration,
+            max_queries=64,
+            presample=16,
+        )
+        assert outcome.success

@@ -99,3 +99,14 @@ def small_obfuscation(two_sboxes):
 def rng():
     """A deterministic random generator for tests."""
     return random.Random(12345)
+
+
+@pytest.fixture
+def make_random_netlist(library):
+    """Factory fixture for deterministic random netlists."""
+    from repro.netlist.generate import random_netlist
+
+    def _make(seed, **kwargs):
+        return random_netlist(seed, library, **kwargs)
+
+    return _make

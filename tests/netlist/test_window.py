@@ -1,0 +1,202 @@
+"""Tests for netlist windowing: extraction, subnetlists, stitching."""
+
+import pytest
+
+from repro.netlist.generate import random_netlist as build_random_netlist
+from repro.logic.truthtable import TruthTable
+from repro.netlist.netlist import CONST0_NET, CONST1_NET, Netlist
+from repro.netlist.simulate import extract_function
+from repro.netlist.window import (
+    WindowError,
+    extract_windows,
+    stitch_windows,
+    window_function,
+    window_subnetlist,
+)
+from repro.sat.equivalence import check_netlist_equivalence
+from repro.sim.prefilter import fuzz_netlist_vs_netlist
+
+
+class TestExtractWindows:
+    def test_partition_is_total_and_disjoint(self, library):
+        for seed in range(4):
+            netlist = build_random_netlist(seed, library)
+            windows = extract_windows(netlist, max_inputs=6)
+            names = [
+                name for window in windows for name in window.instance_names
+            ]
+            assert len(names) == netlist.num_instances()
+            assert len(names) == len(set(names))
+
+    def test_boundary_bound_respected(self, library):
+        netlist = build_random_netlist(3, library, num_cells=40)
+        for max_inputs in (4, 6, 8):
+            for window in extract_windows(netlist, max_inputs=max_inputs):
+                assert 1 <= window.num_inputs <= max_inputs
+                assert window.num_outputs >= 1
+
+    def test_max_instances_respected(self, library):
+        netlist = build_random_netlist(5, library, num_cells=40)
+        for window in extract_windows(netlist, max_inputs=10, max_instances=5):
+            assert window.num_instances <= 5
+
+    def test_deterministic(self, library):
+        netlist = build_random_netlist(9, library)
+        first = extract_windows(netlist, max_inputs=6)
+        second = extract_windows(netlist, max_inputs=6)
+        assert first == second
+
+    def test_levelized_window_graph_is_acyclic(self, library):
+        """Window k's boundary inputs come only from PIs and windows < k."""
+        netlist = build_random_netlist(11, library, num_cells=40)
+        windows = extract_windows(netlist, max_inputs=6)
+        produced = set(netlist.primary_inputs) | {CONST0_NET, CONST1_NET}
+        for window in windows:
+            for net in window.input_nets:
+                assert net in produced
+            produced.update(
+                netlist.instance(name).output for name in window.instance_names
+            )
+
+    def test_infeasible_bound_raises(self, library):
+        netlist = Netlist("tiny", library)
+        for index in range(4):
+            netlist.add_input(f"i{index}")
+        netlist.add_instance("NAND4", ["i0", "i1", "i2", "i3"], output="y")
+        netlist.add_output("y")
+        with pytest.raises(WindowError):
+            extract_windows(netlist, max_inputs=3)
+        assert len(extract_windows(netlist, max_inputs=4)) == 1
+
+
+class TestWindowSubnetlist:
+    def test_window_function_matches_parent_simulation(self, library):
+        netlist = build_random_netlist(21, library)
+        windows = extract_windows(netlist, max_inputs=6)
+        from repro.sim.engine import NetlistSimulator
+        from repro.sim.patterns import PatternBatch
+
+        # Parent-side reference: simulate the whole netlist exhaustively and
+        # compare each window's boundary behaviour against the subnetlist.
+        for window in windows[:4]:
+            function = window_function(netlist, window)
+            assert function.num_inputs == window.num_inputs
+            assert function.num_outputs == window.num_outputs
+            sub = window_subnetlist(netlist, window)
+            assert sub.primary_inputs == list(window.input_nets)
+            assert sub.primary_outputs == list(window.output_nets)
+            # Spot-check: a handful of random boundary words agree with a
+            # row-wise evaluation of the copied instances.
+            sim = NetlistSimulator(sub)
+            batch = PatternBatch.random(window.num_inputs, 32, seed=7)
+            lanes = sim.output_lanes(batch)
+            for position in range(4):
+                word = batch.word_at(position)
+                value = function.evaluate_word(word)
+                got = 0
+                for index in range(window.num_outputs):
+                    if (lanes[index] >> position) & 1:
+                        got |= 1 << index
+                assert got == value
+
+
+class TestStitchWindows:
+    def test_identity_stitch_round_trip(self, library):
+        for seed in range(4):
+            netlist = build_random_netlist(seed, library)
+            windows = extract_windows(netlist, max_inputs=6)
+            replacements = [
+                window_subnetlist(netlist, window) for window in windows
+            ]
+            stitched = stitch_windows(netlist, windows, replacements)
+            assert (
+                extract_function(stitched.netlist).lookup_table()
+                == extract_function(netlist).lookup_table()
+            )
+
+    def test_instance_maps_cover_replacements(self, library):
+        netlist = build_random_netlist(2, library)
+        windows = extract_windows(netlist, max_inputs=6)
+        replacements = [window_subnetlist(netlist, window) for window in windows]
+        stitched = stitch_windows(netlist, windows, replacements)
+        for replacement, name_map in zip(replacements, stitched.instance_maps):
+            assert set(name_map) == {
+                instance.name for instance in replacement.instances
+            }
+            for stitched_name in name_map.values():
+                stitched.netlist.instance(stitched_name)  # resolves
+
+    def test_pin_mismatch_raises(self, library):
+        netlist = build_random_netlist(2, library)
+        windows = extract_windows(netlist, max_inputs=6)
+        replacements = [window_subnetlist(netlist, window) for window in windows]
+        bad = Netlist("bad", library)
+        bad.add_input("a")
+        bad.add_instance("INV", ["a"], output="y")
+        bad.add_output("y")
+        with pytest.raises(WindowError):
+            stitch_windows(netlist, windows, [bad] + replacements[1:])
+
+    def test_replacement_count_mismatch_raises(self, library):
+        netlist = build_random_netlist(2, library)
+        windows = extract_windows(netlist, max_inputs=6)
+        with pytest.raises(WindowError):
+            stitch_windows(netlist, windows, [])
+
+    def test_stitch_with_passthrough_output(self, library):
+        """A replacement that aliases an input onto an output gets a buffer."""
+        netlist = Netlist("p", library)
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_instance("BUF", ["a"], output="x")
+        netlist.add_instance("AND2", ["x", "b"], output="y")
+        netlist.add_output("y")
+        windows = extract_windows(netlist, max_inputs=4)
+        replacements = []
+        for window in windows:
+            if window.output_nets == ("x",):
+                alias = Netlist("alias", library)
+                alias.add_input("p0")
+                alias.add_output("p0")
+                replacements.append(alias)
+            else:
+                replacements.append(window_subnetlist(netlist, window))
+        stitched = stitch_windows(netlist, windows, replacements)
+        assert (
+            extract_function(stitched.netlist).lookup_table()
+            == extract_function(netlist).lookup_table()
+        )
+
+    def test_randomized_camo_style_replacements_stay_equivalent(self, library):
+        """Resynthesised replacements (fresh names, denser I/O) stitch clean."""
+        from repro.synth.script import synthesize
+
+        netlist = build_random_netlist(31, library, num_cells=20)
+        windows = extract_windows(netlist, max_inputs=6)
+        replacements = []
+        for window in windows:
+            function = window_function(netlist, window)
+            replacements.append(synthesize(function, effort="fast").netlist)
+        stitched = stitch_windows(netlist, windows, replacements)
+        outcome = fuzz_netlist_vs_netlist(netlist, stitched.netlist)
+        assert not outcome.refuted and outcome.complete
+        # SAT spot-check of the same equivalence.
+        result = check_netlist_equivalence(
+            netlist, stitched.netlist, prefilter=False
+        )
+        assert result.equivalent
+
+    def test_map_cell_functions_lifts_names(self, library):
+        netlist = build_random_netlist(2, library)
+        windows = extract_windows(netlist, max_inputs=6)
+        replacements = [window_subnetlist(netlist, window) for window in windows]
+        stitched = stitch_windows(netlist, windows, replacements)
+        table = TruthTable(1, 0b01)
+        per_window = []
+        for replacement in replacements:
+            name = replacement.instances[0].name
+            per_window.append({name: table})
+        merged = stitched.map_cell_functions(per_window)
+        assert len(merged) == len(windows)
+        for name in merged:
+            stitched.netlist.instance(name)

@@ -1,0 +1,87 @@
+"""Tests for netlist-first (wide) BLIF workload ingestion."""
+
+import pytest
+
+from repro.netlist.generate import random_netlist as build_random_netlist
+from repro.netlist.blif import write_blif
+from repro.scenarios.registry import (
+    BLIF_EXTRACT_LIMIT,
+    WorkloadError,
+    build_workload,
+    workload_functions,
+)
+
+
+@pytest.fixture()
+def blif_paths(tmp_path, library):
+    """One narrow (6-input) and one wide (24-input) BLIF file."""
+    narrow = build_random_netlist(
+        1, library, num_inputs=6, num_cells=10, num_outputs=3, name="narrow6"
+    )
+    wide = build_random_netlist(
+        2, library, num_inputs=24, num_cells=16, num_outputs=4, name="wide24"
+    )
+    narrow_path = tmp_path / "narrow.blif"
+    wide_path = tmp_path / "wide.blif"
+    narrow_path.write_text(write_blif(narrow), encoding="utf-8")
+    wide_path.write_text(write_blif(wide), encoding="utf-8")
+    return str(narrow_path), str(wide_path)
+
+
+class TestBlifIngestion:
+    def test_narrow_circuits_still_extract(self, blif_paths):
+        narrow_path, _ = blif_paths
+        workload = build_workload("BLIF", 1, paths=narrow_path)
+        assert not workload.is_netlist_only
+        assert workload.count == 1
+        assert workload.functions[0].num_inputs == 6
+        assert len(workload.lookup_tables()) == 1
+
+    def test_wide_circuit_stays_netlist(self, blif_paths):
+        _, wide_path = blif_paths
+        workload = build_workload("BLIF", 1, paths=wide_path)
+        assert workload.is_netlist_only
+        assert workload.functions == ()
+        assert workload.num_inputs == 24
+        assert workload.count == 1
+        with pytest.raises(WorkloadError, match="exponential"):
+            workload.lookup_tables()
+
+    def test_mixed_batch_goes_netlist_first(self, blif_paths):
+        narrow_path, wide_path = blif_paths
+        workload = build_workload(
+            "BLIF", 2, paths=f"{narrow_path},{wide_path}"
+        )
+        assert workload.is_netlist_only
+        assert len(workload.reference_netlists) == 2
+
+    def test_extract_limit_parameter(self, blif_paths):
+        _, wide_path = blif_paths
+        # Raising the threshold forces extraction even for the wide circuit
+        # (callers who genuinely want the exponential table can opt in).
+        workload = build_workload(
+            "BLIF", 1, paths=wide_path, extract_limit=24
+        )
+        assert not workload.is_netlist_only
+        assert workload.functions[0].num_inputs == 24
+
+    def test_default_limit_matches_constant(self, blif_paths, library, tmp_path):
+        at_limit = build_random_netlist(
+            4, library, num_inputs=BLIF_EXTRACT_LIMIT, num_cells=8,
+            num_outputs=2, name="at_limit",
+        )
+        path = tmp_path / "at_limit.blif"
+        path.write_text(write_blif(at_limit), encoding="utf-8")
+        workload = build_workload("BLIF", 1, paths=str(path))
+        assert not workload.is_netlist_only
+
+    def test_workload_functions_raises_for_netlist_only(self, blif_paths):
+        _, wide_path = blif_paths
+        with pytest.raises(WorkloadError, match="netlist-only"):
+            workload_functions("BLIF", 1, paths=wide_path)
+
+    def test_empty_workload_rejected(self):
+        from repro.scenarios.registry import Workload
+
+        with pytest.raises(WorkloadError, match="neither"):
+            Workload(name="empty", family="X", functions=())

@@ -1,0 +1,164 @@
+"""Tests for the adversary-side and windowed campaign job kinds."""
+
+import pytest
+
+from repro.netlist.generate import random_netlist as build_random_netlist
+from repro.netlist.blif import write_blif
+from repro.netlist.simulate import extract_function
+from repro.scenarios.campaign import (
+    JOB_KINDS,
+    CampaignError,
+    CampaignSpec,
+    run_campaign,
+    run_windowed_campaign,
+    window_record_from_payload,
+)
+
+
+class TestAdversaryJobKinds:
+    def test_kinds_registered(self):
+        assert "decamouflage" in JOB_KINDS
+        assert "random_camo" in JOB_KINDS
+        assert "window_obfuscate" in JOB_KINDS
+
+    def test_adversary_builder(self):
+        spec = CampaignSpec.adversary([("PRESENT", 2)], seed=3)
+        assert [job.kind for job in spec.jobs] == ["decamouflage", "random_camo"]
+        # Round-trips through JSON like every other spec.
+        assert CampaignSpec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()
+
+    def test_adversary_builder_subsets(self):
+        spec = CampaignSpec.adversary([("PRESENT", 2)], random_camo=False)
+        assert [job.kind for job in spec.jobs] == ["decamouflage"]
+        spec = CampaignSpec.adversary([("PRESENT", 2)], decamouflage=False)
+        assert [job.kind for job in spec.jobs] == ["random_camo"]
+
+    def test_decamouflage_job_runs(self):
+        spec = CampaignSpec.adversary(
+            [("PRESENT", 2)], population=4, generations=1, random_camo=False
+        )
+        outcome = run_campaign(spec)
+        assert outcome.all_ok
+        payload = outcome.results[0].payload
+        assert payload["total"] == 2
+        # The design's whole point: every viable function stays plausible.
+        assert payload["all_plausible"] is True
+        assert payload["prefilter"]["queries"] == 2
+
+    def test_random_camo_job_runs(self):
+        spec = CampaignSpec.adversary(
+            [("PRESENT", 2)], decamouflage=False, fraction=0.5, seed=3
+        )
+        outcome = run_campaign(spec)
+        assert outcome.all_ok
+        payload = outcome.results[0].payload
+        assert payload["total"] == 2
+        # The true function is always plausible under its own camouflage.
+        assert payload["verdicts"][0] is True
+        assert payload["camouflaged_cells"] >= 1
+
+
+@pytest.fixture(scope="module")
+def wide_blif(tmp_path_factory, library):
+    """A bundled-style wide BLIF circuit on disk (20 inputs, 14 cells)."""
+    netlist = build_random_netlist(
+        23, library, num_inputs=20, num_cells=14, num_outputs=4, name="wide20"
+    )
+    path = tmp_path_factory.mktemp("blif") / "wide20.blif"
+    path.write_text(write_blif(netlist), encoding="utf-8")
+    return str(path), netlist
+
+
+class TestWindowedCampaign:
+    def test_spec_builder_is_deterministic(self, wide_blif):
+        path, _ = wide_blif
+        first = CampaignSpec.windowed(path, max_window_inputs=6, decoys=0)
+        second = CampaignSpec.windowed(path, max_window_inputs=6, decoys=0)
+        assert first.to_dict() == second.to_dict()
+        assert all(job.kind == "window_obfuscate" for job in first.jobs)
+
+    def test_run_and_stitch_equivalence(self, wide_blif, tmp_path):
+        path, original = wide_blif
+        outcome, assembled = run_windowed_campaign(
+            path,
+            state_dir=str(tmp_path / "state"),
+            max_window_inputs=6,
+            decoys=0,
+            seed=3,
+        )
+        assert outcome.all_ok
+        assert assembled is not None
+        assert assembled.verification.ok
+        assert len(assembled.true_configuration) >= 1
+
+    def test_resume_from_state_and_payload_rebuild(self, wide_blif, tmp_path):
+        """Interrupt after a few windows; the rerun stitches from state."""
+        path, original = wide_blif
+        state_dir = str(tmp_path / "state")
+        spec = CampaignSpec.windowed(path, max_window_inputs=6, decoys=0, seed=3)
+        partial, assembled = run_windowed_campaign(
+            path, spec=spec, state_dir=state_dir, limit=2,
+            max_window_inputs=6, decoys=0, seed=3,
+        )
+        assert assembled is None
+        assert len(partial.executed) == 2
+        assert len(partial.pending) == len(spec.jobs) - 2
+
+        resumed, assembled = run_windowed_campaign(
+            path, spec=spec, state_dir=state_dir,
+            max_window_inputs=6, decoys=0, seed=3,
+        )
+        assert len(resumed.cached) == 2
+        assert assembled is not None
+        assert assembled.verification.ok
+        # Cached windows were rebuilt from persisted payloads (no value).
+        assert all(result.value is None for result in resumed.cached)
+
+    def test_payload_round_trip_preserves_configuration(self, wide_blif, tmp_path):
+        path, _ = wide_blif
+        state_dir = str(tmp_path / "state")
+        outcome, assembled = run_windowed_campaign(
+            path, state_dir=state_dir, max_window_inputs=6, decoys=0, seed=3
+        )
+        result = outcome.results[0]
+        record = window_record_from_payload(
+            result.payload, assembled.records[0].window
+        )
+        fresh = assembled.records[0]
+        assert (
+            extract_function(
+                record.netlist, cell_functions=record.true_configuration
+            ).lookup_table()
+            == extract_function(
+                fresh.netlist, cell_functions=fresh.true_configuration
+            ).lookup_table()
+        )
+
+    def test_changed_blif_fails_loudly(self, wide_blif, tmp_path, library):
+        """A spec built for N windows refuses a circuit that windows to M."""
+        path, _ = wide_blif
+        spec = CampaignSpec.windowed(path, max_window_inputs=6, decoys=0)
+        other = build_random_netlist(
+            99, library, num_inputs=20, num_cells=30, num_outputs=4
+        )
+        new_path = tmp_path / "changed.blif"
+        new_path.write_text(write_blif(other), encoding="utf-8")
+        # Rewire every job onto the changed circuit.
+        data = spec.to_dict()
+        for job in data["jobs"]:
+            job["params"]["path"] = str(new_path)
+        changed = CampaignSpec.from_dict(data)
+        outcome = run_campaign(changed)
+        assert outcome.failed
+        assert "windows" in outcome.failed[0].error
+
+    def test_jobs_deterministic(self, wide_blif, tmp_path):
+        path, _ = wide_blif
+        stitched = []
+        for jobs in (1, 2):
+            _, assembled = run_windowed_campaign(
+                path, jobs=jobs, max_window_inputs=6, decoys=0, seed=3,
+                verify=False,
+            )
+            stitched.append(write_blif(assembled.netlist))
+        assert stitched[0] == stitched[1]
