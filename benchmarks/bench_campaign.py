@@ -67,6 +67,7 @@ def test_campaign_aes_row(benchmark, record, bench_json, jobs):
         {
             "row": row,
             "campaign": outcome.bench_payload()["campaign"],
+            "telemetry": outcome.telemetry().to_dict()["scopes"],
         },
     )
 

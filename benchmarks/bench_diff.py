@@ -93,12 +93,20 @@ def diff_payloads(
     regressions: List[str] = []
     base_numbers = _numeric_items(baseline)
     cand_numbers = _numeric_items(candidate)
-    for key in sorted(set(base_numbers) | set(cand_numbers)):
+    all_keys = sorted(set(base_numbers) | set(cand_numbers))
+    # Telemetry counters (the unified RunTelemetry scopes every layer now
+    # emits) get their own section: they diff the *work done* — solver
+    # conflicts, synthesis passes, attack queries — next to the timings,
+    # but never fail the diff on their own.
+    plain_keys = [key for key in all_keys if not key.startswith("telemetry.")]
+    telemetry_keys = [key for key in all_keys if key.startswith("telemetry.")]
+
+    def _diff_key(key: str, indent: str, label: str) -> None:
         before = base_numbers.get(key)
         after = cand_numbers.get(key)
         if before is None or after is None:
-            lines.append(f"    {key:<40} {_fmt(before):>12} -> {_fmt(after):>12}")
-            continue
+            lines.append(f"{indent}{label:<40} {_fmt(before):>12} -> {_fmt(after):>12}")
+            return
         delta = after - before
         pct: Optional[float] = (delta / before * 100.0) if before else None
         pct_text = f"{pct:+7.1f}%" if pct is not None else "    new"
@@ -107,8 +115,15 @@ def diff_payloads(
             marker = "  REGRESSION"
             regressions.append(f"{key} {pct:+.1f}% (> {threshold:.0f}%)")
         lines.append(
-            f"    {key:<40} {_fmt(before):>12} -> {_fmt(after):>12} {pct_text}{marker}"
+            f"{indent}{label:<40} {_fmt(before):>12} -> {_fmt(after):>12} {pct_text}{marker}"
         )
+
+    for key in plain_keys:
+        _diff_key(key, "    ", key)
+    if telemetry_keys:
+        lines.append("    telemetry counters:")
+        for key in telemetry_keys:
+            _diff_key(key, "      ", key[len("telemetry."):])
     return lines, regressions
 
 

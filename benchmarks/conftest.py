@@ -26,6 +26,7 @@ from pathlib import Path
 import pytest
 
 from repro.evaluation import get_profile, resolve_jobs
+from repro.synth.script import synthesis_telemetry
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -80,10 +81,14 @@ def bench_json(results_dir, benchmark, jobs):
     """Emit a machine-readable ``BENCH_<name>.json`` for one benchmark.
 
     The payload always carries the benchmark name, the active profile and
-    jobs setting, and the timings pytest-benchmark measured; callers add
-    workload-specific numbers (areas, cache statistics, solver work).  Call
-    it after the timed section so the timings are available.
+    jobs setting, the timings pytest-benchmark measured, and the synthesis
+    telemetry counters accrued in this process during the benchmark
+    (``telemetry.synth.*`` — passes scheduled/executed, per-pass AND gains
+    — so ``bench_diff.py`` tracks work done next to time spent); callers
+    add workload-specific numbers (areas, cache statistics, solver work).
+    Call it after the timed section so the timings are available.
     """
+    synth_before = dict(synthesis_telemetry().scopes.get("synth", {}))
 
     def _write(name: str, payload: dict) -> None:
         data = {
@@ -93,6 +98,20 @@ def bench_json(results_dir, benchmark, jobs):
         }
         data.update(_benchmark_timings(benchmark))
         data.update(payload)
+        synth_after = synthesis_telemetry().scopes.get("synth", {})
+        synth_delta = {
+            key: value - synth_before.get(key, 0)
+            for key, value in synth_after.items()
+            if value != synth_before.get(key, 0)
+        }
+        telemetry = dict(data.get("telemetry") or {})
+        if synth_delta:
+            merged = dict(telemetry.get("synth") or {})
+            for key, value in synth_delta.items():
+                merged[key] = merged.get(key, 0) + value
+            telemetry["synth"] = merged
+        if telemetry:
+            data["telemetry"] = telemetry
         path = results_dir / f"BENCH_{name}.json"
         path.write_text(
             json.dumps(data, indent=2, sort_keys=True, default=str) + "\n",

@@ -20,6 +20,8 @@ The package is organised as a small EDA flow:
   S-box workloads;
 * :mod:`repro.scenarios` -- the workload registry (pluggable families) and
   the resumable campaign runner;
+* :mod:`repro.telemetry` -- the unified run-telemetry record every layer's
+  counters flow into (and the strategy layers read back from);
 * :mod:`repro.flow`, :mod:`repro.evaluation` -- the end-to-end obfuscation flow
   and the Table I / Figure 4 experiment harnesses.
 """
@@ -43,6 +45,7 @@ from .sboxes.present import present_sbox
 from .scenarios import CampaignSpec, build_workload, run_campaign
 from .synth.script import synthesize
 from .techmap.mapper import camouflage_map
+from .telemetry import RunTelemetry
 
 __all__ = [
     "__version__",
@@ -66,4 +69,5 @@ __all__ = [
     "build_workload",
     "CampaignSpec",
     "run_campaign",
+    "RunTelemetry",
 ]

@@ -24,12 +24,25 @@ from .aig import FALSE_LIT, TRUE_LIT, Aig, is_complemented, negate, node_of
 from .build import build_expression
 from .cuts import collect_cone_cut, cut_function, enumerate_cuts, mffc_size
 
-__all__ = ["balance", "rewrite", "refactor", "strash"]
+__all__ = ["balance", "rewrite", "refactor", "strash", "apply_pass", "known_passes"]
 
 
 def strash(aig: Aig) -> Aig:
     """Re-hash the AIG (removes dead and duplicate nodes)."""
     return aig.compact()
+
+
+def apply_pass(aig: Aig, pass_name: str) -> Aig:
+    """Apply a named optimisation pass (the registry behind the schedulers)."""
+    try:
+        return _PASS_REGISTRY[pass_name](aig)
+    except KeyError:
+        raise ValueError(f"unknown synthesis pass {pass_name!r}") from None
+
+
+def known_passes() -> List[str]:
+    """Names of every registered optimisation pass, in canonical order."""
+    return list(_PASS_REGISTRY)
 
 
 def balance(aig: Aig) -> Aig:
@@ -157,6 +170,25 @@ def refactor(
             cone_cuts[node] = [frozenset({node})]
     plans = _plan_replacements(aig, cone_cuts, zero_gain)
     return _rebuild(aig, plans)
+
+
+def _rewrite_z(aig: Aig) -> Aig:
+    return rewrite(aig, zero_gain=True)
+
+
+def _refactor_z(aig: Aig) -> Aig:
+    return refactor(aig, zero_gain=True)
+
+
+#: Canonical pass registry.  The scheduler layer in :mod:`repro.synth.script`
+#: draws its arms from here; adding a pass makes it schedulable everywhere.
+_PASS_REGISTRY = {
+    "balance": balance,
+    "rewrite": rewrite,
+    "rewrite-z": _rewrite_z,
+    "refactor": refactor,
+    "refactor-z": _refactor_z,
+}
 
 
 def _plan_replacements(

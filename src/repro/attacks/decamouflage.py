@@ -384,6 +384,17 @@ class PlausibleFunctionOracle:
         """
         return dict(self._prefilter_counters)
 
+    def telemetry(self, label: str = "") -> "RunTelemetry":
+        """Solver and pre-filter counters as one unified telemetry record."""
+        from ..telemetry import RunTelemetry
+
+        record = RunTelemetry.from_prefilter_stats(
+            self.prefilter_stats(), label=label
+        )
+        return record.merged(
+            RunTelemetry.from_solver_stats(self.solver_stats()), label=label
+        )
+
 
 def is_function_plausible(
     mapping: CamouflagedMapping,

@@ -66,7 +66,9 @@ from .ga.engine import GAParameters
 from .parallel import resolve_jobs
 from .netlist.verilog import write_verilog
 from .netlist.blif import write_blif
+from .netlist.window import WINDOWING_NAMES
 from .synth.area import area_report
+from .synth.script import SCHEDULER_NAMES
 
 __all__ = ["main", "build_parser"]
 
@@ -131,6 +133,15 @@ def build_parser() -> argparse.ArgumentParser:
     obfuscate_parser.add_argument("--sat-check", action="store_true",
                                   help="force the whole-netlist SAT equivalence check "
                                        "even beyond the default width limit")
+    obfuscate_parser.add_argument("--scheduler", choices=list(SCHEDULER_NAMES),
+                                  default="",
+                                  help="synthesis pass scheduler (default: the "
+                                       "REPRO_SCHEDULER env var, else 'fixed')")
+    obfuscate_parser.add_argument("--windowing", choices=list(WINDOWING_NAMES),
+                                  default="",
+                                  help="window partition strategy (windowed mode; "
+                                       "default: the REPRO_WINDOWING env var, "
+                                       "else 'greedy')")
 
     table_parser = subparsers.add_parser("table1", help="reproduce Table I")
     table_parser.add_argument("--profile", type=str, default="",
@@ -232,6 +243,17 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="emit a BENCH_campaign_<name>.json into this directory")
     campaign_parser.add_argument("--list-workloads", action="store_true",
                                  help="list the registered workload families and exit")
+    campaign_parser.add_argument("--scheduler", choices=list(SCHEDULER_NAMES),
+                                 default="",
+                                 help="synthesis pass scheduler for window jobs "
+                                      "(--blif mode)")
+    campaign_parser.add_argument("--windowing", choices=list(WINDOWING_NAMES),
+                                 default="",
+                                 help="window partition strategy (--blif mode)")
+    campaign_parser.add_argument("--probe-hardness", action="store_true",
+                                 help="probe each finished window with a bounded "
+                                      "oracle-guided attack and record its work "
+                                      "counters in the job telemetry (--blif mode)")
     return parser
 
 
@@ -243,7 +265,10 @@ def _command_obfuscate(args: argparse.Namespace) -> int:
         population_size=args.population, generations=args.generations, seed=args.seed
     )
     result = obfuscate(
-        functions, ga_parameters=parameters, jobs=resolve_jobs(args.jobs or None)
+        functions,
+        ga_parameters=parameters,
+        jobs=resolve_jobs(args.jobs or None),
+        scheduler=args.scheduler or None,
     )
     print(result.summary())
     if args.report:
@@ -286,6 +311,8 @@ def _command_obfuscate_windowed(args: argparse.Namespace) -> int:
         sat_check=True if args.sat_check else None,
         jobs=resolve_jobs(args.jobs or None),
         progress=print,
+        windowing=args.windowing or None,
+        scheduler=args.scheduler or None,
     )
     print()
     print(result.summary())
@@ -595,6 +622,9 @@ def _command_campaign_windowed(args: argparse.Namespace) -> int:
         generations=args.generations or 2,
         verify=not args.no_verify,
         name=args.name,
+        windowing=args.windowing or None,
+        scheduler=args.scheduler or None,
+        probe_hardness=args.probe_hardness,
     )
     outcome, assembled = run_windowed_campaign(
         args.blif,

@@ -17,12 +17,20 @@ synthesis-side fitness caches of Phase II (genotype-level hits, canonical
 signature hits, actual synthesis runs, worker count), so the experiment
 harnesses can report how much synthesis work batching and memoisation
 avoided — the synthesis-side counterpart of the solver-work table.
+
+Both stats rows are thin views over :class:`repro.telemetry.RunTelemetry` —
+the unified counter record every layer now emits: ``from_stats`` first
+absorbs the legacy dict into a telemetry record and then reads the row out
+of it, and ``from_telemetry`` builds a row straight from a record (the path
+campaign payloads and ``BENCH_*.json`` artifacts use).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterable, List, Mapping, Optional
+
+from ..telemetry import RunTelemetry
 
 __all__ = [
     "AreaRow",
@@ -115,16 +123,38 @@ class SolverStatsRow:
     learned_clauses: int = 0
 
     @classmethod
+    def from_telemetry(cls, telemetry: RunTelemetry, label: str = "") -> "SolverStatsRow":
+        """View the ``solver`` scope of a telemetry record as a row."""
+        return cls(
+            label=label or telemetry.label,
+            solve_calls=int(telemetry.get("solver", "solve_calls")),
+            conflicts=int(telemetry.get("solver", "conflicts")),
+            decisions=int(telemetry.get("solver", "decisions")),
+            propagations=int(telemetry.get("solver", "propagations")),
+            learned_clauses=int(telemetry.get("solver", "learned_clauses")),
+        )
+
+    @classmethod
     def from_stats(cls, label: str, stats: Mapping[str, int]) -> "SolverStatsRow":
         """Build a row from :meth:`repro.sat.solver.SatSolver.stats` output."""
-        return cls(
-            label=label,
-            solve_calls=stats.get("solve_calls", 0),
-            conflicts=stats.get("conflicts", 0),
-            decisions=stats.get("decisions", 0),
-            propagations=stats.get("propagations", 0),
-            learned_clauses=stats.get("learned_clauses", 0),
+        return cls.from_telemetry(
+            RunTelemetry.from_solver_stats(stats, label=label)
         )
+
+    def to_telemetry(self) -> RunTelemetry:
+        """The row as a telemetry record (``solver`` scope)."""
+        record = RunTelemetry(label=self.label)
+        record.absorb(
+            "solver",
+            {
+                "solve_calls": self.solve_calls,
+                "conflicts": self.conflicts,
+                "decisions": self.decisions,
+                "propagations": self.propagations,
+                "learned_clauses": self.learned_clauses,
+            },
+        )
+        return record
 
     def as_dict(self) -> dict:
         """Return the row as a plain dictionary (for JSON dumps)."""
@@ -190,17 +220,39 @@ class CacheStatsRow:
         return (self.genotype_hits + self.signature_hits) / requests
 
     @classmethod
+    def from_telemetry(
+        cls, telemetry: RunTelemetry, label: str = "", jobs: int = 1
+    ) -> "CacheStatsRow":
+        """View the ``cache`` scope of a telemetry record as a row."""
+        return cls(
+            label=label or telemetry.label,
+            evaluations=int(telemetry.get("cache", "evaluations")),
+            genotype_hits=int(telemetry.get("cache", "genotype_hits")),
+            signature_hits=int(telemetry.get("cache", "signature_hits")),
+            jobs=jobs,
+        )
+
+    @classmethod
     def from_stats(
         cls, label: str, stats: Mapping[str, int], jobs: int = 1
     ) -> "CacheStatsRow":
         """Build a row from :meth:`PinAssignmentProblem.cache_stats` output."""
-        return cls(
-            label=label,
-            evaluations=stats.get("evaluations", 0),
-            genotype_hits=stats.get("genotype_hits", 0),
-            signature_hits=stats.get("signature_hits", 0),
-            jobs=jobs,
+        return cls.from_telemetry(
+            RunTelemetry.from_cache_stats(stats, label=label), jobs=jobs
         )
+
+    def to_telemetry(self) -> RunTelemetry:
+        """The row as a telemetry record (``cache`` scope)."""
+        record = RunTelemetry(label=self.label)
+        record.absorb(
+            "cache",
+            {
+                "evaluations": self.evaluations,
+                "genotype_hits": self.genotype_hits,
+                "signature_hits": self.signature_hits,
+            },
+        )
+        return record
 
     def as_dict(self) -> dict:
         """Return the row as a plain dictionary (for JSON dumps)."""

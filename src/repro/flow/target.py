@@ -28,7 +28,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..camo.library import CamouflageLibrary, default_camouflage_library
 from ..ga.engine import GAParameters
@@ -40,11 +40,13 @@ from ..netlist.window import (
     StitchedNetlist,
     Window,
     WindowError,
+    WindowingStrategy,
     extract_windows,
     stitch_windows,
     window_subnetlist,
 )
 from ..synth.script import SynthesisEffort
+from ..telemetry import RunTelemetry
 
 __all__ = [
     "ObfuscationTarget",
@@ -54,6 +56,7 @@ __all__ = [
     "WindowedVerification",
     "WindowedObfuscationResult",
     "decoy_functions",
+    "decoy_budgets",
     "obfuscate_window",
     "obfuscate_netlist",
     "assemble_windowed_result",
@@ -129,6 +132,13 @@ class NetlistTarget(ObfuscationTarget):
     ga_parameters: Optional[GAParameters] = None
     seed: int = 1
     name: str = ""
+    #: Windowing strategy name (``greedy``/``hardness``; None = default).
+    windowing: Optional[str] = None
+    #: Synthesis pass-scheduler name (``fixed``/``adaptive``; None = default).
+    scheduler: Optional[str] = None
+    #: Measured per-window attack hardness (window index -> score) from
+    #: previous campaign telemetry; weights the decoy budgets when present.
+    hardness: Optional[Mapping[int, float]] = None
 
     def __post_init__(self):
         if not self.name:
@@ -148,6 +158,7 @@ class NetlistTarget(ObfuscationTarget):
             self.netlist,
             max_inputs=self.max_window_inputs,
             max_instances=self.max_window_instances,
+            strategy=self.windowing,
         )
 
     def obfuscate(self, jobs: int = 1, progress: Optional[Callable] = None, **kwargs):
@@ -158,6 +169,9 @@ class NetlistTarget(ObfuscationTarget):
             decoys_per_window=self.decoys_per_window,
             ga_parameters=self.ga_parameters,
             seed=self.seed,
+            windowing=self.windowing,
+            scheduler=self.scheduler,
+            hardness=self.hardness,
             jobs=jobs,
             progress=progress,
             **kwargs,
@@ -216,6 +230,60 @@ def decoy_functions(
     return decoys
 
 
+def decoy_budgets(
+    windows: Sequence[Window],
+    decoys_per_window: int,
+    hardness: Optional[Mapping[int, float]] = None,
+) -> Dict[int, int]:
+    """Distribute the total decoy budget over windows, hardness-weighted.
+
+    The total budget is ``decoys_per_window * len(windows)`` — the same
+    spend as the uniform historic allocation.  Without hardness measurements
+    every window gets exactly ``decoys_per_window`` (the historic split).
+    With measurements (window index -> attack-hardness score: DIP counts
+    plus solver conflicts from previous campaign telemetry), the budget is
+    weighted *inversely* to hardness: a window the attack cracked cheaply is
+    under-protected and receives more decoys, a window that already cost the
+    attacker dearly needs fewer.  Unmeasured windows weigh as the median
+    measured hardness.  Integerisation is by deterministic largest
+    remainder, ties broken by window index.
+    """
+    if decoys_per_window < 0:
+        raise ValueError("decoys_per_window must be non-negative")
+    if not windows:
+        return {}
+    budgets = {window.index: decoys_per_window for window in windows}
+    if not hardness or decoys_per_window == 0:
+        return budgets
+    scores = sorted(
+        float(hardness[window.index])
+        for window in windows
+        if window.index in hardness
+    )
+    if not scores:
+        return budgets
+    median = scores[len(scores) // 2]
+    weights = {
+        window.index: 1.0
+        / (1.0 + max(float(hardness.get(window.index, median)), 0.0))
+        for window in windows
+    }
+    total_budget = decoys_per_window * len(windows)
+    total_weight = sum(weights.values())
+    shares = {
+        index: total_budget * weight / total_weight
+        for index, weight in weights.items()
+    }
+    budgets = {index: int(share) for index, share in shares.items()}
+    leftover = total_budget - sum(budgets.values())
+    by_remainder = sorted(
+        shares, key=lambda index: (-(shares[index] - int(shares[index])), index)
+    )
+    for index in by_remainder[:leftover]:
+        budgets[index] += 1
+    return budgets
+
+
 @dataclass
 class WindowRecord:
     """The obfuscation outcome of one window.
@@ -224,7 +292,9 @@ class WindowRecord:
     boundary contract); ``true_configuration`` maps its camouflaged
     instances to the configured functions realising the window's *true*
     function (select word 0 — the window function is viable function 0 and
-    the first function's pin view is pinned to identity).
+    the first function's pin view is pinned to identity).  ``telemetry``
+    carries per-window measurements (synthesis counters; attack-hardness
+    probe results under the ``window`` scope when the probe ran).
     """
 
     window: Window
@@ -235,6 +305,7 @@ class WindowRecord:
     synthesized_area: float = 0.0
     camouflaged_area: float = 0.0
     verification_ok: bool = True
+    telemetry: Optional[RunTelemetry] = None
 
 
 def obfuscate_window(
@@ -249,6 +320,9 @@ def obfuscate_window(
     final_effort: str = SynthesisEffort.FAST,
     verify: bool = True,
     jobs: int = 1,
+    scheduler: Optional[str] = None,
+    probe_hardness: bool = False,
+    probe_queries: int = 64,
 ) -> WindowRecord:
     """Run the full Phase I–III flow on one window subnetlist.
 
@@ -258,6 +332,12 @@ def obfuscate_window(
     select word 0 realises the window function exactly, and
     ``true_configuration`` captures that configuration of the camouflaged
     cells.
+
+    With ``probe_hardness`` the camouflaged window is additionally attacked
+    with the oracle-guided DIP attack (cheap: windows are exhaustively
+    simulable) and the measured cost — oracle queries and solver conflicts —
+    is recorded in the record's telemetry under the ``window`` scope.  Those
+    measurements are what :func:`decoy_budgets` consumes on the next run.
     """
     from ..sim.engine import NetlistSimulator
     from .obfuscate import obfuscate, obfuscate_with_assignment
@@ -277,6 +357,7 @@ def obfuscate_window(
             final_effort=final_effort,
             verify=verify,
             jobs=jobs,
+            scheduler=scheduler,
         )
     else:
         # A single viable function has no pin assignment to search.
@@ -287,12 +368,38 @@ def obfuscate_window(
             effort=final_effort,
             verify=verify,
             jobs=jobs,
+            scheduler=scheduler,
         )
     configuration = result.mapping.configuration_for_select(0)
+    true_configuration = dict(configuration.as_cell_functions())
+    telemetry = RunTelemetry(label=f"window{window.index}")
+    telemetry.record("window", "num_viable", len(viable))
+    telemetry.record("window", "decoys", decoys)
+    if probe_hardness:
+        from ..attacks.oracle_guided import attack_netlist
+
+        plausible = {
+            name: list(result.mapping.plausible_functions_of(name))
+            for name in result.mapping.camouflaged_instances()
+        }
+        outcome = attack_netlist(
+            result.netlist,
+            plausible,
+            true_configuration,
+            max_queries=probe_queries,
+            verify_samples=0,
+        )
+        telemetry.record("window", "attack_queries", outcome.num_queries)
+        telemetry.record(
+            "window",
+            "solver_conflicts",
+            int(outcome.solver_stats.get("conflicts", 0)),
+        )
+        telemetry.record("window", "attack_success", int(bool(outcome.success)))
     return WindowRecord(
         window=window,
         netlist=result.netlist,
-        true_configuration=dict(configuration.as_cell_functions()),
+        true_configuration=true_configuration,
         num_viable=len(viable),
         seed=seed,
         synthesized_area=result.synthesized_area,
@@ -300,6 +407,7 @@ def obfuscate_window(
         # A skipped check is not a failed one: the skip-verify path returns
         # an empty report whose all_realisable is False by construction.
         verification_ok=result.verification.all_realisable if verify else True,
+        telemetry=telemetry,
     )
 
 
@@ -314,6 +422,8 @@ def _obfuscate_window_task(task: Tuple) -> WindowRecord:
         fitness_effort,
         final_effort,
         verify,
+        scheduler,
+        probe_hardness,
     ) = task
     return obfuscate_window(
         subnetlist,
@@ -324,6 +434,8 @@ def _obfuscate_window_task(task: Tuple) -> WindowRecord:
         fitness_effort=fitness_effort,
         final_effort=final_effort,
         verify=verify,
+        scheduler=scheduler,
+        probe_hardness=probe_hardness,
     )
 
 
@@ -405,6 +517,16 @@ class WindowedObfuscationResult:
             cell = self.netlist.instance(name).cell
             plausible[name] = list(self.camo_library[cell].plausible)
         return plausible
+
+    def telemetry(self, label: str = "windowed") -> RunTelemetry:
+        """Merged telemetry of every window record (counters sum)."""
+        per_window = [
+            record.telemetry for record in self.records if record.telemetry is not None
+        ]
+        base = RunTelemetry(label=label)
+        if not per_window:
+            return base
+        return base.merged(*per_window, label=label)
 
     def summary(self) -> str:
         """Multi-line human-readable summary of the windowed flow outcome."""
@@ -508,6 +630,10 @@ def obfuscate_netlist(
     sat_check: Optional[bool] = None,
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    windowing: Union[None, str, WindowingStrategy] = None,
+    scheduler: Optional[str] = None,
+    hardness: Optional[Mapping[int, float]] = None,
+    probe_hardness: bool = False,
 ) -> WindowedObfuscationResult:
     """Obfuscate a wide netlist window-by-window and stitch the result.
 
@@ -515,27 +641,39 @@ def obfuscate_netlist(
     budget; window jobs fan out over the worker pool (``jobs``), and results
     are identical for every ``jobs`` value (windows are seeded
     independently, deterministically).
+
+    ``windowing`` selects the clustering strategy (default: the historic
+    levelized greedy), ``scheduler`` the synthesis pass-scheduling strategy
+    (default: fixed).  ``hardness`` (window index -> measured attack
+    hardness, e.g. from :func:`repro.telemetry.window_hardness_from_payloads`)
+    redistributes the decoy budget via :func:`decoy_budgets`;
+    ``probe_hardness`` measures each window's hardness during this run so
+    the *next* run can consume it.
     """
     from ..parallel import parallel_map
 
     report = progress or (lambda message: None)
     windows = extract_windows(
-        netlist, max_inputs=max_window_inputs, max_instances=max_window_instances
+        netlist, max_inputs=max_window_inputs, max_instances=max_window_instances,
+        strategy=windowing,
     )
     report(
         f"windowing {netlist.name}: {len(windows)} windows over "
         f"{netlist.num_instances()} cells"
     )
+    budgets = decoy_budgets(windows, decoys_per_window, hardness)
     tasks = [
         (
             window_subnetlist(netlist, window),
             window,
-            decoys_per_window,
+            budgets[window.index],
             seed + window.index,
             ga_parameters,
             fitness_effort,
             final_effort,
             verify,
+            scheduler,
+            probe_hardness,
         )
         for window in windows
     ]

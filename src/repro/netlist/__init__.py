@@ -6,8 +6,30 @@ from .netlist import CONST0_NET, CONST1_NET, Instance, Netlist, NetlistError
 from .simulate import extract_function, simulate_assignment, simulate_word, simulate_words
 from .validate import assert_valid, validate_netlist
 from .verilog import sanitize_identifier, write_verilog
+from .window import (
+    WINDOWING_ENV_VAR,
+    WINDOWING_NAMES,
+    LevelizedGreedy,
+    MinCutSeeded,
+    Window,
+    WindowError,
+    WindowingStrategy,
+    extract_windows,
+    resolve_windowing,
+    stitch_windows,
+)
 
 __all__ = [
+    "Window",
+    "WindowError",
+    "WindowingStrategy",
+    "LevelizedGreedy",
+    "MinCutSeeded",
+    "WINDOWING_ENV_VAR",
+    "WINDOWING_NAMES",
+    "resolve_windowing",
+    "extract_windows",
+    "stitch_windows",
     "CellType",
     "CellLibrary",
     "standard_cell_library",

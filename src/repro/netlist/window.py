@@ -34,8 +34,10 @@ per-window cell configurations can be carried over to the stitched whole.
 
 from __future__ import annotations
 
+import os
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from .library import CellLibrary
 from .netlist import CONST0_NET, CONST1_NET, Instance, Netlist, NetlistError
@@ -44,11 +46,23 @@ __all__ = [
     "Window",
     "WindowError",
     "StitchedNetlist",
+    "WindowingStrategy",
+    "LevelizedGreedy",
+    "MinCutSeeded",
+    "WINDOWING_ENV_VAR",
+    "WINDOWING_NAMES",
+    "resolve_windowing",
     "extract_windows",
     "window_subnetlist",
     "window_function",
     "stitch_windows",
 ]
+
+#: Environment variable selecting the default windowing strategy by name.
+WINDOWING_ENV_VAR = "REPRO_WINDOWING"
+
+#: Strategy names accepted by :func:`resolve_windowing` and ``--windowing``.
+WINDOWING_NAMES = ("greedy", "hardness")
 
 _CONST_NETS = (CONST0_NET, CONST1_NET)
 
@@ -89,21 +103,240 @@ class Window:
         return len(self.instance_names)
 
 
+class WindowingStrategy(ABC):
+    """Strategy partitioning a netlist's instances into window member lists.
+
+    ``partition`` receives the netlist, its topological instance order and
+    the bounds, and returns the member-name lists, one per window, in window
+    order.  Every strategy must honour the two invariants the stitching
+    machinery relies on — the partition is *total* (every instance in exactly
+    one window) and *levelized* (window ``k``'s members read only primary
+    inputs, constants, outputs of windows ``< k``, or fellow members).
+    :func:`extract_windows` re-validates both, so a buggy strategy fails
+    loudly instead of producing a cyclic stitch.
+    """
+
+    #: Registry name; also the value accepted by ``--windowing``.
+    name: str = ""
+
+    @abstractmethod
+    def partition(
+        self,
+        netlist: Netlist,
+        order: Sequence[Instance],
+        max_inputs: int,
+        max_instances: int,
+    ) -> List[List[str]]:
+        """Partition the instances into ordered window member lists."""
+
+
+class LevelizedGreedy(WindowingStrategy):
+    """The historic levelized greedy clustering, bit-identical default.
+
+    Sweeps the instances in topological order and greedily absorbs each
+    instance into the currently open window when all its fanins are available
+    and the boundary stays within ``max_inputs``; deferred instances seed the
+    following windows.
+    """
+
+    name = "greedy"
+
+    def partition(
+        self,
+        netlist: Netlist,
+        order: Sequence[Instance],
+        max_inputs: int,
+        max_instances: int,
+    ) -> List[List[str]]:
+        available: Set[str] = set(netlist.primary_inputs) | set(_CONST_NETS)
+        remaining: List[Instance] = list(order)
+        member_lists: List[List[str]] = []
+        while remaining:
+            members: List[str] = []
+            member_outputs: Set[str] = set()
+            boundary: Set[str] = set()
+            leftover: List[Instance] = []
+            for instance in remaining:
+                if len(members) >= max_instances:
+                    leftover.append(instance)
+                    continue
+                inputs = set(instance.inputs)
+                if not inputs <= (available | member_outputs):
+                    # Some fanin is neither closed-window output nor a member:
+                    # joining now would let this window's (densified)
+                    # replacement depend on a later window.  Defer it.
+                    leftover.append(instance)
+                    continue
+                external = {
+                    net
+                    for net in inputs
+                    if net not in member_outputs and net not in _CONST_NETS
+                }
+                if len(boundary | external) > max_inputs:
+                    leftover.append(instance)
+                    continue
+                members.append(instance.name)
+                member_outputs.add(instance.output)
+                boundary |= external
+            # Progress is guaranteed: the first remaining instance always has
+            # all fanins available (its producers precede it in topological
+            # order, so an unassigned producer would itself be first).
+            if not members:
+                raise WindowError(
+                    "window extraction failed to make progress (inconsistent "
+                    "netlist topological order)"
+                )
+            member_lists.append(members)
+            available |= member_outputs
+            remaining = leftover
+        return member_lists
+
+
+class MinCutSeeded(WindowingStrategy):
+    """Hardness-aware clustering: close windows at min-cut boundaries.
+
+    Windows grow exactly like :class:`LevelizedGreedy`, but the boundary size
+    is recorded after every absorption and, at close time, the membership is
+    truncated back to the latest minimum-boundary position in the second half
+    of the growth sequence.  A truncation to a prefix of a valid absorb
+    sequence is itself valid (every kept member's fanins were available or
+    produced by earlier kept members), so the levelized invariant holds by
+    construction.  Smaller boundaries mean fewer shared nets between windows
+    — the min-cut seeds — which concentrates each window's function behind a
+    narrow interface and is where decoy budget weighting (driven by measured
+    per-window attack hardness, see ``repro.flow.target.decoy_budgets``) pays
+    off most.
+    """
+
+    name = "hardness"
+
+    def partition(
+        self,
+        netlist: Netlist,
+        order: Sequence[Instance],
+        max_inputs: int,
+        max_instances: int,
+    ) -> List[List[str]]:
+        available: Set[str] = set(netlist.primary_inputs) | set(_CONST_NETS)
+        remaining: List[Instance] = list(order)
+        member_lists: List[List[str]] = []
+        while remaining:
+            members: List[str] = []
+            member_outputs: Set[str] = set()
+            boundary: Set[str] = set()
+            boundary_history: List[int] = []
+            for instance in remaining:
+                if len(members) >= max_instances:
+                    continue
+                inputs = set(instance.inputs)
+                if not inputs <= (available | member_outputs):
+                    continue
+                external = {
+                    net
+                    for net in inputs
+                    if net not in member_outputs and net not in _CONST_NETS
+                }
+                if len(boundary | external) > max_inputs:
+                    continue
+                members.append(instance.name)
+                member_outputs.add(instance.output)
+                boundary |= external
+                boundary_history.append(len(boundary))
+            if not members:
+                raise WindowError(
+                    "window extraction failed to make progress (inconsistent "
+                    "netlist topological order)"
+                )
+            # Min-cut seeding: keep the longest prefix ending at the latest
+            # minimum-boundary position within the second half of the growth.
+            lo = (len(members) + 1) // 2
+            best_position = lo
+            for position in range(lo, len(members) + 1):
+                if boundary_history[position - 1] <= boundary_history[best_position - 1]:
+                    best_position = position
+            kept = members[:best_position]
+            kept_set = set(kept)
+            available |= {
+                netlist.instance(name).output for name in kept
+            }
+            member_lists.append(kept)
+            remaining = [
+                instance for instance in remaining if instance.name not in kept_set
+            ]
+        return member_lists
+
+
+_WINDOWING_REGISTRY = {
+    LevelizedGreedy.name: LevelizedGreedy,
+    MinCutSeeded.name: MinCutSeeded,
+}
+
+
+def resolve_windowing(
+    strategy: Union[None, str, WindowingStrategy] = None,
+) -> WindowingStrategy:
+    """Resolve a windowing argument to a strategy instance.
+
+    ``strategy`` may be a :class:`WindowingStrategy` (returned as-is), a name
+    from :data:`WINDOWING_NAMES`, or ``None`` — in which case the
+    ``REPRO_WINDOWING`` environment variable is consulted and ``greedy`` is
+    the fallback.  Strategies are plumbed through worker-pool boundaries by
+    name, so campaign specs stay picklable.
+    """
+    if isinstance(strategy, WindowingStrategy):
+        return strategy
+    name = strategy or os.environ.get(WINDOWING_ENV_VAR) or "greedy"
+    try:
+        return _WINDOWING_REGISTRY[name]()
+    except KeyError:
+        raise WindowError(
+            f"unknown windowing strategy {name!r}; expected one of "
+            f"{sorted(_WINDOWING_REGISTRY)}"
+        ) from None
+
+
+def _validate_partition(
+    netlist: Netlist,
+    order: Sequence[Instance],
+    member_lists: Sequence[Sequence[str]],
+) -> None:
+    """Check the strategy invariants: total partition, levelized windows."""
+    flattened = [name for members in member_lists for name in members]
+    if sorted(flattened) != sorted(instance.name for instance in order):
+        raise WindowError(
+            "windowing strategy produced a non-total partition (instances "
+            "missing or duplicated)"
+        )
+    available: Set[str] = set(netlist.primary_inputs) | set(_CONST_NETS)
+    for ordinal, members in enumerate(member_lists):
+        outputs = {netlist.instance(name).output for name in members}
+        for name in members:
+            if not set(netlist.instance(name).inputs) <= (available | outputs):
+                raise WindowError(
+                    f"windowing strategy violated the levelized invariant: "
+                    f"instance {name!r} in window {ordinal} reads a net "
+                    f"driven by a later window"
+                )
+        available |= outputs
+
+
 def extract_windows(
     netlist: Netlist,
     max_inputs: int = 8,
     max_instances: int = 48,
+    strategy: Union[None, str, WindowingStrategy] = None,
 ) -> List[Window]:
     """Partition every instance of ``netlist`` into bounded-input windows.
 
-    Deterministic: the result depends only on the netlist and the bounds.
-    ``max_inputs`` must be at least the widest cell arity in use (a single
-    instance must always fit a window of its own).  The window sequence is
-    levelized — window ``k`` reads only primary inputs and outputs of
-    windows ``< k`` — so any pin-compatible replacement of every window
-    stitches back without creating a combinational cycle, even if the
-    replacement structurally connects all of its outputs to all of its
-    inputs.
+    Deterministic: the result depends only on the netlist, the bounds and
+    the chosen strategy (default: :class:`LevelizedGreedy`, bit-identical to
+    the historic behaviour).  ``max_inputs`` must be at least the widest cell
+    arity in use (a single instance must always fit a window of its own).
+    The window sequence is levelized — window ``k`` reads only primary
+    inputs and outputs of windows ``< k`` — so any pin-compatible
+    replacement of every window stitches back without creating a
+    combinational cycle, even if the replacement structurally connects all
+    of its outputs to all of its inputs.
     """
     if max_inputs < 1:
         raise WindowError("max_inputs must be at least 1")
@@ -118,47 +351,9 @@ def extract_windows(
                 f"than max_inputs={max_inputs}; no window can contain it"
             )
 
-    available: Set[str] = set(netlist.primary_inputs) | set(_CONST_NETS)
-    remaining: List[Instance] = list(order)
-    member_lists: List[List[str]] = []
-    while remaining:
-        members: List[str] = []
-        member_outputs: Set[str] = set()
-        boundary: Set[str] = set()
-        leftover: List[Instance] = []
-        for instance in remaining:
-            if len(members) >= max_instances:
-                leftover.append(instance)
-                continue
-            inputs = set(instance.inputs)
-            if not inputs <= (available | member_outputs):
-                # Some fanin is neither closed-window output nor a member:
-                # joining now would let this window's (densified)
-                # replacement depend on a later window.  Defer it.
-                leftover.append(instance)
-                continue
-            external = {
-                net
-                for net in inputs
-                if net not in member_outputs and net not in _CONST_NETS
-            }
-            if len(boundary | external) > max_inputs:
-                leftover.append(instance)
-                continue
-            members.append(instance.name)
-            member_outputs.add(instance.output)
-            boundary |= external
-        # Progress is guaranteed: the first remaining instance always has
-        # all fanins available (its producers precede it in topological
-        # order, so an unassigned producer would itself be first).
-        if not members:
-            raise WindowError(
-                "window extraction failed to make progress (inconsistent "
-                "netlist topological order)"
-            )
-        member_lists.append(members)
-        available |= member_outputs
-        remaining = leftover
+    chosen = resolve_windowing(strategy)
+    member_lists = chosen.partition(netlist, order, max_inputs, max_instances)
+    _validate_partition(netlist, order, member_lists)
 
     # Second pass: boundary bookkeeping per window, in deterministic order.
     consumed_by: Dict[str, List[str]] = {}

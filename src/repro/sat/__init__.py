@@ -7,7 +7,13 @@ from .equivalence import (
     check_netlist_equivalence,
     check_netlist_function,
 )
-from .solver import SatResult, SatSolver, solve
+from .solver import (
+    RESTART_ENV_VAR,
+    RESTART_STRATEGIES,
+    SatResult,
+    SatSolver,
+    solve,
+)
 from .tseitin import encode_function, encode_netlist, equality_clauses
 
 __all__ = [
@@ -15,6 +21,8 @@ __all__ = [
     "SatSolver",
     "SatResult",
     "solve",
+    "RESTART_ENV_VAR",
+    "RESTART_STRATEGIES",
     "encode_function",
     "encode_netlist",
     "equality_clauses",

@@ -8,7 +8,9 @@ implements the standard modern architecture:
 * 1UIP conflict analysis with clause learning and non-chronological
   backtracking,
 * VSIDS-style activity-based decision heuristics with phase saving,
-* geometric restarts and learned-clause database reduction.
+* restarts with learned-clause database reduction — geometric by default
+  (byte-identical to the historic behaviour), reluctant-doubling (Luby)
+  opt-in via the ``restart_strategy`` knob or ``REPRO_RESTARTS``.
 
 The solver works on :class:`repro.sat.cnf.Cnf` formulas with DIMACS-style
 integer literals and supports solving under assumptions.
@@ -50,12 +52,25 @@ Statistics are kept both cumulatively on the solver (``solver.conflicts``,
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .cnf import Cnf
 
-__all__ = ["SatResult", "SatSolver", "solve"]
+__all__ = [
+    "SatResult",
+    "SatSolver",
+    "solve",
+    "RESTART_ENV_VAR",
+    "RESTART_STRATEGIES",
+]
+
+#: Environment variable selecting the default restart strategy by name.
+RESTART_ENV_VAR = "REPRO_RESTARTS"
+
+#: Restart strategies accepted by :class:`SatSolver`.
+RESTART_STRATEGIES = ("geometric", "luby")
 
 _UNASSIGNED = 0
 _TRUE = 1
@@ -80,7 +95,22 @@ class SatResult:
 class SatSolver:
     """Incremental CDCL solver over a growable clause database."""
 
-    def __init__(self, formula: Optional[Cnf] = None, follow: bool = False):
+    #: Conflicts per Luby unit (the reluctant-doubling sequence multiplier).
+    LUBY_BASE = 32
+
+    def __init__(
+        self,
+        formula: Optional[Cnf] = None,
+        follow: bool = False,
+        restart_strategy: Optional[str] = None,
+    ):
+        strategy = restart_strategy or os.environ.get(RESTART_ENV_VAR) or "geometric"
+        if strategy not in RESTART_STRATEGIES:
+            raise ValueError(
+                f"unknown restart strategy {strategy!r}; expected one of "
+                f"{sorted(RESTART_STRATEGIES)}"
+            )
+        self.restart_strategy = strategy
         self._num_vars = 0
         self._clauses: List[List[int]] = []
         self._learned_flags: List[bool] = []
@@ -110,6 +140,7 @@ class SatSolver:
         self.decisions = 0
         self.propagations = 0
         self.solve_calls = 0
+        self.restarts = 0
 
         if formula is not None:
             self.reserve_vars(formula.num_vars)
@@ -455,7 +486,16 @@ class SatSolver:
         # have flagged _trivially_unsat (and one surfacing in the main loop
         # below is handled the same way).
 
-        restart_limit = 100
+        # Geometric restarts (the byte-identical historic default) grow the
+        # limit by 1.5x after every restart; reluctant doubling (Luby) walks
+        # Knuth's (u, v) sequence 1 1 2 1 1 2 4 ... scaled by LUBY_BASE,
+        # revisiting short limits forever instead of committing to ever
+        # longer runs.
+        luby_u, luby_v = 1, 1
+        if self.restart_strategy == "luby":
+            restart_limit = self.LUBY_BASE * luby_v
+        else:
+            restart_limit = 100
         conflicts_since_restart = 0
         assumption_queue = list(assumptions)
 
@@ -479,7 +519,16 @@ class SatSolver:
                 self._decay_activities()
                 if conflicts_since_restart >= restart_limit:
                     conflicts_since_restart = 0
-                    restart_limit = int(restart_limit * 1.5)
+                    self.restarts += 1
+                    if self.restart_strategy == "luby":
+                        if (luby_u & -luby_u) == luby_v:
+                            luby_u += 1
+                            luby_v = 1
+                        else:
+                            luby_v <<= 1
+                        restart_limit = self.LUBY_BASE * luby_v
+                    else:
+                        restart_limit = int(restart_limit * 1.5)
                     self._backtrack(0)
                     self._reduce_learned()
                 continue
@@ -515,6 +564,7 @@ class SatSolver:
             "conflicts": self.conflicts,
             "decisions": self.decisions,
             "propagations": self.propagations,
+            "restarts": self.restarts,
             "num_vars": self._num_vars,
             "num_clauses": self._num_problem_clauses,
             "learned_clauses": self._num_learned,

@@ -40,6 +40,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..parallel import WorkerPool, resolve_jobs
+from ..telemetry import RunTelemetry
 
 __all__ = [
     "CampaignError",
@@ -115,9 +116,30 @@ def _profile_from_dict(data: Dict[str, Any]):
 # ``payload`` the JSON-safe summary written to the state file.
 
 
+def _synth_snapshot() -> Dict[str, float]:
+    """Snapshot the process-wide synthesis telemetry counters."""
+    from ..synth.script import synthesis_telemetry
+
+    return dict(synthesis_telemetry().scopes.get("synth", {}))
+
+
+def _synth_delta(before: Dict[str, float]) -> RunTelemetry:
+    """Telemetry record holding synthesis counters accrued since *before*."""
+    from ..synth.script import synthesis_telemetry
+
+    delta = RunTelemetry()
+    after = synthesis_telemetry().scopes.get("synth", {})
+    for key, value in after.items():
+        diff = value - before.get(key, 0)
+        if diff:
+            delta.count("synth", key, diff)
+    return delta
+
+
 def _run_table1_row(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, dict]:
     from ..evaluation.table1 import run_table1_entry
 
+    synth_before = _synth_snapshot()
     entry = run_table1_entry(
         params["family"],
         int(params["count"]),
@@ -130,6 +152,7 @@ def _run_table1_row(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, dict]:
         "row": entry.row.as_dict(),
         "ga_evaluations": entry.ga_evaluations,
         "verification_ok": entry.verification_ok,
+        "telemetry": _synth_delta(synth_before).to_dict(),
     }
     return entry, payload
 
@@ -207,6 +230,9 @@ def _run_attack(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, dict]:
         "solver": {
             key: int(value) for key, value in outcome.solver_stats.items()
         },
+        "telemetry": RunTelemetry.from_solver_stats(
+            outcome.solver_stats, label="attack"
+        ).to_dict(),
     }
     return outcome, payload
 
@@ -253,6 +279,7 @@ def _run_decamouflage(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, dict
             key: int(value) for key, value in oracle.prefilter_stats().items()
         },
         "solver": solver_stats,
+        "telemetry": oracle.telemetry(label="decamouflage").to_dict(),
     }
     return {"verdicts": verdicts, "prefilter": oracle.prefilter_stats()}, payload
 
@@ -300,7 +327,7 @@ def _run_window_obfuscate(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, 
     serialised true configuration — so a resumed campaign can stitch
     without re-running finished windows.
     """
-    from ..flow.target import obfuscate_window
+    from ..flow.target import decoy_budgets, obfuscate_window
     from ..ga.engine import GAParameters
     from ..netlist.blif import write_blif
     from ..netlist.window import extract_windows, window_subnetlist
@@ -310,6 +337,7 @@ def _run_window_obfuscate(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, 
         netlist,
         max_inputs=int(params.get("max_window_inputs", 8)),
         max_instances=int(params.get("max_window_instances", 48)),
+        strategy=params.get("windowing"),
     )
     expected = params.get("num_windows")
     if expected is not None and int(expected) != len(windows):
@@ -327,16 +355,25 @@ def _run_window_obfuscate(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, 
         generations=int(params.get("generations", 2)),
         seed=int(params.get("seed", 1)),
     )
+    hardness_param = params.get("hardness")
+    hardness = (
+        {int(key): float(value) for key, value in hardness_param.items()}
+        if hardness_param
+        else None
+    )
+    budgets = decoy_budgets(windows, int(params.get("decoys", 1)), hardness)
     record = obfuscate_window(
         window_subnetlist(netlist, window),
         window,
-        decoys=int(params.get("decoys", 1)),
+        decoys=budgets[window.index],
         seed=int(params.get("seed", 1)) + window.index,
         ga_parameters=parameters,
         fitness_effort=params.get("fitness_effort", "fast"),
         final_effort=params.get("final_effort", "fast"),
         verify=bool(params.get("verify", True)),
         jobs=task_jobs,
+        scheduler=params.get("scheduler"),
+        probe_hardness=bool(params.get("probe_hardness", False)),
     )
     payload = {
         "index": window.index,
@@ -347,6 +384,9 @@ def _run_window_obfuscate(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, 
         "synthesized_area": record.synthesized_area,
         "camouflaged_area": record.camouflaged_area,
         "verification_ok": record.verification_ok,
+        "telemetry": (
+            record.telemetry.to_dict() if record.telemetry is not None else {}
+        ),
         "camo_blif": write_blif(record.netlist),
         # Keyed by output net: BLIF .gate lines carry no instance names, so
         # the net is the identity that survives the serialisation round trip.
@@ -398,6 +438,7 @@ def window_record_from_payload(payload: Dict[str, Any], window) -> "object":
         true_configuration[driver.name] = TruthTable(
             int(entry["vars"]), int(entry["bits"])
         )
+    telemetry_dict = payload.get("telemetry")
     return WindowRecord(
         window=window,
         netlist=netlist,
@@ -407,6 +448,9 @@ def window_record_from_payload(payload: Dict[str, Any], window) -> "object":
         synthesized_area=float(payload.get("synthesized_area", 0.0)),
         camouflaged_area=float(payload.get("camouflaged_area", 0.0)),
         verification_ok=bool(payload.get("verification_ok", True)),
+        telemetry=(
+            RunTelemetry.from_dict(telemetry_dict) if telemetry_dict else None
+        ),
     )
 
 
@@ -574,6 +618,10 @@ class CampaignSpec:
         generations: int = 2,
         verify: bool = True,
         name: Optional[str] = None,
+        windowing: Optional[str] = None,
+        scheduler: Optional[str] = None,
+        probe_hardness: bool = False,
+        hardness: Optional[Dict[int, float]] = None,
     ) -> "CampaignSpec":
         """One ``window_obfuscate`` job per window of a BLIF circuit.
 
@@ -581,12 +629,25 @@ class CampaignSpec:
         worker, and every resumed run agree on the job graph; the window
         count is baked into the params so a changed BLIF fails loudly
         instead of stitching stale windows.
+
+        ``windowing`` / ``scheduler`` pick the strategy layers by name
+        (``None`` keeps the byte-identical defaults — and keeps job
+        fingerprints compatible with specs built before the strategy
+        layer existed).  ``probe_hardness`` runs a bounded oracle-guided
+        attack on each finished window and records its work counters in
+        the job telemetry; ``hardness`` feeds such measurements (window
+        index -> score, e.g. from
+        :func:`repro.telemetry.window_hardness_from_payloads`) back in to
+        weight the per-window decoy budgets.
         """
         from ..netlist.window import extract_windows
 
         netlist = _read_blif_workload(path)
         windows = extract_windows(
-            netlist, max_inputs=max_window_inputs, max_instances=max_window_instances
+            netlist,
+            max_inputs=max_window_inputs,
+            max_instances=max_window_instances,
+            strategy=windowing,
         )
         common = {
             "path": path,
@@ -599,6 +660,16 @@ class CampaignSpec:
             "generations": generations,
             "verify": verify,
         }
+        if windowing is not None:
+            common["windowing"] = windowing
+        if scheduler is not None:
+            common["scheduler"] = scheduler
+        if probe_hardness:
+            common["probe_hardness"] = True
+        if hardness:
+            common["hardness"] = {
+                str(index): float(score) for index, score in hardness.items()
+            }
         jobs = [
             CampaignJob(
                 job_id=f"window_{window.index:03d}",
@@ -746,7 +817,23 @@ class CampaignResult:
             "job_seconds": {
                 result.job_id: result.seconds for result in completed
             },
+            "telemetry": self.telemetry().to_dict()["scopes"],
         }
+
+    def telemetry(self, label: str = "") -> RunTelemetry:
+        """Merge every completed job's persisted telemetry into one record.
+
+        Counters sum across jobs scope by scope, so the campaign-level
+        record answers "how much work did this campaign do" (solver
+        conflicts, synthesis passes, attack queries, ...) and lands in
+        ``BENCH_*.json`` where ``bench_diff.py`` can diff it run to run.
+        """
+        records = [
+            RunTelemetry.from_dict(result.payload["telemetry"])
+            for result in self.completed
+            if result.payload.get("telemetry")
+        ]
+        return RunTelemetry(label=label or f"campaign_{self.name}").merged(*records)
 
     def to_json(self) -> str:
         """Full campaign result as a JSON document."""
@@ -1086,6 +1173,7 @@ def run_windowed_campaign(
         netlist,
         max_inputs=int(first.get("max_window_inputs", 8)),
         max_instances=int(first.get("max_window_instances", 48)),
+        strategy=first.get("windowing"),
     )
     records = []
     for result in outcome.results:

@@ -2,13 +2,34 @@
 
 from .area import AreaReport, area_in_ge, area_report
 from .mapper import MappingError, map_to_cells
-from .script import SynthesisEffort, SynthesisResult, optimize_aig, synthesize
+from .script import (
+    SCHEDULER_ENV_VAR,
+    SCHEDULER_NAMES,
+    AdaptiveScheduler,
+    FixedScheduler,
+    PassScheduler,
+    SynthesisEffort,
+    SynthesisResult,
+    optimize_aig,
+    reset_synthesis_telemetry,
+    resolve_scheduler,
+    synthesis_telemetry,
+    synthesize,
+)
 
 __all__ = [
     "SynthesisEffort",
     "SynthesisResult",
+    "PassScheduler",
+    "FixedScheduler",
+    "AdaptiveScheduler",
+    "SCHEDULER_ENV_VAR",
+    "SCHEDULER_NAMES",
+    "resolve_scheduler",
     "optimize_aig",
     "synthesize",
+    "synthesis_telemetry",
+    "reset_synthesis_telemetry",
     "map_to_cells",
     "MappingError",
     "AreaReport",

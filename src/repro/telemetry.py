@@ -1,0 +1,195 @@
+"""Unified run telemetry: one mergeable record behind every stats surface.
+
+Historically each layer grew its own ad-hoc stats dict: the SAT solver's
+``stats()``, the GA evaluation cache's ``cache_stats()``, the decamouflage
+attack's ``prefilter_stats()`` and the per-generation ``GenerationStats``
+rows.  They were near-identical in spirit (flat name -> number counters) but
+incompatible in shape, so nothing downstream could aggregate across layers.
+
+:class:`RunTelemetry` is the common record.  It is a label plus a set of
+named *scopes*, each scope a flat mapping of counter name to number.  The
+operations every consumer needs are provided once:
+
+* ``count`` / ``record`` / ``get`` for incremental accumulation,
+* ``merged`` for combining records (counters add, scopes union),
+* ``to_dict`` / ``from_dict`` / ``to_json`` / ``from_json`` for persistence
+  in campaign state payloads and ``BENCH_*.json`` artifacts,
+* ``from_solver_stats`` / ``from_cache_stats`` / ``from_prefilter_stats`` /
+  ``from_ga_history`` adapters that absorb the legacy dicts.
+
+The report rows in :mod:`repro.flow.report` are thin views over this record,
+and the strategy layers (pass scheduling, windowing) read their measurement
+feedback from it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+
+__all__ = [
+    "RunTelemetry",
+    "window_hardness_from_payloads",
+]
+
+Number = float
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+@dataclass
+class RunTelemetry:
+    """A labelled set of named counter scopes with JSON round-trip.
+
+    ``scopes`` maps a scope name (``"solver"``, ``"cache"``, ``"synth"``,
+    ``"window"``, ...) to a flat ``counter name -> number`` mapping.  Merging
+    two records sums counters that appear in both, so a campaign-level record
+    is simply the merge of its per-job records.
+    """
+
+    label: str = ""
+    scopes: Dict[str, Dict[str, Number]] = field(default_factory=dict)
+
+    # -- accumulation -----------------------------------------------------
+
+    def scope(self, name: str) -> Dict[str, Number]:
+        """Return the (mutable) counter mapping for ``name``, creating it."""
+        return self.scopes.setdefault(name, {})
+
+    def count(self, scope: str, key: str, amount: Number = 1) -> None:
+        """Add ``amount`` to ``scope``/``key`` (creating it at zero)."""
+        counters = self.scope(scope)
+        counters[key] = counters.get(key, 0) + amount
+
+    def record(self, scope: str, key: str, value: Number) -> None:
+        """Set ``scope``/``key`` to ``value``, overwriting any prior value."""
+        self.scope(scope)[key] = value
+
+    def get(self, scope: str, key: str, default: Number = 0) -> Number:
+        return self.scopes.get(scope, {}).get(key, default)
+
+    def absorb(self, scope: str, stats: Mapping[str, Any]) -> "RunTelemetry":
+        """Add every numeric entry of a legacy stats dict into ``scope``."""
+        for key, value in stats.items():
+            if _is_number(value):
+                self.count(scope, key, value)
+        return self
+
+    # -- combination ------------------------------------------------------
+
+    def merged(
+        self, *others: "RunTelemetry", label: Optional[str] = None
+    ) -> "RunTelemetry":
+        """Return a new record with counters summed across all operands."""
+        result = RunTelemetry(label=self.label if label is None else label)
+        for source in (self,) + tuple(others):
+            for scope_name, counters in source.scopes.items():
+                for key, value in counters.items():
+                    result.count(scope_name, key, value)
+        return result
+
+    # -- persistence ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "scopes": {
+                name: dict(sorted(counters.items()))
+                for name, counters in sorted(self.scopes.items())
+            }
+        }
+        if self.label:
+            payload["label"] = self.label
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunTelemetry":
+        scopes = payload.get("scopes", {})
+        if not isinstance(scopes, Mapping):
+            raise ValueError("telemetry payload 'scopes' must be a mapping")
+        record = cls(label=str(payload.get("label", "")))
+        for name, counters in scopes.items():
+            if not isinstance(counters, Mapping):
+                raise ValueError(f"telemetry scope {name!r} must be a mapping")
+            record.absorb(str(name), counters)
+        return record
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunTelemetry":
+        return cls.from_dict(json.loads(text))
+
+    # -- adapters for the legacy stats dicts ------------------------------
+
+    @classmethod
+    def from_solver_stats(
+        cls, stats: Mapping[str, Any], label: str = ""
+    ) -> "RunTelemetry":
+        """Absorb :meth:`repro.sat.solver.SatSolver.stats` output."""
+        return cls(label=label).absorb("solver", stats)
+
+    @classmethod
+    def from_cache_stats(
+        cls, stats: Mapping[str, Any], label: str = ""
+    ) -> "RunTelemetry":
+        """Absorb :meth:`repro.ga.pinopt.PinAssignmentProblem.cache_stats`."""
+        return cls(label=label).absorb("cache", stats)
+
+    @classmethod
+    def from_prefilter_stats(
+        cls, stats: Mapping[str, Any], label: str = ""
+    ) -> "RunTelemetry":
+        """Absorb :meth:`repro.attacks.decamouflage.DecamouflageAttack.prefilter_stats`."""
+        return cls(label=label).absorb("prefilter", stats)
+
+    @classmethod
+    def from_ga_history(
+        cls, history: Sequence[Any], label: str = ""
+    ) -> "RunTelemetry":
+        """Summarise a GA run's ``GenerationStats`` history into counters."""
+        record = cls(label=label)
+        if not history:
+            return record
+        last = history[-1]
+        record.record("ga", "generations", len(history))
+        record.record("ga", "evaluations", getattr(last, "evaluations_so_far", 0))
+        record.record("ga", "cache_hits", getattr(last, "cache_hits", 0))
+        return record
+
+    def __repr__(self) -> str:
+        total = sum(len(counters) for counters in self.scopes.values())
+        return (
+            f"RunTelemetry(label={self.label!r}, scopes={sorted(self.scopes)}, "
+            f"counters={total})"
+        )
+
+
+def window_hardness_from_payloads(
+    payloads: Iterable[Mapping[str, Any]],
+) -> Dict[int, float]:
+    """Extract per-window attack-hardness scores from campaign job payloads.
+
+    Accepts the JSON payload dicts persisted for ``window_obfuscate`` jobs and
+    returns ``window index -> hardness``, where hardness is the sum of the
+    DIP-query and solver-conflict counters measured when attacking that
+    window.  Windows without telemetry are skipped; callers treat missing
+    entries as "no measurement" and fall back to uniform budgets.
+    """
+    hardness: Dict[int, float] = {}
+    for payload in payloads:
+        if not isinstance(payload, Mapping) or "index" not in payload:
+            continue
+        telemetry = payload.get("telemetry")
+        if not isinstance(telemetry, Mapping):
+            continue
+        record = RunTelemetry.from_dict(telemetry)
+        score = record.get("window", "attack_queries") + record.get(
+            "window", "solver_conflicts"
+        )
+        if score > 0:
+            hardness[int(payload["index"])] = float(score)
+    return hardness

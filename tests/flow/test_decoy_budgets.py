@@ -1,0 +1,61 @@
+"""Tests for hardness-weighted decoy budget allocation."""
+
+import pytest
+
+from repro.flow.target import decoy_budgets
+from repro.netlist.window import Window
+
+
+def _windows(count):
+    return [
+        Window(
+            index=index,
+            instance_names=(f"g{index}",),
+            input_nets=(f"i{index}",),
+            output_nets=(f"o{index}",),
+        )
+        for index in range(count)
+    ]
+
+
+class TestDecoyBudgets:
+    def test_uniform_without_hardness(self):
+        assert decoy_budgets(_windows(4), 2) == {0: 2, 1: 2, 2: 2, 3: 2}
+
+    def test_empty_windows(self):
+        assert decoy_budgets([], 3) == {}
+
+    def test_zero_budget_stays_zero(self):
+        assert decoy_budgets(_windows(3), 0, {0: 5.0}) == {0: 0, 1: 0, 2: 0}
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            decoy_budgets(_windows(2), -1)
+
+    def test_total_budget_preserved(self):
+        windows = _windows(5)
+        hardness = {0: 1.0, 1: 50.0, 3: 4.0}
+        budgets = decoy_budgets(windows, 2, hardness)
+        assert sum(budgets.values()) == 2 * len(windows)
+        assert set(budgets) == {w.index for w in windows}
+
+    def test_easy_windows_get_more_decoys(self):
+        # Window 1 was cracked cheaply (low hardness) -> more protection
+        # than window 0, which already cost the attacker dearly.
+        budgets = decoy_budgets(_windows(2), 4, {0: 100.0, 1: 0.0})
+        assert budgets[1] > budgets[0]
+        assert sum(budgets.values()) == 8
+
+    def test_unmeasured_windows_weigh_as_median(self):
+        budgets = decoy_budgets(_windows(3), 3, {0: 10.0, 2: 10.0})
+        # Window 1 is unmeasured; with the median equal to every measured
+        # score the split collapses back to uniform.
+        assert budgets == {0: 3, 1: 3, 2: 3}
+
+    def test_deterministic_tie_break_by_index(self):
+        windows = _windows(3)
+        hardness = {0: 1.0, 1: 1.0, 2: 1.0}
+        first = decoy_budgets(windows, 1, hardness)
+        second = decoy_budgets(windows, 1, hardness)
+        assert first == second
+        assert sum(first.values()) == 3

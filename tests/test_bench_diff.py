@@ -87,6 +87,21 @@ class TestDiff:
         )
         assert numbers == {"a": 1.0, "b.c": 2.5, "b.d.e": 3.0}
 
+    def test_telemetry_counters_get_their_own_section(self):
+        base = {
+            "total_seconds": 1.0,
+            "telemetry": {"synth": {"passes_scheduled": 82}},
+        }
+        cand = {
+            "total_seconds": 1.1,
+            "telemetry": {"synth": {"passes_scheduled": 60}},
+        }
+        lines, regressions = bench_diff.diff_payloads(base, cand, 25.0)
+        assert any(line.strip() == "telemetry counters:" for line in lines)
+        assert any("synth.passes_scheduled" in line for line in lines)
+        # Telemetry counters are informational: a large swing never fails.
+        assert regressions == []
+
 
 class TestPlot:
     def test_plot_mode_writes_valid_svg(self, artifact_dirs):

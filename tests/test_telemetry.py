@@ -1,0 +1,105 @@
+"""Tests for the unified run-telemetry record."""
+
+import json
+
+import pytest
+
+from repro.telemetry import RunTelemetry, window_hardness_from_payloads
+
+
+class TestAccumulation:
+    def test_count_and_record(self):
+        telemetry = RunTelemetry(label="t")
+        telemetry.count("solver", "conflicts", 3)
+        telemetry.count("solver", "conflicts", 2)
+        telemetry.record("solver", "num_vars", 40)
+        telemetry.record("solver", "num_vars", 50)
+        assert telemetry.get("solver", "conflicts") == 5
+        assert telemetry.get("solver", "num_vars") == 50
+        assert telemetry.get("missing", "key", default=-1) == -1
+
+    def test_absorb_skips_non_numbers_and_bools(self):
+        telemetry = RunTelemetry().absorb(
+            "s", {"a": 1, "b": 2.5, "flag": True, "name": "x", "items": [1]}
+        )
+        assert telemetry.scopes == {"s": {"a": 1, "b": 2.5}}
+
+
+class TestMergeAndRoundTrip:
+    def test_merged_sums_counters_and_unions_scopes(self):
+        one = RunTelemetry(label="one")
+        one.count("solver", "conflicts", 4)
+        one.count("cache", "hits", 1)
+        two = RunTelemetry(label="two")
+        two.count("solver", "conflicts", 6)
+        two.count("window", "decoys", 2)
+        merged = one.merged(two)
+        assert merged.label == "one"
+        assert merged.get("solver", "conflicts") == 10
+        assert merged.get("cache", "hits") == 1
+        assert merged.get("window", "decoys") == 2
+        # Operands are untouched.
+        assert one.get("solver", "conflicts") == 4
+
+    def test_merged_label_override(self):
+        assert RunTelemetry(label="a").merged(label="b").label == "b"
+
+    def test_json_round_trip(self):
+        telemetry = RunTelemetry(label="roundtrip")
+        telemetry.count("synth", "passes_executed", 7)
+        telemetry.record("synth", "and_final", 31)
+        text = telemetry.to_json()
+        restored = RunTelemetry.from_json(text)
+        assert restored.label == telemetry.label
+        assert restored.scopes == telemetry.scopes
+        # The JSON itself is plain and sorted (artifact-diff friendly).
+        assert json.loads(text)["scopes"]["synth"]["and_final"] == 31
+
+    def test_from_dict_rejects_malformed_scopes(self):
+        with pytest.raises(ValueError):
+            RunTelemetry.from_dict({"scopes": [1, 2]})
+        with pytest.raises(ValueError):
+            RunTelemetry.from_dict({"scopes": {"solver": 7}})
+
+
+class TestAdapters:
+    def test_solver_cache_prefilter_adapters(self):
+        solver = RunTelemetry.from_solver_stats(
+            {"solve_calls": 2, "conflicts": 9}, label="s"
+        )
+        assert solver.get("solver", "conflicts") == 9
+        cache = RunTelemetry.from_cache_stats({"hits": 3, "misses": 1})
+        assert cache.get("cache", "hits") == 3
+        prefilter = RunTelemetry.from_prefilter_stats({"fuzz_refuted": 5})
+        assert prefilter.get("prefilter", "fuzz_refuted") == 5
+
+    def test_ga_history_adapter(self):
+        class Generation:
+            def __init__(self, evaluations_so_far, cache_hits):
+                self.evaluations_so_far = evaluations_so_far
+                self.cache_hits = cache_hits
+
+        record = RunTelemetry.from_ga_history(
+            [Generation(4, 1), Generation(9, 3)]
+        )
+        assert record.get("ga", "generations") == 2
+        assert record.get("ga", "evaluations") == 9
+        assert record.get("ga", "cache_hits") == 3
+        assert RunTelemetry.from_ga_history([]).scopes == {}
+
+
+class TestWindowHardness:
+    def test_extraction_from_payloads(self):
+        def payload(index, queries, conflicts):
+            record = RunTelemetry()
+            record.record("window", "attack_queries", queries)
+            record.record("window", "solver_conflicts", conflicts)
+            return {"index": index, "telemetry": record.to_dict()}
+
+        payloads = [
+            payload(0, 3, 10),
+            payload(1, 0, 0),  # unmeasured: score 0 is skipped
+            {"index": 2},  # no telemetry at all
+            {"no_index": True},
+        ]
+        assert window_hardness_from_payloads(payloads) == {0: 13.0}
