@@ -13,12 +13,15 @@ related-work attacks measure).
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.attacks import PlausibleFunctionOracle, random_camouflage_experiment
 from repro.attacks.oracle_guided import attack_mapping
 from repro.flow import obfuscate_with_assignment
 from repro.flow.report import SolverStatsRow, format_solver_stats
+from repro.sat.solver import BUDGET_ENV_VAR, SolveBudget
 from repro.sboxes import optimal_sboxes
 from repro.synth import synthesize
 
@@ -120,6 +123,90 @@ def test_attack_oracle_guided_presample(benchmark, record, bench_json, obfuscate
         + format_solver_stats(
             [SolverStatsRow.from_stats("presampled DIP loop", outcome.solver_stats)]
         ),
+    )
+
+
+def test_attack_budget_machinery_overhead(benchmark, record, bench_json,
+                                          obfuscated_pair, monkeypatch):
+    """Guard: the solve-budget machinery is free when budgets are unset.
+
+    The unbudgeted hot path pays one ``is None`` test per conflict.  That
+    cost cannot be isolated directly, so it is bounded from above: a huge,
+    never-binding budget exercises the *full* per-conflict check (conflict
+    + propagation counters and the wall-clock deadline), and the DIP-loop
+    attack under it must stay within 2% (plus a small absolute epsilon for
+    timer noise) of the unset run.  Both variants must produce an identical
+    transcript — same queries, same solver statistics — so the comparison
+    times the same search.
+    """
+    monkeypatch.delenv(BUDGET_ENV_VAR, raising=False)
+    functions, result = obfuscated_pair
+    huge = SolveBudget(
+        max_conflicts=10 ** 9, max_propagations=10 ** 12, max_seconds=3600.0
+    )
+
+    def run_attack(budget=None):
+        return attack_mapping(result.mapping, true_select=1, max_queries=64,
+                              presample=0, budget=budget)
+
+    # Warmup + registered timing: one unset run through pytest-benchmark.
+    unset = benchmark.pedantic(run_attack, rounds=1, iterations=1)
+    assert unset.success
+
+    # Paired deltas: each round times both variants back to back (order
+    # alternating), so ambient load and CPU-frequency drift hit both runs of
+    # a pair roughly equally and mostly cancel in the difference.  The
+    # minimum delta over the rounds is the cleanest single observation of
+    # the machinery cost — run-to-run noise on this workload dwarfs 2%, but
+    # a genuine multi-percent regression would inflate *every* delta.
+    def timed(budget):
+        start = time.perf_counter()
+        outcome = run_attack(budget=budget)
+        return outcome, time.perf_counter() - start
+
+    deltas = []
+    best_unset = float("inf")
+    bounded = None
+    for round_index in range(4):
+        if round_index % 2 == 0:
+            unset, unset_seconds = timed(None)
+            bounded, bounded_seconds = timed(huge)
+        else:
+            bounded, bounded_seconds = timed(huge)
+            unset, unset_seconds = timed(None)
+        best_unset = min(best_unset, unset_seconds)
+        deltas.append(bounded_seconds - unset_seconds)
+
+    assert unset.success and bounded.success
+    assert bounded.num_queries == unset.num_queries
+    for key in ("conflicts", "decisions", "propagations"):
+        assert bounded.solver_stats[key] == unset.solver_stats[key], (
+            f"a never-binding budget changed the solver transcript ({key})"
+        )
+
+    overhead = min(deltas)
+    allowed = best_unset * 0.02 + 0.010
+    benchmark.extra_info["best_unset_seconds"] = best_unset
+    benchmark.extra_info["overhead_seconds"] = overhead
+    bench_json(
+        "attack_budget_overhead",
+        {
+            "best_unset_seconds": best_unset,
+            "paired_deltas_seconds": deltas,
+            "overhead_seconds": overhead,
+            "allowed_seconds": allowed,
+            "num_queries": unset.num_queries,
+        },
+    )
+    record(
+        "attack_budget_overhead",
+        f"unset={best_unset:.4f}s deltas="
+        + "/".join(f"{delta:+.4f}" for delta in deltas)
+        + f" overhead={overhead:+.4f}s allowed={allowed:.4f}s",
+    )
+    assert overhead <= allowed, (
+        f"budget machinery overhead {overhead:.4f}s exceeds "
+        f"{allowed:.4f}s (2% + 10ms) on the DIP-loop benchmark"
     )
 
 

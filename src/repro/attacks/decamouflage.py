@@ -53,7 +53,7 @@ from ..logic.boolfunc import BoolFunction
 from ..logic.truthtable import TruthTable
 from ..netlist.netlist import CONST0_NET, CONST1_NET, Netlist
 from ..sat.cnf import Cnf
-from ..sat.solver import SatSolver
+from ..sat.solver import SatResult, SatSolver, SolveBudget, SolveBudgetExceeded
 from ..sat.tseitin import add_exactly_one, encode_camouflaged_copy
 from ..sim.engine import NetlistSimulator
 from ..sim.patterns import PatternBatch
@@ -96,8 +96,10 @@ class PlausibleFunctionOracle:
         netlist: Netlist,
         instance_plausible: Mapping[str, Sequence[TruthTable]],
         prefilter: Optional[bool] = None,
+        budget: Optional[SolveBudget] = None,
     ):
         self._netlist = netlist
+        self._budget = budget
         self._plausible = {
             name: list(dict.fromkeys(functions))
             for name, functions in instance_plausible.items()
@@ -128,14 +130,28 @@ class PlausibleFunctionOracle:
 
     @classmethod
     def from_mapping(
-        cls, mapping: CamouflagedMapping, prefilter: Optional[bool] = None
+        cls,
+        mapping: CamouflagedMapping,
+        prefilter: Optional[bool] = None,
+        budget: Optional[SolveBudget] = None,
     ) -> "PlausibleFunctionOracle":
         """Build the oracle an adversary would build from a mapped design."""
         plausible = {
             name: list(mapping.plausible_functions_of(name))
             for name in mapping.camouflaged_instances()
         }
-        return cls(mapping.netlist, plausible, prefilter=prefilter)
+        return cls(mapping.netlist, plausible, prefilter=prefilter, budget=budget)
+
+    def _solve(self, assumptions: Sequence[int]) -> SatResult:
+        """Budgeted solve; a plausibility verdict must never be guessed, so
+        an UNKNOWN result raises instead of masquerading as "implausible"."""
+        result = self._solver.solve(assumptions, budget=self._budget)
+        if result.unknown:
+            raise SolveBudgetExceeded(
+                "plausibility query exhausted its solve budget before reaching "
+                "a verdict"
+            )
+        return result
 
     # -------------------------------------------------------------- #
     # Encoding (lazily: the base once, words eagerly or on demand)
@@ -244,7 +260,7 @@ class PlausibleFunctionOracle:
         if self._prefilter:
             return self._is_plausible_cegar(candidate)
         assumptions = self._candidate_assumptions(candidate)
-        result = self._solver.solve(assumptions)
+        result = self._solve(assumptions)
         if not result.satisfiable:
             return DecamouflageResult(False, conflicts=result.conflicts)
         return DecamouflageResult(
@@ -269,7 +285,7 @@ class PlausibleFunctionOracle:
             return DecamouflageResult(False)
         if len(self._netlist.primary_inputs) < self.CEGAR_MIN_INPUTS:
             assumptions = self._candidate_assumptions(candidate)
-            result = self._solver.solve(assumptions)
+            result = self._solve(assumptions)
             if not result.satisfiable:
                 return DecamouflageResult(False, conflicts=result.conflicts)
             return DecamouflageResult(
@@ -285,7 +301,7 @@ class PlausibleFunctionOracle:
         conflicts = 0
         while True:
             self._prefilter_counters["cegar_rounds"] += 1
-            result = self._solver.solve(self._assumptions_for_words(candidate))
+            result = self._solve(self._assumptions_for_words(candidate))
             conflicts += result.conflicts
             if not result.satisfiable:
                 # UNSAT on a subset of the words refutes the full query.
@@ -324,7 +340,7 @@ class PlausibleFunctionOracle:
         assumptions.append(session)
         witnesses: List[Dict[str, TruthTable]] = []
         while limit is None or len(witnesses) < limit:
-            result = self._solver.solve(assumptions)
+            result = self._solve(assumptions)
             if not result.satisfiable:
                 break
             witnesses.append(self._model_witness(result.model))

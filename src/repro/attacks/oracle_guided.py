@@ -82,7 +82,7 @@ from ..logic.truthtable import TruthTable
 from ..netlist.netlist import CONST0_NET, CONST1_NET, Netlist
 from ..sat.cnf import Cnf
 from ..sat.equivalence import add_difference_miter
-from ..sat.solver import SatSolver
+from ..sat.solver import SatSolver, SolveBudget
 from ..sat.tseitin import add_exactly_one, encode_camouflaged_copy
 from ..sim.patterns import RandomPatternSource, ReplayBuffer
 from ..sim.prefilter import fuzz_enabled
@@ -118,6 +118,12 @@ class OracleGuidedResult:
     solver_stats: Dict[str, int] = field(default_factory=dict)
     #: Random words queried up-front by the fuzz presampling phase, in order.
     presample_queries: List[int] = field(default_factory=list)
+    #: True when a solve budget ran out before the attack could finish.  The
+    #: result still carries the partial progress (presample + DIP queries so
+    #: far, cumulative solver statistics), and the attack object's replay
+    #: buffer keeps every observed word, so a re-run with a larger budget
+    #: starts from real information rather than from scratch.
+    timed_out: bool = False
 
     @property
     def num_queries(self) -> int:
@@ -158,8 +164,10 @@ class OracleGuidedAttack:
         presample_seed: int = 101,
         verify_samples: int = 256,
         verify_seed: int = 131,
+        budget: Optional[SolveBudget] = None,
     ):
         self._netlist = netlist
+        self._budget = budget
         self._plausible = {
             name: list(dict.fromkeys(functions))
             for name, functions in instance_plausible.items()
@@ -277,7 +285,18 @@ class OracleGuidedAttack:
         observed_all = len(presample_queries) == (1 << self._num_inputs)
 
         while not observed_all:
-            dip = self._find_distinguishing_input()
+            dip, unknown = self._find_distinguishing_input()
+            if unknown:
+                # Budget exhausted mid-search: report the partial progress
+                # instead of hanging.  Everything observed so far stays in
+                # the replay buffer and the solver's learned clauses.
+                return OracleGuidedResult(
+                    False,
+                    queries=queries,
+                    solver_stats=self._solver.stats(),
+                    presample_queries=presample_queries,
+                    timed_out=True,
+                )
             if dip is None:
                 break
             if len(queries) >= self._max_queries:
@@ -293,13 +312,14 @@ class OracleGuidedAttack:
             self.replay.add(dip)
             self._constrain_to_observation(dip, response)
 
-        configuration = self._extract_configuration()
+        configuration, unknown = self._extract_configuration()
         if configuration is None:
             return OracleGuidedResult(
                 False,
                 queries=queries,
                 solver_stats=self._solver.stats(),
                 presample_queries=presample_queries,
+                timed_out=unknown,
             )
         if self._num_inputs <= self.EXACT_RECOVERY_LIMIT:
             recovered = self._simulate_configuration(configuration)
@@ -378,20 +398,24 @@ class OracleGuidedAttack:
             self._constrain_to_observation(word, response)
         return words
 
-    def _find_distinguishing_input(self) -> Optional[int]:
+    def _find_distinguishing_input(self) -> Tuple[Optional[int], bool]:
         """SAT query: an input where two consistent configurations differ.
 
         The miter is already encoded; this is a pure assumption query under
-        the activation literal and adds nothing to the formula.
+        the activation literal and adds nothing to the formula.  Returns
+        ``(word, False)`` for a DIP, ``(None, False)`` when none remains,
+        and ``(None, True)`` when the solve budget ran out.
         """
-        result = self._solver.solve(assumptions=[self._activation])
+        result = self._solver.solve(assumptions=[self._activation], budget=self._budget)
+        if result.unknown:
+            return None, True
         if not result.satisfiable:
-            return None
+            return None, False
         word = 0
         for position, net in enumerate(self._netlist.primary_inputs):
             if result.model.get(self._input_vars[net], False):
                 word |= 1 << position
-        return word
+        return word, False
 
     def _constrain_to_observation(self, word: int, response: int) -> None:
         """Both configuration copies must reproduce the observed I/O pair."""
@@ -405,17 +429,22 @@ class OracleGuidedAttack:
                 else:
                     self._cnf.add_clause([-literal])
 
-    def _extract_configuration(self) -> Optional[Dict[str, TruthTable]]:
+    def _extract_configuration(
+        self,
+    ) -> Tuple[Optional[Dict[str, TruthTable]], bool]:
         # Disable the miter: only the accumulated observations constrain the
-        # configuration copies here.
-        result = self._solver.solve(assumptions=[-self._activation])
+        # configuration copies here.  The second element reports a budget
+        # exhaustion (configuration unknown, not inconsistent).
+        result = self._solver.solve(assumptions=[-self._activation], budget=self._budget)
+        if result.unknown:
+            return None, True
         if not result.satisfiable:
-            return None
+            return None, False
         configuration: Dict[str, TruthTable] = {}
         for (name, index), variable in self._selectors_a.items():
             if result.model.get(variable, False):
                 configuration[name] = self._plausible[name][index]
-        return configuration
+        return configuration, False
 
     def _simulate_configuration(self, configuration: Dict[str, TruthTable]) -> List[int]:
         from ..netlist.simulate import extract_function
@@ -433,6 +462,7 @@ def attack_mapping(
     max_queries: int = 256,
     presample: Optional[int] = None,
     jobs: int = 1,
+    budget: Optional[SolveBudget] = None,
 ) -> OracleGuidedResult:
     """Run the oracle-guided attack against a Phase III mapping.
 
@@ -461,12 +491,15 @@ def attack_mapping(
 
     if presample is None:
         presample = DEFAULT_PRESAMPLE if fuzz_enabled(None) else 0
+    if budget is None:
+        budget = SolveBudget.from_environment()
     plausible = {
         name: list(mapping.plausible_functions_of(name))
         for name in mapping.camouflaged_instances()
     }
     attack = OracleGuidedAttack(
-        mapping.netlist, plausible, max_queries=max_queries, presample=presample
+        mapping.netlist, plausible, max_queries=max_queries, presample=presample,
+        budget=budget,
     )
     return attack.run(lambda word: truth[word])
 
@@ -479,6 +512,7 @@ def attack_netlist(
     presample: Optional[int] = None,
     verify_samples: int = 256,
     jobs: int = 1,
+    budget: Optional[SolveBudget] = None,
 ) -> OracleGuidedResult:
     """Oracle-guided attack on an arbitrary-width camouflaged netlist.
 
@@ -520,12 +554,15 @@ def attack_netlist(
 
     if presample is None:
         presample = DEFAULT_PRESAMPLE if fuzz_enabled(None) else 0
+    if budget is None:
+        budget = SolveBudget.from_environment()
     attack = OracleGuidedAttack(
         netlist,
         instance_plausible,
         max_queries=max_queries,
         presample=presample,
         verify_samples=verify_samples,
+        budget=budget,
     )
     return attack.run(oracle, oracle_batch=oracle_batch)
 
@@ -536,6 +573,7 @@ def attack_windowed(
     presample: Optional[int] = None,
     verify_samples: int = 256,
     jobs: int = 1,
+    budget: Optional[SolveBudget] = None,
 ) -> OracleGuidedResult:
     """Attack a stitched windowed obfuscation end-to-end.
 
@@ -552,4 +590,5 @@ def attack_windowed(
         presample=presample,
         verify_samples=verify_samples,
         jobs=jobs,
+        budget=budget,
     )

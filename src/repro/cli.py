@@ -254,6 +254,18 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="probe each finished window with a bounded "
                                       "oracle-guided attack and record its work "
                                       "counters in the job telemetry (--blif mode)")
+    campaign_parser.add_argument("--lease-ttl", type=float, default=0.0,
+                                 help="job-lease time-to-live in seconds for shared "
+                                      "--state-dir campaigns (default REPRO_LEASE_TTL "
+                                      "or 60; heartbeats refresh every TTL/3)")
+    campaign_parser.add_argument("--retries", type=int, default=0,
+                                 help="max attempts per job on transient failures "
+                                      "(default REPRO_RETRY_ATTEMPTS or 3)")
+    campaign_parser.add_argument("--solve-budget", type=str, default="",
+                                 help="per-solve-call budget spec, e.g. "
+                                      "'conflicts=20000,seconds=2.5' (default "
+                                      "REPRO_SOLVE_BUDGET); doubled on every retry, "
+                                      "jobs still over budget finish as timed_out")
     return parser
 
 
@@ -482,6 +494,37 @@ def _parse_workload_selector(selector: str) -> tuple:
     return family.upper(), count
 
 
+def _campaign_robustness_kwargs(args: argparse.Namespace) -> dict:
+    """Runner kwargs from the --lease-ttl/--retries/--solve-budget flags."""
+    import dataclasses
+
+    from .jobstore import RetryPolicy
+    from .sat.solver import SolveBudget
+
+    kwargs = {}
+    if args.lease_ttl > 0:
+        kwargs["lease_ttl"] = args.lease_ttl
+    if args.retries > 0:
+        kwargs["retry_policy"] = dataclasses.replace(
+            RetryPolicy.from_environment(), max_attempts=args.retries
+        )
+    if args.solve_budget:
+        try:
+            kwargs["solve_budget"] = SolveBudget.from_spec(args.solve_budget)
+        except ValueError as exc:
+            raise SystemExit(f"invalid --solve-budget: {exc}") from exc
+    return kwargs
+
+
+def _print_robustness(outcome) -> None:
+    """One line of retry/lease/crash counters when anything happened."""
+    if outcome.robustness:
+        counters = ", ".join(
+            f"{key}={value:g}" for key, value in sorted(outcome.robustness.items())
+        )
+        print(f"robustness: {counters}")
+
+
 def _command_campaign(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -562,6 +605,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
         state_dir=args.state_dir or None,
         jobs=resolve_jobs(args.jobs or None),
         progress=print,
+        **_campaign_robustness_kwargs(args),
     )
     outcome = runner.run(limit=args.limit if args.limit >= 0 else None)
 
@@ -569,6 +613,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
     print(f"campaign {outcome.name}: {len(outcome.completed)}/{len(outcome.results)} "
           f"jobs complete ({len(outcome.cached)} cached, {len(outcome.failed)} failed, "
           f"{len(outcome.pending)} pending) in {outcome.total_seconds:.1f}s")
+    _print_robustness(outcome)
 
     rows = []
     for result in outcome.results:
@@ -634,12 +679,14 @@ def _command_campaign_windowed(args: argparse.Namespace) -> int:
         limit=args.limit if args.limit >= 0 else None,
         progress=print,
         verify=not args.no_verify,
+        **_campaign_robustness_kwargs(args),
     )
     print()
     print(f"campaign {outcome.name}: {len(outcome.completed)}/{len(outcome.results)} "
           f"window jobs complete ({len(outcome.cached)} cached, "
           f"{len(outcome.failed)} failed, {len(outcome.pending)} pending) "
           f"in {outcome.total_seconds:.1f}s")
+    _print_robustness(outcome)
     written = outcome.write_artifacts(
         json_path=args.json or None,
         csv_path=args.csv or None,

@@ -1,0 +1,246 @@
+"""Deterministic fault injection for chaos-testing the campaign stack.
+
+Robustness claims are only worth something when they are *tested*: this
+module turns "what if a worker dies mid-sweep?" into a reproducible
+experiment.  Fault points are named hooks compiled into the execution
+layer (worker kill, solver budget exhaustion, torn state writes, cache
+corruption, lease-clock skew); they are inert unless the ``REPRO_FAULTS``
+environment variable selects them, so the production paths pay one cheap
+guard per hook and nothing else.
+
+Spec syntax
+-----------
+
+``REPRO_FAULTS`` is a semicolon-separated list of fault entries::
+
+    REPRO_FAULTS="worker_kill:job=window_001,once;solver_unknown:after=2,count=1"
+
+Each entry is ``<point>`` or ``<point>:<opt>,<opt>,...`` where an option is
+``key=value`` or the bare flag ``once``.  Options understood everywhere:
+
+``job=<substring>``
+    Only hits whose context key contains the substring match (job ids for
+    campaign-level faults).
+``after=<n>``
+    Skip the first *n* matching hits before firing.
+``count=<n>``
+    Fire at most *n* times (default 1; ``count=0`` means unlimited).
+``once``
+    Fire at most once *across processes*, coordinated through a marker
+    file in ``REPRO_FAULTS_DIR`` (O_EXCL create — exactly one process
+    wins).  Without a marker directory ``once`` degrades to
+    process-local ``count=1``.
+
+Point-specific options (e.g. ``seconds=-30`` for ``clock_skew``) are kept
+verbatim and read back via :func:`fault_param`.
+
+Fault points compiled into the stack
+------------------------------------
+
+===================  =======================================================
+``worker_kill``      SIGKILL the executing process at job start
+                     (``scenarios/campaign._execute_job_task``).
+``solver_unknown``   Force a budget-exhausted UNKNOWN verdict from
+                     ``SatSolver.solve``.
+``torn_state``       Truncate a campaign per-job state file mid-write
+                     (simulates a torn write / partial flush).
+``cache_corrupt``    Garble a line appended to the synthesis disk cache.
+``clock_skew``       Constant offset (``seconds=<float>``) added to the
+                     job-store lease clock.
+===================  =======================================================
+
+Determinism: hits are counted in program order within each process, and
+cross-process coordination uses atomic marker files, so a fault spec plus
+a seeded workload yields the same injected fault every run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "FAULTS_DIR_ENV_VAR",
+    "FaultSpec",
+    "faults_enabled",
+    "fault_fires",
+    "fault_param",
+    "clock_skew_seconds",
+    "maybe_kill_process",
+    "corrupt_text",
+    "fired_counts",
+    "reset_fault_state",
+]
+
+#: Environment variable holding the fault spec (empty/unset = no faults).
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: Directory for cross-process ``once`` marker files (optional).
+FAULTS_DIR_ENV_VAR = "REPRO_FAULTS_DIR"
+
+
+@dataclass
+class FaultSpec:
+    """One parsed ``REPRO_FAULTS`` entry plus its process-local counters."""
+
+    point: str
+    job: Optional[str] = None
+    after: int = 0
+    count: int = 1  # 0 = unlimited
+    once: bool = False
+    params: Dict[str, str] = field(default_factory=dict)
+    # Process-local counters (cross-process state lives in marker files).
+    hits: int = 0
+    fires: int = 0
+    exhausted: bool = False
+
+    def matches(self, key: Optional[str]) -> bool:
+        if self.job is None:
+            return True
+        return key is not None and self.job in key
+
+
+def _parse_spec(raw: str) -> List[FaultSpec]:
+    specs: List[FaultSpec] = []
+    for entry in raw.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        point, _, options = entry.partition(":")
+        spec = FaultSpec(point=point.strip())
+        for option in options.split(","):
+            option = option.strip()
+            if not option:
+                continue
+            if option == "once":
+                spec.once = True
+                continue
+            key, separator, value = option.partition("=")
+            if not separator:
+                raise ValueError(
+                    f"bad {FAULTS_ENV_VAR} option {option!r} in entry {entry!r}: "
+                    "expected key=value or the flag 'once'"
+                )
+            key = key.strip()
+            value = value.strip()
+            if key == "job":
+                spec.job = value
+            elif key == "after":
+                spec.after = int(value)
+            elif key == "count":
+                spec.count = int(value)
+            else:
+                spec.params[key] = value
+        specs.append(spec)
+    return specs
+
+
+# Parsed plan cached against the exact environment strings, so tests can
+# monkeypatch the environment and the next call re-parses.
+_PLAN_CACHE: Optional[Tuple[Tuple[str, str], List[FaultSpec]]] = None
+
+
+def _active_specs() -> List[FaultSpec]:
+    global _PLAN_CACHE
+    raw = os.environ.get(FAULTS_ENV_VAR, "")
+    marker_dir = os.environ.get(FAULTS_DIR_ENV_VAR, "")
+    cache_key = (raw, marker_dir)
+    if _PLAN_CACHE is not None and _PLAN_CACHE[0] == cache_key:
+        return _PLAN_CACHE[1]
+    specs = _parse_spec(raw) if raw else []
+    _PLAN_CACHE = (cache_key, specs)
+    return specs
+
+
+def reset_fault_state() -> None:
+    """Drop the parsed plan and all process-local counters (for tests)."""
+    global _PLAN_CACHE
+    _PLAN_CACHE = None
+
+
+def faults_enabled() -> bool:
+    """True when a fault spec is active (cheap guard for hot paths)."""
+    return bool(os.environ.get(FAULTS_ENV_VAR))
+
+
+def _claim_once_marker(spec: FaultSpec, index: int) -> bool:
+    """Atomically claim the cross-process right to fire a ``once`` fault."""
+    marker_dir = os.environ.get(FAULTS_DIR_ENV_VAR, "")
+    if not marker_dir:
+        return True  # degrade to process-local count=1
+    os.makedirs(marker_dir, exist_ok=True)
+    marker = os.path.join(marker_dir, f"{spec.point}-{index}.fired")
+    try:
+        handle = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False  # another process already fired this fault
+    with os.fdopen(handle, "w") as stream:
+        stream.write(f"{os.getpid()}\n")
+    return True
+
+
+def fault_fires(point: str, key: Optional[str] = None) -> bool:
+    """Should the named fault point fire for this hit?  Counts the hit."""
+    if not os.environ.get(FAULTS_ENV_VAR):
+        return False
+    fired = False
+    for index, spec in enumerate(_active_specs()):
+        if spec.point != point or not spec.matches(key):
+            continue
+        spec.hits += 1
+        if spec.exhausted or spec.hits <= spec.after:
+            continue
+        if spec.once:
+            if spec.fires:
+                continue
+            if not _claim_once_marker(spec, index):
+                spec.exhausted = True  # someone else fired; never retry the marker
+                continue
+        elif spec.count and spec.fires >= spec.count:
+            continue
+        spec.fires += 1
+        fired = True
+    return fired
+
+
+def fault_param(point: str, name: str, default: Optional[str] = None) -> Optional[str]:
+    """First point-specific option value for ``point`` (spec order)."""
+    for spec in _active_specs():
+        if spec.point == point and name in spec.params:
+            return spec.params[name]
+    return default
+
+
+def clock_skew_seconds() -> float:
+    """Constant clock offset from an active ``clock_skew`` fault (else 0)."""
+    if not os.environ.get(FAULTS_ENV_VAR):
+        return 0.0
+    raw = fault_param("clock_skew", "seconds")
+    if raw is None:
+        return 0.0
+    return float(raw)
+
+
+def maybe_kill_process(key: Optional[str] = None) -> None:
+    """SIGKILL the current process if the ``worker_kill`` fault fires."""
+    if fault_fires("worker_kill", key):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def corrupt_text(point: str, text: str, key: Optional[str] = None) -> str:
+    """Return ``text`` truncated mid-way when the fault fires (else intact)."""
+    if fault_fires(point, key):
+        return text[: max(1, len(text) // 2)]
+    return text
+
+
+def fired_counts() -> Dict[str, int]:
+    """Process-local fire counts per point (robustness telemetry)."""
+    counts: Dict[str, int] = {}
+    for spec in _active_specs():
+        if spec.fires:
+            counts[spec.point] = counts.get(spec.point, 0) + spec.fires
+    return counts

@@ -30,6 +30,7 @@ merged truth tables — so persistence cannot change any result.
 
 from __future__ import annotations
 
+import glob as _glob
 import hashlib
 import json
 import os
@@ -37,6 +38,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..faults import corrupt_text, faults_enabled
 from ..logic.boolfunc import BoolFunction
 from ..merge.merged import MergedDesign, merge_functions
 from ..merge.pinassign import PinAssignment
@@ -87,15 +89,22 @@ class SynthesisDiskCache:
     One line per entry: ``{"effort": ..., "library": <fingerprint>,
     "signature": [...], "area": ...}``.  The key includes a fingerprint of
     the cell library, so caches shared across runs never answer a query
-    synthesised under a different library.  The file is loaded once at
-    construction (corrupt or alien lines are skipped — concurrent appends
-    from worker processes interleave whole lines on POSIX, and a torn final
-    line must not poison the store) and every :meth:`put` appends and
-    flushes a single line.  All I/O failures degrade to an in-memory cache
-    rather than failing the experiment.
+    synthesised under a different library.
+
+    **Writes are interleave-safe by construction**: every process appends
+    to its *own* segment file (``synthesis_cache.<pid>.jsonl``), so two
+    concurrent writers can never interleave bytes inside one line, no
+    matter how the platform buffers appends.  Loading merges the legacy
+    shared file plus every segment; corrupt or alien lines are skipped —
+    a torn final line from a crashed writer must not poison the store.
+    All I/O failures degrade to an in-memory cache rather than failing
+    the experiment.
     """
 
     FILENAME = "synthesis_cache.jsonl"
+
+    #: Per-process segment files (``<pid>`` keeps one file per writer).
+    SEGMENT_PATTERN = "synthesis_cache.*.jsonl"
 
     #: Process-wide shared instances, keyed by absolute directory.  Loading
     #: the JSONL store is the expensive part; one load per process serves
@@ -104,7 +113,13 @@ class SynthesisDiskCache:
     _SHARED: Dict[str, "SynthesisDiskCache"] = {}
 
     def __init__(self, directory: str):
+        self.directory = directory
         self.path = os.path.join(directory, self.FILENAME)
+        #: This process's private append target — never shared, so appends
+        #: from concurrent processes cannot interleave within a line.
+        self.segment_path = os.path.join(
+            directory, f"synthesis_cache.{os.getpid()}.jsonl"
+        )
         self._entries: Dict[Tuple[str, str, Tuple[int, ...]], float] = {}
         self.loaded = 0
         self.hits = 0
@@ -133,26 +148,38 @@ class SynthesisDiskCache:
             return None
         return cls.shared(directory)
 
-    def _load(self) -> None:
+    def _store_files(self) -> List[str]:
+        """The legacy shared file plus every per-process segment, sorted."""
+        paths = {self.path}
         try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entry = json.loads(line)
-                        key = (
-                            str(entry["effort"]),
-                            str(entry["library"]),
-                            tuple(int(value) for value in entry["signature"]),
-                        )
-                        self._entries[key] = float(entry["area"])
-                        self.loaded += 1
-                    except (ValueError, KeyError, TypeError):
-                        continue  # torn or alien line; skip it
+            paths.update(
+                _glob.glob(os.path.join(self.directory, self.SEGMENT_PATTERN))
+            )
         except OSError:
             pass
+        return sorted(paths)
+
+    def _load(self) -> None:
+        for path in self._store_files():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            entry = json.loads(line)
+                            key = (
+                                str(entry["effort"]),
+                                str(entry["library"]),
+                                tuple(int(value) for value in entry["signature"]),
+                            )
+                            self._entries[key] = float(entry["area"])
+                            self.loaded += 1
+                        except (ValueError, KeyError, TypeError):
+                            continue  # torn or alien line; skip it
+            except OSError:
+                continue
 
     def get(
         self, effort: str, library: str, signature: Tuple[int, ...]
@@ -171,19 +198,25 @@ class SynthesisDiskCache:
         if key in self._entries:
             return
         self._entries[key] = area
+        line = (
+            json.dumps(
+                {
+                    "effort": effort,
+                    "library": library,
+                    "signature": list(signature),
+                    "area": area,
+                }
+            )
+            + "\n"
+        )
+        if faults_enabled():
+            # Chaos hook: a matching ``cache_corrupt`` fault truncates this
+            # line mid-write — the on-disk damage a crashed writer leaves.
+            # ``_load`` must skip exactly this line and nothing else.
+            line = corrupt_text("cache_corrupt", line, key=library)
         try:
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(
-                    json.dumps(
-                        {
-                            "effort": effort,
-                            "library": library,
-                            "signature": list(signature),
-                            "area": area,
-                        }
-                    )
-                    + "\n"
-                )
+            with open(self.segment_path, "a", encoding="utf-8") as handle:
+                handle.write(line)
                 handle.flush()
             self.appends += 1
         except OSError:
@@ -427,7 +460,11 @@ class PinOptimizationResult:
 
         record = RunTelemetry.from_cache_stats(self.cache_stats, label=label)
         return record.merged(
-            RunTelemetry.from_ga_history(self.history), label=label
+            RunTelemetry.from_ga_history(
+                self.history,
+                stopped_early=getattr(self.ga_result, "stopped_early", False),
+            ),
+            label=label,
         )
 
 

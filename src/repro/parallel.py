@@ -15,6 +15,12 @@ callers need:
 * **Graceful degradation** — if worker processes cannot be used (pickling
   failure, broken pool, restricted environment), the pool falls back to
   serial execution instead of failing the experiment.
+* **Worker supervision** — a worker process that dies mid-batch (SIGKILL,
+  OOM, segfault) no longer takes the whole batch down: finished results
+  are kept, the pool is respawned, and the unfinished items are
+  resubmitted transparently.  An item that repeatedly kills its worker
+  surfaces as :class:`WorkerCrashed` carrying the offending item index,
+  instead of an indefinite hang or an all-or-nothing serial fallback.
 
 The worker function is shipped to each worker once (via the pool
 initializer), not once per task, so a fitness callable carrying large
@@ -29,10 +35,11 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import BrokenExecutor
+from concurrent.futures import BrokenExecutor, Future
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 __all__ = [
+    "WorkerCrashed",
     "WorkerPool",
     "parallel_map",
     "resolve_jobs",
@@ -41,6 +48,23 @@ __all__ = [
     "worker_warmups",
     "JOBS_ENV_VAR",
 ]
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died (and kept dying) while computing an item.
+
+    Raised by :meth:`WorkerPool.map` / :meth:`WorkerPool.imap` when worker
+    supervision gives up: either the same item was in flight across two
+    consecutive pool crashes (it is almost certainly the killer) or the
+    pool-restart budget is spent.  ``item_index`` names the input-order
+    index of the offending item so callers can report the job it belongs
+    to.  A crash is *not* silently retried in the parent process — a task
+    that SIGKILLs its worker would take the whole run down with it.
+    """
+
+    def __init__(self, message: str, item_index: Optional[int] = None):
+        super().__init__(message)
+        self.item_index = item_index
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -130,6 +154,9 @@ class WorkerPool:
     manager or call :meth:`close` explicitly.
     """
 
+    #: Pool respawns allowed per map/imap call before WorkerCrashed is raised.
+    MAX_POOL_RESTARTS = 3
+
     def __init__(
         self, function: Callable[[T], R], jobs: int = 1, oversubscribe: bool = False
     ):
@@ -140,39 +167,36 @@ class WorkerPool:
         self.workers = jobs if oversubscribe else min(jobs, available_cpus())
         self._executor = None
         self._broken = False
+        #: Cumulative supervision counters (robustness telemetry).
+        self.worker_crashes = 0
+        self.pool_restarts = 0
 
     # -------------------------------------------------------------- #
     # Mapping
     # -------------------------------------------------------------- #
     def map(self, items: Sequence[T]) -> List[R]:
-        """Apply the function to every item, returning results in order."""
+        """Apply the function to every item, returning results in order.
+
+        Exceptions raised by the task function propagate unchanged, exactly
+        as in a serial run.  A worker process that *dies* is handled by
+        supervision: the pool is respawned and unfinished items resubmitted;
+        a persistent killer item raises :class:`WorkerCrashed`.
+        """
         items = list(items)
         if self.workers <= 1 or self._broken or len(items) <= 1:
             return [self._function(item) for item in items]
         executor = self._ensure_executor()
         if executor is None:
             return [self._function(item) for item in items]
-        chunksize = max(1, len(items) // (self.workers * 4))
-        try:
-            return list(executor.map(_call_worker, items, chunksize=chunksize))
-        except (BrokenExecutor, pickle.PicklingError):
-            # Pool infrastructure failed (killed worker, unpicklable
-            # function/items): run the batch serially and stop trying to
-            # parallelise this pool.  Exceptions raised by the task function
-            # itself are NOT caught — they propagate unchanged, exactly as
-            # in a serial run, instead of silently re-running the batch.
-            self._broken = True
-            self._shutdown()
-            return [self._function(item) for item in items]
+        return list(self._supervised(items, executor))
 
     def imap(self, items: Sequence[T]):
         """Lazily yield results in input order as they become available.
 
-        Same semantics as :meth:`map` (ordering, serial fallback, graceful
-        pool degradation), but results stream out one by one, so a consumer
-        can checkpoint each finished item before the whole batch is done —
-        the campaign runner persists per-job state this way.  On a pool
-        failure mid-stream the not-yet-yielded items run serially.
+        Same semantics as :meth:`map` (ordering, serial fallback, worker
+        supervision), but results stream out one by one, so a consumer can
+        checkpoint each finished item before the whole batch is done — the
+        campaign runner persists per-job state this way.
         """
         items = list(items)
         executor = None
@@ -182,17 +206,88 @@ class WorkerPool:
             for item in items:
                 yield self._function(item)
             return
-        chunksize = max(1, len(items) // (self.workers * 4))
-        yielded = 0
-        try:
-            for result in executor.map(_call_worker, items, chunksize=chunksize):
-                yielded += 1
-                yield result
-        except (BrokenExecutor, pickle.PicklingError):
-            self._broken = True
-            self._shutdown()
-            for item in items[yielded:]:
-                yield self._function(item)
+        yield from self._supervised(items, executor)
+
+    # -------------------------------------------------------------- #
+    # Supervised execution
+    # -------------------------------------------------------------- #
+    @staticmethod
+    def _keepable(future: Future) -> bool:
+        """Did this future finish with a genuine task outcome?
+
+        Results and real task exceptions survive a pool crash; cancelled
+        futures and infrastructure failures (BrokenExecutor) must re-run.
+        """
+        if not future.done() or future.cancelled():
+            return False
+        exception = future.exception()
+        return exception is None or not isinstance(exception, BrokenExecutor)
+
+    def _supervised(self, items: Sequence[T], executor):
+        """Yield results in order, respawning the pool around dead workers."""
+        futures: List[Future] = [executor.submit(_call_worker, item) for item in items]
+        blamed: Optional[int] = None
+        restarts_this_batch = 0
+        index = 0
+        while index < len(items):
+            try:
+                result = futures[index].result()
+            except pickle.PicklingError:
+                # Unpicklable item: parallelism cannot work for this pool.
+                # Keep everything already finished, run the rest inline.
+                self._broken = True
+                self._shutdown()
+                for position in range(index, len(items)):
+                    future = futures[position]
+                    if self._keepable(future):
+                        yield future.result()
+                    else:
+                        yield self._function(items[position])
+                return
+            except BrokenExecutor:
+                # A worker process died.  The oldest unfinished item (this
+                # one) is the prime suspect: if it was already blamed for
+                # the previous crash, resubmitting it would kill the next
+                # pool too — surface it instead of looping forever.
+                self.worker_crashes += 1
+                if blamed == index:
+                    self._shutdown()
+                    raise WorkerCrashed(
+                        f"worker process died twice while computing item {index}; "
+                        "not resubmitting it again",
+                        item_index=index,
+                    )
+                if restarts_this_batch >= self.MAX_POOL_RESTARTS:
+                    self._shutdown()
+                    raise WorkerCrashed(
+                        f"worker pool crashed around item {index} after "
+                        f"{restarts_this_batch} restarts in one batch; giving up",
+                        item_index=index,
+                    )
+                blamed = index
+                restarts_this_batch += 1
+                self.pool_restarts += 1
+                self._shutdown()
+                executor = self._ensure_executor()
+                if executor is None:
+                    # Could not respawn (restricted environment): finish the
+                    # batch inline rather than dropping results.
+                    self._broken = True
+                    for position in range(index, len(items)):
+                        future = futures[position]
+                        if self._keepable(future):
+                            yield future.result()
+                        else:
+                            yield self._function(items[position])
+                    return
+                for position in range(index, len(items)):
+                    if not self._keepable(futures[position]):
+                        futures[position] = executor.submit(
+                            _call_worker, items[position]
+                        )
+                continue
+            yield result
+            index += 1
 
     def _ensure_executor(self):
         if self._executor is not None:
@@ -200,6 +295,11 @@ class WorkerPool:
         try:
             from concurrent.futures import ProcessPoolExecutor
 
+            # Pre-flight: an unpicklable worker function can never reach a
+            # worker process; degrade to serial deterministically instead of
+            # letting every worker die at initialisation (which supervision
+            # would misread as a crashing task).
+            pickle.dumps(self._function)
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_install_worker,

@@ -8,10 +8,13 @@ from .equivalence import (
     check_netlist_function,
 )
 from .solver import (
+    BUDGET_ENV_VAR,
     RESTART_ENV_VAR,
     RESTART_STRATEGIES,
     SatResult,
     SatSolver,
+    SolveBudget,
+    SolveBudgetExceeded,
     solve,
 )
 from .tseitin import encode_function, encode_netlist, equality_clauses
@@ -20,7 +23,10 @@ __all__ = [
     "Cnf",
     "SatSolver",
     "SatResult",
+    "SolveBudget",
+    "SolveBudgetExceeded",
     "solve",
+    "BUDGET_ENV_VAR",
     "RESTART_ENV_VAR",
     "RESTART_STRATEGIES",
     "encode_function",

@@ -42,7 +42,7 @@ from ..sim.prefilter import (
 )
 from ..sim.patterns import ReplayBuffer
 from .cnf import Cnf
-from .solver import SatSolver
+from .solver import SatSolver, SolveBudget, SolveBudgetExceeded
 from .tseitin import encode_function, encode_netlist
 
 __all__ = [
@@ -52,6 +52,18 @@ __all__ = [
     "check_netlist_equivalence",
     "check_netlist_function",
 ]
+
+# An equivalence verdict feeds verification decisions that are *persisted*
+# (stitched-netlist checks, campaign artifacts), so an UNKNOWN solver result
+# must never be coerced into "not equivalent".  Budgeted checks raise
+# SolveBudgetExceeded instead; callers either escalate the budget or let the
+# campaign layer classify the failure as transient and retry.
+
+
+def _raise_budget_exceeded(context: str) -> None:
+    raise SolveBudgetExceeded(
+        f"{context} exhausted its solve budget before reaching a verdict"
+    )
 
 
 @dataclass
@@ -114,9 +126,11 @@ class EquivalenceChecker:
         prefilter: Optional[bool] = None,
         fuzz_patterns: int = 64,
         fuzz_seed: int = 1,
+        budget: Optional[SolveBudget] = None,
     ):
         self._netlist = netlist
         self._cell_functions = dict(cell_functions) if cell_functions else None
+        self._budget = budget
         self._prefilter = fuzz_enabled(prefilter)
         self._fuzz_patterns = fuzz_patterns
         self._fuzz_seed = fuzz_seed
@@ -203,9 +217,11 @@ class EquivalenceChecker:
             pairs.append((self._net_vars[net], reference))
         add_difference_miter(self._cnf, pairs, activation=activation)
 
-        result = solver.solve(assumptions=[activation])
+        result = solver.solve(assumptions=[activation], budget=self._budget)
         # Retire this miter; later checks must not be forced to differ here.
         self._cnf.add_clause([-activation])
+        if result.unknown:
+            _raise_budget_exceeded("equivalence check (netlist vs function)")
         if not result.satisfiable:
             return EquivalenceResult(True)
         counterexample = {}
@@ -248,6 +264,7 @@ def check_netlist_equivalence(
     prefilter: Optional[bool] = None,
     fuzz_patterns: Optional[int] = None,
     jobs: int = 1,
+    budget: Optional[SolveBudget] = None,
 ) -> EquivalenceResult:
     """Check that two netlists implement the same function.
 
@@ -296,7 +313,9 @@ def check_netlist_equivalence(
     ]
     add_difference_miter(cnf, pairs)
 
-    result = SatSolver(cnf).solve()
+    result = SatSolver(cnf).solve(budget=budget)
+    if result.unknown:
+        _raise_budget_exceeded("equivalence check (netlist vs netlist)")
     if not result.satisfiable:
         return EquivalenceResult(True)
     counterexample = {
@@ -311,14 +330,16 @@ def check_netlist_function(
     function: BoolFunction,
     cell_functions: Optional[Mapping[str, TruthTable]] = None,
     prefilter: Optional[bool] = None,
+    budget: Optional[SolveBudget] = None,
 ) -> EquivalenceResult:
     """Check that a netlist implements a given multi-output function.
 
     Netlist primary input ``k`` corresponds to function variable ``k`` and
     primary output ``k`` to function output ``k``.  One-shot wrapper around
     :class:`EquivalenceChecker`; ``prefilter`` enables the fuzz-before-SAT
-    fast path.
+    fast path.  A budgeted check raises :class:`SolveBudgetExceeded` when
+    the verdict cannot be reached within the budget.
     """
     return EquivalenceChecker(
-        netlist, cell_functions=cell_functions, prefilter=prefilter
+        netlist, cell_functions=cell_functions, prefilter=prefilter, budget=budget
     ).check_function(function)

@@ -53,21 +53,29 @@ from __future__ import annotations
 
 import heapq
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..faults import fault_fires, faults_enabled
 from .cnf import Cnf
 
 __all__ = [
     "SatResult",
     "SatSolver",
+    "SolveBudget",
+    "SolveBudgetExceeded",
     "solve",
     "RESTART_ENV_VAR",
     "RESTART_STRATEGIES",
+    "BUDGET_ENV_VAR",
 ]
 
 #: Environment variable selecting the default restart strategy by name.
 RESTART_ENV_VAR = "REPRO_RESTARTS"
+
+#: Environment variable supplying a default per-call solve budget spec.
+BUDGET_ENV_VAR = "REPRO_SOLVE_BUDGET"
 
 #: Restart strategies accepted by :class:`SatSolver`.
 RESTART_STRATEGIES = ("geometric", "luby")
@@ -77,15 +85,133 @@ _TRUE = 1
 _FALSE = -1
 
 
+class SolveBudgetExceeded(RuntimeError):
+    """A solve-dependent answer could not be produced within its budget.
+
+    Raised by clients (equivalence checking, plausibility oracles) whose
+    callers need a definite yes/no: an UNKNOWN verdict must never be
+    silently coerced into SAT or UNSAT, so it surfaces as this exception
+    instead.  The campaign runner classifies it as a *transient* failure
+    and retries the job with an escalated budget.
+    """
+
+
+@dataclass(frozen=True)
+class SolveBudget:
+    """Per-``solve``-call resource limits (``None`` = unlimited).
+
+    A budget turns the solver's open-ended search into an anytime
+    computation: when any limit is hit the call returns a result with
+    ``status == "unknown"`` instead of running forever.  Limits are per
+    call, not cumulative over the solver's lifetime.
+    """
+
+    max_conflicts: Optional[int] = None
+    max_propagations: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+    def __post_init__(self):
+        for name in ("max_conflicts", "max_propagations", "max_seconds"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+
+    @property
+    def unbounded(self) -> bool:
+        """True when no limit is set (equivalent to no budget at all)."""
+        return (
+            self.max_conflicts is None
+            and self.max_propagations is None
+            and self.max_seconds is None
+        )
+
+    def scaled(self, factor: float) -> "SolveBudget":
+        """A budget with every limit multiplied by ``factor`` (escalation)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return SolveBudget(
+            max_conflicts=(
+                None if self.max_conflicts is None else max(1, int(self.max_conflicts * factor))
+            ),
+            max_propagations=(
+                None
+                if self.max_propagations is None
+                else max(1, int(self.max_propagations * factor))
+            ),
+            max_seconds=None if self.max_seconds is None else self.max_seconds * factor,
+        )
+
+    def to_spec(self) -> str:
+        """Inverse of :meth:`from_spec` (used to ship budgets to workers)."""
+        parts = []
+        if self.max_conflicts is not None:
+            parts.append(f"conflicts={self.max_conflicts}")
+        if self.max_propagations is not None:
+            parts.append(f"propagations={self.max_propagations}")
+        if self.max_seconds is not None:
+            parts.append(f"seconds={self.max_seconds}")
+        return ",".join(parts)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "SolveBudget":
+        """Parse ``"conflicts=20000,propagations=5e6,seconds=2.5"``."""
+        limits: Dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, separator, value = part.partition("=")
+            key = key.strip()
+            if not separator or key not in ("conflicts", "propagations", "seconds"):
+                raise ValueError(
+                    f"bad solve-budget entry {part!r}; expected "
+                    "conflicts=N, propagations=N, or seconds=X"
+                )
+            limits[key] = float(value)
+        return cls(
+            max_conflicts=int(limits["conflicts"]) if "conflicts" in limits else None,
+            max_propagations=(
+                int(limits["propagations"]) if "propagations" in limits else None
+            ),
+            max_seconds=limits.get("seconds"),
+        )
+
+    @classmethod
+    def from_environment(cls) -> Optional["SolveBudget"]:
+        """Budget from ``REPRO_SOLVE_BUDGET``, or None when unset/empty."""
+        raw = os.environ.get(BUDGET_ENV_VAR, "").strip()
+        if not raw:
+            return None
+        budget = cls.from_spec(raw)
+        return None if budget.unbounded else budget
+
+
 @dataclass
 class SatResult:
-    """Outcome of a SAT call (statistics are per call, not cumulative)."""
+    """Outcome of a SAT call (statistics are per call, not cumulative).
+
+    ``status`` is the three-valued verdict: ``"sat"``, ``"unsat"``, or
+    ``"unknown"`` (solve budget exhausted / injected fault).  The historic
+    ``satisfiable`` flag is kept in sync for two-valued callers — but an
+    UNKNOWN result reports ``satisfiable=False``, so budget-aware callers
+    must check :attr:`unknown` before trusting it.
+    """
 
     satisfiable: bool
     model: Dict[int, bool] = field(default_factory=dict)
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+    status: str = ""
+
+    def __post_init__(self):
+        if not self.status:
+            self.status = "sat" if self.satisfiable else "unsat"
+
+    @property
+    def unknown(self) -> bool:
+        """True when the call exhausted its budget without a verdict."""
+        return self.status == "unknown"
 
     def value(self, variable: int) -> Optional[bool]:
         """Value of a variable in the model (None when unconstrained/UNSAT)."""
@@ -141,6 +267,7 @@ class SatSolver:
         self.propagations = 0
         self.solve_calls = 0
         self.restarts = 0
+        self.budget_exhaustions = 0
 
         if formula is not None:
             self.reserve_vars(formula.num_vars)
@@ -463,7 +590,9 @@ class SatSolver:
     # -------------------------------------------------------------- #
     # Main loop
     # -------------------------------------------------------------- #
-    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+    def solve(
+        self, assumptions: Sequence[int] = (), budget: Optional[SolveBudget] = None
+    ) -> SatResult:
         """Solve the current clause database, optionally under assumptions.
 
         Assumptions are literals tried as the first decisions; a failure
@@ -471,6 +600,13 @@ class SatSolver:
         leaves the solver usable for later calls, while a conflict at
         decision level 0 proves the clause database itself unsatisfiable
         (every later call returns UNSAT immediately).
+
+        With a :class:`SolveBudget` the call additionally returns a result
+        with ``status == "unknown"`` once any limit is hit (checked at
+        conflict events, so the unbudgeted hot path pays a single ``is
+        None`` test per conflict).  The solver stays usable afterwards —
+        re-solving with a larger budget resumes from the learned clauses
+        accumulated so far.
         """
         self.solve_calls += 1
         stats_base = (self.conflicts, self.decisions, self.propagations)
@@ -478,8 +614,16 @@ class SatSolver:
             if literal == 0:
                 raise ValueError("0 is not a valid assumption literal")
             self.reserve_vars(abs(literal))
+        if faults_enabled() and fault_fires("solver_unknown"):
+            self.budget_exhaustions += 1
+            return self._unknown_result(stats_base)
         if self._trivially_unsat:
             return self._unsat_result(stats_base)
+        if budget is not None and budget.unbounded:
+            budget = None
+        deadline = None
+        if budget is not None and budget.max_seconds is not None:
+            deadline = time.monotonic() + budget.max_seconds
         self._backtrack(0)
         # No pending propagation can exist here: add_clause drains the queue
         # after every unit it enqueues, so any level-0 conflict would already
@@ -507,6 +651,12 @@ class SatSolver:
                 if self._decision_level() == 0:
                     self._trivially_unsat = True
                     return self._unsat_result(stats_base)
+                if budget is not None and self._budget_exhausted(
+                    budget, stats_base, deadline
+                ):
+                    self.budget_exhaustions += 1
+                    self._backtrack(0)
+                    return self._unknown_result(stats_base)
                 learned, backtrack_level = self._analyze(conflict)
                 self._backtrack(backtrack_level)
                 if len(learned) == 1:
@@ -557,6 +707,26 @@ class SatSolver:
     # -------------------------------------------------------------- #
     # Results / statistics
     # -------------------------------------------------------------- #
+    def _budget_exhausted(
+        self,
+        budget: SolveBudget,
+        stats_base: Tuple[int, int, int],
+        deadline: Optional[float],
+    ) -> bool:
+        if (
+            budget.max_conflicts is not None
+            and self.conflicts - stats_base[0] >= budget.max_conflicts
+        ):
+            return True
+        if (
+            budget.max_propagations is not None
+            and self.propagations - stats_base[2] >= budget.max_propagations
+        ):
+            return True
+        if deadline is not None and time.monotonic() >= deadline:
+            return True
+        return False
+
     def stats(self) -> Dict[str, int]:
         """Cumulative statistics over the lifetime of this solver."""
         return {
@@ -565,6 +735,7 @@ class SatSolver:
             "decisions": self.decisions,
             "propagations": self.propagations,
             "restarts": self.restarts,
+            "budget_exhaustions": self.budget_exhaustions,
             "num_vars": self._num_vars,
             "num_clauses": self._num_problem_clauses,
             "learned_clauses": self._num_learned,
@@ -592,7 +763,20 @@ class SatSolver:
             propagations=self.propagations - stats_base[2],
         )
 
+    def _unknown_result(self, stats_base: Tuple[int, int, int]) -> SatResult:
+        return SatResult(
+            False,
+            status="unknown",
+            conflicts=self.conflicts - stats_base[0],
+            decisions=self.decisions - stats_base[1],
+            propagations=self.propagations - stats_base[2],
+        )
 
-def solve(formula: Cnf, assumptions: Sequence[int] = ()) -> SatResult:
+
+def solve(
+    formula: Cnf,
+    assumptions: Sequence[int] = (),
+    budget: Optional[SolveBudget] = None,
+) -> SatResult:
     """Convenience wrapper: build a solver and solve the formula once."""
-    return SatSolver(formula).solve(assumptions)
+    return SatSolver(formula).solve(assumptions, budget=budget)

@@ -35,11 +35,15 @@ import io
 import json
 import os
 import pickle
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..parallel import WorkerPool, resolve_jobs
+from ..faults import corrupt_text, faults_enabled, fired_counts, maybe_kill_process
+from ..jobstore import JobStore, Lease, LeaseLost, RetryPolicy, classify_failure
+from ..parallel import WorkerCrashed, WorkerPool, resolve_jobs
+from ..sat.solver import BUDGET_ENV_VAR, SolveBudget, SolveBudgetExceeded
 from ..telemetry import RunTelemetry
 
 __all__ = [
@@ -220,6 +224,14 @@ def _run_attack(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, dict]:
         presample=params.get("presample"),
         jobs=task_jobs,
     )
+    if outcome.timed_out:
+        # A partial attack transcript must not be persisted as a verdict;
+        # surfacing the budget exhaustion lets the campaign retry the job
+        # with an escalated budget (and mark it "timed_out" if that fails).
+        raise SolveBudgetExceeded(
+            f"oracle-guided attack exhausted its solve budget after "
+            f"{outcome.num_queries} DIP queries"
+        )
     payload = {
         "success": outcome.success,
         "dip_queries": outcome.num_queries,
@@ -401,6 +413,37 @@ def _run_window_obfuscate(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, 
     return record, payload
 
 
+def _run_probe(params: Dict[str, Any], task_jobs: int) -> Tuple[Any, dict]:
+    """Self-test job: a cheap, deterministic workload for chaos testing.
+
+    Computes a digest of its own parameters (so the payload proves which
+    parameters actually executed) with two optional behaviours the fault
+    and recovery tests rely on:
+
+    * ``sleep`` — hold the job open for the given number of seconds, so
+      lease/heartbeat behaviour can be observed mid-flight.
+    * ``fail_marker`` — a file path; when the file does not exist yet the
+      job creates it and raises :class:`OSError` (a *transient* failure).
+      The retried attempt finds the marker and succeeds, which exercises
+      the retry/backoff machinery end to end without any randomness.
+    """
+    marker = params.get("fail_marker")
+    if marker and not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write(f"{os.getpid()}\n")
+        raise OSError(f"probe failing transiently (marker {marker} created)")
+    delay = float(params.get("sleep", 0.0))
+    if delay > 0:
+        time.sleep(delay)
+    blob = json.dumps(
+        {key: value for key, value in params.items() if key != "fail_marker"},
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    payload = {"digest": digest, "value": params.get("value", 0)}
+    return digest, payload
+
+
 def _read_blif_workload(path: str):
     """Parse a BLIF circuit over the standard cell library."""
     from ..netlist.blif import read_blif
@@ -462,6 +505,7 @@ JOB_KINDS: Dict[str, Callable[[Dict[str, Any], int], Tuple[Any, dict]]] = {
     "decamouflage": _run_decamouflage,
     "random_camo": _run_random_camo,
     "window_obfuscate": _run_window_obfuscate,
+    "probe": _run_probe,
 }
 
 
@@ -724,7 +768,7 @@ class JobResult:
 
     job_id: str
     kind: str
-    status: str  # "ok" | "error" | "pending"
+    status: str  # "ok" | "error" | "timed_out" | "pending"
     seconds: float = 0.0
     payload: Dict[str, Any] = field(default_factory=dict)
     cached: bool = False
@@ -733,6 +777,11 @@ class JobResult:
     #: The original exception of an "error" result (not persisted; wrappers
     #: chain it so library callers keep the real type and traceback).
     exception: Optional[BaseException] = None
+    #: How many attempts this invocation spent on the job (1 = first try
+    #: succeeded; 0 = cached/pending) and which store owner ran the last
+    #: one — the per-job evidence trail behind "every job ran exactly once".
+    attempts: int = 0
+    owner: str = ""
 
     @property
     def ok(self) -> bool:
@@ -748,6 +797,11 @@ class CampaignResult:
     results: List[JobResult]
     total_seconds: float
     jobs: int = 1
+    #: Runner-level robustness counters (retries, lease traffic, worker
+    #: crashes, fired faults).  Kept separate from :meth:`telemetry` — that
+    #: record is a pure function of the job payloads, so chaos runs still
+    #: produce byte-identical job artifacts.
+    robustness: Dict[str, float] = field(default_factory=dict)
 
     @property
     def completed(self) -> List[JobResult]:
@@ -766,8 +820,12 @@ class CampaignResult:
 
     @property
     def failed(self) -> List[JobResult]:
-        """Jobs that raised."""
-        return [result for result in self.results if result.status == "error"]
+        """Jobs that raised — including budget exhaustions ("timed_out")."""
+        return [
+            result
+            for result in self.results
+            if result.status in ("error", "timed_out")
+        ]
 
     @property
     def pending(self) -> List[JobResult]:
@@ -818,6 +876,7 @@ class CampaignResult:
                 result.job_id: result.seconds for result in completed
             },
             "telemetry": self.telemetry().to_dict()["scopes"],
+            "robustness": dict(sorted(self.robustness.items())),
         }
 
     def telemetry(self, label: str = "") -> RunTelemetry:
@@ -939,36 +998,112 @@ def _portable_exception(exc: BaseException) -> Optional[BaseException]:
         return None
 
 
-def _execute_job_task(task: Tuple[CampaignJob, int, bool]) -> JobResult:
+def _execute_job_task(task: Tuple) -> JobResult:
     """Worker task: run one campaign job (module-level so it pickles).
 
     With ``capture_errors`` a failure becomes an "error" JobResult (a sweep
     with on-disk state must record its siblings); without it the exception
     propagates, which is how fail-fast wrappers abort a sweep immediately.
+
+    The optional fourth tuple element is a solve-budget spec
+    (:meth:`~repro.sat.solver.SolveBudget.to_spec`): it is installed in the
+    executing process's environment for the duration of the job, which is
+    how the runner escalates budgets per retry attempt without touching the
+    job's fingerprinted parameters.
     """
-    job, task_jobs, capture_errors = task
+    if len(task) == 3:
+        (job, task_jobs, capture_errors), budget_spec = task, ""
+    else:
+        job, task_jobs, capture_errors, budget_spec = task
+    if faults_enabled():
+        # Chaos hook: a matching ``worker_kill`` fault SIGKILLs this process
+        # right here, at job start — the hard-crash case supervision,
+        # leases, and resumable state exist for.
+        maybe_kill_process(job.job_id)
+    previous_budget = os.environ.get(BUDGET_ENV_VAR)
+    if budget_spec:
+        os.environ[BUDGET_ENV_VAR] = budget_spec
     start = time.perf_counter()
     try:
-        value, payload = JOB_KINDS[job.kind](job.params, task_jobs)
-    except Exception as exc:
-        if not capture_errors:
-            raise
+        try:
+            value, payload = JOB_KINDS[job.kind](job.params, task_jobs)
+        except Exception as exc:
+            if not capture_errors:
+                raise
+            return JobResult(
+                job_id=job.job_id,
+                kind=job.kind,
+                status="error",
+                seconds=time.perf_counter() - start,
+                error=f"{type(exc).__name__}: {exc}",
+                exception=_portable_exception(exc),
+            )
         return JobResult(
             job_id=job.job_id,
             kind=job.kind,
-            status="error",
+            status="ok",
             seconds=time.perf_counter() - start,
-            error=f"{type(exc).__name__}: {exc}",
-            exception=_portable_exception(exc),
+            payload=payload,
+            value=value,
         )
-    return JobResult(
-        job_id=job.job_id,
-        kind=job.kind,
-        status="ok",
-        seconds=time.perf_counter() - start,
-        payload=payload,
-        value=value,
-    )
+    finally:
+        if budget_spec:
+            if previous_budget is None:
+                os.environ.pop(BUDGET_ENV_VAR, None)
+            else:
+                os.environ[BUDGET_ENV_VAR] = previous_budget
+
+
+class _LeaseKeeper:
+    """Background heartbeat for the leases a runner currently holds.
+
+    A daemon thread refreshes every registered lease each TTL/3, so a lease
+    only goes stale after three consecutive missed heartbeats — i.e. when
+    the owning process is genuinely wedged or dead, not merely busy.  A
+    lease that comes back :class:`LeaseLost` (stolen after an expiry the
+    heartbeat was too late to prevent) is dropped and counted; the job's
+    own completion path discovers the theft when it tries to release.
+    """
+
+    def __init__(self, store: JobStore):
+        self._store = store
+        self._leases: Dict[str, Lease] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.lost = 0
+
+    def add(self, lease: Lease) -> None:
+        with self._lock:
+            self._leases[lease.job_id] = lease
+
+    def remove(self, job_id: str) -> None:
+        with self._lock:
+            self._leases.pop(job_id, None)
+
+    def __enter__(self) -> "_LeaseKeeper":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self._store.lease_ttl)
+
+    def _run(self) -> None:
+        interval = self._store.lease_ttl / 3.0
+        while not self._stop.wait(interval):
+            with self._lock:
+                leases = list(self._leases.values())
+            for lease in leases:
+                try:
+                    self._store.heartbeat(lease)
+                except LeaseLost:
+                    self.lost += 1
+                    self.remove(lease.job_id)
+                except OSError:
+                    pass  # transient I/O: the next beat retries
 
 
 class CampaignRunner:
@@ -978,9 +1113,24 @@ class CampaignRunner:
     ``<state_dir>/<job_id>.json`` (atomic rename); a later run loads those
     files, verifies the parameter fingerprint, and skips matching jobs.
     Failed jobs are never persisted, so they retry on the next run.
+
+    A ``state_dir`` also turns the directory into a lease-based
+    :class:`~repro.jobstore.JobStore`: several concurrent runner processes
+    can share it and every pending job is executed exactly once — claiming
+    is atomic, held leases are heartbeated, and a crashed peer's lease is
+    reclaimed so its job re-runs from the last persisted state.
+
+    Transient failures (crashed workers, exhausted solve budgets, I/O
+    errors) are retried under ``retry_policy`` with capped exponential
+    backoff; a solve budget (``solve_budget`` or ``REPRO_SOLVE_BUDGET``)
+    is doubled on every retry and a job still timing out when attempts run
+    out finishes as ``"timed_out"`` instead of looping forever.
     """
 
     STATE_SUFFIX = ".json"
+
+    #: Poll interval while every remaining job is leased by a live peer.
+    PEER_POLL_SECONDS = 0.1
 
     def __init__(
         self,
@@ -988,11 +1138,25 @@ class CampaignRunner:
         state_dir: Optional[str] = None,
         jobs: Optional[int] = None,
         progress: Optional[Callable[[str], None]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        solve_budget: Optional[SolveBudget] = None,
+        lease_ttl: Optional[float] = None,
+        oversubscribe: bool = False,
     ):
         self.spec = spec
         self.state_dir = state_dir
         self.jobs = resolve_jobs(jobs)
         self._progress = progress or (lambda message: None)
+        self.retry_policy = retry_policy or RetryPolicy.from_environment()
+        self._solve_budget = (
+            solve_budget if solve_budget is not None else SolveBudget.from_environment()
+        )
+        self._lease_ttl = lease_ttl
+        #: Spawn ``jobs`` worker processes even beyond the CPU count.  Off
+        #: by default (extra workers only duplicate compute); wait-heavy
+        #: sweeps and crash-isolation (a dying worker must not be this
+        #: process) justify turning it on.
+        self.oversubscribe = oversubscribe
 
     # -------------------------------------------------------------- #
     # State files
@@ -1027,6 +1191,8 @@ class CampaignRunner:
             seconds=float(data.get("seconds", 0.0)),
             payload=dict(data.get("payload", {})),
             cached=True,
+            attempts=int(data.get("attempts", 0)),
+            owner=str(data.get("owner", "")),
         )
 
     def _save_state(self, job: CampaignJob, result: JobResult) -> None:
@@ -1039,15 +1205,36 @@ class CampaignRunner:
             "status": result.status,
             "seconds": result.seconds,
             "payload": result.payload,
+            "attempts": result.attempts,
+            "owner": result.owner,
         }
-        _atomic_write(
-            self._state_path(job),
-            json.dumps(document, indent=2, sort_keys=True, default=str) + "\n",
-        )
+        text = json.dumps(document, indent=2, sort_keys=True, default=str) + "\n"
+        if faults_enabled():
+            # Chaos hook: a matching ``torn_state`` fault persists only the
+            # first half of the document — the partial flush a crash
+            # mid-write would leave.  ``_load_state`` must reject it and
+            # re-run exactly this job on the next invocation.
+            text = corrupt_text("torn_state", text, job.job_id)
+        _atomic_write(self._state_path(job), text)
 
     # -------------------------------------------------------------- #
     # Execution
     # -------------------------------------------------------------- #
+    def _attempt_budget_spec(self, prior_failures: int) -> str:
+        """Solve-budget spec for the next attempt (doubled per failure)."""
+        if self._solve_budget is None:
+            return ""
+        if prior_failures <= 0:
+            return self._solve_budget.to_spec()
+        return self._solve_budget.scaled(2.0 ** prior_failures).to_spec()
+
+    @staticmethod
+    def _is_timeout(result: JobResult) -> bool:
+        """Did this error result come from an exhausted solve budget?"""
+        if isinstance(result.exception, SolveBudgetExceeded):
+            return True
+        return result.error.split(":", 1)[0].strip() == "SolveBudgetExceeded"
+
     def run(
         self, limit: Optional[int] = None, fail_fast: bool = False
     ) -> CampaignResult:
@@ -1061,7 +1248,15 @@ class CampaignRunner:
         (remaining serial jobs do not run; in-flight parallel work is
         abandoned) instead of being recorded as an "error" result — the
         pre-campaign sweep-loop behaviour the ``table1``/``figure4``
-        wrappers preserve.
+        wrappers preserve.  Fail-fast also disables the retry machinery:
+        the caller asked for the first exception, not for healing.
+
+        Execution proceeds in *rounds*: each round claims every currently
+        runnable job (not backed off, not leased by a live peer), fans the
+        claims over the worker pool, and checkpoints results as they
+        stream back.  Failed jobs re-enter later rounds while retries
+        remain; jobs leased by peers are polled until the peer's state
+        lands (adopted as cached) or its lease goes stale (reclaimed).
         """
         start = time.perf_counter()
         slots: Dict[str, JobResult] = {}
@@ -1081,35 +1276,32 @@ class CampaignRunner:
                 )
             pending = pending[:limit]
 
+        robustness: Dict[str, float] = {}
+
+        def bump(key: str, amount: float = 1) -> None:
+            robustness[key] = robustness.get(key, 0) + amount
+
+        store: Optional[JobStore] = None
+        if self.state_dir is not None and pending:
+            store = JobStore(self.state_dir, lease_ttl=self._lease_ttl)
+
         if pending:
-            # Mirror the historical sweep split: concurrent rows share the
-            # worker budget, any leftover is handed down to each job's own
-            # parallelism (nested pools are supported).
-            capture_errors = not fail_fast
-            parallel = self.jobs > 1 and len(pending) > 1
-            task_jobs = max(1, self.jobs // len(pending)) if parallel else self.jobs
-            if parallel:
-                for job in pending:
-                    self._progress(f"{job.job_id}: queued (jobs={self.jobs})")
-            tasks = [(job, task_jobs, capture_errors) for job in pending]
-            # Results stream back in job order and each is checkpointed as
-            # it lands, so an interrupted run — serial or parallel, even a
-            # fail-fast abort mid-sweep — leaves every finished job's state
-            # on disk for the next invocation to resume from.
-            with WorkerPool(_execute_job_task, jobs=self.jobs) as pool:
-                results = pool.imap(tasks)
-                for job in pending:
-                    if not parallel:
-                        # Serial execution is lazy: the job runs when the
-                        # next result is pulled, so this line precedes it.
-                        self._progress(f"{job.job_id}: running")
-                    result = next(results)
-                    self._save_state(job, result)
-                    slots[job.job_id] = result
-                    self._progress(
-                        f"{job.job_id}: {result.status} ({result.seconds:.1f}s)"
-                        + (f" {result.error}" if result.error else "")
-                    )
+            with WorkerPool(
+                _execute_job_task, jobs=self.jobs, oversubscribe=self.oversubscribe
+            ) as pool:
+                self._run_rounds(
+                    pending, slots, pool, store, fail_fast=fail_fast, bump=bump
+                )
+            bump("worker_crashes", pool.worker_crashes)
+            bump("pool_restarts", pool.pool_restarts)
+
+        if store is not None:
+            bump("lease_claims", store.claims)
+            bump("lease_conflicts", store.claim_conflicts)
+            bump("lease_reclaims", store.reclaims)
+        if faults_enabled():
+            for point, count in sorted(fired_counts().items()):
+                bump(f"fault_{point}", count)
 
         ordered = [slots[job.job_id] for job in self.spec.jobs]
         return CampaignResult(
@@ -1117,7 +1309,191 @@ class CampaignRunner:
             results=ordered,
             total_seconds=time.perf_counter() - start,
             jobs=self.jobs,
+            robustness={key: value for key, value in robustness.items() if value},
         )
+
+    def _run_rounds(
+        self,
+        pending: List[CampaignJob],
+        slots: Dict[str, JobResult],
+        pool: WorkerPool,
+        store: Optional[JobStore],
+        fail_fast: bool,
+        bump: Callable[..., None],
+    ) -> None:
+        """Drive ``pending`` to completion through claim/execute rounds."""
+        capture_errors = not fail_fast
+        failures: Dict[str, int] = {}
+        not_before: Dict[str, float] = {}
+        remaining: List[CampaignJob] = list(pending)
+
+        while remaining:
+            now = time.monotonic()
+            # A peer sharing the store may have finished some jobs since the
+            # last round: adopt their persisted state instead of re-claiming.
+            if store is not None:
+                for job in list(remaining):
+                    restored = self._load_state(job)
+                    if restored is not None:
+                        slots[job.job_id] = restored
+                        remaining.remove(job)
+                        self._progress(
+                            f"{job.job_id}: cached (completed by a peer)"
+                        )
+            if not remaining:
+                return
+
+            runnable: List[CampaignJob] = []
+            leases: Dict[str, Lease] = {}
+            for job in remaining:
+                if not_before.get(job.job_id, 0.0) > now:
+                    continue  # still backing off
+                if store is not None:
+                    lease = store.claim(job.job_id)
+                    if lease is None:
+                        continue  # a live peer holds it; poll again later
+                    leases[job.job_id] = lease
+                runnable.append(job)
+
+            if not runnable:
+                # Everything left is backed off or peer-held: sleep until
+                # the earliest backoff expires (or one poll interval).
+                waits = [
+                    not_before[job.job_id] - now
+                    for job in remaining
+                    if not_before.get(job.job_id, 0.0) > now
+                ]
+                if waits:
+                    time.sleep(min(max(min(waits), 0.01), self.PEER_POLL_SECONDS))
+                else:
+                    time.sleep(self.PEER_POLL_SECONDS)
+                continue
+
+            # Mirror the historical sweep split: concurrent rows share the
+            # worker budget, any leftover is handed down to each job's own
+            # parallelism (nested pools are supported).
+            parallel = self.jobs > 1 and len(runnable) > 1
+            task_jobs = max(1, self.jobs // len(runnable)) if parallel else self.jobs
+            if parallel:
+                for job in runnable:
+                    self._progress(f"{job.job_id}: queued (jobs={self.jobs})")
+            tasks = [
+                (
+                    job,
+                    task_jobs,
+                    capture_errors,
+                    self._attempt_budget_spec(failures.get(job.job_id, 0)),
+                )
+                for job in runnable
+            ]
+
+            completed: Dict[str, JobResult] = {}
+            crashed: Optional[WorkerCrashed] = None
+            crashed_position = -1
+            keeper = _LeaseKeeper(store) if store is not None else None
+            released: set = set()
+
+            def let_go(job_id: str, status: str) -> None:
+                if store is None or job_id in released:
+                    return
+                released.add(job_id)
+                if keeper is not None:
+                    keeper.remove(job_id)
+                store.release(leases[job_id], status=status)
+
+            try:
+                if keeper is not None:
+                    for lease in leases.values():
+                        keeper.add(lease)
+                    keeper.__enter__()
+                # Results stream back in job order and each is checkpointed
+                # as it lands, so an interrupted run — serial or parallel,
+                # even a fail-fast abort mid-sweep — leaves every finished
+                # job's state on disk for the next invocation to resume from.
+                results = pool.imap(tasks)
+                for position, job in enumerate(runnable):
+                    if not parallel:
+                        # Serial execution is lazy: the job runs when the
+                        # next result is pulled, so this line precedes it.
+                        self._progress(f"{job.job_id}: running")
+                    try:
+                        result = next(results)
+                    except WorkerCrashed as exc:
+                        # Supervision gave up on one item; the rest of the
+                        # round is lost with the pool and re-runs next round.
+                        crashed = exc
+                        crashed_position = (
+                            exc.item_index
+                            if exc.item_index is not None
+                            else position
+                        )
+                        break
+                    result.attempts = failures.get(job.job_id, 0) + 1
+                    result.owner = store.owner if store is not None else ""
+                    if result.ok:
+                        self._save_state(job, result)
+                        slots[job.job_id] = result
+                        remaining.remove(job)
+                        let_go(job.job_id, "ok")
+                    completed[job.job_id] = result
+                    self._progress(
+                        f"{job.job_id}: {result.status} ({result.seconds:.1f}s)"
+                        + (f" {result.error}" if result.error else "")
+                    )
+            except BaseException:
+                # A propagating exception (fail-fast job failure, interrupt)
+                # abandons the round: drop the held leases so peers — or the
+                # next invocation — can pick the unfinished jobs up at once
+                # instead of waiting out the TTL.
+                for job_id in list(leases):
+                    let_go(job_id, "aborted")
+                raise
+            finally:
+                if keeper is not None:
+                    keeper.__exit__(None, None, None)
+
+            for position, job in enumerate(runnable):
+                result = completed.get(job.job_id)
+                if result is not None and result.ok:
+                    continue
+                if result is None:
+                    if crashed is not None and position == crashed_position:
+                        # The item supervision blames: account it a failure.
+                        result = JobResult(
+                            job_id=job.job_id,
+                            kind=job.kind,
+                            status="error",
+                            error=f"WorkerCrashed: {crashed}",
+                            exception=crashed,
+                        )
+                    else:
+                        # Lost to a pool crash without being at fault: the
+                        # job simply re-enters the next round, no attempt
+                        # counted against it.
+                        let_go(job.job_id, "requeued")
+                        continue
+                failures[job.job_id] = failures.get(job.job_id, 0) + 1
+                verdict = classify_failure(result.exception, result.error)
+                bump(f"failures_{verdict}")
+                attempt = failures[job.job_id]
+                if verdict == "transient" and self.retry_policy.should_retry(attempt):
+                    delay = self.retry_policy.delay(job.job_id, attempt)
+                    not_before[job.job_id] = time.monotonic() + delay
+                    let_go(job.job_id, "retry")
+                    bump("retries")
+                    self._progress(
+                        f"{job.job_id}: retrying in {delay:.2f}s "
+                        f"(attempt {attempt + 1}, {verdict}: {result.error})"
+                    )
+                    continue
+                result.attempts = attempt
+                result.owner = store.owner if store is not None else ""
+                if self._is_timeout(result):
+                    result.status = "timed_out"
+                    bump("timed_out")
+                slots[job.job_id] = result
+                remaining.remove(job)
+                let_go(job.job_id, result.status)
 
 
 def run_campaign(
@@ -1127,10 +1503,21 @@ def run_campaign(
     limit: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     fail_fast: bool = False,
+    retry_policy: Optional[RetryPolicy] = None,
+    solve_budget: Optional[SolveBudget] = None,
+    lease_ttl: Optional[float] = None,
+    oversubscribe: bool = False,
 ) -> CampaignResult:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(
-        spec, state_dir=state_dir, jobs=jobs, progress=progress
+        spec,
+        state_dir=state_dir,
+        jobs=jobs,
+        progress=progress,
+        retry_policy=retry_policy,
+        solve_budget=solve_budget,
+        lease_ttl=lease_ttl,
+        oversubscribe=oversubscribe,
     ).run(limit=limit, fail_fast=fail_fast)
 
 
@@ -1143,6 +1530,10 @@ def run_windowed_campaign(
     spec: Optional[CampaignSpec] = None,
     verify: bool = True,
     sat_check: Optional[bool] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    solve_budget: Optional[SolveBudget] = None,
+    lease_ttl: Optional[float] = None,
+    oversubscribe: bool = False,
     **window_params,
 ) -> Tuple[CampaignResult, Optional["object"]]:
     """Run the windowed obfuscation of a BLIF circuit as a campaign.
@@ -1162,7 +1553,15 @@ def run_windowed_campaign(
 
     spec = spec if spec is not None else CampaignSpec.windowed(path, **window_params)
     outcome = run_campaign(
-        spec, state_dir=state_dir, jobs=jobs, limit=limit, progress=progress
+        spec,
+        state_dir=state_dir,
+        jobs=jobs,
+        limit=limit,
+        progress=progress,
+        retry_policy=retry_policy,
+        solve_budget=solve_budget,
+        lease_ttl=lease_ttl,
+        oversubscribe=oversubscribe,
     )
     if outcome.failed or outcome.pending:
         return outcome, None

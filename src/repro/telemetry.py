@@ -148,7 +148,7 @@ class RunTelemetry:
 
     @classmethod
     def from_ga_history(
-        cls, history: Sequence[Any], label: str = ""
+        cls, history: Sequence[Any], label: str = "", stopped_early: bool = False
     ) -> "RunTelemetry":
         """Summarise a GA run's ``GenerationStats`` history into counters."""
         record = cls(label=label)
@@ -158,6 +158,10 @@ class RunTelemetry:
         record.record("ga", "generations", len(history))
         record.record("ga", "evaluations", getattr(last, "evaluations_so_far", 0))
         record.record("ga", "cache_hits", getattr(last, "cache_hits", 0))
+        if stopped_early:
+            # The wall-clock budget cut the search short; the best-so-far
+            # genotype in the result is partial progress, not a converged run.
+            record.record("ga", "stopped_early", 1)
         return record
 
     def __repr__(self) -> str:

@@ -206,6 +206,36 @@ class TestPresampleTranscript:
         assert opted_out.recovered_function == cold.recovered_function
 
 
+class TestSolveBudgetExhaustion:
+    def test_budget_exhaustion_reports_timed_out(self, single_camo_nand, monkeypatch):
+        from repro.faults import FAULTS_ENV_VAR, reset_fault_state
+        from repro.sim.prefilter import FUZZ_ENV_VAR
+
+        netlist, plausible = single_camo_nand
+        # Every solver call returns UNKNOWN: the attack must surface the
+        # exhaustion as timed_out=False-success instead of claiming the
+        # camouflage "withstood" the attack.
+        monkeypatch.setenv(FUZZ_ENV_VAR, "0")  # no presample shortcut
+        monkeypatch.setenv(FAULTS_ENV_VAR, "solver_unknown:count=0")
+        reset_fault_state()
+        try:
+            attack = OracleGuidedAttack(netlist, plausible, max_queries=16)
+            result = attack.run(lambda word: 1 - (word & 1))
+            assert not result.success
+            assert result.timed_out
+            assert result.num_queries == 0  # partial progress is reported
+        finally:
+            monkeypatch.delenv(FAULTS_ENV_VAR)
+            reset_fault_state()
+
+    def test_unbudgeted_attack_never_times_out(self, single_camo_nand):
+        netlist, plausible = single_camo_nand
+        attack = OracleGuidedAttack(netlist, plausible, max_queries=16)
+        result = attack.run(lambda word: 1 - (word & 1))
+        assert result.success
+        assert not result.timed_out
+
+
 class TestAttackAgainstMapping:
     def test_recovers_configured_viable_function(self, library):
         # Two tiny 2-input / 1-output viable functions keep the DIP loop fast.

@@ -36,8 +36,46 @@ class TestSynthesisDiskCache:
         cache = SynthesisDiskCache(str(tmp_path))
         cache.put("fast", LIB, (2, 9), 1.0)
         cache.put("fast", LIB, (2, 9), 1.0)
-        with open(cache.path, encoding="utf-8") as handle:
+        # Appends land in this process's private segment file.
+        with open(cache.segment_path, encoding="utf-8") as handle:
             assert len(handle.readlines()) == 1
+
+    def test_concurrent_writer_segments_merge_on_load(self, tmp_path):
+        # Two "processes" (distinct segment files) write disjoint entries;
+        # a fresh load sees the union, and neither writer can tear the
+        # other's lines because they never share an append target.
+        writer_a = SynthesisDiskCache(str(tmp_path))
+        writer_b = SynthesisDiskCache(str(tmp_path))
+        writer_b.segment_path = str(tmp_path / "synthesis_cache.99999.jsonl")
+        writer_a.put("fast", LIB, (2, 1), 1.0)
+        writer_b.put("fast", LIB, (2, 2), 2.0)
+        writer_a.put("fast", LIB, (2, 3), 3.0)
+        merged = SynthesisDiskCache(str(tmp_path))
+        assert merged.loaded == 3
+        for signature, area in [((2, 1), 1.0), ((2, 2), 2.0), ((2, 3), 3.0)]:
+            assert merged.get("fast", LIB, signature) == area
+
+    def test_corrupting_writer_damages_only_its_own_line(self, tmp_path):
+        # Regression: a writer crashing mid-append tears only the final
+        # line of *its own* segment — every earlier entry and everything a
+        # concurrent sibling wrote must survive the reload.
+        victim = SynthesisDiskCache(str(tmp_path))
+        sibling = SynthesisDiskCache(str(tmp_path))
+        sibling.segment_path = str(tmp_path / "synthesis_cache.99998.jsonl")
+        victim.put("fast", LIB, (2, 1), 1.0)
+        sibling.put("fast", LIB, (2, 2), 2.0)
+        victim.put("fast", LIB, (2, 3), 3.0)
+        # Torn write: the victim dies mid-append of its last line.
+        with open(victim.segment_path, "r+", encoding="utf-8") as handle:
+            text = handle.read()
+            handle.seek(0)
+            handle.truncate()
+            handle.write(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+        merged = SynthesisDiskCache(str(tmp_path))
+        assert merged.loaded == 2
+        assert merged.get("fast", LIB, (2, 1)) == 1.0
+        assert merged.get("fast", LIB, (2, 2)) == 2.0
+        assert merged.get("fast", LIB, (2, 3)) is None  # the torn entry
 
     def test_corrupt_and_alien_lines_skipped(self, tmp_path):
         path = tmp_path / SynthesisDiskCache.FILENAME

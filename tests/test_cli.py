@@ -42,6 +42,33 @@ class TestParser:
             _parse_workload_selector("AES:two")
         assert _parse_workload_selector("aes:2") == ("AES", 2)
 
+    def test_campaign_robustness_flags(self):
+        from repro.cli import _campaign_robustness_kwargs
+
+        args = build_parser().parse_args(
+            ["campaign", "--workload", "PRESENT:2",
+             "--lease-ttl", "5", "--retries", "2",
+             "--solve-budget", "conflicts=100,seconds=2.5"]
+        )
+        kwargs = _campaign_robustness_kwargs(args)
+        assert kwargs["lease_ttl"] == 5.0
+        assert kwargs["retry_policy"].max_attempts == 2
+        assert kwargs["solve_budget"].max_conflicts == 100
+        assert kwargs["solve_budget"].max_seconds == 2.5
+        # Defaults contribute nothing: environment/runner defaults apply.
+        bare = build_parser().parse_args(["campaign", "--workload", "PRESENT:2"])
+        assert _campaign_robustness_kwargs(bare) == {}
+
+    def test_campaign_bad_solve_budget_is_clean_error(self):
+        from repro.cli import _campaign_robustness_kwargs
+
+        args = build_parser().parse_args(
+            ["campaign", "--solve-budget", "gremlins=9"]
+        )
+        with pytest.raises(SystemExit) as info:
+            _campaign_robustness_kwargs(args)
+        assert "invalid --solve-budget" in str(info.value)
+
 
 class TestCommands:
     def test_obfuscate_writes_outputs(self, tmp_path, capsys):

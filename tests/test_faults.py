@@ -1,0 +1,116 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import json
+import os
+
+import pytest
+
+from repro.faults import (
+    FAULTS_DIR_ENV_VAR,
+    FAULTS_ENV_VAR,
+    clock_skew_seconds,
+    corrupt_text,
+    fault_fires,
+    fault_param,
+    faults_enabled,
+    fired_counts,
+    reset_fault_state,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+    monkeypatch.delenv(FAULTS_DIR_ENV_VAR, raising=False)
+    reset_fault_state()
+    yield
+    reset_fault_state()
+
+
+class TestSpecParsing:
+    def test_disabled_by_default(self):
+        assert not faults_enabled()
+        assert not fault_fires("worker_kill")
+
+    def test_single_fire_by_default(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "solver_unknown")
+        assert faults_enabled()
+        assert fault_fires("solver_unknown")
+        assert not fault_fires("solver_unknown")  # count defaults to 1
+
+    def test_count_and_after(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "solver_unknown:after=2,count=2")
+        fires = [fault_fires("solver_unknown") for _ in range(6)]
+        assert fires == [False, False, True, True, False, False]
+
+    def test_count_zero_is_unlimited(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "torn_state:count=0")
+        assert all(fault_fires("torn_state") for _ in range(5))
+
+    def test_job_substring_filter(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "worker_kill:job=window_0,count=0")
+        assert not fault_fires("worker_kill", "table1_DES")
+        assert not fault_fires("worker_kill")  # no key = no match
+        assert fault_fires("worker_kill", "window_001")
+
+    def test_multiple_entries_and_params(self, monkeypatch):
+        monkeypatch.setenv(
+            FAULTS_ENV_VAR, "clock_skew:seconds=-30;solver_unknown:count=1"
+        )
+        assert fault_param("clock_skew", "seconds") == "-30"
+        assert clock_skew_seconds() == -30.0
+        assert fault_fires("solver_unknown")
+
+    def test_bad_option_raises(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "worker_kill:banana")
+        with pytest.raises(ValueError, match="key=value"):
+            fault_fires("worker_kill")
+
+    def test_monkeypatched_env_reparses(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "torn_state")
+        assert fault_fires("torn_state")
+        monkeypatch.setenv(FAULTS_ENV_VAR, "torn_state:count=2")
+        assert fault_fires("torn_state")
+        assert fault_fires("torn_state")
+        assert not fault_fires("torn_state")
+
+
+class TestOnceMarker:
+    def test_once_without_dir_degrades_to_local(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "worker_kill:once")
+        assert fault_fires("worker_kill")
+        assert not fault_fires("worker_kill")
+
+    def test_once_is_exclusive_across_processes(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "worker_kill:once")
+        monkeypatch.setenv(FAULTS_DIR_ENV_VAR, str(tmp_path))
+        assert fault_fires("worker_kill")
+        marker = tmp_path / "worker_kill-0.fired"
+        assert marker.exists()
+        # A "second process" (fresh parse state, same marker dir) loses the
+        # O_EXCL race and must never fire.
+        reset_fault_state()
+        assert not fault_fires("worker_kill")
+        assert not fault_fires("worker_kill")
+
+
+class TestHelpers:
+    def test_corrupt_text_truncates_on_fire(self, monkeypatch):
+        text = json.dumps({"payload": list(range(32))})
+        monkeypatch.setenv(FAULTS_ENV_VAR, "torn_state:job=hit")
+        assert corrupt_text("torn_state", text, "missed") == text
+        torn = corrupt_text("torn_state", text, "hit_me")
+        assert torn == text[: len(text) // 2]
+        # count exhausted: the next write goes through intact.
+        assert corrupt_text("torn_state", text, "hit_me") == text
+
+    def test_fired_counts(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "solver_unknown:count=3")
+        for _ in range(5):
+            fault_fires("solver_unknown")
+        assert fired_counts() == {"solver_unknown": 3}
+
+    def test_clock_skew_defaults_to_zero(self, monkeypatch):
+        assert clock_skew_seconds() == 0.0
+        monkeypatch.setenv(FAULTS_ENV_VAR, "torn_state")
+        assert clock_skew_seconds() == 0.0

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 from repro.parallel import (
     JOBS_ENV_VAR,
+    WorkerCrashed,
     WorkerPool,
     available_cpus,
     parallel_map,
@@ -21,6 +25,22 @@ def _fail_on_three(value):
     if value == 3:
         raise ValueError("boom")
     return value
+
+
+def _kill_worker_once(arg):
+    """SIGKILL the worker on value 3 — but only the first time (marker)."""
+    value, marker = arg
+    if value == 3 and not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write(str(os.getpid()))
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * value
+
+
+def _kill_worker_always(value):
+    if value == 3:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * value
 
 
 class TestResolveJobs:
@@ -148,6 +168,49 @@ class TestWorkerPoolImap:
 
         with WorkerPool(closure, jobs=2, oversubscribe=True) as pool:
             assert list(pool.imap([1, 2, 3])) == [2, 3, 4]
+
+
+class TestWorkerSupervision:
+    def test_one_off_crash_recovers_transparently(self, tmp_path):
+        # A worker SIGKILLed mid-batch must not take the batch down: the
+        # pool respawns, the unfinished items are resubmitted, and the
+        # caller sees the full in-order result set.
+        marker = str(tmp_path / "killed.marker")
+        items = [(value, marker) for value in range(6)]
+        with WorkerPool(_kill_worker_once, jobs=2, oversubscribe=True) as pool:
+            assert pool.map(items) == [value * value for value in range(6)]
+            assert pool.worker_crashes >= 1
+            assert pool.pool_restarts >= 1
+            # The pool stays usable for the next batch.
+            marker2 = str(tmp_path / "unused.marker")
+            with open(marker2, "w", encoding="utf-8"):
+                pass
+            assert pool.map([(7, marker2)] * 2) == [49, 49]
+
+    def test_one_off_crash_recovers_in_imap(self, tmp_path):
+        marker = str(tmp_path / "killed.marker")
+        items = [(value, marker) for value in range(6)]
+        with WorkerPool(_kill_worker_once, jobs=2, oversubscribe=True) as pool:
+            streamed = list(pool.imap(items))
+        assert streamed == [value * value for value in range(6)]
+
+    def test_persistent_killer_surfaces_worker_crashed(self):
+        # An item that kills every worker it touches must surface as
+        # WorkerCrashed (with the offending index) instead of an endless
+        # respawn loop or a serial re-run that would kill the parent.
+        with WorkerPool(_kill_worker_always, jobs=2, oversubscribe=True) as pool:
+            with pytest.raises(WorkerCrashed) as excinfo:
+                pool.map([3, 1, 2, 4])
+        assert excinfo.value.item_index is not None
+
+    def test_restart_budget_is_per_batch(self, tmp_path):
+        # A recovered crash in one batch must not eat into the budget of
+        # the next: each map/imap call gets a fresh restart allowance.
+        for batch in range(3):
+            marker = str(tmp_path / f"killed.{batch}.marker")
+            items = [(value, marker) for value in range(4)]
+            with WorkerPool(_kill_worker_once, jobs=2, oversubscribe=True) as pool:
+                assert pool.map(items) == [value * value for value in range(4)]
 
 
 class TestParallelMap:
