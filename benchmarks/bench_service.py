@@ -1,0 +1,193 @@
+"""Campaign-service benchmarks: fleet throughput and the shared cache tier.
+
+Two measurements over a real coordinator on a loopback socket:
+
+* ``test_service_probe_throughput`` pushes one sleep-bound probe campaign
+  through the HTTP worker protocol with a single pull-based worker and
+  again with two, and records both wall clocks.  The jobs sleep, so the
+  ideal two-worker speedup is 2x; the measured ratio quantifies the
+  coordinator's per-claim overhead (HTTP round-trips, lease bookkeeping).
+* ``test_service_remote_cache_warm_worker`` runs a synthesis campaign
+  through one worker (cold coordinator cache), then the same workload at a
+  different seed through a *fresh* worker tier against the now-warm
+  coordinator.  The second worker's remote-cache hit counters — uploaded
+  with job completion and surfaced in campaign robustness — must be
+  positive: the fleet-shared tier is actually saving synthesis calls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+from repro.evaluation.workloads import get_profile
+from repro.scenarios import CampaignJob, CampaignSpec
+from repro.service.cache import CACHE_URL_ENV_VAR, RemoteCacheTier
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceThread
+from repro.service.worker import WorkerAgent
+
+#: Probe campaign shape: enough sleep-bound jobs that claim/upload
+#: round-trips are amortised but the benchmark stays under a few seconds.
+PROBE_JOBS = 12
+PROBE_SLEEP = 0.05
+
+#: GA budget of the synthesis campaign: tiny — the benchmark measures the
+#: cache tier, not GA convergence.
+CAMPAIGN_POPULATION = 4
+CAMPAIGN_GENERATIONS = 1
+
+
+def _probe_spec(name):
+    return CampaignSpec(
+        name=name,
+        jobs=[
+            CampaignJob(
+                f"probe_{index}",
+                "probe",
+                {"value": index, "sleep": PROBE_SLEEP},
+            )
+            for index in range(PROBE_JOBS)
+        ],
+    )
+
+
+def _synthesis_spec(name, seed):
+    profile = dataclasses.replace(
+        get_profile("quick"),
+        ga_population=CAMPAIGN_POPULATION,
+        ga_generations=CAMPAIGN_GENERATIONS,
+    )
+    return CampaignSpec.table1(
+        profile, [("PRESENT", 2)], seed=seed, name=name
+    )
+
+
+def _run_fleet(service, spec, workers, remote_cache=False):
+    """Submit ``spec`` and drain it with ``workers`` agents; returns
+    ``(elapsed_seconds, status)``."""
+    client = ServiceClient(service.url)
+    campaign_id = client.submit(spec.to_dict())["campaign"]
+    agents = [
+        WorkerAgent(
+            service.url,
+            worker_id=f"bench-w{index}",
+            poll=0.02,
+            remote_cache=remote_cache,
+            log=None,
+        )
+        for index in range(workers)
+    ]
+    threads = [
+        threading.Thread(
+            target=agent.run,
+            kwargs={"campaign": campaign_id, "once": True},
+            daemon=True,
+        )
+        for agent in agents
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600)
+    elapsed = time.perf_counter() - start
+    status = client.status(campaign_id)
+    assert status["complete"], status
+    return elapsed, status
+
+
+def test_service_probe_throughput(benchmark, record, bench_json, tmp_path):
+    def measure():
+        timings = {}
+        for workers in (1, 2):
+            with ServiceThread(
+                root=str(tmp_path / f"root{workers}"), poll=0.02
+            ) as service:
+                elapsed, status = _run_fleet(
+                    service, _probe_spec(f"bench_svc_{workers}w"), workers
+                )
+            assert status["counts"] == {"done": PROBE_JOBS}
+            timings[workers] = elapsed
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = timings[1] / timings[2] if timings[2] else 0.0
+    benchmark.extra_info.update(
+        {"one_worker_seconds": timings[1], "two_worker_seconds": timings[2]}
+    )
+    record(
+        "service_throughput",
+        f"service probe campaign ({PROBE_JOBS} jobs x {PROBE_SLEEP}s): "
+        f"1 worker {timings[1]:.2f}s, 2 workers {timings[2]:.2f}s "
+        f"(speedup {speedup:.2f}x)",
+    )
+    bench_json(
+        "service",
+        {
+            "probe_jobs": PROBE_JOBS,
+            "probe_sleep_seconds": PROBE_SLEEP,
+            "one_worker_seconds": timings[1],
+            "two_worker_seconds": timings[2],
+            "speedup": speedup,
+        },
+    )
+
+
+def test_service_remote_cache_warm_worker(
+    benchmark, record, bench_json, tmp_path, monkeypatch
+):
+    monkeypatch.delenv(CACHE_URL_ENV_VAR, raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+    def measure():
+        with ServiceThread(root=str(tmp_path / "root"), poll=0.02) as service:
+            monkeypatch.setenv(CACHE_URL_ENV_VAR, service.url)
+            cold_elapsed, _ = _run_fleet(
+                service,
+                _synthesis_spec("bench_cache_cold", seed=1),
+                workers=1,
+                remote_cache=True,
+            )
+            # A second worker process would start with an empty local tier;
+            # simulate it by replacing the process-wide tier for this URL.
+            monkeypatch.setitem(
+                RemoteCacheTier._SHARED, service.url, RemoteCacheTier(service.url)
+            )
+            warm_elapsed, status = _run_fleet(
+                service,
+                _synthesis_spec("bench_cache_warm", seed=2),
+                workers=1,
+                remote_cache=True,
+            )
+            server_stats = ServiceClient(service.url).cache_stats()
+        return cold_elapsed, warm_elapsed, status, server_stats
+
+    cold_elapsed, warm_elapsed, status, server_stats = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    robustness = status["robustness"]
+    hits = robustness.get("remote_cache_hits", 0)
+    assert hits > 0, robustness  # the warm coordinator actually served us
+    assert server_stats["get_hits"] >= hits
+    record(
+        "service_remote_cache",
+        f"warm-coordinator worker: {hits:g} remote cache hits "
+        f"(cold campaign {cold_elapsed:.2f}s, warm campaign "
+        f"{warm_elapsed:.2f}s; server: {server_stats['get_hits']} hits / "
+        f"{server_stats['puts']} puts)",
+    )
+    bench_json(
+        "service_cache",
+        {
+            "cold_seconds": cold_elapsed,
+            "warm_seconds": warm_elapsed,
+            "remote_cache": {
+                key.replace("remote_cache_", ""): value
+                for key, value in robustness.items()
+                if key.startswith("remote_cache_")
+            },
+            "server_cache": server_stats,
+        },
+    )

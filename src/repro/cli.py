@@ -41,6 +41,7 @@ for far fewer SAT calls.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -266,6 +267,54 @@ def build_parser() -> argparse.ArgumentParser:
                                       "'conflicts=20000,seconds=2.5' (default "
                                       "REPRO_SOLVE_BUDGET); doubled on every retry, "
                                       "jobs still over budget finish as timed_out")
+    campaign_parser.add_argument("--submit", type=str, default="",
+                                 metavar="URL",
+                                 help="submit the campaign to a coordinator "
+                                      "(repro serve) instead of running locally; "
+                                      "streams progress and fetches the artifacts "
+                                      "(default URL: REPRO_SERVICE_URL)")
+    campaign_parser.add_argument("--no-wait", action="store_true",
+                                 help="with --submit: return after submission "
+                                      "without waiting for completion")
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the campaign coordinator (HTTP service for pull-based workers)",
+        description=(
+            "Serve campaigns over HTTP: accept CampaignSpec submissions "
+            "(POST /campaigns, deduplicated by content fingerprint), "
+            "arbitrate job leases for pull-based worker agents "
+            "(python -m repro.service.worker), stream per-job progress as "
+            "server-sent events, render JSON/CSV/BENCH artifacts, and host "
+            "the fleet-shared synthesis cache (GET/PUT /cache/<fp>)."
+        ),
+    )
+    serve_parser.add_argument("--host", type=str, default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8765)
+    serve_parser.add_argument("--root", type=str, default="",
+                              help="service state root (default REPRO_SERVICE_ROOT)")
+    serve_parser.add_argument("--lease-ttl", type=float, default=0.0,
+                              help="job-lease time-to-live in seconds "
+                                   "(default REPRO_LEASE_TTL or 60)")
+    serve_parser.add_argument("--poll", type=float, default=0.0,
+                              help="SSE/claim poll interval in seconds "
+                                   "(default REPRO_SERVICE_POLL or 0.25)")
+
+    cache_parser = subparsers.add_parser(
+        "cache",
+        help="maintain the persistent synthesis cache",
+        description=(
+            "Maintenance for the REPRO_CACHE_DIR synthesis cache.  "
+            "'compact' merges the per-process segment files that "
+            "interleave-safe appends accumulate into one deduplicated "
+            "segment (safe alongside live writers: they only append to "
+            "their own segments)."
+        ),
+    )
+    cache_parser.add_argument("action", choices=["compact"],
+                              help="maintenance action to run")
+    cache_parser.add_argument("--dir", type=str, default="",
+                              help="cache directory (default REPRO_CACHE_DIR)")
     return parser
 
 
@@ -545,6 +594,10 @@ def _command_campaign(args: argparse.Namespace) -> int:
         return 0
 
     if args.blif:
+        if args.submit:
+            # Window jobs re-read the BLIF source by path; remote workers
+            # have no shared filesystem to find it on.
+            raise SystemExit("--submit does not support --blif campaigns")
         return _command_campaign_windowed(args)
 
     profile = get_workload_profile(args.profile)
@@ -600,6 +653,9 @@ def _command_campaign(args: argparse.Namespace) -> int:
         # not a traceback.
         raise SystemExit(f"invalid campaign: {exc}") from exc
 
+    if args.submit:
+        return _submit_campaign(args, spec)
+
     runner = CampaignRunner(
         spec,
         state_dir=args.state_dir or None,
@@ -652,6 +708,106 @@ def _command_campaign(args: argparse.Namespace) -> int:
     for path in written:
         print(f"wrote {path}")
     return 1 if outcome.failed else 0
+
+
+def _submit_campaign(args: argparse.Namespace, spec) -> int:
+    """``campaign --submit URL``: run the spec through a coordinator."""
+    from .service.client import ServiceClient
+    from .service.protocol import ServiceError
+
+    try:
+        client = ServiceClient(args.submit)
+        submitted = client.submit(spec.to_dict())
+    except ServiceError as exc:
+        raise SystemExit(f"submit failed: {exc.message}") from exc
+    campaign_id = submitted["campaign"]
+    print(
+        f"campaign {campaign_id}: "
+        f"{'created' if submitted.get('created') else 'already submitted'} "
+        f"({submitted.get('jobs')} jobs) on {client.base_url}"
+    )
+    if args.no_wait:
+        return 0
+    try:
+        status = client.wait(campaign_id, progress=print)
+    except ServiceError as exc:
+        raise SystemExit(f"wait failed: {exc.message}") from exc
+    counts = status.get("counts", {})
+    failed = counts.get("error", 0) + counts.get("timed_out", 0)
+    print()
+    print(
+        f"campaign {status.get('name', campaign_id)}: "
+        f"{counts.get('done', 0)}/{status.get('jobs', 0)} jobs complete "
+        f"({failed} failed)"
+    )
+    robustness = status.get("robustness", {})
+    if robustness:
+        print(
+            "robustness: "
+            + ", ".join(
+                f"{key}={value:g}" for key, value in sorted(robustness.items())
+            )
+        )
+    fetches = []
+    if args.json:
+        fetches.append(("json", args.json))
+    if args.csv:
+        fetches.append(("csv", args.csv))
+    if args.bench_dir:
+        os.makedirs(args.bench_dir, exist_ok=True)
+        fetches.append(
+            (
+                "bench",
+                os.path.join(args.bench_dir, f"BENCH_campaign_{spec.name}.json"),
+            )
+        )
+    for kind, path in fetches:
+        try:
+            text = client.artifact(campaign_id, kind)
+        except ServiceError as exc:
+            raise SystemExit(f"artifact fetch failed: {exc.message}") from exc
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {path}")
+    return 1 if failed else 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service.protocol import ServiceError
+    from .service.server import CampaignService
+
+    try:
+        service = CampaignService(
+            root=args.root or None,
+            lease_ttl=args.lease_ttl or None,
+            poll=args.poll or None,
+        )
+    except ServiceError as exc:
+        raise SystemExit(exc.message) from exc
+    try:
+        service.run(host=args.host, port=args.port)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    from .ga.pinopt import CACHE_DIR_ENV_VAR, compact_cache_dir
+
+    directory = args.dir or os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
+    if not directory:
+        raise SystemExit("no cache directory (pass --dir or set REPRO_CACHE_DIR)")
+    if not os.path.isdir(directory):
+        raise SystemExit(f"cache directory {directory!r} does not exist")
+    stats = compact_cache_dir(directory)
+    print(
+        f"compacted {directory}: {stats['entries']} entries from "
+        f"{stats['files_merged']} files "
+        f"({stats['segments_removed']} segments removed)"
+    )
+    return 0
 
 
 def _command_campaign_windowed(args: argparse.Namespace) -> int:
@@ -713,6 +869,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "attack": _command_attack,
         "sim": _command_sim,
         "campaign": _command_campaign,
+        "serve": _command_serve,
+        "cache": _command_cache,
     }
     return handlers[args.command](args)
 

@@ -60,6 +60,8 @@ __all__ = [
     "library_fingerprint",
     "optimize_pin_assignment",
     "warm_disk_cache",
+    "compact_cache_dir",
+    "resolve_synthesis_cache",
     "CACHE_DIR_ENV_VAR",
 ]
 
@@ -225,15 +227,90 @@ class SynthesisDiskCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def entries(self):
+        """Iterate ``(effort, library, signature, area)`` over every entry.
+
+        The export surface behind cache compaction and the service's shared
+        cache tier: both re-serialise entries without knowing the in-memory
+        key layout.
+        """
+        for (effort, library, signature), area in self._entries.items():
+            yield effort, library, signature, area
+
+
+def compact_cache_dir(directory: str) -> Dict[str, int]:
+    """Merge every cache segment in ``directory`` into one deduplicated file.
+
+    PR 7 made appends segment-per-pid (interleave-safe), which long-lived
+    fleets pay for in unbounded small files.  Compaction loads the legacy
+    shared file plus every segment (torn lines skipped, duplicates
+    deduplicated by key), rewrites the single shared ``FILENAME`` via an
+    atomic rename, and deletes the merged segments.  Concurrent writers
+    stay safe: they only ever append to their *own* live segment, and a
+    segment created after the scan is simply left for the next compaction.
+    """
+    cache = SynthesisDiskCache(directory)
+    merged = [path for path in cache._store_files() if os.path.exists(path)]
+    text = "".join(
+        json.dumps(
+            {
+                "effort": effort,
+                "library": library,
+                "signature": list(signature),
+                "area": area,
+            }
+        )
+        + "\n"
+        for effort, library, signature, area in sorted(cache.entries())
+    )
+    temp_path = f"{cache.path}.tmp.{os.getpid()}"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp_path, cache.path)
+    removed = 0
+    for path in merged:
+        if path == cache.path:
+            continue
+        try:
+            os.unlink(path)
+            removed += 1
+        except OSError:
+            pass
+    return {
+        "entries": len(cache),
+        "files_merged": len(merged),
+        "segments_removed": removed,
+    }
+
+
+def resolve_synthesis_cache() -> Optional[SynthesisDiskCache]:
+    """The synthesis cache the environment asks for, remote tier included.
+
+    With ``REPRO_CACHE_URL`` set the returned object is a
+    :class:`repro.service.cache.RemoteCacheTier` — same ``get``/``put``
+    surface, backed by the coordinator's shared cache over HTTP with the
+    local ``REPRO_CACHE_DIR`` store (when any) as its read-through front.
+    Otherwise this is plain :meth:`SynthesisDiskCache.from_environment`.
+    """
+    url = os.environ.get("REPRO_CACHE_URL", "").strip()
+    if url:
+        from ..service.cache import RemoteCacheTier
+
+        return RemoteCacheTier.from_environment()
+    return SynthesisDiskCache.from_environment()
+
 
 def warm_disk_cache() -> Optional[SynthesisDiskCache]:
-    """Load the ``REPRO_CACHE_DIR`` store into the process-wide slot.
+    """Load the environment-named cache into the process-wide slot.
 
     Registered as a worker-pool warm-up hook, so every worker process pays
     the JSONL load exactly once at start-up — before the first task —
-    instead of on the first synthesis-cache miss of its first job.
+    instead of on the first synthesis-cache miss of its first job.  With
+    ``REPRO_CACHE_URL`` set this also wires up the remote tier.
     """
-    return SynthesisDiskCache.from_environment()
+    return resolve_synthesis_cache()
 
 
 # Every worker a pool spawns pre-warms the persistent synthesis cache.
@@ -285,7 +362,7 @@ class PinAssignmentProblem:
             self.disk_cache: Optional[SynthesisDiskCache] = None
         else:
             self.disk_cache = (
-                disk_cache if disk_cache is not None else SynthesisDiskCache.from_environment()
+                disk_cache if disk_cache is not None else resolve_synthesis_cache()
             )
         self._library_fingerprint = (
             library_fingerprint(self.library) if self.disk_cache is not None else ""
@@ -294,6 +371,8 @@ class PinAssignmentProblem:
         self._disk_hits_baseline = (
             self.disk_cache.hits if self.disk_cache is not None else 0
         )
+        remote_stats = getattr(self.disk_cache, "remote_stats", None)
+        self._remote_baseline = dict(remote_stats()) if remote_stats else {}
         self.evaluations = 0
         self.genotype_hits = 0
         self.signature_hits = 0
@@ -409,6 +488,11 @@ class PinAssignmentProblem:
             stats["disk_hits"] = self.disk_cache.hits - self._disk_hits_baseline
             stats["disk_loaded"] = self.disk_cache.loaded
             stats["disk_entries"] = len(self.disk_cache)
+            remote_stats = getattr(self.disk_cache, "remote_stats", None)
+            if remote_stats:
+                # Shared-tier traffic since this problem was constructed.
+                for key, value in remote_stats().items():
+                    stats[f"remote_{key}"] = value - self._remote_baseline.get(key, 0)
         return stats
 
     # -------------------------------------------------------------- #

@@ -366,6 +366,16 @@ class JobStore:
         lease.expires = expires
         return lease
 
+    def holds(self, lease: Lease) -> bool:
+        """Is this lease still ours on disk, right now?
+
+        The commit-time safety check: a result computed under a lease that
+        has since been reclaimed (clock skew, long pause) must be discarded,
+        not committed — the thief may already be re-running the job.
+        """
+        holder = self._read_lease(lease.path)
+        return holder is not None and holder.get("owner") == self.owner
+
     def release(self, lease: Lease, status: str = "ok") -> None:
         """Record the attempt outcome and drop the lease (idempotent)."""
         self._record_attempt_end(lease.job_id, status)

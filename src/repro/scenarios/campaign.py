@@ -1061,13 +1061,16 @@ class _LeaseKeeper:
     only goes stale after three consecutive missed heartbeats — i.e. when
     the owning process is genuinely wedged or dead, not merely busy.  A
     lease that comes back :class:`LeaseLost` (stolen after an expiry the
-    heartbeat was too late to prevent) is dropped and counted; the job's
-    own completion path discovers the theft when it tries to release.
+    heartbeat was too late to prevent) is dropped, counted, *and flagged*:
+    the runner consults :meth:`is_lost` before committing the job's result,
+    so work finished under a stolen lease is discarded instead of
+    double-written over the thief's state.
     """
 
     def __init__(self, store: JobStore):
         self._store = store
         self._leases: Dict[str, Lease] = {}
+        self._lost_jobs: set = set()
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -1080,6 +1083,11 @@ class _LeaseKeeper:
     def remove(self, job_id: str) -> None:
         with self._lock:
             self._leases.pop(job_id, None)
+
+    def is_lost(self, job_id: str) -> bool:
+        """Did a heartbeat on this job's lease fail since it was added?"""
+        with self._lock:
+            return job_id in self._lost_jobs
 
     def __enter__(self) -> "_LeaseKeeper":
         self._thread = threading.Thread(target=self._run, daemon=True)
@@ -1101,6 +1109,8 @@ class _LeaseKeeper:
                     self._store.heartbeat(lease)
                 except LeaseLost:
                     self.lost += 1
+                    with self._lock:
+                        self._lost_jobs.add(lease.job_id)
                     self.remove(lease.job_id)
                 except OSError:
                     pass  # transient I/O: the next beat retries
@@ -1428,6 +1438,24 @@ class CampaignRunner:
                             else position
                         )
                         break
+                    if result.ok and store is not None:
+                        # Lost-lease safety: a reclaimed lease means a peer
+                        # may already be re-running this job — committing
+                        # our result now could double-write its state.
+                        # Discard the work; the job stays in ``remaining``
+                        # and the thief's result is adopted (or the job is
+                        # re-claimed) next round.
+                        lost = (
+                            keeper is not None and keeper.is_lost(job.job_id)
+                        ) or not store.holds(leases[job.job_id])
+                        if lost:
+                            bump("lease_lost_discards")
+                            let_go(job.job_id, "requeued")
+                            self._progress(
+                                f"{job.job_id}: lease lost mid-run; "
+                                f"discarding result (peer owns the job)"
+                            )
+                            continue
                     result.attempts = failures.get(job.job_id, 0) + 1
                     result.owner = store.owner if store is not None else ""
                     if result.ok:

@@ -1,0 +1,53 @@
+"""Campaign-as-a-service: HTTP coordinator, pull-based workers, shared cache.
+
+The :mod:`repro.service` package puts a serving layer on top of the
+lease-based campaign substrate (:mod:`repro.jobstore`,
+:mod:`repro.scenarios.campaign`):
+
+* :mod:`repro.service.server` — the **coordinator**: an asyncio HTTP
+  service that accepts :class:`~repro.scenarios.campaign.CampaignSpec`
+  JSON, dedupes submissions by fingerprint, arbitrates job leases for
+  remote workers, streams per-job progress over SSE, serves JSON/CSV/BENCH
+  artifacts, and hosts the shared synthesis-cache tier.
+* :mod:`repro.service.worker` — the **worker agent**: pulls pending jobs
+  over HTTP (claim / heartbeat / complete), executes them through the
+  existing campaign job kinds, and uploads payloads — no shared
+  filesystem required.
+* :mod:`repro.service.client` — the **client**: submit, watch (SSE),
+  fetch artifacts; used by the ``repro campaign --submit`` CLI verb.
+* :mod:`repro.service.cache` — :class:`RemoteCacheTier`, the
+  read-through / write-behind synthesis-cache tier that lets similar
+  rows across a fleet never re-synthesize.
+
+Everything is standard library only (``asyncio`` server, ``urllib``
+client); attribute access is lazy so importing the package does not drag
+in the campaign machinery.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CampaignService",
+    "ServiceClient",
+    "ServiceError",
+    "WorkerAgent",
+    "RemoteCacheTier",
+]
+
+_LAZY = {
+    "CampaignService": ("repro.service.server", "CampaignService"),
+    "ServiceClient": ("repro.service.client", "ServiceClient"),
+    "ServiceError": ("repro.service.protocol", "ServiceError"),
+    "WorkerAgent": ("repro.service.worker", "WorkerAgent"),
+    "RemoteCacheTier": ("repro.service.cache", "RemoteCacheTier"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

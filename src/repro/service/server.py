@@ -1,0 +1,893 @@
+"""The campaign coordinator: an asyncio HTTP front end over the job store.
+
+One coordinator process owns a *service root* directory::
+
+    <root>/campaigns/<id>/spec.json    submitted spec (atomic write)
+    <root>/campaigns/<id>/state/       JobStore-backed campaign state dir
+    <root>/cache/                      shared synthesis-cache tier
+
+and serves three kinds of traffic over plain HTTP/1.1 (stdlib asyncio,
+no dependencies):
+
+* **Submissions** — ``POST /campaigns`` validates a
+  :class:`~repro.scenarios.campaign.CampaignSpec`, fingerprints it
+  (:func:`~repro.service.protocol.campaign_fingerprint`) and materialises
+  its jobs; resubmitting the same spec — even concurrently — dedupes onto
+  the same campaign id and job set.
+* **The worker protocol** — ``POST .../claim`` / ``jobs/{id}/heartbeat``
+  / ``complete`` / ``fail`` proxy the lease arbitration of
+  :class:`~repro.jobstore.JobStore` over HTTP, so pull-based workers on
+  remote machines need no shared filesystem.  Completion is guarded by a
+  commit-time lease check: a result uploaded under a lost lease is
+  discarded with 409, never double-written.
+* **Observation** — ``GET /campaigns/{id}`` (status + robustness
+  counters), ``GET /campaigns/{id}/events`` (SSE stream of per-job
+  claim/reclaim/retry/done transitions, driven off the jobstore lease and
+  attempts sidecars), and ``GET /campaigns/{id}/artifacts/{json,csv,bench}``
+  rendered through the same :class:`CampaignResult` artifact code the
+  local CLI uses — byte-identical modulo timings.
+
+The shared cache tier rides on the same server: ``GET/PUT
+/cache/{fingerprint}`` is backed by the ordinary
+:class:`~repro.ga.pinopt.SynthesisDiskCache` segment format, so a
+coordinator cache directory is interchangeable with any ``REPRO_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..ga.pinopt import SynthesisDiskCache
+from ..jobstore import JobStore, Lease, LeaseLost, RetryPolicy, classify_failure
+from ..sat.solver import SolveBudget
+from ..scenarios.campaign import (
+    CampaignError,
+    CampaignJob,
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    JobResult,
+)
+from .protocol import (
+    DEFAULT_POLL_SECONDS,
+    SERVICE_POLL_ENV_VAR,
+    SERVICE_ROOT_ENV_VAR,
+    ServiceError,
+    cache_fingerprint,
+    campaign_fingerprint,
+    sse_event,
+)
+
+__all__ = ["CampaignHandle", "CampaignService", "ServiceThread"]
+
+
+def _poll_from_environment() -> float:
+    raw = os.environ.get(SERVICE_POLL_ENV_VAR, "").strip()
+    try:
+        return float(raw) if raw else DEFAULT_POLL_SECONDS
+    except ValueError:
+        return DEFAULT_POLL_SECONDS
+
+
+class CampaignHandle:
+    """Coordinator-side state of one submitted campaign.
+
+    The handle reuses the campaign runner's fingerprinted state files for
+    persistence and one :class:`JobStore` per remote worker for lease
+    arbitration — the coordinator *is* the filesystem the workers no
+    longer need.  Scheduling metadata that is cheap to rebuild (backoff
+    deadlines, failure counts) lives in memory; everything a restart must
+    not lose (spec, finished job state, attempt history) is on disk.
+    """
+
+    def __init__(
+        self,
+        campaign_id: str,
+        spec: CampaignSpec,
+        directory: str,
+        lease_ttl: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        solve_budget: Optional[SolveBudget] = None,
+    ):
+        self.campaign_id = campaign_id
+        self.spec = spec
+        self.directory = directory
+        self.state_dir = os.path.join(directory, "state")
+        os.makedirs(self.state_dir, exist_ok=True)
+        self.lease_ttl = lease_ttl
+        self.retry_policy = retry_policy or RetryPolicy.from_environment()
+        self._solve_budget = (
+            solve_budget
+            if solve_budget is not None
+            else SolveBudget.from_environment()
+        )
+        #: State-file I/O only; the runner's worker pool is never started.
+        self.runner = CampaignRunner(spec, state_dir=self.state_dir, jobs=1)
+        #: Read-only store for lease/attempt inspection (never claims).
+        self.inspector = JobStore(
+            self.state_dir, owner=f"inspector:{campaign_id}", lease_ttl=lease_ttl
+        )
+        self._jobs = {job.job_id: job for job in spec.jobs}
+        self._stores: Dict[str, JobStore] = {}
+        self._leases: Dict[str, Tuple[str, Lease]] = {}
+        self._failures: Dict[str, int] = {}
+        self._not_before: Dict[str, float] = {}
+        self._terminal: Dict[str, Dict[str, Any]] = {}
+        self.counters: Dict[str, float] = {}
+        self._started = time.monotonic()
+
+    # -------------------------------------------------------------- #
+    # Bookkeeping
+    # -------------------------------------------------------------- #
+    def bump(self, key: str, amount: float = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    def job(self, job_id: str) -> CampaignJob:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ServiceError(404, f"unknown job {job_id!r}")
+
+    def store_for(self, worker: str) -> JobStore:
+        store = self._stores.get(worker)
+        if store is None:
+            store = JobStore(
+                self.state_dir, owner=f"remote:{worker}", lease_ttl=self.lease_ttl
+            )
+            self._stores[worker] = store
+        return store
+
+    def _budget_spec(self, prior_failures: int) -> str:
+        """Per-attempt solve budget, doubled per prior failure (mirrors
+        :meth:`CampaignRunner._attempt_budget_spec` so service retries
+        escalate exactly like local ones)."""
+        if self._solve_budget is None:
+            return ""
+        if prior_failures <= 0:
+            return self._solve_budget.to_spec()
+        return self._solve_budget.scaled(2.0 ** prior_failures).to_spec()
+
+    # -------------------------------------------------------------- #
+    # Worker protocol
+    # -------------------------------------------------------------- #
+    def claim(self, worker: str, poll: float) -> Dict[str, Any]:
+        """Hand the next runnable job to ``worker`` (or done/wait)."""
+        if not worker:
+            raise ServiceError(400, "claim requires a worker id")
+        now = time.time()
+        store = self.store_for(worker)
+        for job in self.spec.jobs:
+            job_id = job.job_id
+            if job_id in self._terminal:
+                continue
+            if self.runner._load_state(job) is not None:
+                continue
+            if self._not_before.get(job_id, 0.0) > now:
+                continue
+            lease = store.claim(job_id)
+            if lease is None:
+                continue  # a live worker holds it
+            previous = self._leases.get(job_id)
+            if previous is not None and previous[1].path == lease.path:
+                # The claim reclaimed a dead worker's expired lease.
+                self.bump("worker_reclaims")
+            self._leases[job_id] = (worker, lease)
+            prior = self._failures.get(job_id, 0)
+            return {
+                "job": {
+                    "job_id": job_id,
+                    "kind": job.kind,
+                    "params": job.params,
+                },
+                "attempt": prior + 1,
+                "lease_ttl": store.lease_ttl,
+                "budget": self._budget_spec(prior),
+            }
+        if self.complete():
+            return {"done": True}
+        return {"wait": poll}
+
+    def _held_lease(self, worker: str, job_id: str) -> Tuple[JobStore, Lease]:
+        entry = self._leases.get(job_id)
+        store = self._stores.get(worker)
+        if entry is None or entry[0] != worker or store is None:
+            raise ServiceError(
+                409, f"worker {worker!r} does not hold the lease on {job_id!r}"
+            )
+        return store, entry[1]
+
+    def heartbeat(self, worker: str, job_id: str) -> Dict[str, Any]:
+        store, lease = self._held_lease(worker, job_id)
+        try:
+            store.heartbeat(lease)
+        except LeaseLost as exc:
+            self._leases.pop(job_id, None)
+            raise ServiceError(409, str(exc))
+        return {"expires": lease.expires}
+
+    def complete_job(
+        self,
+        worker: str,
+        job_id: str,
+        seconds: float,
+        payload: Dict[str, Any],
+        cache: Optional[Dict[str, float]] = None,
+    ) -> Dict[str, Any]:
+        """Commit an uploaded result — unless the lease was lost (409)."""
+        job = self.job(job_id)
+        try:
+            store, lease = self._held_lease(worker, job_id)
+            if not store.holds(lease):
+                self._leases.pop(job_id, None)
+                raise ServiceError(
+                    409, f"lease on {job_id!r} was reclaimed; result discarded"
+                )
+        except ServiceError:
+            self.bump("lease_lost_discards")
+            raise
+        attempts = self._failures.get(job_id, 0) + 1
+        result = JobResult(
+            job_id=job_id,
+            kind=job.kind,
+            status="ok",
+            seconds=float(seconds),
+            payload=dict(payload),
+            attempts=attempts,
+            owner=store.owner,
+        )
+        self.runner._save_state(job, result)
+        store.release(lease, status="ok")
+        self._leases.pop(job_id, None)
+        for key, value in (cache or {}).items():
+            self.bump(f"remote_cache_{key}", value)
+        return {"committed": True, "attempts": attempts}
+
+    def fail_job(self, worker: str, job_id: str, error: str) -> Dict[str, Any]:
+        """Record a failure: schedule a retry or finish the job terminally."""
+        self.job(job_id)
+        store, lease = self._held_lease(worker, job_id)
+        self._failures[job_id] = self._failures.get(job_id, 0) + 1
+        attempt = self._failures[job_id]
+        verdict = classify_failure(None, error)
+        self.bump(f"failures_{verdict}")
+        if verdict == "transient" and self.retry_policy.should_retry(attempt):
+            delay = self.retry_policy.delay(job_id, attempt)
+            self._not_before[job_id] = time.time() + delay
+            store.release(lease, status="retry")
+            self._leases.pop(job_id, None)
+            self.bump("retries")
+            return {"retry": True, "delay": delay, "attempt": attempt}
+        status = (
+            "timed_out"
+            if error.split(":", 1)[0].strip() == "SolveBudgetExceeded"
+            else "error"
+        )
+        if status == "timed_out":
+            self.bump("timed_out")
+        self._terminal[job_id] = {
+            "status": status,
+            "error": error,
+            "attempts": attempt,
+            "owner": store.owner,
+        }
+        store.release(lease, status=status)
+        self._leases.pop(job_id, None)
+        return {"terminal": status}
+
+    # -------------------------------------------------------------- #
+    # Observation
+    # -------------------------------------------------------------- #
+    def job_state(self, job_id: str) -> Tuple[str, str]:
+        """Current ``(status, owner)`` of one job, read from disk."""
+        job = self.job(job_id)
+        restored = self.runner._load_state(job)
+        if restored is not None:
+            return "done", restored.owner
+        terminal = self._terminal.get(job_id)
+        if terminal is not None:
+            return terminal["status"], terminal["owner"]
+        holder = self.inspector._read_lease(self.inspector.lease_path(job_id))
+        if holder is not None:
+            return "running", str(holder.get("owner", ""))
+        return "pending", ""
+
+    def complete(self) -> bool:
+        """Every job finished (successfully or terminally)?"""
+        for job in self.spec.jobs:
+            if job.job_id in self._terminal:
+                continue
+            if self.runner._load_state(job) is None:
+                return False
+        return True
+
+    def robustness(self) -> Dict[str, float]:
+        counters = dict(self.counters)
+
+        def add(key: str, amount: float) -> None:
+            if amount:
+                counters[key] = counters.get(key, 0) + amount
+
+        for store in self._stores.values():
+            add("lease_claims", store.claims)
+            add("lease_conflicts", store.claim_conflicts)
+            add("lease_reclaims", store.reclaims)
+        return {key: value for key, value in sorted(counters.items()) if value}
+
+    def status(self) -> Dict[str, Any]:
+        counts: Dict[str, int] = {}
+        states: Dict[str, str] = {}
+        for job in self.spec.jobs:
+            state, _ = self.job_state(job.job_id)
+            states[job.job_id] = state
+            counts[state] = counts.get(state, 0) + 1
+        return {
+            "campaign": self.campaign_id,
+            "name": self.spec.name,
+            "jobs": len(self.spec.jobs),
+            "complete": self.complete(),
+            "counts": counts,
+            "states": states,
+            "robustness": self.robustness(),
+        }
+
+    def result(self) -> CampaignResult:
+        """The campaign's current results, runner-artifact compatible."""
+        results: List[JobResult] = []
+        for job in self.spec.jobs:
+            restored = self.runner._load_state(job)
+            if restored is not None:
+                results.append(restored)
+                continue
+            terminal = self._terminal.get(job.job_id)
+            if terminal is not None:
+                results.append(
+                    JobResult(
+                        job_id=job.job_id,
+                        kind=job.kind,
+                        status=terminal["status"],
+                        error=terminal["error"],
+                        attempts=terminal["attempts"],
+                        owner=terminal["owner"],
+                    )
+                )
+                continue
+            results.append(
+                JobResult(job_id=job.job_id, kind=job.kind, status="pending")
+            )
+        return CampaignResult(
+            name=self.spec.name,
+            results=results,
+            total_seconds=time.monotonic() - self._started,
+            jobs=1,
+            robustness=self.robustness(),
+        )
+
+    def artifact(self, kind: str) -> Tuple[str, str]:
+        """Render one artifact: returns ``(content_type, text)``."""
+        result = self.result()
+        if kind == "json":
+            return "application/json", result.to_json() + "\n"
+        if kind == "csv":
+            return "text/csv", result.to_csv()
+        if kind == "bench":
+            payload = json.dumps(result.bench_payload(), indent=2, sort_keys=True)
+            return "application/json", payload + "\n"
+        raise ServiceError(404, f"unknown artifact kind {kind!r}")
+
+    # -------------------------------------------------------------- #
+    # SSE
+    # -------------------------------------------------------------- #
+    def snapshot_frame(self) -> Tuple[bytes, Dict[str, Tuple]]:
+        """The initial SSE snapshot plus the diff baseline it establishes."""
+        states: Dict[str, str] = {}
+        baseline: Dict[str, Tuple] = {}
+        for job in self.spec.jobs:
+            job_id = job.job_id
+            state, owner = self.job_state(job_id)
+            states[job_id] = state
+            attempts = self.inspector.attempts(job_id)
+            last = attempts[-1]["status"] if attempts else ""
+            baseline[job_id] = (state, owner, len(attempts), last)
+        frame = sse_event(
+            "snapshot", {"campaign": self.campaign_id, "jobs": states}
+        )
+        return frame, baseline
+
+    def event_frames(
+        self, previous: Dict[str, Tuple]
+    ) -> Tuple[List[bytes], Dict[str, Tuple]]:
+        """SSE frames for every per-job transition since ``previous``.
+
+        Transitions are derived from the jobstore's own evidence — lease
+        files and ``.attempts.json`` sidecars — not from in-memory
+        scheduling state, so the stream reports what *actually* happened
+        on disk (including reclaims of dead workers' leases).
+        """
+        frames: List[bytes] = []
+        current: Dict[str, Tuple] = {}
+        for job in self.spec.jobs:
+            job_id = job.job_id
+            state, owner = self.job_state(job_id)
+            attempts = self.inspector.attempts(job_id)
+            last = attempts[-1]["status"] if attempts else ""
+            key = (state, owner, len(attempts), last)
+            current[job_id] = key
+            prev = previous.get(job_id, ("pending", "", 0, ""))
+            if key == prev:
+                continue
+            if len(attempts) > prev[2]:
+                record = attempts[-1]
+                frames.append(
+                    sse_event(
+                        "reclaim" if record.get("reclaimed") else "claim",
+                        {"job": job_id, "owner": str(record.get("owner", ""))},
+                    )
+                )
+            if last != prev[3] and last in ("retry", "requeued"):
+                frames.append(
+                    sse_event("retry", {"job": job_id, "attempts": len(attempts)})
+                )
+            if state == "done" and prev[0] != "done":
+                frames.append(sse_event("done", {"job": job_id, "owner": owner}))
+            elif state in ("error", "timed_out") and prev[0] != state:
+                terminal = self._terminal.get(job_id, {})
+                frames.append(
+                    sse_event(
+                        "failed",
+                        {
+                            "job": job_id,
+                            "status": state,
+                            "error": str(terminal.get("error", "")),
+                        },
+                    )
+                )
+        return frames, current
+
+    def final_frame(self) -> bytes:
+        status = self.status()
+        return sse_event(
+            "campaign",
+            {
+                "campaign": self.campaign_id,
+                "status": "complete",
+                "counts": status["counts"],
+            },
+        )
+
+
+class CampaignService:
+    """The coordinator: campaign registry, request router, cache tier.
+
+    All request handling is synchronous and runs between awaits on the
+    event loop, so handlers never interleave — the single coordinator
+    process is the serialization point the filesystem was in PR 7.
+    """
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        lease_ttl: Optional[float] = None,
+        poll: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        solve_budget: Optional[SolveBudget] = None,
+    ):
+        root = root or os.environ.get(SERVICE_ROOT_ENV_VAR, "").strip()
+        if not root:
+            raise ServiceError(500, "a service root directory is required")
+        self.root = root
+        self.lease_ttl = lease_ttl
+        self.poll = poll if poll is not None else _poll_from_environment()
+        self.retry_policy = retry_policy
+        self.solve_budget = solve_budget
+        self.campaigns_dir = os.path.join(root, "campaigns")
+        os.makedirs(self.campaigns_dir, exist_ok=True)
+        cache_dir = os.path.join(root, "cache")
+        os.makedirs(cache_dir, exist_ok=True)
+        self.cache = SynthesisDiskCache(cache_dir)
+        self._cache_index: Dict[str, Tuple[str, str, Tuple[int, ...]]] = {
+            cache_fingerprint(effort, library, signature): (
+                effort,
+                library,
+                signature,
+            )
+            for effort, library, signature, _ in self.cache.entries()
+        }
+        self.cache_counters: Dict[str, int] = {
+            "gets": 0,
+            "get_hits": 0,
+            "get_misses": 0,
+            "puts": 0,
+        }
+        self._handles: Dict[str, CampaignHandle] = {}
+        self._recover()
+
+    # -------------------------------------------------------------- #
+    # Campaign registry
+    # -------------------------------------------------------------- #
+    def _recover(self) -> None:
+        """Re-register every campaign found under the root (restart-safe)."""
+        try:
+            entries = sorted(os.listdir(self.campaigns_dir))
+        except OSError:
+            return
+        for campaign_id in entries:
+            spec_path = os.path.join(self.campaigns_dir, campaign_id, "spec.json")
+            try:
+                with open(spec_path, "r", encoding="utf-8") as handle:
+                    spec = CampaignSpec.from_dict(json.load(handle))
+            except (OSError, ValueError, CampaignError):
+                continue
+            self._handles[campaign_id] = self._handle_for(campaign_id, spec)
+
+    def _handle_for(self, campaign_id: str, spec: CampaignSpec) -> CampaignHandle:
+        return CampaignHandle(
+            campaign_id,
+            spec,
+            os.path.join(self.campaigns_dir, campaign_id),
+            lease_ttl=self.lease_ttl,
+            retry_policy=self.retry_policy,
+            solve_budget=self.solve_budget,
+        )
+
+    def submit(self, spec_data: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            spec = CampaignSpec.from_dict(spec_data)
+        except CampaignError as exc:
+            raise ServiceError(400, str(exc))
+        campaign_id = campaign_fingerprint(spec.to_dict())
+        existing = self._handles.get(campaign_id)
+        if existing is not None:
+            return {
+                "campaign": campaign_id,
+                "created": False,
+                "jobs": len(existing.spec.jobs),
+            }
+        directory = os.path.join(self.campaigns_dir, campaign_id)
+        os.makedirs(directory, exist_ok=True)
+        spec_path = os.path.join(directory, "spec.json")
+        temp_path = f"{spec_path}.tmp.{os.getpid()}"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(spec.to_dict(), handle, indent=2, sort_keys=True)
+        os.replace(temp_path, spec_path)
+        self._handles[campaign_id] = self._handle_for(campaign_id, spec)
+        return {"campaign": campaign_id, "created": True, "jobs": len(spec.jobs)}
+
+    def campaign(self, campaign_id: str) -> CampaignHandle:
+        handle = self._handles.get(campaign_id)
+        if handle is None:
+            raise ServiceError(404, f"unknown campaign {campaign_id!r}")
+        return handle
+
+    # -------------------------------------------------------------- #
+    # Cache tier
+    # -------------------------------------------------------------- #
+    def cache_get(self, fingerprint: str) -> Dict[str, Any]:
+        self.cache_counters["gets"] += 1
+        key = self._cache_index.get(fingerprint)
+        if key is None:
+            self.cache_counters["get_misses"] += 1
+            raise ServiceError(404, f"no cache entry {fingerprint!r}")
+        effort, library, signature = key
+        area = self.cache.get(effort, library, signature)
+        if area is None:
+            self.cache_counters["get_misses"] += 1
+            raise ServiceError(404, f"no cache entry {fingerprint!r}")
+        self.cache_counters["get_hits"] += 1
+        return {
+            "effort": effort,
+            "library": library,
+            "signature": list(signature),
+            "area": area,
+        }
+
+    def cache_put(self, fingerprint: str, body: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            effort = str(body["effort"])
+            library = str(body["library"])
+            signature = tuple(int(value) for value in body["signature"])
+            area = float(body["area"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(400, f"malformed cache entry: {exc}")
+        if cache_fingerprint(effort, library, signature) != fingerprint:
+            raise ServiceError(
+                400, "cache entry does not match its fingerprint path"
+            )
+        self.cache.put(effort, library, signature, area)
+        self._cache_index[fingerprint] = (effort, library, signature)
+        self.cache_counters["puts"] += 1
+        return {"stored": True}
+
+    def cache_stats(self) -> Dict[str, Any]:
+        return {
+            "entries": len(self.cache),
+            "hits": self.cache.hits,
+            "appends": self.cache.appends,
+            **self.cache_counters,
+        }
+
+    # -------------------------------------------------------------- #
+    # Router
+    # -------------------------------------------------------------- #
+    def handle(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, str, bytes]:
+        """Route one request; returns ``(status, content_type, body)``."""
+        try:
+            return self._route(method, path, body)
+        except ServiceError as exc:
+            payload = json.dumps({"error": exc.message}).encode("utf-8")
+            return exc.status, "application/json", payload
+
+    @staticmethod
+    def _json_body(body: bytes) -> Dict[str, Any]:
+        if not body:
+            return {}
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(400, f"request body is not JSON: {exc}")
+        if not isinstance(data, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        return data
+
+    @staticmethod
+    def _ok(payload: Any, status: int = 200) -> Tuple[int, str, bytes]:
+        text = json.dumps(payload, sort_keys=True)
+        return status, "application/json", text.encode("utf-8")
+
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, str, bytes]:
+        parts = [part for part in path.split("?", 1)[0].split("/") if part]
+        if parts == ["healthz"] and method == "GET":
+            return self._ok({"ok": True, "campaigns": len(self._handles)})
+        if parts == ["campaigns"]:
+            if method == "POST":
+                submitted = self.submit(self._json_body(body))
+                return self._ok(submitted, status=201 if submitted["created"] else 200)
+            if method == "GET":
+                return self._ok(
+                    {
+                        "campaigns": [
+                            {
+                                "campaign": campaign_id,
+                                "name": handle.spec.name,
+                                "complete": handle.complete(),
+                            }
+                            for campaign_id, handle in sorted(self._handles.items())
+                        ]
+                    }
+                )
+        if parts[:1] == ["campaigns"] and len(parts) >= 2:
+            handle = self.campaign(parts[1])
+            rest = parts[2:]
+            if not rest and method == "GET":
+                return self._ok(handle.status())
+            if rest == ["claim"] and method == "POST":
+                data = self._json_body(body)
+                return self._ok(
+                    handle.claim(str(data.get("worker", "")), self.poll)
+                )
+            if len(rest) == 3 and rest[0] == "jobs" and method == "POST":
+                data = self._json_body(body)
+                worker = str(data.get("worker", ""))
+                job_id = rest[1]
+                if rest[2] == "heartbeat":
+                    return self._ok(handle.heartbeat(worker, job_id))
+                if rest[2] == "complete":
+                    return self._ok(
+                        handle.complete_job(
+                            worker,
+                            job_id,
+                            float(data.get("seconds", 0.0)),
+                            dict(data.get("payload", {})),
+                            cache=data.get("cache"),
+                        )
+                    )
+                if rest[2] == "fail":
+                    return self._ok(
+                        handle.fail_job(worker, job_id, str(data.get("error", "")))
+                    )
+            if len(rest) == 2 and rest[0] == "artifacts" and method == "GET":
+                content_type, text = handle.artifact(rest[1])
+                return 200, content_type, text.encode("utf-8")
+        if parts[:1] == ["cache"]:
+            if parts == ["cache", "stats"] and method == "GET":
+                return self._ok(self.cache_stats())
+            if len(parts) == 2:
+                if method == "GET":
+                    return self._ok(self.cache_get(parts[1]))
+                if method == "PUT":
+                    return self._ok(
+                        self.cache_put(parts[1], self._json_body(body))
+                    )
+        raise ServiceError(404, f"no route for {method} {path}")
+
+    # -------------------------------------------------------------- #
+    # asyncio HTTP plumbing
+    # -------------------------------------------------------------- #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                header_blob = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=60.0
+                )
+            except (
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError,
+                ConnectionError,
+            ):
+                return
+            try:
+                head = header_blob.decode("latin-1")
+                request_line, *header_lines = head.split("\r\n")
+                method, path, _ = request_line.split(" ", 2)
+            except ValueError:
+                await self._write_response(
+                    writer, 400, "application/json", b'{"error": "bad request"}'
+                )
+                return
+            headers = {}
+            for line in header_lines:
+                name, _, value = line.partition(":")
+                if _:
+                    headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or 0)
+            body = await reader.readexactly(length) if length > 0 else b""
+
+            event_parts = [part for part in path.split("/") if part]
+            if (
+                method == "GET"
+                and len(event_parts) == 3
+                and event_parts[0] == "campaigns"
+                and event_parts[2] == "events"
+            ):
+                await self._stream_events(writer, event_parts[1])
+                return
+            status, content_type, payload = self.handle(method, path, body)
+            await self._write_response(writer, status, content_type, payload)
+        except ConnectionError:
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        payload: bytes,
+    ) -> None:
+        reason = http.client.responses.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, campaign_id: str
+    ) -> None:
+        """Serve one SSE subscription until the campaign completes."""
+        try:
+            handle = self.campaign(campaign_id)
+        except ServiceError as exc:
+            await self._write_response(
+                writer,
+                exc.status,
+                "application/json",
+                json.dumps({"error": exc.message}).encode("utf-8"),
+            )
+            return
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode("latin-1"))
+            frame, baseline = handle.snapshot_frame()
+            writer.write(frame)
+            await writer.drain()
+            while True:
+                frames, baseline = handle.event_frames(baseline)
+                for frame in frames:
+                    writer.write(frame)
+                if handle.complete():
+                    writer.write(handle.final_frame())
+                    await writer.drain()
+                    return
+                # Keepalive comment: clients with read timeouts see bytes
+                # every poll even when nothing happened.
+                writer.write(b": keepalive\n\n")
+                await writer.drain()
+                await asyncio.sleep(self.poll)
+        except (ConnectionError, OSError):
+            return  # subscriber went away
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0):
+        """Start the asyncio server; returns the ``asyncio.Server``."""
+        return await asyncio.start_server(self._handle_connection, host, port)
+
+    def run(self, host: str = "127.0.0.1", port: int = 8765) -> None:
+        """Serve forever in the current thread (the ``repro serve`` verb)."""
+
+        async def main() -> None:
+            server = await self.start(host, port)
+            addr = server.sockets[0].getsockname()
+            print(f"serving campaigns on http://{addr[0]}:{addr[1]} (root {self.root})")
+            async with server:
+                await server.serve_forever()
+
+        asyncio.run(main())
+
+
+class ServiceThread:
+    """A coordinator running on a background thread (tests, benchmarks).
+
+    ::
+
+        with ServiceThread(root=tmp_path) as service:
+            client = ServiceClient(service.url)
+            ...
+    """
+
+    def __init__(self, root: str, host: str = "127.0.0.1", port: int = 0, **kwargs):
+        self.service = CampaignService(root=root, **kwargs)
+        self._host = host
+        self._port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self.url = ""
+
+    def __enter__(self) -> "ServiceThread":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("service thread failed to start")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+
+        async def main() -> None:
+            self._stop = asyncio.Event()
+            server = await self.service.start(self._host, self._port)
+            address = server.sockets[0].getsockname()
+            self.url = f"http://{address[0]}:{address[1]}"
+            self._ready.set()
+            await self._stop.wait()
+            server.close()
+            await server.wait_closed()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)

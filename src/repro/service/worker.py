@@ -1,0 +1,309 @@
+"""The pull-based worker agent: claim over HTTP, execute, upload.
+
+Runnable on any machine that can reach the coordinator::
+
+    python -m repro.service.worker --server http://coordinator:8765
+
+The agent needs **no shared filesystem**: jobs arrive as JSON
+(:class:`~repro.scenarios.campaign.CampaignJob` kind + params), execute
+through the exact same :func:`~repro.scenarios.campaign._execute_job_task`
+the local campaign runner fans over its worker pool, and finished payloads
+are uploaded back.  Lease safety mirrors the local runner: a daemon thread
+heartbeats the claimed job every TTL/3, and when a heartbeat comes back
+409 — the coordinator reclaimed the lease — the computed result is
+*discarded*, never uploaded, because a peer may already own the job.
+
+With the remote cache enabled (default) the agent exports
+``REPRO_CACHE_URL`` pointing at the coordinator before executing jobs, so
+the synthesis cache stack inside :mod:`repro.ga.pinopt` reads through the
+fleet-shared tier; per-job counter deltas ride along with the completion
+upload and surface in the campaign's robustness counters.
+
+Fault injection composes: a ``REPRO_FAULTS=worker_kill:...`` spec SIGKILLs
+the agent process at job start (the task hook runs in-process here), which
+is exactly how the CI smoke leg murders one worker mid-campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import threading
+import time
+from typing import Dict, Optional
+
+from ..scenarios.campaign import CampaignJob, _execute_job_task
+from .cache import CACHE_URL_ENV_VAR, RemoteCacheTier
+from .client import ServiceClient
+from .protocol import (
+    DEFAULT_POLL_SECONDS,
+    SERVICE_POLL_ENV_VAR,
+    ServiceError,
+)
+
+__all__ = ["WorkerAgent", "main"]
+
+
+class WorkerAgent:
+    """One pull-based worker attached to a coordinator."""
+
+    def __init__(
+        self,
+        server: str,
+        worker_id: Optional[str] = None,
+        poll: Optional[float] = None,
+        task_jobs: int = 1,
+        remote_cache: bool = True,
+        log=print,
+    ):
+        self.client = ServiceClient(server)
+        if worker_id is None:
+            worker_id = (
+                f"{socket.gethostname()}:{os.getpid()}:{os.urandom(3).hex()}"
+            )
+        self.worker_id = worker_id
+        if poll is None:
+            raw = os.environ.get(SERVICE_POLL_ENV_VAR, "").strip()
+            try:
+                poll = float(raw) if raw else DEFAULT_POLL_SECONDS
+            except ValueError:
+                poll = DEFAULT_POLL_SECONDS
+        self.poll = poll
+        self.task_jobs = max(1, int(task_jobs))
+        self._log = log or (lambda message: None)
+        if remote_cache:
+            # The in-process synthesis stack picks the tier up from the
+            # environment (resolve_synthesis_cache); an explicit
+            # REPRO_CACHE_URL from the operator wins.
+            os.environ.setdefault(CACHE_URL_ENV_VAR, self.client.base_url)
+        self.counters: Dict[str, int] = {
+            "executed": 0,
+            "failed": 0,
+            "discarded": 0,
+        }
+
+    # -------------------------------------------------------------- #
+    # Main loop
+    # -------------------------------------------------------------- #
+    def run(
+        self,
+        campaign: Optional[str] = None,
+        once: bool = False,
+        max_jobs: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Pull and execute jobs until stopped.
+
+        ``campaign`` pins the agent to one campaign id (default: serve
+        every campaign the coordinator lists).  ``once`` exits as soon as
+        every served campaign reports done; without it the agent keeps
+        polling for new submissions.  ``max_jobs`` caps executed jobs
+        (tests).
+        """
+        while True:
+            if campaign is not None:
+                campaign_ids = [campaign]
+            else:
+                campaign_ids = [
+                    entry["campaign"]
+                    for entry in self.client.campaigns().get("campaigns", [])
+                ]
+            all_done = bool(campaign_ids)
+            claimed_any = False
+            for campaign_id in campaign_ids:
+                while True:
+                    if (
+                        max_jobs is not None
+                        and self.counters["executed"] >= max_jobs
+                    ):
+                        return dict(self.counters)
+                    try:
+                        ticket = self.client.claim(campaign_id, self.worker_id)
+                    except ServiceError as exc:
+                        self._log(f"claim failed: {exc.message}")
+                        all_done = False
+                        break
+                    if "job" in ticket:
+                        claimed_any = True
+                        all_done = False
+                        self._execute(campaign_id, ticket)
+                        continue
+                    if not ticket.get("done"):
+                        all_done = False  # backed-off or peer-held jobs remain
+                    break
+            if once and all_done:
+                return dict(self.counters)
+            if not claimed_any:
+                time.sleep(self.poll)
+
+    # -------------------------------------------------------------- #
+    # One job
+    # -------------------------------------------------------------- #
+    def _execute(self, campaign_id: str, ticket: Dict) -> None:
+        entry = ticket["job"]
+        job = CampaignJob(
+            job_id=str(entry["job_id"]),
+            kind=str(entry["kind"]),
+            params=dict(entry.get("params", {})),
+        )
+        lease_ttl = float(ticket.get("lease_ttl", 60.0))
+        budget = str(ticket.get("budget", ""))
+        self._log(
+            f"[{self.worker_id}] {campaign_id}/{job.job_id}: claimed "
+            f"(attempt {ticket.get('attempt', 1)})"
+        )
+
+        lost = threading.Event()
+        stop = threading.Event()
+
+        def beat() -> None:
+            interval = lease_ttl / 3.0
+            while not stop.wait(interval):
+                try:
+                    self.client.heartbeat(campaign_id, job.job_id, self.worker_id)
+                except ServiceError as exc:
+                    if exc.status == 409:
+                        lost.set()
+                        return
+                    # Transient (network, coordinator restart): retry on
+                    # the next beat; the lease survives two more misses.
+
+        keeper = threading.Thread(target=beat, daemon=True)
+        keeper.start()
+        tier = RemoteCacheTier.active()
+        cache_before = tier.remote_stats() if tier is not None else {}
+        try:
+            result = _execute_job_task((job, self.task_jobs, True, budget))
+        finally:
+            stop.set()
+        keeper.join(timeout=lease_ttl)
+
+        if lost.is_set():
+            # Lost-lease safety, worker side: the coordinator reclaimed the
+            # job (we looked dead); a peer may be re-running it, so this
+            # result must never be uploaded.
+            self.counters["discarded"] += 1
+            self._log(
+                f"[{self.worker_id}] {campaign_id}/{job.job_id}: lease lost "
+                f"mid-run; result discarded"
+            )
+            return
+
+        cache_delta: Dict[str, float] = {}
+        if tier is not None:
+            tier.flush(timeout=min(lease_ttl, 10.0))
+            after = tier.remote_stats()
+            cache_delta = {
+                key: after[key] - cache_before.get(key, 0)
+                for key in after
+                if after[key] - cache_before.get(key, 0)
+            }
+            if cache_delta.get("hits"):
+                self._log(
+                    f"[{self.worker_id}] {campaign_id}/{job.job_id}: "
+                    f"remote-cache hits={cache_delta['hits']}"
+                )
+
+        try:
+            if result.ok:
+                self.client.complete(
+                    campaign_id,
+                    job.job_id,
+                    self.worker_id,
+                    seconds=result.seconds,
+                    payload=result.payload,
+                    cache=cache_delta or None,
+                )
+                self.counters["executed"] += 1
+                self._log(
+                    f"[{self.worker_id}] {campaign_id}/{job.job_id}: "
+                    f"ok ({result.seconds:.1f}s)"
+                )
+            else:
+                self.client.fail(
+                    campaign_id, job.job_id, self.worker_id, error=result.error
+                )
+                self.counters["failed"] += 1
+                self._log(
+                    f"[{self.worker_id}] {campaign_id}/{job.job_id}: "
+                    f"{result.status} {result.error}"
+                )
+        except ServiceError as exc:
+            if exc.status == 409:
+                self.counters["discarded"] += 1
+                self._log(
+                    f"[{self.worker_id}] {campaign_id}/{job.job_id}: "
+                    f"discarded at commit ({exc.message})"
+                )
+            else:
+                self.counters["failed"] += 1
+                self._log(
+                    f"[{self.worker_id}] {campaign_id}/{job.job_id}: "
+                    f"upload failed ({exc.message})"
+                )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.worker",
+        description="Pull-based campaign worker agent",
+    )
+    parser.add_argument(
+        "--server",
+        default=None,
+        help="coordinator URL (default: $REPRO_SERVICE_URL)",
+    )
+    parser.add_argument(
+        "--campaign", default=None, help="serve only this campaign id"
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="exit when every served campaign is complete",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=None, help="claim poll interval (seconds)"
+    )
+    parser.add_argument(
+        "--max-jobs", type=int, default=None, help="stop after N executed jobs"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per job (job-internal parallelism)",
+    )
+    parser.add_argument(
+        "--worker-id", default=None, help="stable worker identity (default: generated)"
+    )
+    parser.add_argument(
+        "--no-remote-cache",
+        action="store_true",
+        help="do not read through the coordinator's shared synthesis cache",
+    )
+    arguments = parser.parse_args(argv)
+    try:
+        agent = WorkerAgent(
+            arguments.server,
+            worker_id=arguments.worker_id,
+            poll=arguments.poll,
+            task_jobs=arguments.jobs,
+            remote_cache=not arguments.no_remote_cache,
+        )
+    except ServiceError as exc:
+        parser.error(exc.message)
+        return 2
+    counters = agent.run(
+        campaign=arguments.campaign,
+        once=arguments.once,
+        max_jobs=arguments.max_jobs,
+    )
+    print(
+        f"[{agent.worker_id}] done: {counters['executed']} executed, "
+        f"{counters['failed']} failed, {counters['discarded']} discarded"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""Tests for synthesis-cache segment compaction (`repro cache compact`)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.ga.pinopt import (
+    CACHE_DIR_ENV_VAR,
+    SynthesisDiskCache,
+    compact_cache_dir,
+)
+
+
+def _segment_line(effort, library, signature, area):
+    return (
+        json.dumps(
+            {
+                "effort": effort,
+                "library": library,
+                "signature": list(signature),
+                "area": area,
+            }
+        )
+        + "\n"
+    )
+
+
+def _write_segment(directory, name, lines):
+    path = directory / name
+    path.write_text("".join(lines), encoding="utf-8")
+    return path
+
+
+class TestCompactCacheDir:
+    def test_segments_merge_into_one_deduplicated_file(self, tmp_path):
+        """Per-pid segments and the legacy file fold into one clean file."""
+        _write_segment(
+            tmp_path,
+            "synthesis_cache.jsonl",  # legacy shared file
+            [_segment_line("fast", "lib", (1,), 10.0)],
+        )
+        _write_segment(
+            tmp_path,
+            "synthesis_cache.111.jsonl",
+            [
+                _segment_line("fast", "lib", (1,), 10.0),  # duplicate key
+                _segment_line("fast", "lib", (2,), 20.0),
+            ],
+        )
+        _write_segment(
+            tmp_path,
+            "synthesis_cache.222.jsonl",
+            [_segment_line("best", "lib", (3,), 30.0)],
+        )
+        stats = compact_cache_dir(str(tmp_path))
+        assert stats == {
+            "entries": 3,
+            "files_merged": 3,
+            "segments_removed": 2,
+        }
+        remaining = sorted(
+            name
+            for name in os.listdir(tmp_path)
+            if name.startswith("synthesis_cache")
+        )
+        assert remaining == ["synthesis_cache.jsonl"]
+        reloaded = SynthesisDiskCache(str(tmp_path))
+        assert reloaded.loaded == 3
+        assert reloaded.get("fast", "lib", (1,)) == 10.0
+        assert reloaded.get("fast", "lib", (2,)) == 20.0
+        assert reloaded.get("best", "lib", (3,)) == 30.0
+
+    def test_compaction_skips_torn_lines(self, tmp_path):
+        _write_segment(
+            tmp_path,
+            "synthesis_cache.111.jsonl",
+            [
+                _segment_line("fast", "lib", (1,), 10.0),
+                '{"effort": "fast", "library": "lib", "signa',  # torn
+            ],
+        )
+        stats = compact_cache_dir(str(tmp_path))
+        assert stats["entries"] == 1
+        assert SynthesisDiskCache(str(tmp_path)).loaded == 1
+
+    def test_compacting_an_empty_directory_is_harmless(self, tmp_path):
+        stats = compact_cache_dir(str(tmp_path))
+        assert stats == {"entries": 0, "files_merged": 0, "segments_removed": 0}
+        assert SynthesisDiskCache(str(tmp_path)).loaded == 0
+
+    def test_own_process_appends_survive_compaction(self, tmp_path):
+        """A writer's put, then compaction, then more puts: nothing lost.
+
+        The writer appends to its own per-pid segment; compaction merges
+        and removes it, and the writer's next append recreates it — reload
+        sees every entry exactly once.
+        """
+        writer = SynthesisDiskCache(str(tmp_path))
+        writer.put("fast", "lib", (1,), 1.0)
+        compact_cache_dir(str(tmp_path))
+        writer.put("fast", "lib", (2,), 2.0)
+        reloaded = SynthesisDiskCache(str(tmp_path))
+        assert reloaded.loaded == 2
+        assert reloaded.get("fast", "lib", (1,)) == 1.0
+        assert reloaded.get("fast", "lib", (2,)) == 2.0
+
+
+class TestCacheCompactCli:
+    def test_compact_via_dir_flag(self, tmp_path, capsys):
+        _write_segment(
+            tmp_path,
+            "synthesis_cache.111.jsonl",
+            [_segment_line("fast", "lib", (1,), 10.0)],
+        )
+        assert main(["cache", "compact", "--dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "compacted" in output
+        assert "1 entries" in output
+
+    def test_compact_uses_environment_directory(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        _write_segment(
+            tmp_path,
+            "synthesis_cache.222.jsonl",
+            [_segment_line("fast", "lib", (9,), 9.0)],
+        )
+        assert main(["cache", "compact"]) == 0
+        assert "1 entries" in capsys.readouterr().out
+
+    def test_compact_without_directory_is_a_clean_error(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+        with pytest.raises(SystemExit) as info:
+            main(["cache", "compact"])
+        assert "no cache directory" in str(info.value)
+
+    def test_compact_missing_directory_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit) as info:
+            main(["cache", "compact", "--dir", str(tmp_path / "nope")])
+        assert "does not exist" in str(info.value)
