@@ -1,0 +1,117 @@
+"""Observability overhead guard: tracing must be free when it is off.
+
+The obs layer adds hooks to the hottest paths in the repo — a
+``tracing_enabled()`` env test per span site and always-on metrics
+counters at the solver/sim funnels.  The disabled fast path cannot be
+compared against pre-instrumentation code directly, so (like the solve
+budget guard in ``bench_attack.py``) its cost is bounded from above: the
+DIP-loop attack with ``REPRO_TRACE=1`` exercises *more* machinery than a
+disabled run ever pays — every gated check takes the expensive branch
+and the trace sink is live — and that enabled run must stay within 2%
+(plus a small absolute epsilon for timer noise) of the disabled one.
+Both variants must produce an identical solver transcript so the
+comparison times the same search.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.attacks.oracle_guided import attack_mapping
+from repro.flow import obfuscate_with_assignment
+from repro.obs.trace import (
+    TRACE_DIR_ENV_VAR,
+    TRACE_ENV_VAR,
+    reset_trace_state,
+    span,
+)
+from repro.sboxes import optimal_sboxes
+
+
+@pytest.fixture(scope="module")
+def obfuscated_pair():
+    functions = optimal_sboxes(2)
+    result = obfuscate_with_assignment(functions, effort="fast")
+    return functions, result
+
+
+def test_trace_machinery_overhead(benchmark, record, bench_json,
+                                  obfuscated_pair, monkeypatch, tmp_path):
+    monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+    monkeypatch.setenv(TRACE_DIR_ENV_VAR, str(tmp_path / "trace"))
+    functions, result = obfuscated_pair
+
+    def run_attack():
+        # The span is a shared no-op while REPRO_TRACE is unset, so the
+        # disabled arm times exactly the code a production run executes.
+        with span("bench_attack"):
+            return attack_mapping(result.mapping, true_select=1,
+                                  max_queries=64, presample=0)
+
+    # Warmup + registered timing: one disabled run through pytest-benchmark.
+    reset_trace_state()
+    disabled = benchmark.pedantic(run_attack, rounds=1, iterations=1)
+    assert disabled.success
+
+    # Paired deltas, order alternating per round, so ambient load and CPU
+    # frequency drift hit both runs of a pair roughly equally and mostly
+    # cancel in the difference.  The minimum delta over the rounds is the
+    # cleanest single observation of the machinery cost.
+    def timed(traced):
+        if traced:
+            monkeypatch.setenv(TRACE_ENV_VAR, "1")
+        else:
+            monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+        reset_trace_state()
+        start = time.perf_counter()
+        outcome = run_attack()
+        return outcome, time.perf_counter() - start
+
+    deltas = []
+    best_disabled = float("inf")
+    traced = None
+    for round_index in range(4):
+        if round_index % 2 == 0:
+            disabled, disabled_seconds = timed(False)
+            traced, traced_seconds = timed(True)
+        else:
+            traced, traced_seconds = timed(True)
+            disabled, disabled_seconds = timed(False)
+        best_disabled = min(best_disabled, disabled_seconds)
+        deltas.append(traced_seconds - disabled_seconds)
+    monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+    reset_trace_state()
+
+    assert disabled.success and traced.success
+    assert traced.num_queries == disabled.num_queries
+    for key in ("conflicts", "decisions", "propagations"):
+        assert traced.solver_stats[key] == disabled.solver_stats[key], (
+            f"enabling tracing changed the solver transcript ({key})"
+        )
+
+    overhead = min(deltas)
+    allowed = best_disabled * 0.02 + 0.010
+    benchmark.extra_info["best_disabled_seconds"] = best_disabled
+    benchmark.extra_info["overhead_seconds"] = overhead
+    bench_json(
+        "obs_trace_overhead",
+        {
+            "best_disabled_seconds": best_disabled,
+            "paired_deltas_seconds": deltas,
+            "overhead_seconds": overhead,
+            "allowed_seconds": allowed,
+            "num_queries": disabled.num_queries,
+        },
+    )
+    record(
+        "obs_trace_overhead",
+        f"disabled={best_disabled:.4f}s deltas="
+        + "/".join(f"{delta:+.4f}" for delta in deltas)
+        + f" overhead={overhead:+.4f}s allowed={allowed:.4f}s",
+    )
+    assert overhead <= allowed, (
+        f"observability machinery overhead {overhead:.4f}s exceeds "
+        f"{allowed:.4f}s (2% + 10ms) on the DIP-loop benchmark"
+    )

@@ -315,6 +315,33 @@ def build_parser() -> argparse.ArgumentParser:
                               help="maintenance action to run")
     cache_parser.add_argument("--dir", type=str, default="",
                               help="cache directory (default REPRO_CACHE_DIR)")
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="inspect a recorded trace (runs made with REPRO_TRACE=1)",
+        description=(
+            "Render the JSONL trace segments a REPRO_TRACE=1 run appended "
+            "under REPRO_TRACE_DIR: the span tree with durations (one "
+            "stitched tree per campaign, local or distributed), a per-name "
+            "rollup of where the time went, the critical path through the "
+            "longest chain of spans, or a standalone SVG timeline."
+        ),
+    )
+    trace_parser.add_argument(
+        "view",
+        choices=["tree", "rollup", "critical-path", "timeline"],
+        nargs="?",
+        default="tree",
+        help="which rendering to produce (default: tree)",
+    )
+    trace_parser.add_argument("--dir", type=str, default="",
+                              help="trace directory (default REPRO_TRACE_DIR, "
+                                   "else ./repro-trace)")
+    trace_parser.add_argument("--svg", type=str, default="",
+                              help="output path of the timeline SVG "
+                                   "(timeline view; default trace_timeline.svg)")
+    trace_parser.add_argument("--title", type=str, default="",
+                              help="timeline title (default: trace timeline)")
     return parser
 
 
@@ -656,11 +683,13 @@ def _command_campaign(args: argparse.Namespace) -> int:
     if args.submit:
         return _submit_campaign(args, spec)
 
+    from .obs.log import get_logger
+
     runner = CampaignRunner(
         spec,
         state_dir=args.state_dir or None,
         jobs=resolve_jobs(args.jobs or None),
-        progress=print,
+        progress=get_logger("campaign"),
         **_campaign_robustness_kwargs(args),
     )
     outcome = runner.run(limit=args.limit if args.limit >= 0 else None)
@@ -712,26 +741,37 @@ def _command_campaign(args: argparse.Namespace) -> int:
 
 def _submit_campaign(args: argparse.Namespace, spec) -> int:
     """``campaign --submit URL``: run the spec through a coordinator."""
+    from .obs.log import get_logger
+    from .obs.trace import span as trace_span
     from .service.client import ServiceClient
     from .service.protocol import ServiceError
 
-    try:
-        client = ServiceClient(args.submit)
-        submitted = client.submit(spec.to_dict())
-    except ServiceError as exc:
-        raise SystemExit(f"submit failed: {exc.message}") from exc
-    campaign_id = submitted["campaign"]
-    print(
-        f"campaign {campaign_id}: "
-        f"{'created' if submitted.get('created') else 'already submitted'} "
-        f"({submitted.get('jobs')} jobs) on {client.base_url}"
-    )
-    if args.no_wait:
-        return 0
-    try:
-        status = client.wait(campaign_id, progress=print)
-    except ServiceError as exc:
-        raise SystemExit(f"wait failed: {exc.message}") from exc
+    log = get_logger("campaign")
+    # The client span is the trace root of a distributed run: its context
+    # rides the submit request's traceparent header, the coordinator parents
+    # the campaign span under it, and every worker attempt stitches in.
+    with trace_span("client", campaign=spec.name) as client_span:
+        try:
+            client = ServiceClient(args.submit)
+            submitted = client.submit(spec.to_dict())
+        except ServiceError as exc:
+            raise SystemExit(f"submit failed: {exc.message}") from exc
+        campaign_id = submitted["campaign"]
+        client_span.annotate(campaign_id=campaign_id)
+        log(
+            f"campaign {campaign_id}: "
+            f"{'created' if submitted.get('created') else 'already submitted'} "
+            f"({submitted.get('jobs')} jobs) on {client.base_url}",
+            campaign=campaign_id,
+            created=bool(submitted.get("created")),
+            jobs=submitted.get("jobs"),
+        )
+        if args.no_wait:
+            return 0
+        try:
+            status = client.wait(campaign_id, progress=log)
+        except ServiceError as exc:
+            raise SystemExit(f"wait failed: {exc.message}") from exc
     counts = status.get("counts", {})
     failed = counts.get("error", 0) + counts.get("timed_out", 0)
     print()
@@ -793,6 +833,37 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    from .obs.render import (
+        render_critical_path,
+        render_rollup,
+        render_timeline,
+        render_tree,
+    )
+    from .obs.trace import load_trace, trace_dir
+
+    directory = args.dir or trace_dir()
+    records = load_trace(directory)
+    if not records:
+        raise SystemExit(
+            f"no trace records under {directory!r} "
+            f"(run with REPRO_TRACE=1 and REPRO_TRACE_DIR={directory} first)"
+        )
+    if args.view == "tree":
+        print(render_tree(records))
+    elif args.view == "rollup":
+        print(render_rollup(records))
+    elif args.view == "critical-path":
+        print(render_critical_path(records))
+    else:
+        path = args.svg or "trace_timeline.svg"
+        svg = render_timeline(records, title=args.title or "trace timeline")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(svg)
+        print(f"wrote {path} ({len(records)} records)")
+    return 0
+
+
 def _command_cache(args: argparse.Namespace) -> int:
     from .ga.pinopt import CACHE_DIR_ENV_VAR, compact_cache_dir
 
@@ -827,13 +898,15 @@ def _command_campaign_windowed(args: argparse.Namespace) -> int:
         scheduler=args.scheduler or None,
         probe_hardness=args.probe_hardness,
     )
+    from .obs.log import get_logger
+
     outcome, assembled = run_windowed_campaign(
         args.blif,
         spec=spec,
         state_dir=args.state_dir or None,
         jobs=resolve_jobs(args.jobs or None),
         limit=args.limit if args.limit >= 0 else None,
-        progress=print,
+        progress=get_logger("campaign"),
         verify=not args.no_verify,
         **_campaign_robustness_kwargs(args),
     )
@@ -871,6 +944,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": _command_campaign,
         "serve": _command_serve,
         "cache": _command_cache,
+        "trace": _command_trace,
     }
     return handlers[args.command](args)
 

@@ -43,6 +43,7 @@ from ..logic.boolfunc import BoolFunction
 from ..merge.merged import MergedDesign, merge_functions
 from ..merge.pinassign import PinAssignment
 from ..netlist.library import CellLibrary, standard_cell_library
+from ..obs import metrics as obs_metrics
 from ..parallel import register_worker_warmup
 from ..synth.script import (
     SCHEDULER_ENV_VAR,
@@ -436,12 +437,14 @@ class PinAssignmentProblem:
         cached = self._area_cache.get(key)
         if cached is not None:
             self.genotype_hits += 1
+            obs_metrics.counter("repro_ga_evaluations_total", result="genotype_hit")
             return cached
         design = self._merged_design(genotype)
         signature = self._signature_of(design.function)
         area = self._signature_cache.get(signature)
         if area is not None:
             self.signature_hits += 1
+            obs_metrics.counter("repro_ga_evaluations_total", result="signature_hit")
         else:
             if self.disk_cache is not None:
                 area = self.disk_cache.get(
@@ -452,10 +455,13 @@ class PinAssignmentProblem:
                                     effort=self.effort, scheduler=self.scheduler)
                 area = result.area
                 self.evaluations += 1
+                obs_metrics.counter("repro_ga_evaluations_total", result="synthesized")
                 if self.disk_cache is not None:
                     self.disk_cache.put(
                         self.effort, self._library_fingerprint, signature, area
                     )
+            else:
+                obs_metrics.counter("repro_ga_evaluations_total", result="disk_hit")
             self._signature_cache[signature] = area
         self._area_cache[key] = area
         return area

@@ -52,6 +52,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from .faults import clock_skew_seconds, faults_enabled
+from .obs.trace import current_traceparent, tracing_enabled
+from .obs.trace import event as trace_event
 
 __all__ = [
     "JobStore",
@@ -285,6 +287,15 @@ class JobStore:
             return None
         self.claims += 1
         self._record_attempt_start(job_id, reclaimed=True)
+        if tracing_enabled():
+            # The reclaim edge of the trace: attributed to the *surviving*
+            # owner that stole the stale lease, under the job's span.
+            trace_event(
+                "reclaim",
+                job=job_id,
+                owner=self.owner,
+                previous=str((holder or {}).get("owner", "")),
+            )
         return lease
 
     def _try_create(self, job_id: str, path: str) -> Optional[Lease]:
@@ -418,6 +429,12 @@ class JobStore:
         }
         if reclaimed:
             record["reclaimed"] = True
+        if tracing_enabled():
+            # Annotate the audit trail with the ambient trace context so a
+            # post-mortem can join attempts to the recorded spans.
+            traceparent = current_traceparent()
+            if traceparent:
+                record["traceparent"] = traceparent
         records.append(record)
         self._write_attempts(job_id, records)
 

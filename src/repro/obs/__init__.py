@@ -1,0 +1,76 @@
+"""Observability: distributed tracing, live metrics, structured logs.
+
+Three small, dependency-free layers the rest of the stack hooks into:
+
+* :mod:`repro.obs.trace` — span tracing with cross-process context
+  propagation (``REPRO_TRACE`` / ``REPRO_TRACE_DIR``), zero-overhead
+  when disabled.
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with
+  Prometheus-text rendering (the coordinator's ``GET /metrics``).
+* :mod:`repro.obs.log` — leveled structured logging over the existing
+  human progress lines (``REPRO_LOG=json`` for JSONL events).
+
+:mod:`repro.obs.render` turns recorded traces into the ``repro trace``
+CLI's tree/rollup/critical-path views and an SVG timeline.
+"""
+
+from .log import LOG_ENV_VAR, Logger, get_logger, reset_log_state
+from .metrics import (
+    MetricsRegistry,
+    absorb_telemetry,
+    counter,
+    gauge,
+    observe,
+    registry,
+    render_prometheus,
+    reset_metrics,
+)
+from .trace import (
+    DEFAULT_TRACE_DIR,
+    TRACE_DIR_ENV_VAR,
+    TRACE_ENV_VAR,
+    attach_context,
+    current_traceparent,
+    event,
+    format_traceparent,
+    job_span_id,
+    load_trace,
+    new_trace_id,
+    parse_traceparent,
+    record_span,
+    reset_trace_state,
+    span,
+    trace_dir,
+    tracing_enabled,
+)
+
+__all__ = [
+    "LOG_ENV_VAR",
+    "Logger",
+    "get_logger",
+    "reset_log_state",
+    "MetricsRegistry",
+    "absorb_telemetry",
+    "counter",
+    "gauge",
+    "observe",
+    "registry",
+    "render_prometheus",
+    "reset_metrics",
+    "DEFAULT_TRACE_DIR",
+    "TRACE_DIR_ENV_VAR",
+    "TRACE_ENV_VAR",
+    "attach_context",
+    "current_traceparent",
+    "event",
+    "format_traceparent",
+    "job_span_id",
+    "load_trace",
+    "new_trace_id",
+    "parse_traceparent",
+    "record_span",
+    "reset_trace_state",
+    "span",
+    "trace_dir",
+    "tracing_enabled",
+]

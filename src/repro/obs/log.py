@@ -1,0 +1,111 @@
+"""Leveled structured logging over the existing human progress lines.
+
+The campaign runner, the worker agent and the coordinator historically
+report progress through bare ``print()``.  Several of those lines are
+load-bearing: CI greps for ``"cached (state matches)"`` and
+``"worker_reclaims=1"``, and the test suites pin more.  This logger
+therefore treats the human line as the *canonical* rendering — the
+default mode prints exactly the strings the call sites always printed —
+and layers structure on top:
+
+* ``REPRO_LOG=json`` switches stdout to one JSONL event per line
+  (``{"ts", "level", "logger", "message", ...fields}``), for machine
+  ingestion.
+* ``REPRO_LOG=debug`` / ``info`` / ``warning`` / ``error`` set the
+  human-mode threshold (default ``info``).
+
+Events carry optional structured fields either way; human mode simply
+drops them, keeping byte-compatibility where tests pin output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, Optional
+
+__all__ = ["LOG_ENV_VAR", "Logger", "get_logger", "reset_log_state"]
+
+LOG_ENV_VAR = "REPRO_LOG"
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+# Parsed (raw value, json mode, threshold) cache, invalidated when the
+# environment string changes — same trick as the fault-plan cache.
+_MODE: Optional[tuple] = None
+
+
+def _mode() -> tuple:
+    global _MODE
+    raw = os.environ.get(LOG_ENV_VAR, "").strip().lower()
+    if _MODE is not None and _MODE[0] == raw:
+        return _MODE
+    as_json = raw == "json"
+    threshold = _LEVELS.get(raw, _LEVELS["info"])
+    _MODE = (raw, as_json, threshold)
+    return _MODE
+
+
+def reset_log_state() -> None:
+    """Drop the cached mode (for tests that monkeypatch REPRO_LOG)."""
+    global _MODE
+    _MODE = None
+
+
+class Logger:
+    """One named logger writing human lines or JSONL events.
+
+    ``sink`` overrides the output callable (default: print to stdout —
+    the stream CI tees and greps).  The instance is itself callable with
+    the historical ``progress(message)`` signature, so it drops into
+    every ``progress=`` parameter unchanged.
+    """
+
+    def __init__(self, name: str, sink=None):
+        self.name = name
+        self._sink = sink
+
+    def _write(self, text: str) -> None:
+        if self._sink is not None:
+            self._sink(text)
+        else:
+            print(text, file=sys.stdout, flush=True)
+
+    def log(self, level: str, message: str, **fields: Any) -> None:
+        raw, as_json, threshold = _mode()
+        if as_json:
+            record = {
+                "ts": time.time(),
+                "level": level,
+                "logger": self.name,
+                "message": message,
+            }
+            if fields:
+                record.update(fields)
+            self._write(json.dumps(record, sort_keys=True, default=str))
+            return
+        if _LEVELS.get(level, 20) < threshold:
+            return
+        self._write(message)
+
+    def debug(self, message: str, **fields: Any) -> None:
+        self.log("debug", message, **fields)
+
+    def info(self, message: str, **fields: Any) -> None:
+        self.log("info", message, **fields)
+
+    def warning(self, message: str, **fields: Any) -> None:
+        self.log("warning", message, **fields)
+
+    def error(self, message: str, **fields: Any) -> None:
+        self.log("error", message, **fields)
+
+    def __call__(self, message: str, **fields: Any) -> None:
+        self.info(message, **fields)
+
+
+def get_logger(name: str, sink=None) -> Logger:
+    """A logger for one subsystem (``campaign``, ``worker``, ``serve``)."""
+    return Logger(name, sink=sink)

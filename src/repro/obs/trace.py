@@ -1,0 +1,442 @@
+"""Span-based distributed tracing with a zero-overhead disabled path.
+
+One campaign — local or fanned out over the HTTP fleet — becomes one
+*trace*: a tree of timed spans plus point events, stitched across
+processes and machines by W3C-style ``traceparent`` context propagation.
+
+Design rules (mirroring :mod:`repro.faults`):
+
+* **Off by default, free when off.**  Every hook is guarded by
+  :func:`tracing_enabled`, a single ``os.environ.get`` truth test; with
+  ``REPRO_TRACE`` unset the :func:`span` context manager returns one
+  shared inert object and no file handle ever opens.
+* **Append-only per-pid segments.**  Each process appends JSONL records
+  to its own ``trace.<pid>.jsonl`` segment under ``REPRO_TRACE_DIR``
+  (single ``write`` calls of complete lines, so concurrent writers on
+  one filesystem never interleave mid-record); readers are torn-line
+  tolerant, exactly like the synthesis disk cache.
+* **Two-phase records.**  A span writes a ``start`` line when it opens
+  and an ``end`` line when it closes.  A SIGKILLed worker therefore
+  leaves its unfinished attempt visible in the trace — the chaos suite
+  asserts on precisely that.
+* **Deterministic job spans.**  :func:`job_span_id` hashes
+  ``trace_id + job_id`` so every process (runner, coordinator, any
+  worker attempt) independently derives the *same* parent span id for a
+  job without coordination; attempts on different machines parent under
+  one job span.
+
+Context flows through ``contextvars``, so spans nest correctly across
+threads and the asyncio coordinator.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import hashlib
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "TRACE_DIR_ENV_VAR",
+    "DEFAULT_TRACE_DIR",
+    "tracing_enabled",
+    "trace_dir",
+    "span",
+    "event",
+    "current_traceparent",
+    "attach_context",
+    "format_traceparent",
+    "parse_traceparent",
+    "job_span_id",
+    "new_trace_id",
+    "record_span",
+    "load_trace",
+    "reset_trace_state",
+]
+
+#: Any non-empty value enables tracing (cheap guard for hot paths).
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+#: Directory receiving the per-process JSONL segments.
+TRACE_DIR_ENV_VAR = "REPRO_TRACE_DIR"
+
+#: Default segment directory when tracing is on but no directory is set.
+DEFAULT_TRACE_DIR = "repro-trace"
+
+
+def tracing_enabled() -> bool:
+    """True when ``REPRO_TRACE`` is set (cheap guard for hot paths)."""
+    return bool(os.environ.get(TRACE_ENV_VAR))
+
+
+def trace_dir() -> str:
+    """The directory trace segments are appended under."""
+    return os.environ.get(TRACE_DIR_ENV_VAR, "").strip() or DEFAULT_TRACE_DIR
+
+
+# ------------------------------------------------------------------ #
+# Context (trace_id, span_id) of the innermost open span.
+# ------------------------------------------------------------------ #
+_CONTEXT: contextvars.ContextVar[Optional[Tuple[str, str]]] = (
+    contextvars.ContextVar("repro_trace_context", default=None)
+)
+
+# Per-process sink state: (pid, path, handle).  Re-opened after fork so a
+# pool worker never appends through a handle inherited from its parent.
+_SINK: Optional[Tuple[int, str, Any]] = None
+
+_COUNTER = 0
+
+
+def reset_trace_state() -> None:
+    """Close the sink and drop the ambient context (for tests)."""
+    global _SINK, _COUNTER
+    if _SINK is not None:
+        try:
+            _SINK[2].close()
+        except OSError:
+            pass
+    _SINK = None
+    _COUNTER = 0
+    _CONTEXT.set(None)
+
+
+def _new_id(bits: int = 64) -> str:
+    """A fresh random hex id (64-bit spans, 128-bit traces)."""
+    return os.urandom(bits // 8).hex()
+
+
+def new_trace_id() -> str:
+    return _new_id(128)
+
+
+def job_span_id(trace_id: str, job_id: str) -> str:
+    """Deterministic span id for one campaign job within one trace.
+
+    Every participant — the local runner, the coordinator, each worker
+    attempt — derives the same id from the same inputs, so attempt spans
+    recorded on different machines parent under a single job span with no
+    runtime coordination.
+    """
+    digest = hashlib.sha256(f"{trace_id}:{job_id}".encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+# ------------------------------------------------------------------ #
+# W3C-style traceparent
+# ------------------------------------------------------------------ #
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """``00-<trace_id>-<span_id>-01`` (version 00, sampled flag)."""
+    return f"00-{trace_id}-{span_id}-01"
+
+
+def parse_traceparent(header: str) -> Optional[Tuple[str, str]]:
+    """Decode a traceparent into ``(trace_id, span_id)`` (None if bad)."""
+    parts = (header or "").strip().split("-")
+    if len(parts) != 4 or parts[0] != "00":
+        return None
+    trace_id, span_id = parts[1], parts[2]
+    if not trace_id or not span_id:
+        return None
+    try:
+        int(trace_id, 16), int(span_id, 16)
+    except ValueError:
+        return None
+    return trace_id, span_id
+
+
+def current_traceparent() -> str:
+    """The ambient context as a traceparent header value ("" when none)."""
+    context = _CONTEXT.get()
+    if context is None:
+        return ""
+    return format_traceparent(context[0], context[1])
+
+
+@contextmanager
+def attach_context(traceparent: str) -> Iterator[None]:
+    """Adopt a remote parent context for the duration of the block.
+
+    This is how a pool worker or a fleet agent joins the trace of the
+    submitting process: spans opened inside the block parent under the
+    remote span named by ``traceparent``.  An empty or malformed value
+    leaves the ambient context untouched.
+    """
+    parsed = parse_traceparent(traceparent) if traceparent else None
+    if parsed is None:
+        yield
+        return
+    token = _CONTEXT.set(parsed)
+    try:
+        yield
+    finally:
+        _CONTEXT.reset(token)
+
+
+# ------------------------------------------------------------------ #
+# Sink
+# ------------------------------------------------------------------ #
+def _emit(record: Dict[str, Any]) -> None:
+    """Append one complete JSONL line to this process's segment."""
+    global _SINK
+    pid = os.getpid()
+    directory = trace_dir()
+    path = os.path.join(directory, f"trace.{pid}.jsonl")
+    if _SINK is None or _SINK[0] != pid or _SINK[1] != path:
+        if _SINK is not None:
+            try:
+                _SINK[2].close()
+            except OSError:
+                pass
+        os.makedirs(directory, exist_ok=True)
+        handle = open(path, "a", encoding="utf-8")
+        _SINK = (pid, path, handle)
+    handle = _SINK[2]
+    handle.write(json.dumps(record, sort_keys=True) + "\n")
+    handle.flush()
+
+
+class _Span:
+    """One live span; records start at open, the full record at close."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "attrs",
+        "start",
+        "_mono",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: str,
+        attrs: Dict[str, Any],
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.start = 0.0
+        self._mono = 0.0
+        self._token: Optional[contextvars.Token] = None
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach additional attributes before the span closes."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self.start = time.time()
+        self._mono = time.monotonic()
+        self._token = _CONTEXT.set((self.trace_id, self.span_id))
+        record = {
+            "phase": "start",
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "name": self.name,
+            "start": self.start,
+            "pid": os.getpid(),
+        }
+        if self.parent_id:
+            record["parent"] = self.parent_id
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        _emit(record)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            _CONTEXT.reset(self._token)
+            self._token = None
+        record = {
+            "phase": "end",
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": time.monotonic() - self._mono,
+            "pid": os.getpid(),
+        }
+        if self.parent_id:
+            record["parent"] = self.parent_id
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        _emit(record)
+
+
+class _NoopSpan:
+    """The shared inert span handed out while tracing is disabled."""
+
+    __slots__ = ()
+    trace_id = ""
+    span_id = ""
+    parent_id = ""
+    name = ""
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, span_id: str = "", parent: str = "", **attrs: Any):
+    """Open a span under the ambient context (a no-op when disabled).
+
+    ``span_id`` pins a deterministic id (see :func:`job_span_id`);
+    ``parent`` overrides the ambient parent (a traceparent or bare span
+    id).  Attributes must be JSON-serialisable.
+    """
+    if not tracing_enabled():
+        return _NOOP
+    context = _CONTEXT.get()
+    if parent:
+        parsed = parse_traceparent(parent)
+        if parsed is not None:
+            context = parsed
+        elif context is not None:
+            context = (context[0], parent)
+    if context is None:
+        trace_id, parent_id = new_trace_id(), ""
+    else:
+        trace_id, parent_id = context
+    return _Span(name, trace_id, span_id or _new_id(), parent_id, dict(attrs))
+
+
+def record_span(
+    name: str,
+    span_id: str,
+    start: float,
+    duration: float,
+    parent: str = "",
+    trace_id: str = "",
+    **attrs: Any,
+) -> None:
+    """Emit one complete span record reconstructed after the fact.
+
+    The campaign runner and the coordinator use this for *job* spans: a
+    job's lifetime (first claim to terminal state) is only known once it
+    ends, so the span is written in one piece with a pinned deterministic
+    ``span_id`` (:func:`job_span_id`) that the attempt spans recorded by
+    workers already parent under.  No-op when tracing is disabled.
+    """
+    if not tracing_enabled():
+        return
+    context = _CONTEXT.get()
+    if not trace_id:
+        trace_id = context[0] if context is not None else new_trace_id()
+    if not parent and context is not None:
+        parent = context[1]
+    record: Dict[str, Any] = {
+        "phase": "end",
+        "trace": trace_id,
+        "span": span_id,
+        "name": name,
+        "start": start,
+        "duration": duration,
+        "pid": os.getpid(),
+    }
+    if parent:
+        record["parent"] = parent
+    if attrs:
+        record["attrs"] = attrs
+    _emit(record)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record a point event under the ambient context (no-op when off)."""
+    if not tracing_enabled():
+        return
+    context = _CONTEXT.get()
+    trace_id, parent_id = context if context is not None else (new_trace_id(), "")
+    record: Dict[str, Any] = {
+        "phase": "event",
+        "trace": trace_id,
+        "span": _new_id(),
+        "name": name,
+        "start": time.time(),
+        "pid": os.getpid(),
+    }
+    if parent_id:
+        record["parent"] = parent_id
+    if attrs:
+        record["attrs"] = attrs
+    _emit(record)
+
+
+# ------------------------------------------------------------------ #
+# Loading
+# ------------------------------------------------------------------ #
+def load_trace(directory: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Read every record from a trace directory's segments.
+
+    ``start``/``end`` pairs are merged into one record per span (an
+    unfinished span — e.g. a SIGKILLed attempt — survives as its start
+    record with ``"unfinished": True``); ``event`` records pass through.
+    Torn trailing lines (a writer died mid-append) are skipped.
+    """
+    directory = directory or trace_dir()
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return []
+    spans: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    events: List[Dict[str, Any]] = []
+    for name in names:
+        if not (name.startswith("trace.") and name.endswith(".jsonl")):
+            continue
+        try:
+            with open(os.path.join(directory, name), "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            continue
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail of a crashed writer
+            if not isinstance(record, dict) or "span" not in record:
+                continue
+            phase = record.get("phase")
+            if phase == "event":
+                events.append(record)
+                continue
+            key = f"{record.get('trace')}:{record['span']}"
+            if key not in spans:
+                spans[key] = record
+                order.append(key)
+            elif phase == "end":
+                spans[key] = record  # end supersedes start
+    merged: List[Dict[str, Any]] = []
+    for key in order:
+        record = spans[key]
+        if record.get("phase") == "start":
+            record = dict(record)
+            record["unfinished"] = True
+            record.setdefault("duration", 0.0)
+        merged.append(record)
+    merged.extend(events)
+    merged.sort(key=lambda r: (r.get("start", 0.0), r.get("span", "")))
+    return merged

@@ -136,8 +136,35 @@ def _install_worker(function: Callable, warmups: Sequence[Callable[[], None]] = 
             pass  # a warm-up is an optimisation, never a failure mode
 
 
+# Marker tagging a task item shipped with the submitter's trace context.
+_TRACE_TAG = "__repro_traceparent__"
+
+
+def _ship(item):
+    """Wrap a task item with the ambient trace context (when tracing).
+
+    The envelope rides the existing pickle channel to the worker, where
+    :func:`_call_worker` unwraps it and attaches the context, so spans a
+    worker opens parent under the submitting process's span.  With
+    tracing disabled this is one boolean test per submitted item.
+    """
+    from .obs.trace import current_traceparent, tracing_enabled
+
+    if not tracing_enabled():
+        return item
+    traceparent = current_traceparent()
+    if not traceparent:
+        return item
+    return (_TRACE_TAG, traceparent, item)
+
+
 def _call_worker(item):
     assert _WORKER_FUNCTION is not None, "worker pool initializer did not run"
+    if isinstance(item, tuple) and len(item) == 3 and item[0] == _TRACE_TAG:
+        from .obs.trace import attach_context
+
+        with attach_context(item[1]):
+            return _WORKER_FUNCTION(item[2])
     return _WORKER_FUNCTION(item)
 
 
@@ -225,7 +252,9 @@ class WorkerPool:
 
     def _supervised(self, items: Sequence[T], executor):
         """Yield results in order, respawning the pool around dead workers."""
-        futures: List[Future] = [executor.submit(_call_worker, item) for item in items]
+        futures: List[Future] = [
+            executor.submit(_call_worker, _ship(item)) for item in items
+        ]
         blamed: Optional[int] = None
         restarts_this_batch = 0
         index = 0
@@ -283,7 +312,7 @@ class WorkerPool:
                 for position in range(index, len(items)):
                     if not self._keepable(futures[position]):
                         futures[position] = executor.submit(
-                            _call_worker, items[position]
+                            _call_worker, _ship(items[position])
                         )
                 continue
             yield result

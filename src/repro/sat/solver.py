@@ -58,6 +58,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..faults import fault_fires, faults_enabled
+from ..obs import metrics as obs_metrics
 from .cnf import Cnf
 
 __all__ = [
@@ -741,7 +742,19 @@ class SatSolver:
             "learned_clauses": self._num_learned,
         }
 
+    def _note_solve(self, status: str, stats_base: Tuple[int, int, int]) -> None:
+        obs_metrics.counter("repro_solver_solve_calls_total", status=status)
+        deltas = (
+            ("repro_solver_conflicts_total", self.conflicts - stats_base[0]),
+            ("repro_solver_decisions_total", self.decisions - stats_base[1]),
+            ("repro_solver_propagations_total", self.propagations - stats_base[2]),
+        )
+        for name, delta in deltas:
+            if delta:
+                obs_metrics.counter(name, delta)
+
     def _sat_result(self, stats_base: Tuple[int, int, int]) -> SatResult:
+        self._note_solve("sat", stats_base)
         model = {
             variable: self._assign[variable] == _TRUE
             for variable in range(1, self._num_vars + 1)
@@ -756,6 +769,7 @@ class SatSolver:
         )
 
     def _unsat_result(self, stats_base: Tuple[int, int, int]) -> SatResult:
+        self._note_solve("unsat", stats_base)
         return SatResult(
             False,
             conflicts=self.conflicts - stats_base[0],
@@ -764,6 +778,7 @@ class SatSolver:
         )
 
     def _unknown_result(self, stats_base: Tuple[int, int, int]) -> SatResult:
+        self._note_solve("unknown", stats_base)
         return SatResult(
             False,
             status="unknown",

@@ -42,6 +42,14 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..faults import corrupt_text, faults_enabled, fired_counts, maybe_kill_process
 from ..jobstore import JobStore, Lease, LeaseLost, RetryPolicy, classify_failure
+from ..obs import trace as obs_trace
+from ..obs.trace import (
+    attach_context,
+    current_traceparent,
+    format_traceparent,
+    job_span_id,
+    tracing_enabled,
+)
 from ..parallel import WorkerCrashed, WorkerPool, resolve_jobs
 from ..sat.solver import BUDGET_ENV_VAR, SolveBudget, SolveBudgetExceeded
 from ..telemetry import RunTelemetry
@@ -1010,48 +1018,60 @@ def _execute_job_task(task: Tuple) -> JobResult:
     executing process's environment for the duration of the job, which is
     how the runner escalates budgets per retry attempt without touching the
     job's fingerprinted parameters.
+
+    The optional fifth element is a ``traceparent``: with tracing active
+    the attempt runs inside an ``attempt`` span parented under the job's
+    deterministic span, so attempts recorded by any process — local pool
+    worker or remote fleet agent — stitch into one trace.  The span's
+    start record is flushed *before* the chaos kill hook runs: a
+    SIGKILLed attempt stays visible in the trace as an unfinished span.
     """
+    budget_spec, traceparent = "", ""
     if len(task) == 3:
-        (job, task_jobs, capture_errors), budget_spec = task, ""
-    else:
+        job, task_jobs, capture_errors = task
+    elif len(task) == 4:
         job, task_jobs, capture_errors, budget_spec = task
-    if faults_enabled():
-        # Chaos hook: a matching ``worker_kill`` fault SIGKILLs this process
-        # right here, at job start — the hard-crash case supervision,
-        # leases, and resumable state exist for.
-        maybe_kill_process(job.job_id)
-    previous_budget = os.environ.get(BUDGET_ENV_VAR)
-    if budget_spec:
-        os.environ[BUDGET_ENV_VAR] = budget_spec
-    start = time.perf_counter()
-    try:
-        try:
-            value, payload = JOB_KINDS[job.kind](job.params, task_jobs)
-        except Exception as exc:
-            if not capture_errors:
-                raise
-            return JobResult(
-                job_id=job.job_id,
-                kind=job.kind,
-                status="error",
-                seconds=time.perf_counter() - start,
-                error=f"{type(exc).__name__}: {exc}",
-                exception=_portable_exception(exc),
-            )
-        return JobResult(
-            job_id=job.job_id,
-            kind=job.kind,
-            status="ok",
-            seconds=time.perf_counter() - start,
-            payload=payload,
-            value=value,
-        )
-    finally:
-        if budget_spec:
-            if previous_budget is None:
-                os.environ.pop(BUDGET_ENV_VAR, None)
-            else:
-                os.environ[BUDGET_ENV_VAR] = previous_budget
+    else:
+        job, task_jobs, capture_errors, budget_spec, traceparent = task
+    with attach_context(traceparent):
+        with obs_trace.span("attempt", job=job.job_id, kind=job.kind):
+            if faults_enabled():
+                # Chaos hook: a matching ``worker_kill`` fault SIGKILLs this
+                # process right here, at job start — the hard-crash case
+                # supervision, leases, and resumable state exist for.
+                maybe_kill_process(job.job_id)
+            previous_budget = os.environ.get(BUDGET_ENV_VAR)
+            if budget_spec:
+                os.environ[BUDGET_ENV_VAR] = budget_spec
+            start = time.perf_counter()
+            try:
+                try:
+                    value, payload = JOB_KINDS[job.kind](job.params, task_jobs)
+                except Exception as exc:
+                    if not capture_errors:
+                        raise
+                    return JobResult(
+                        job_id=job.job_id,
+                        kind=job.kind,
+                        status="error",
+                        seconds=time.perf_counter() - start,
+                        error=f"{type(exc).__name__}: {exc}",
+                        exception=_portable_exception(exc),
+                    )
+                return JobResult(
+                    job_id=job.job_id,
+                    kind=job.kind,
+                    status="ok",
+                    seconds=time.perf_counter() - start,
+                    payload=payload,
+                    value=value,
+                )
+            finally:
+                if budget_spec:
+                    if previous_budget is None:
+                        os.environ.pop(BUDGET_ENV_VAR, None)
+                    else:
+                        os.environ[BUDGET_ENV_VAR] = previous_budget
 
 
 class _LeaseKeeper:
@@ -1167,6 +1187,9 @@ class CampaignRunner:
         #: sweeps and crash-isolation (a dying worker must not be this
         #: process) justify turning it on.
         self.oversubscribe = oversubscribe
+        # Trace bookkeeping (inert unless REPRO_TRACE is set).
+        self._trace_id = ""
+        self._job_started: Dict[str, float] = {}
 
     # -------------------------------------------------------------- #
     # State files
@@ -1228,6 +1251,73 @@ class CampaignRunner:
         _atomic_write(self._state_path(job), text)
 
     # -------------------------------------------------------------- #
+    # Tracing
+    # -------------------------------------------------------------- #
+    def _campaign_span(self):
+        """This invocation's campaign span, joined to the persisted trace.
+
+        With a ``state_dir`` the first traced invocation persists its
+        trace context to ``<state_dir>/trace.json``; later invocations
+        (resumes, concurrent peers) adopt it as their parent, so every
+        attempt across crashes and restarts lands in *one* trace — the
+        deterministic per-job span ids do the rest of the stitching.
+        """
+        if not tracing_enabled():
+            return obs_trace.span("campaign")  # the shared no-op
+        parent = ""
+        trace_path = None
+        if self.state_dir is not None:
+            os.makedirs(self.state_dir, exist_ok=True)
+            trace_path = os.path.join(self.state_dir, "trace.json")
+            try:
+                with open(trace_path, "r", encoding="utf-8") as handle:
+                    parent = str(json.load(handle).get("traceparent", ""))
+            except (OSError, ValueError):
+                parent = ""
+        span = obs_trace.span(
+            "campaign", parent=parent, campaign=self.spec.name, jobs=self.jobs
+        )
+        self._trace_id = span.trace_id
+        if trace_path is not None and not parent:
+            _atomic_write(
+                trace_path,
+                json.dumps(
+                    {
+                        "traceparent": format_traceparent(
+                            span.trace_id, span.span_id
+                        )
+                    }
+                )
+                + "\n",
+            )
+        return span
+
+    def _job_traceparent(self, job_id: str) -> str:
+        """The traceparent attempt spans for ``job_id`` parent under."""
+        if not tracing_enabled() or not self._trace_id:
+            return ""
+        return format_traceparent(
+            self._trace_id, job_span_id(self._trace_id, job_id)
+        )
+
+    def _finish_job_span(self, job_id: str, status: str) -> None:
+        """Emit the job's span once it reaches a terminal state."""
+        if not tracing_enabled() or not self._trace_id:
+            return
+        started = self._job_started.get(job_id)
+        if started is None:
+            return
+        obs_trace.record_span(
+            "job",
+            span_id=job_span_id(self._trace_id, job_id),
+            start=started,
+            duration=max(0.0, time.time() - started),
+            trace_id=self._trace_id,
+            job=job_id,
+            status=status,
+        )
+
+    # -------------------------------------------------------------- #
     # Execution
     # -------------------------------------------------------------- #
     def _attempt_budget_spec(self, prior_failures: int) -> str:
@@ -1268,6 +1358,13 @@ class CampaignRunner:
         remain; jobs leased by peers are polled until the peer's state
         lands (adopted as cached) or its lease goes stale (reclaimed).
         """
+        with self._campaign_span():
+            return self._run_traced(limit=limit, fail_fast=fail_fast)
+
+    def _run_traced(
+        self, limit: Optional[int] = None, fail_fast: bool = False
+    ) -> CampaignResult:
+        """The body of :meth:`run` (inside this invocation's trace span)."""
         start = time.perf_counter()
         slots: Dict[str, JobResult] = {}
         pending: List[CampaignJob] = []
@@ -1359,7 +1456,10 @@ class CampaignRunner:
                 if not_before.get(job.job_id, 0.0) > now:
                     continue  # still backing off
                 if store is not None:
-                    lease = store.claim(job.job_id)
+                    # Claim under the job's trace context so a reclaim of a
+                    # dead owner's lease is recorded under the job's span.
+                    with attach_context(self._job_traceparent(job.job_id)):
+                        lease = store.claim(job.job_id)
                     if lease is None:
                         continue  # a live peer holds it; poll again later
                     leases[job.job_id] = lease
@@ -1387,12 +1487,15 @@ class CampaignRunner:
             if parallel:
                 for job in runnable:
                     self._progress(f"{job.job_id}: queued (jobs={self.jobs})")
+            for job in runnable:
+                self._job_started.setdefault(job.job_id, time.time())
             tasks = [
                 (
                     job,
                     task_jobs,
                     capture_errors,
                     self._attempt_budget_spec(failures.get(job.job_id, 0)),
+                    self._job_traceparent(job.job_id),
                 )
                 for job in runnable
             ]
@@ -1463,6 +1566,7 @@ class CampaignRunner:
                         slots[job.job_id] = result
                         remaining.remove(job)
                         let_go(job.job_id, "ok")
+                        self._finish_job_span(job.job_id, "ok")
                     completed[job.job_id] = result
                     self._progress(
                         f"{job.job_id}: {result.status} ({result.seconds:.1f}s)"
@@ -1509,6 +1613,14 @@ class CampaignRunner:
                     not_before[job.job_id] = time.monotonic() + delay
                     let_go(job.job_id, "retry")
                     bump("retries")
+                    if tracing_enabled():
+                        obs_trace.event(
+                            "retry",
+                            job=job.job_id,
+                            attempt=attempt + 1,
+                            delay=round(delay, 4),
+                            error=result.error,
+                        )
                     self._progress(
                         f"{job.job_id}: retrying in {delay:.2f}s "
                         f"(attempt {attempt + 1}, {verdict}: {result.error})"
@@ -1522,6 +1634,7 @@ class CampaignRunner:
                 slots[job.job_id] = result
                 remaining.remove(job)
                 let_go(job.job_id, result.status)
+                self._finish_job_span(job.job_id, result.status)
 
 
 def run_campaign(

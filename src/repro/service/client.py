@@ -16,6 +16,7 @@ import urllib.error
 import urllib.request
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
+from ..obs.trace import current_traceparent, tracing_enabled
 from .protocol import SERVICE_URL_ENV_VAR, ServiceError, parse_sse
 
 __all__ = ["ServiceClient"]
@@ -48,11 +49,20 @@ class ServiceClient:
         data = (
             json.dumps(payload).encode("utf-8") if payload is not None else None
         )
+        headers: Dict[str, str] = {}
+        if data:
+            headers["Content-Type"] = "application/json"
+        if tracing_enabled():
+            # Propagate the ambient span so coordinator-side records stitch
+            # into the caller's trace (W3C-style context propagation).
+            traceparent = current_traceparent()
+            if traceparent:
+                headers["traceparent"] = traceparent
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers=headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -94,6 +104,14 @@ class ServiceClient:
             "GET", f"/campaigns/{campaign_id}/artifacts/{kind}", raw=True
         )
         return body.decode("utf-8")
+
+    def cancel(self, campaign_id: str) -> Dict[str, Any]:
+        """Stop the campaign: no further claims succeed, streams close."""
+        return self._request("POST", f"/campaigns/{campaign_id}/cancel")
+
+    def metrics(self) -> str:
+        """Scrape the coordinator's Prometheus-text ``GET /metrics``."""
+        return self._request("GET", "/metrics", raw=True).decode("utf-8")
 
     # -------------------------------------------------------------- #
     # Worker protocol
@@ -183,7 +201,10 @@ class ServiceClient:
                 raise ServiceError(0, f"campaign {campaign_id} wait timed out")
             try:
                 for event, data in self.events(campaign_id):
-                    if event == "campaign" and data.get("status") == "complete":
+                    if event == "campaign" and data.get("status") in (
+                        "complete",
+                        "cancelled",
+                    ):
                         return self.status(campaign_id)
                     if event in ("claim", "reclaim", "done", "failed", "retry"):
                         job = data.get("job", "")
@@ -195,7 +216,7 @@ class ServiceClient:
                 pass  # stream dropped; fall back to polling
             try:
                 status = self.status(campaign_id)
-                if status.get("complete"):
+                if status.get("complete") or status.get("cancelled"):
                     return status
             except ServiceError:
                 pass

@@ -45,7 +45,21 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..ga.pinopt import SynthesisDiskCache
 from ..jobstore import JobStore, Lease, LeaseLost, RetryPolicy, classify_failure
+from ..obs import metrics as obs_metrics
+from ..obs.log import get_logger
+from ..obs.trace import (
+    attach_context,
+    current_traceparent,
+    event as trace_event,
+    format_traceparent,
+    job_span_id,
+    new_trace_id,
+    parse_traceparent,
+    record_span,
+    tracing_enabled,
+)
 from ..sat.solver import SolveBudget
+from ..telemetry import RunTelemetry
 from ..scenarios.campaign import (
     CampaignError,
     CampaignJob,
@@ -121,6 +135,104 @@ class CampaignHandle:
         self._terminal: Dict[str, Dict[str, Any]] = {}
         self.counters: Dict[str, float] = {}
         self._started = time.monotonic()
+        self._cancel_path = os.path.join(directory, "cancelled.json")
+        self.cancelled = os.path.exists(self._cancel_path)
+        self._trace_path = os.path.join(directory, "trace.json")
+        self._trace_id = ""
+        self._campaign_span_id = ""
+        self._campaign_parent = ""
+        self._trace_started = time.time()
+        self._trace_finished = False
+        self._job_started: Dict[str, float] = {}
+        if tracing_enabled():
+            self._init_trace()
+
+    # -------------------------------------------------------------- #
+    # Tracing
+    # -------------------------------------------------------------- #
+    def _init_trace(self) -> None:
+        """Adopt the campaign's persisted trace context, creating it on the
+        first submission.  When the submitting request carried a
+        ``traceparent`` header (the CLI's client span), the campaign joins
+        that trace; otherwise a fresh trace id is minted.  The context is
+        persisted next to the spec so a coordinator restart — and every
+        worker attempt — keeps stitching into the same trace."""
+        try:
+            with open(self._trace_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            persisted = parse_traceparent(str(payload.get("traceparent", "")))
+        except (OSError, ValueError):
+            payload, persisted = {}, None
+        if persisted is not None:
+            self._trace_id, self._campaign_span_id = persisted
+            self._campaign_parent = str(payload.get("parent", ""))
+            started = payload.get("started")
+            if isinstance(started, (int, float)):
+                self._trace_started = float(started)
+            return
+        client = parse_traceparent(current_traceparent())
+        self._trace_id = client[0] if client is not None else new_trace_id()
+        self._campaign_parent = client[1] if client is not None else ""
+        self._campaign_span_id = job_span_id(
+            self._trace_id, f"campaign:{self.campaign_id}"
+        )
+        payload = {
+            "traceparent": format_traceparent(
+                self._trace_id, self._campaign_span_id
+            ),
+            "parent": self._campaign_parent,
+            "started": self._trace_started,
+        }
+        temp_path = f"{self._trace_path}.tmp.{os.getpid()}"
+        try:
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(temp_path, self._trace_path)
+        except OSError:
+            pass
+
+    def _job_traceparent(self, job_id: str) -> str:
+        """The deterministic job-span context claim tickets hand workers."""
+        if not self._trace_id:
+            return ""
+        return format_traceparent(
+            self._trace_id, job_span_id(self._trace_id, job_id)
+        )
+
+    def _finish_job_span(self, job_id: str, status: str) -> None:
+        if not self._trace_id:
+            return
+        started = self._job_started.pop(job_id, None)
+        if started is None:
+            return
+        record_span(
+            "job",
+            span_id=job_span_id(self._trace_id, job_id),
+            start=started,
+            duration=time.time() - started,
+            parent=self._campaign_span_id,
+            trace_id=self._trace_id,
+            job=job_id,
+            status=status,
+            campaign=self.campaign_id,
+        )
+
+    def _finish_campaign_span(self, status: str) -> None:
+        if not self._trace_id or self._trace_finished:
+            return
+        self._trace_finished = True
+        record_span(
+            "campaign",
+            span_id=self._campaign_span_id,
+            start=self._trace_started,
+            duration=time.time() - self._trace_started,
+            parent=self._campaign_parent,
+            trace_id=self._trace_id,
+            campaign=self.campaign_id,
+            status=status,
+            jobs=len(self.spec.jobs),
+        )
 
     # -------------------------------------------------------------- #
     # Bookkeeping
@@ -160,8 +272,13 @@ class CampaignHandle:
         """Hand the next runnable job to ``worker`` (or done/wait)."""
         if not worker:
             raise ServiceError(400, "claim requires a worker id")
+        if self.cancelled:
+            return {"done": True, "cancelled": True}
         now = time.time()
         store = self.store_for(worker)
+        obs_metrics.counter(
+            "repro_service_claims_total", campaign=self.campaign_id
+        )
         for job in self.spec.jobs:
             job_id = job.job_id
             if job_id in self._terminal:
@@ -170,14 +287,21 @@ class CampaignHandle:
                 continue
             if self._not_before.get(job_id, 0.0) > now:
                 continue
-            lease = store.claim(job_id)
+            # Claim under the job-span context so the jobstore's reclaim
+            # evidence lands inside this campaign's trace.
+            with attach_context(self._job_traceparent(job_id)):
+                lease = store.claim(job_id)
             if lease is None:
                 continue  # a live worker holds it
             previous = self._leases.get(job_id)
             if previous is not None and previous[1].path == lease.path:
                 # The claim reclaimed a dead worker's expired lease.
                 self.bump("worker_reclaims")
+                obs_metrics.counter(
+                    "repro_service_reclaims_total", campaign=self.campaign_id
+                )
             self._leases[job_id] = (worker, lease)
+            self._job_started.setdefault(job_id, time.time())
             prior = self._failures.get(job_id, 0)
             return {
                 "job": {
@@ -188,8 +312,10 @@ class CampaignHandle:
                 "attempt": prior + 1,
                 "lease_ttl": store.lease_ttl,
                 "budget": self._budget_spec(prior),
+                "traceparent": self._job_traceparent(job_id),
             }
         if self.complete():
+            self._finish_campaign_span("complete")
             return {"done": True}
         return {"wait": poll}
 
@@ -203,12 +329,21 @@ class CampaignHandle:
         return store, entry[1]
 
     def heartbeat(self, worker: str, job_id: str) -> Dict[str, Any]:
+        began = time.monotonic()
         store, lease = self._held_lease(worker, job_id)
         try:
             store.heartbeat(lease)
         except LeaseLost as exc:
             self._leases.pop(job_id, None)
+            obs_metrics.counter(
+                "repro_service_lease_lost_total", campaign=self.campaign_id
+            )
             raise ServiceError(409, str(exc))
+        obs_metrics.observe(
+            "repro_service_heartbeat_seconds",
+            time.monotonic() - began,
+            campaign=self.campaign_id,
+        )
         return {"expires": lease.expires}
 
     def complete_job(
@@ -246,6 +381,21 @@ class CampaignHandle:
         self._leases.pop(job_id, None)
         for key, value in (cache or {}).items():
             self.bump(f"remote_cache_{key}", value)
+        obs_metrics.counter(
+            "repro_service_jobs_total", campaign=self.campaign_id, status="ok"
+        )
+        telemetry_dict = payload.get("telemetry")
+        if isinstance(telemetry_dict, dict) and telemetry_dict:
+            try:
+                obs_metrics.absorb_telemetry(
+                    RunTelemetry.from_dict(telemetry_dict),
+                    campaign=self.campaign_id,
+                )
+            except ValueError:
+                pass  # malformed worker telemetry never fails a commit
+        self._finish_job_span(job_id, "ok")
+        if self.complete():
+            self._finish_campaign_span("complete")
         return {"committed": True, "attempts": attempts}
 
     def fail_job(self, worker: str, job_id: str, error: str) -> Dict[str, Any]:
@@ -262,6 +412,18 @@ class CampaignHandle:
             store.release(lease, status="retry")
             self._leases.pop(job_id, None)
             self.bump("retries")
+            obs_metrics.counter(
+                "repro_service_retries_total", campaign=self.campaign_id
+            )
+            if self._trace_id:
+                with attach_context(self._job_traceparent(job_id)):
+                    trace_event(
+                        "retry",
+                        job=job_id,
+                        attempt=attempt,
+                        delay=round(delay, 4),
+                        error=error,
+                    )
             return {"retry": True, "delay": delay, "attempt": attempt}
         status = (
             "timed_out"
@@ -278,7 +440,45 @@ class CampaignHandle:
         }
         store.release(lease, status=status)
         self._leases.pop(job_id, None)
+        obs_metrics.counter(
+            "repro_service_jobs_total", campaign=self.campaign_id, status=status
+        )
+        self._finish_job_span(job_id, status)
+        if self.complete():
+            self._finish_campaign_span("complete")
         return {"terminal": status}
+
+    def cancel(self) -> Dict[str, Any]:
+        """Stop handing out work: claims drain with ``done`` from now on.
+
+        The marker is persisted next to the spec, so a coordinator restart
+        keeps the campaign cancelled.  Running attempts finish (or lose
+        their lease); no new claims succeed."""
+        if not self.cancelled:
+            self.cancelled = True
+            temp_path = f"{self._cancel_path}.tmp.{os.getpid()}"
+            try:
+                with open(temp_path, "w", encoding="utf-8") as handle:
+                    json.dump({"cancelled_at": time.time()}, handle)
+                    handle.write("\n")
+                os.replace(temp_path, self._cancel_path)
+            except OSError:
+                pass
+            self.bump("cancelled")
+            obs_metrics.counter(
+                "repro_service_cancels_total", campaign=self.campaign_id
+            )
+            if self._trace_id:
+                with attach_context(
+                    format_traceparent(self._trace_id, self._campaign_span_id)
+                ):
+                    trace_event("cancel", campaign=self.campaign_id)
+            self._finish_campaign_span("cancelled")
+        return {"cancelled": True, "campaign": self.campaign_id}
+
+    def finished(self) -> bool:
+        """Terminal for observers: cancelled or every job done."""
+        return self.cancelled or self.complete()
 
     # -------------------------------------------------------------- #
     # Observation
@@ -331,6 +531,7 @@ class CampaignHandle:
             "name": self.spec.name,
             "jobs": len(self.spec.jobs),
             "complete": self.complete(),
+            "cancelled": self.cancelled,
             "counts": counts,
             "states": states,
             "robustness": self.robustness(),
@@ -451,12 +652,26 @@ class CampaignHandle:
 
     def final_frame(self) -> bytes:
         status = self.status()
+        terminal = "cancelled" if self.cancelled else "complete"
+        self._finish_campaign_span(terminal)
         return sse_event(
             "campaign",
             {
                 "campaign": self.campaign_id,
-                "status": "complete",
+                "status": terminal,
                 "counts": status["counts"],
+            },
+        )
+
+    def metrics_frame(self) -> bytes:
+        """A live-metrics SSE frame: robustness counters plus the process
+        registry snapshot (the same numbers ``GET /metrics`` renders)."""
+        return sse_event(
+            "metrics",
+            {
+                "campaign": self.campaign_id,
+                "robustness": self.robustness(),
+                "metrics": obs_metrics.registry().snapshot(),
             },
         )
 
@@ -645,8 +860,23 @@ class CampaignService:
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, str, bytes]:
         parts = [part for part in path.split("?", 1)[0].split("/") if part]
+        obs_metrics.counter(
+            "repro_service_requests_total",
+            route=parts[0] if parts else "root",
+            method=method,
+        )
         if parts == ["healthz"] and method == "GET":
             return self._ok({"ok": True, "campaigns": len(self._handles)})
+        if parts == ["metrics"] and method == "GET":
+            obs_metrics.gauge("repro_service_campaigns", len(self._handles))
+            obs_metrics.gauge(
+                "repro_service_campaigns_active",
+                sum(
+                    1 for handle in self._handles.values() if not handle.finished()
+                ),
+            )
+            text = obs_metrics.render_prometheus()
+            return 200, "text/plain; version=0.0.4", text.encode("utf-8")
         if parts == ["campaigns"]:
             if method == "POST":
                 submitted = self.submit(self._json_body(body))
@@ -658,7 +888,10 @@ class CampaignService:
                             {
                                 "campaign": campaign_id,
                                 "name": handle.spec.name,
+                                "jobs": len(handle.spec.jobs),
                                 "complete": handle.complete(),
+                                "cancelled": handle.cancelled,
+                                "robustness": handle.robustness(),
                             }
                             for campaign_id, handle in sorted(self._handles.items())
                         ]
@@ -669,6 +902,8 @@ class CampaignService:
             rest = parts[2:]
             if not rest and method == "GET":
                 return self._ok(handle.status())
+            if rest == ["cancel"] and method == "POST":
+                return self._ok(handle.cancel())
             if rest == ["claim"] and method == "POST":
                 data = self._json_body(body)
                 return self._ok(
@@ -753,7 +988,14 @@ class CampaignService:
             ):
                 await self._stream_events(writer, event_parts[1])
                 return
-            status, content_type, payload = self.handle(method, path, body)
+            # Requests join the caller's trace: spans and events recorded
+            # while handling parent under the client's ambient span.
+            traceparent = headers.get("traceparent", "")
+            if traceparent and tracing_enabled():
+                with attach_context(traceparent):
+                    status, content_type, payload = self.handle(method, path, body)
+            else:
+                status, content_type, payload = self.handle(method, path, body)
             await self._write_response(writer, status, content_type, payload)
         except ConnectionError:
             pass
@@ -810,10 +1052,13 @@ class CampaignService:
                 frames, baseline = handle.event_frames(baseline)
                 for frame in frames:
                     writer.write(frame)
-                if handle.complete():
+                if handle.finished():
                     writer.write(handle.final_frame())
                     await writer.drain()
                     return
+                # Live metrics ride the same stream: one frame per poll,
+                # mirroring what a /metrics scrape would report right now.
+                writer.write(handle.metrics_frame())
                 # Keepalive comment: clients with read timeouts see bytes
                 # every poll even when nothing happened.
                 writer.write(b": keepalive\n\n")
@@ -828,11 +1073,17 @@ class CampaignService:
 
     def run(self, host: str = "127.0.0.1", port: int = 8765) -> None:
         """Serve forever in the current thread (the ``repro serve`` verb)."""
+        log = get_logger("serve")
 
         async def main() -> None:
             server = await self.start(host, port)
             addr = server.sockets[0].getsockname()
-            print(f"serving campaigns on http://{addr[0]}:{addr[1]} (root {self.root})")
+            log(
+                f"serving campaigns on http://{addr[0]}:{addr[1]} (root {self.root})",
+                host=addr[0],
+                port=addr[1],
+                root=self.root,
+            )
             async with server:
                 await server.serve_forever()
 

@@ -33,6 +33,7 @@ import threading
 import time
 from typing import Dict, Optional
 
+from ..obs.log import get_logger
 from ..scenarios.campaign import CampaignJob, _execute_job_task
 from .cache import CACHE_URL_ENV_VAR, RemoteCacheTier
 from .client import ServiceClient
@@ -43,6 +44,10 @@ from .protocol import (
 )
 
 __all__ = ["WorkerAgent", "main"]
+
+#: Default-log sentinel: distinguishes "no log argument" (structured
+#: worker logger) from an explicit ``log=None`` (silence, kept for tests).
+_DEFAULT_LOG = object()
 
 
 class WorkerAgent:
@@ -55,7 +60,7 @@ class WorkerAgent:
         poll: Optional[float] = None,
         task_jobs: int = 1,
         remote_cache: bool = True,
-        log=print,
+        log=_DEFAULT_LOG,
     ):
         self.client = ServiceClient(server)
         if worker_id is None:
@@ -71,7 +76,9 @@ class WorkerAgent:
                 poll = DEFAULT_POLL_SECONDS
         self.poll = poll
         self.task_jobs = max(1, int(task_jobs))
-        self._log = log or (lambda message: None)
+        if log is _DEFAULT_LOG:
+            log = get_logger("worker")
+        self._log = log or (lambda message, **fields: None)
         if remote_cache:
             # The in-process synthesis stack picks the tier up from the
             # environment (resolve_synthesis_cache); an explicit
@@ -148,9 +155,14 @@ class WorkerAgent:
         )
         lease_ttl = float(ticket.get("lease_ttl", 60.0))
         budget = str(ticket.get("budget", ""))
+        traceparent = str(ticket.get("traceparent", ""))
         self._log(
             f"[{self.worker_id}] {campaign_id}/{job.job_id}: claimed "
-            f"(attempt {ticket.get('attempt', 1)})"
+            f"(attempt {ticket.get('attempt', 1)})",
+            worker=self.worker_id,
+            campaign=campaign_id,
+            job=job.job_id,
+            attempt=ticket.get("attempt", 1),
         )
 
         lost = threading.Event()
@@ -173,7 +185,9 @@ class WorkerAgent:
         tier = RemoteCacheTier.active()
         cache_before = tier.remote_stats() if tier is not None else {}
         try:
-            result = _execute_job_task((job, self.task_jobs, True, budget))
+            result = _execute_job_task(
+                (job, self.task_jobs, True, budget, traceparent)
+            )
         finally:
             stop.set()
         keeper.join(timeout=lease_ttl)
@@ -217,7 +231,12 @@ class WorkerAgent:
                 self.counters["executed"] += 1
                 self._log(
                     f"[{self.worker_id}] {campaign_id}/{job.job_id}: "
-                    f"ok ({result.seconds:.1f}s)"
+                    f"ok ({result.seconds:.1f}s)",
+                    worker=self.worker_id,
+                    campaign=campaign_id,
+                    job=job.job_id,
+                    status="ok",
+                    seconds=round(result.seconds, 3),
                 )
             else:
                 self.client.fail(
@@ -226,7 +245,12 @@ class WorkerAgent:
                 self.counters["failed"] += 1
                 self._log(
                     f"[{self.worker_id}] {campaign_id}/{job.job_id}: "
-                    f"{result.status} {result.error}"
+                    f"{result.status} {result.error}",
+                    worker=self.worker_id,
+                    campaign=campaign_id,
+                    job=job.job_id,
+                    status=result.status,
+                    error=result.error,
                 )
         except ServiceError as exc:
             if exc.status == 409:
@@ -298,9 +322,11 @@ def main(argv=None) -> int:
         once=arguments.once,
         max_jobs=arguments.max_jobs,
     )
-    print(
+    agent._log(
         f"[{agent.worker_id}] done: {counters['executed']} executed, "
-        f"{counters['failed']} failed, {counters['discarded']} discarded"
+        f"{counters['failed']} failed, {counters['discarded']} discarded",
+        worker=agent.worker_id,
+        **counters,
     )
     return 0
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "RunTelemetry",
@@ -77,6 +77,20 @@ class RunTelemetry:
             if _is_number(value):
                 self.count(scope, key, value)
         return self
+
+    def iter_counters(self) -> Iterator[Tuple[str, str, Number]]:
+        """Yield every numeric ``(scope, key, value)`` triple, sorted.
+
+        The flat view the metrics registry absorbs; non-numeric values are
+        skipped with the same tolerance :meth:`absorb` extends to legacy
+        stats dicts.
+        """
+        for scope_name in sorted(self.scopes):
+            counters = self.scopes[scope_name]
+            for key in sorted(counters):
+                value = counters[key]
+                if _is_number(value):
+                    yield scope_name, key, value
 
     # -- combination ------------------------------------------------------
 

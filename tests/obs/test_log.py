@@ -1,0 +1,94 @@
+"""Unit tests for the structured logger's human and JSONL modes."""
+
+import json
+
+import pytest
+
+from repro.obs.log import LOG_ENV_VAR, Logger, get_logger, reset_log_state
+
+
+@pytest.fixture(autouse=True)
+def _clean_log_state(monkeypatch):
+    monkeypatch.delenv(LOG_ENV_VAR, raising=False)
+    reset_log_state()
+    yield
+    reset_log_state()
+
+
+@pytest.fixture
+def sink():
+    lines = []
+    return lines
+
+
+class TestHumanMode:
+    def test_message_printed_verbatim(self, sink):
+        log = get_logger("campaign", sink=sink.append)
+        log("probe_2: cached (state matches)", job="probe_2")
+        assert sink == ["probe_2: cached (state matches)"]  # fields dropped
+
+    def test_callable_is_info(self, sink):
+        log = Logger("worker", sink=sink.append)
+        log("a")
+        log.info("b")
+        assert sink == ["a", "b"]
+
+    def test_debug_suppressed_by_default(self, sink):
+        log = get_logger("serve", sink=sink.append)
+        log.debug("noise")
+        log.warning("kept")
+        assert sink == ["kept"]
+
+    def test_debug_threshold(self, monkeypatch, sink):
+        monkeypatch.setenv(LOG_ENV_VAR, "debug")
+        reset_log_state()
+        log = get_logger("serve", sink=sink.append)
+        log.debug("noise")
+        assert sink == ["noise"]
+
+    def test_error_threshold_drops_info(self, monkeypatch, sink):
+        monkeypatch.setenv(LOG_ENV_VAR, "error")
+        reset_log_state()
+        log = get_logger("serve", sink=sink.append)
+        log.info("dropped")
+        log.error("kept")
+        assert sink == ["kept"]
+
+
+class TestJsonMode:
+    def test_jsonl_record_shape(self, monkeypatch, sink):
+        monkeypatch.setenv(LOG_ENV_VAR, "json")
+        reset_log_state()
+        log = get_logger("worker", sink=sink.append)
+        log("probe_2: ok (1.2s)", job="probe_2", seconds=1.2)
+        record = json.loads(sink[0])
+        assert record["level"] == "info"
+        assert record["logger"] == "worker"
+        assert record["message"] == "probe_2: ok (1.2s)"
+        assert record["job"] == "probe_2"
+        assert record["seconds"] == 1.2
+        assert isinstance(record["ts"], float)
+
+    def test_json_mode_keeps_all_levels(self, monkeypatch, sink):
+        monkeypatch.setenv(LOG_ENV_VAR, "json")
+        reset_log_state()
+        log = get_logger("worker", sink=sink.append)
+        log.debug("noise")
+        assert json.loads(sink[0])["level"] == "debug"
+
+    def test_non_json_field_stringified(self, monkeypatch, sink):
+        monkeypatch.setenv(LOG_ENV_VAR, "json")
+        reset_log_state()
+        log = get_logger("worker", sink=sink.append)
+        log("m", error=ValueError("boom"))
+        assert json.loads(sink[0])["error"] == "boom"
+
+
+class TestModeCache:
+    def test_env_change_invalidates_cache(self, monkeypatch, sink):
+        log = get_logger("x", sink=sink.append)
+        log("human")
+        monkeypatch.setenv(LOG_ENV_VAR, "json")
+        log("machine")
+        assert sink[0] == "human"
+        assert json.loads(sink[1])["message"] == "machine"

@@ -1,0 +1,171 @@
+"""Unit tests for trace rendering: tree, rollup, critical path, SVG."""
+
+import xml.etree.ElementTree as ElementTree
+
+from repro.obs.render import (
+    critical_path,
+    render_critical_path,
+    render_rollup,
+    render_timeline,
+    render_tree,
+    span_tree,
+)
+
+
+def _records():
+    """A synthetic distributed trace: client > campaign > job > attempts."""
+    trace = "t" * 32
+    return [
+        {
+            "phase": "end",
+            "trace": trace,
+            "span": "client00",
+            "name": "client",
+            "start": 0.0,
+            "duration": 10.0,
+        },
+        {
+            "phase": "end",
+            "trace": trace,
+            "span": "campaign",
+            "name": "campaign",
+            "parent": "client00",
+            "start": 0.5,
+            "duration": 9.0,
+            "attrs": {"status": "complete"},
+        },
+        {
+            "phase": "end",
+            "trace": trace,
+            "span": "job00001",
+            "name": "job",
+            "parent": "campaign",
+            "start": 1.0,
+            "duration": 8.0,
+            "attrs": {"job": "probe_2", "status": "ok"},
+        },
+        {
+            "phase": "start",
+            "trace": trace,
+            "span": "attempt1",
+            "name": "attempt",
+            "parent": "job00001",
+            "start": 1.0,
+            "duration": 0.0,
+            "unfinished": True,
+            "attrs": {"worker": "w1", "attempt": 1},
+        },
+        {
+            "phase": "end",
+            "trace": trace,
+            "span": "attempt2",
+            "name": "attempt",
+            "parent": "job00001",
+            "start": 4.0,
+            "duration": 5.0,
+            "attrs": {"worker": "w2", "attempt": 2},
+        },
+        {
+            "phase": "event",
+            "trace": trace,
+            "span": "evt00001",
+            "name": "reclaim",
+            "parent": "job00001",
+            "start": 4.0,
+            "attrs": {"owner": "w2"},
+        },
+    ]
+
+
+class TestSpanTree:
+    def test_depth_first_walk(self):
+        walk = span_tree(_records())
+        names = [(r["name"], depth) for r, depth in walk]
+        assert names[0] == ("client", 0)
+        assert names[1] == ("campaign", 1)
+        assert names[2] == ("job", 2)
+        assert ("attempt", 3) in names
+        assert ("reclaim", 3) in names
+
+    def test_orphan_parent_becomes_root(self):
+        records = [
+            {"span": "a", "name": "orphan", "parent": "missing", "start": 0.0}
+        ]
+        walk = span_tree(records)
+        assert walk == [(records[0], 0)]
+
+
+class TestTree:
+    def test_indentation_and_durations(self):
+        text = render_tree(_records())
+        lines = text.splitlines()
+        assert lines[0].startswith("client")
+        assert lines[1].startswith("  campaign status=complete")
+        assert "job job=probe_2 status=ok" in lines[2]
+        assert "UNFINISHED" in text
+        assert "* reclaim owner=w2" in text
+        assert "5000.0 ms" in text  # finished attempt
+
+    def test_error_marker(self):
+        records = [
+            {
+                "span": "a",
+                "name": "boom",
+                "start": 0.0,
+                "duration": 1.0,
+                "error": "ValueError",
+            }
+        ]
+        assert "!ValueError" in render_tree(records)
+
+
+class TestRollup:
+    def test_totals_and_self_time(self):
+        text = render_rollup(_records())
+        lines = text.splitlines()
+        assert lines[0].split() == ["scope", "count", "total", "self"]
+        rows = {line.split()[0]: line for line in lines[1:]}
+        # client: total 10s, self 10 - 9 = 1s.
+        assert "10.000s" in rows["client"]
+        assert "1.000s" in rows["client"]
+        # The two attempts aggregate under one name.
+        assert rows["attempt"].split()[1] == "2"
+        # Events never contribute rows.
+        assert "reclaim" not in rows
+
+
+class TestCriticalPath:
+    def test_blame_chain(self):
+        names = [r["name"] for r in critical_path(_records())]
+        assert names == ["client", "campaign", "job", "attempt"]
+
+    def test_render_shares(self):
+        text = render_critical_path(_records())
+        assert "client  10.000s (100%)" in text
+        assert "(50%)" in text  # the 5s attempt under the 10s root
+
+    def test_empty(self):
+        assert render_critical_path([]) == "(empty trace)"
+
+
+class TestTimeline:
+    def test_valid_svg_with_bars_and_events(self):
+        svg = render_timeline(_records(), title="demo & trace")
+        root = ElementTree.fromstring(svg)  # well-formed XML
+        assert root.tag.endswith("svg")
+        assert "demo &amp; trace" in svg
+        assert "5 spans" in svg
+        assert 'stroke-dasharray="3,2"' in svg  # unfinished attempt hatched
+        assert "reclaim owner=w2" in svg  # event diamond tooltip
+        assert svg.count("<rect") >= 6  # surface + one bar per span
+
+    def test_empty_trace_placeholder(self):
+        svg = render_timeline([])
+        assert "(empty trace)" in svg
+        ElementTree.fromstring(svg)
+
+    def test_events_only_trace_is_empty_placeholder(self):
+        records = [
+            {"phase": "event", "span": "e", "name": "ping", "start": 1.0}
+        ]
+        assert "(empty trace)" in render_timeline(records)

@@ -1,0 +1,216 @@
+"""Unit tests for the span tracer: gating, context, persistence."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import (
+    attach_context,
+    current_traceparent,
+    event,
+    format_traceparent,
+    job_span_id,
+    load_trace,
+    new_trace_id,
+    parse_traceparent,
+    record_span,
+    reset_trace_state,
+    span,
+    trace_dir,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_trace_state(monkeypatch):
+    monkeypatch.delenv(obs_trace.TRACE_ENV_VAR, raising=False)
+    monkeypatch.delenv(obs_trace.TRACE_DIR_ENV_VAR, raising=False)
+    reset_trace_state()
+    yield
+    reset_trace_state()
+
+
+@pytest.fixture
+def traced(monkeypatch, tmp_path):
+    """Enable tracing into a temp dir; returns the directory path."""
+    directory = tmp_path / "trace"
+    monkeypatch.setenv(obs_trace.TRACE_ENV_VAR, "1")
+    monkeypatch.setenv(obs_trace.TRACE_DIR_ENV_VAR, str(directory))
+    return str(directory)
+
+
+class TestGating:
+    def test_disabled_by_default(self):
+        assert not tracing_enabled()
+
+    def test_disabled_span_is_shared_noop(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs_trace.TRACE_DIR_ENV_VAR, str(tmp_path / "t"))
+        first = span("a", job="x")
+        second = span("b")
+        assert first is second  # one shared inert object, no allocation
+        with first as live:
+            live.annotate(ignored=1)
+            event("nothing")
+            record_span("job", "abc", 0.0, 1.0)
+        assert not os.path.exists(str(tmp_path / "t"))  # no sink ever opened
+
+    def test_trace_dir_default_and_override(self, monkeypatch):
+        assert trace_dir() == obs_trace.DEFAULT_TRACE_DIR
+        monkeypatch.setenv(obs_trace.TRACE_DIR_ENV_VAR, "/tmp/elsewhere")
+        assert trace_dir() == "/tmp/elsewhere"
+
+
+class TestTraceparent:
+    def test_roundtrip(self):
+        trace_id = new_trace_id()
+        header = format_traceparent(trace_id, "00f067aa0ba902b7")
+        assert parse_traceparent(header) == (trace_id, "00f067aa0ba902b7")
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "",
+            "garbage",
+            "01-abc-def-01",  # unknown version
+            "00-abc-def",  # missing flags field
+            "00--def-01",  # empty trace id
+            "00-abc--01",  # empty span id
+            "00-nothex-def-01",
+        ],
+    )
+    def test_malformed_is_none(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_job_span_id_deterministic(self):
+        trace_id = "a" * 32
+        assert job_span_id(trace_id, "probe_2") == job_span_id(trace_id, "probe_2")
+        assert job_span_id(trace_id, "probe_2") != job_span_id(trace_id, "probe_3")
+        assert job_span_id("b" * 32, "probe_2") != job_span_id(trace_id, "probe_2")
+        assert len(job_span_id(trace_id, "probe_2")) == 16
+        int(job_span_id(trace_id, "probe_2"), 16)  # valid hex
+
+
+class TestContext:
+    def test_no_ambient_context(self):
+        assert current_traceparent() == ""
+
+    def test_attach_context_scoped(self):
+        header = format_traceparent("c" * 32, "d" * 16)
+        with attach_context(header):
+            assert current_traceparent() == header
+        assert current_traceparent() == ""
+
+    def test_attach_malformed_leaves_context(self):
+        with attach_context("not-a-header"):
+            assert current_traceparent() == ""
+        with attach_context(""):
+            assert current_traceparent() == ""
+
+    def test_span_sets_ambient_context(self, traced):
+        with span("outer") as outer:
+            assert current_traceparent() == format_traceparent(
+                outer.trace_id, outer.span_id
+            )
+            with span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        assert current_traceparent() == ""
+
+
+class TestPersistence:
+    def test_span_event_roundtrip(self, traced):
+        with span("campaign", name_attr="demo") as root:
+            event("retry", job="j1", attempt=2)
+            with span("job", span_id="feedfacefeedface"):
+                pass
+        records = load_trace(traced)
+        by_name = {r["name"]: r for r in records}
+        assert set(by_name) == {"campaign", "retry", "job"}
+        campaign = by_name["campaign"]
+        assert campaign["phase"] == "end"  # end superseded start
+        assert campaign["duration"] >= 0.0
+        assert campaign["attrs"] == {"name_attr": "demo"}
+        assert not campaign.get("unfinished")
+        job = by_name["job"]
+        assert job["span"] == "feedfacefeedface"
+        assert job["parent"] == root.span_id
+        assert job["trace"] == root.trace_id
+        retry = by_name["retry"]
+        assert retry["phase"] == "event"
+        assert retry["parent"] == root.span_id
+        assert retry["attrs"] == {"job": "j1", "attempt": 2}
+
+    def test_unfinished_span_survives_as_start(self, traced):
+        live = span("attempt", job="probe_2")
+        live.__enter__()
+        # Simulate SIGKILL: the end record is never written.
+        reset_trace_state()
+        records = load_trace(traced)
+        assert len(records) == 1
+        assert records[0]["unfinished"] is True
+        assert records[0]["duration"] == 0.0
+        assert records[0]["name"] == "attempt"
+
+    def test_error_recorded_on_exception(self, traced):
+        with pytest.raises(ValueError):
+            with span("boom"):
+                raise ValueError("nope")
+        (record,) = load_trace(traced)
+        assert record["error"] == "ValueError"
+
+    def test_record_span_complete_record(self, traced):
+        record_span(
+            "job",
+            "abcd1234abcd1234",
+            start=100.0,
+            duration=2.5,
+            trace_id="e" * 32,
+            parent="f" * 16,
+            status="ok",
+        )
+        (record,) = load_trace(traced)
+        assert record == {
+            "phase": "end",
+            "trace": "e" * 32,
+            "span": "abcd1234abcd1234",
+            "name": "job",
+            "start": 100.0,
+            "duration": 2.5,
+            "pid": os.getpid(),
+            "parent": "f" * 16,
+            "attrs": {"status": "ok"},
+        }
+
+    def test_record_span_inherits_ambient_context(self, traced):
+        with span("outer") as outer:
+            record_span("job", "1234123412341234", start=1.0, duration=0.5)
+        records = {r["name"]: r for r in load_trace(traced)}
+        assert records["job"]["trace"] == outer.trace_id
+        assert records["job"]["parent"] == outer.span_id
+
+    def test_torn_tail_skipped(self, traced):
+        with span("ok"):
+            pass
+        segment = next(
+            os.path.join(traced, n)
+            for n in os.listdir(traced)
+            if n.endswith(".jsonl")
+        )
+        with open(segment, "a", encoding="utf-8") as handle:
+            handle.write('{"phase": "end", "span": "tru')  # torn crash tail
+        records = load_trace(traced)
+        assert [r["name"] for r in records] == ["ok"]
+
+    def test_load_trace_missing_dir(self, tmp_path):
+        assert load_trace(str(tmp_path / "nope")) == []
+
+    def test_segments_are_per_pid(self, traced):
+        with span("a"):
+            pass
+        names = os.listdir(traced)
+        assert names == [f"trace.{os.getpid()}.jsonl"]
+        with open(os.path.join(traced, names[0]), encoding="utf-8") as handle:
+            for line in handle:
+                json.loads(line)  # every line is complete JSON

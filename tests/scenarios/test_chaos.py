@@ -19,6 +19,13 @@ import pytest
 from repro.faults import FAULTS_DIR_ENV_VAR, FAULTS_ENV_VAR, reset_fault_state
 from repro.ga.pinopt import SynthesisDiskCache
 from repro.jobstore import JobStore, RetryPolicy
+from repro.obs.trace import (
+    TRACE_DIR_ENV_VAR,
+    TRACE_ENV_VAR,
+    job_span_id,
+    load_trace,
+    reset_trace_state,
+)
 from repro.sat.solver import BUDGET_ENV_VAR, SolveBudget, SolveBudgetExceeded
 from repro.scenarios.campaign import (
     JOB_KINDS,
@@ -202,6 +209,107 @@ class TestWorkerKill:
         clean = run_campaign(spec, jobs=1)
         assert normalized_json(resumed) == normalized_json(clean)
         assert normalized_csv(resumed) == normalized_csv(clean)
+
+
+# ------------------------------------------------------------------ #
+# Tracing under chaos
+# ------------------------------------------------------------------ #
+class TestTraceChaos:
+    def test_sigkill_reclaim_traces_two_attempts_under_one_job_span(
+        self, tmp_path, monkeypatch
+    ):
+        """The crash story must be legible in the trace itself.
+
+        Kill a traced campaign mid-job, resume it with tracing still on,
+        and the merged trace must show: one trace id across both
+        processes, the killed attempt as an *unfinished* span and the
+        resumed attempt as a finished one — both parented under the job's
+        single deterministic span — and the lease-reclaim event
+        attributed to the surviving owner.
+        """
+        spec = probe_spec()
+        state = tmp_path / "state"
+        trace_directory = tmp_path / "trace"
+        returncode, _ = _drive_subprocess_campaign(
+            tmp_path,
+            spec,
+            state,
+            extra_env={
+                FAULTS_ENV_VAR: "worker_kill:job=probe_2",
+                TRACE_ENV_VAR: "1",
+                TRACE_DIR_ENV_VAR: str(trace_directory),
+            },
+        )
+        assert returncode == -signal.SIGKILL
+
+        monkeypatch.setenv(TRACE_ENV_VAR, "1")
+        monkeypatch.setenv(TRACE_DIR_ENV_VAR, str(trace_directory))
+        reset_trace_state()
+        try:
+            resumed = run_campaign(spec, state_dir=str(state), jobs=1)
+        finally:
+            monkeypatch.delenv(TRACE_ENV_VAR)
+            reset_trace_state()
+        assert resumed.all_ok
+
+        records = load_trace(str(trace_directory))
+        # Both processes joined the one trace persisted in trace.json.
+        trace_ids = {record["trace"] for record in records}
+        assert len(trace_ids) == 1, trace_ids
+        trace_id = trace_ids.pop()
+        probe_2_span = job_span_id(trace_id, "probe_2")
+
+        attempts = [
+            record
+            for record in records
+            if record["name"] == "attempt"
+            and record.get("attrs", {}).get("job") == "probe_2"
+        ]
+        assert len(attempts) == 2, attempts
+        assert all(record["parent"] == probe_2_span for record in attempts)
+        unfinished = [r for r in attempts if r.get("unfinished")]
+        finished = [r for r in attempts if not r.get("unfinished")]
+        assert len(unfinished) == 1 and len(finished) == 1
+        # The killed attempt and the resumed attempt ran in different
+        # processes; the unfinished one is the earlier.
+        assert unfinished[0]["pid"] != finished[0]["pid"]
+        assert unfinished[0]["start"] <= finished[0]["start"]
+
+        # The reclaim edge: recorded under the job span, attributed to
+        # the surviving owner that stole the dead owner's lease.  (The
+        # killed round had also claimed probe_3's lease, so that job
+        # carries its own reclaim event.)
+        (reclaim,) = [
+            r
+            for r in records
+            if r["name"] == "reclaim" and r["attrs"]["job"] == "probe_2"
+        ]
+        assert reclaim["parent"] == probe_2_span
+        survivor = reclaim["attrs"]["owner"]
+        assert survivor and survivor != reclaim["attrs"]["previous"]
+        store = JobStore(str(state), owner="inspector")
+        ok_attempts = [
+            record
+            for record in store.attempts("probe_2")
+            if record.get("status") == "ok"
+        ]
+        assert ok_attempts[0]["owner"] == survivor
+
+        # Exactly one job span for probe_2 — the deterministic id both
+        # processes derive — terminal ok, under a campaign span.
+        (job_record,) = [
+            r
+            for r in records
+            if r["name"] == "job" and r.get("attrs", {}).get("job") == "probe_2"
+        ]
+        assert job_record["span"] == probe_2_span
+        assert job_record["attrs"]["status"] == "ok"
+        campaigns = [r for r in records if r["name"] == "campaign"]
+        assert job_record["parent"] in {r["span"] for r in campaigns}
+        # Two campaign invocations (killed + resume) share the trace; the
+        # killed one survives as an unfinished span.
+        assert len(campaigns) == 2
+        assert sum(bool(r.get("unfinished")) for r in campaigns) == 1
 
 
 # ------------------------------------------------------------------ #
