@@ -316,6 +316,24 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("--dir", type=str, default="",
                               help="cache directory (default REPRO_CACHE_DIR)")
 
+    doctor_parser = subparsers.add_parser(
+        "doctor",
+        help="report the active compute backend (pure vs native) and why",
+        description=(
+            "Diagnose the backend dispatch: which backend REPRO_BACKEND "
+            "requests, whether the compiled extension (repro._native._core) "
+            "imports, which backend new solvers/simulators will actually "
+            "use, and — when the native core is unavailable — the import "
+            "error and the build command that fixes it.  --check runs a "
+            "quick pure-vs-native differential cross-check on top."
+        ),
+    )
+    doctor_parser.add_argument("--json", action="store_true",
+                               help="emit the report as JSON")
+    doctor_parser.add_argument("--check", action="store_true",
+                               help="run a quick pure-vs-native differential "
+                                    "cross-check (needs the extension built)")
+
     trace_parser = subparsers.add_parser(
         "trace",
         help="inspect a recorded trace (runs made with REPRO_TRACE=1)",
@@ -833,6 +851,83 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_doctor(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from . import backend as backend_module
+
+    report = backend_module.backend_report()
+    check_result = None
+    if args.check:
+        check_result = _doctor_check(report)
+        report = dict(report, check=check_result)
+
+    if args.json:
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+    else:
+        env_value = os.environ.get(backend_module.BACKEND_ENV_VAR, "")
+        print("backend doctor:")
+        print(f"  requested:        {report['requested']}"
+              + (f"  ({backend_module.BACKEND_ENV_VAR}={env_value!r})"
+                 if env_value else "  (default)"))
+        print(f"  native available: {report['native_available']}")
+        if report["native_module"]:
+            print(f"  native module:    {report['native_module']}")
+        print(f"  active:           {report['active']}")
+        if report["fallback_reason"]:
+            print(f"  fallback reason:  {report['fallback_reason']}")
+        if not report["native_available"]:
+            print("  build with:       python setup.py build_ext --inplace")
+        if check_result is not None:
+            status = check_result["status"]
+            detail = check_result.get("detail", "")
+            print(f"  cross-check:      {status}" + (f"  ({detail})" if detail else ""))
+
+    if report["active"] == "unavailable":
+        return 1
+    if check_result is not None and check_result["status"] == "FAILED":
+        return 1
+    return 0
+
+
+def _doctor_check(report: dict) -> dict:
+    """Quick differential cross-check for ``repro doctor --check``."""
+    if not report["native_available"]:
+        return {"status": "skipped", "detail": "native extension not built"}
+
+    from .sat.generate import generate_pair
+    from .sat.solver import SatSolver
+
+    pair = generate_pair(24, seed=1)
+    for clauses in (pair.unsat_clauses, pair.sat_clauses):
+        pure = SatSolver(backend="pure")
+        native = SatSolver(backend="native")
+        for clause in clauses:
+            pure.add_clause(clause)
+            native.add_clause(clause)
+        result_pure = pure.solve()
+        result_native = native.solve()
+        if (result_pure.status, result_pure.model) != (
+            result_native.status,
+            result_native.model,
+        ):
+            return {"status": "FAILED", "detail": "solver verdict/model mismatch"}
+        if pure.stats() != native.stats():
+            return {"status": "FAILED", "detail": "solver stats transcript mismatch"}
+
+    from .netlist.generate import random_netlist
+    from .netlist.library import standard_cell_library
+    from .sim import NetlistSimulator, PatternBatch
+
+    netlist = random_netlist(7, standard_cell_library(), num_inputs=6, num_cells=24)
+    batch = PatternBatch.random(6, 256, seed=3)
+    pure_sim = NetlistSimulator(netlist, backend="pure")
+    native_sim = NetlistSimulator(netlist, backend="native")
+    if pure_sim.net_lanes(batch) != native_sim.net_lanes(batch):
+        return {"status": "FAILED", "detail": "simulator lane mismatch"}
+    return {"status": "OK", "detail": "solver + simulator transcripts identical"}
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     from .obs.render import (
         render_critical_path,
@@ -944,6 +1039,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": _command_campaign,
         "serve": _command_serve,
         "cache": _command_cache,
+        "doctor": _command_doctor,
         "trace": _command_trace,
     }
     return handlers[args.command](args)

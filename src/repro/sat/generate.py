@@ -1,0 +1,142 @@
+"""NeuroSAT-style random CNF pair generation (SR(n) distribution).
+
+Following Selsam et al.'s *SR(n)* scheme: clauses are sampled one at a
+time — each of size ``1 + Bernoulli(0.7) + Geometric(0.4)`` over distinct
+variables with random polarities — and added to an incremental solver
+until the formula first becomes UNSAT.  Flipping a single literal of that
+final clause usually yields a satisfiable twin, so each draw produces an
+(UNSAT, SAT) pair differing in one literal: ideal for differential
+cross-checking (both backends must agree on razor-thin sat/unsat
+boundaries) and as an adversarial solver corpus whose difficulty dials
+directly on the variable count.
+
+The generator is a pure function of its seed — pairs regenerate
+bit-identically across runs, platforms, and backends.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .solver import SatSolver
+
+__all__ = ["CnfPair", "generate_pair", "generate_corpus"]
+
+#: Probability that a sampled clause gets a second "base" literal.
+_BERNOULLI_P = 0.7
+
+#: Success probability of the geometric tail on the clause size.
+_GEOMETRIC_P = 0.4
+
+
+@dataclass(frozen=True)
+class CnfPair:
+    """An (UNSAT, SAT) clause-set pair differing in a single literal."""
+
+    num_vars: int
+    unsat_clauses: Tuple[Tuple[int, ...], ...]
+    sat_clauses: Tuple[Tuple[int, ...], ...]
+
+
+def _sample_clause_size(rng: random.Random, num_vars: int) -> int:
+    size = 1
+    if rng.random() < _BERNOULLI_P:
+        size += 1
+    while rng.random() < 1.0 - _GEOMETRIC_P:
+        size += 1
+    return min(size, num_vars)
+
+
+def _sample_clause(rng: random.Random, num_vars: int) -> Tuple[int, ...]:
+    size = _sample_clause_size(rng, num_vars)
+    variables = rng.sample(range(1, num_vars + 1), size)
+    return tuple(
+        variable if rng.random() < 0.5 else -variable for variable in variables
+    )
+
+
+def _is_satisfiable(clauses: List[Tuple[int, ...]], num_vars: int) -> bool:
+    solver = SatSolver()
+    solver.reserve_vars(num_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver.solve().satisfiable
+
+
+def generate_pair(
+    num_vars: int,
+    seed: int,
+    max_clauses: Optional[int] = None,
+) -> CnfPair:
+    """Generate one SR(``num_vars``) pair from a seed.
+
+    Clauses are added to an incremental solver until the conjunction first
+    turns UNSAT; the SAT twin flips one literal of the culprit clause
+    (falling back to other literals — and, in the vanishingly rare case
+    where no single flip helps, resampling the final clause) so the two
+    members differ in exactly one literal.
+    """
+    if num_vars < 2:
+        raise ValueError("num_vars must be at least 2")
+    rng = random.Random(seed)
+    limit = max_clauses if max_clauses is not None else 200 * num_vars
+    solver = SatSolver()
+    solver.reserve_vars(num_vars)
+    clauses: List[Tuple[int, ...]] = []
+    while True:
+        if len(clauses) >= limit:
+            raise RuntimeError(
+                f"no UNSAT point within {limit} clauses (num_vars={num_vars}, "
+                f"seed={seed})"
+            )
+        clause = _sample_clause(rng, num_vars)
+        solver.add_clause(clause)
+        clauses.append(clause)
+        if not solver.solve().satisfiable:
+            break
+    # Try flipping each literal of the final clause; the first flip almost
+    # always works (the prefix without the clause was satisfiable).
+    prefix = clauses[:-1]
+    final = clauses[-1]
+    for position in range(len(final)):
+        flipped = tuple(
+            -literal if index == position else literal
+            for index, literal in enumerate(final)
+        )
+        candidate = prefix + [flipped]
+        if _is_satisfiable(candidate, num_vars):
+            return CnfPair(
+                num_vars=num_vars,
+                unsat_clauses=tuple(clauses),
+                sat_clauses=tuple(candidate),
+            )
+    # Degenerate final clause (e.g. a unit whose flip is also blocked):
+    # drop it and keep sampling for a different UNSAT point.
+    replacement = generate_pair(num_vars, rng.randrange(2**31), max_clauses=limit)
+    return replacement
+
+
+def generate_corpus(
+    count: int,
+    min_vars: int = 5,
+    max_vars: int = 40,
+    seed: int = 0,
+) -> List[CnfPair]:
+    """Generate ``count`` pairs with variable counts uniform in the range.
+
+    The difficulty dial is the variable range: SR(10–40) instances solve in
+    milliseconds, SR(100–200) in seconds — scale ``min_vars``/``max_vars``
+    to the budget of the harness consuming the corpus.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if min_vars < 2 or max_vars < min_vars:
+        raise ValueError("need 2 <= min_vars <= max_vars")
+    rng = random.Random(seed)
+    corpus: List[CnfPair] = []
+    for _ in range(count):
+        num_vars = rng.randint(min_vars, max_vars)
+        corpus.append(generate_pair(num_vars, seed=rng.randrange(2**31)))
+    return corpus

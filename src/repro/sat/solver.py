@@ -70,6 +70,8 @@ __all__ = [
     "RESTART_ENV_VAR",
     "RESTART_STRATEGIES",
     "BUDGET_ENV_VAR",
+    "FORGET_ENV_VAR",
+    "DEFAULT_FORGET_LIMIT",
 ]
 
 #: Environment variable selecting the default restart strategy by name.
@@ -78,12 +80,47 @@ RESTART_ENV_VAR = "REPRO_RESTARTS"
 #: Environment variable supplying a default per-call solve budget spec.
 BUDGET_ENV_VAR = "REPRO_SOLVE_BUDGET"
 
+#: Environment variable enabling LBD clause forgetting ("1"/"true" for the
+#: default schedule, an integer for a custom initial database limit, unset
+#: or "0" for the transcript-identical historic behaviour).
+FORGET_ENV_VAR = "REPRO_CLAUSE_FORGET"
+
+#: Initial learned-database size that triggers the first LBD reduction.
+DEFAULT_FORGET_LIMIT = 2000
+
 #: Restart strategies accepted by :class:`SatSolver`.
 RESTART_STRATEGIES = ("geometric", "luby")
 
 _UNASSIGNED = 0
 _TRUE = 1
 _FALSE = -1
+
+_FORGET_OFF_WORDS = ("", "0", "false", "no", "off")
+_FORGET_ON_WORDS = ("1", "true", "yes", "on")
+
+
+def _resolve_clause_forget(value) -> int:
+    """Resolve the clause-forgetting knob to an initial DB limit (0 = off)."""
+    if value is None:
+        raw = os.environ.get(FORGET_ENV_VAR, "").strip().lower()
+        if raw in _FORGET_OFF_WORDS:
+            return 0
+        if raw in _FORGET_ON_WORDS:
+            return DEFAULT_FORGET_LIMIT
+        try:
+            limit = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{FORGET_ENV_VAR} must be a boolean word or an integer "
+                f"limit, got {raw!r}"
+            ) from None
+        return limit if limit > 0 else 0
+    if value is True:
+        return DEFAULT_FORGET_LIMIT
+    if value is False:
+        return 0
+    limit = int(value)
+    return limit if limit > 0 else 0
 
 
 class SolveBudgetExceeded(RuntimeError):
@@ -230,6 +267,8 @@ class SatSolver:
         formula: Optional[Cnf] = None,
         follow: bool = False,
         restart_strategy: Optional[str] = None,
+        backend: Optional[str] = None,
+        clause_forget=None,
     ):
         strategy = restart_strategy or os.environ.get(RESTART_ENV_VAR) or "geometric"
         if strategy not in RESTART_STRATEGIES:
@@ -238,9 +277,21 @@ class SatSolver:
                 f"{sorted(RESTART_STRATEGIES)}"
             )
         self.restart_strategy = strategy
+        self._forget_limit = _resolve_clause_forget(clause_forget)
+        from .. import backend as backend_mod
+
+        self.backend = backend_mod.active_backend(backend)
+        self._core = None
+        if self.backend == "native":
+            self._core = backend_mod.native_module().SolverCore(
+                luby=1 if strategy == "luby" else 0,
+                luby_base=self.LUBY_BASE,
+                forget_limit=self._forget_limit,
+            )
         self._num_vars = 0
         self._clauses: List[List[int]] = []
         self._learned_flags: List[bool] = []
+        self._clause_lbd: List[int] = []
         self._num_learned = 0
         # Problem clauses as added by the client, including units and
         # clauses simplified away at level 0 (which never reach _clauses).
@@ -269,6 +320,10 @@ class SatSolver:
         self.solve_calls = 0
         self.restarts = 0
         self.budget_exhaustions = 0
+        self.forgotten_clauses = 0
+        # Budget exhaustions recorded outside the native core (fault
+        # injection); added to the core's own count when mirroring.
+        self._extra_budget_exhaustions = 0
 
         if formula is not None:
             self.reserve_vars(formula.num_vars)
@@ -285,8 +340,27 @@ class SatSolver:
         """Number of variables the solver currently knows about."""
         return self._num_vars
 
+    def _sync_counters(self) -> None:
+        """Mirror the native core's counters onto the Python attributes."""
+        core = self._core
+        self.conflicts = core.conflicts
+        self.decisions = core.decisions
+        self.propagations = core.propagations
+        self.restarts = core.restarts
+        self.forgotten_clauses = core.forgotten_clauses
+        self.budget_exhaustions = (
+            core.budget_exhaustions + self._extra_budget_exhaustions
+        )
+        self._num_vars = core.num_vars
+        self._num_learned = core.num_learned
+        self._trivially_unsat = bool(core.trivially_unsat)
+
     def reserve_vars(self, num_vars: int) -> None:
         """Grow the per-variable arrays so variables up to ``num_vars`` exist."""
+        if self._core is not None:
+            self._core.reserve_vars(num_vars)
+            self._num_vars = self._core.num_vars
+            return
         grow = num_vars - self._num_vars
         if grow <= 0:
             return
@@ -329,6 +403,10 @@ class SatSolver:
         self._num_problem_clauses += 1
         if self._trivially_unsat:
             return
+        if self._core is not None:
+            self._core.add_clause(clause)
+            self._sync_counters()
+            return
         self._backtrack(0)
         if clause:
             self.reserve_vars(max(abs(literal) for literal in clause))
@@ -362,10 +440,13 @@ class SatSolver:
         for clause in clauses:
             self.add_clause(clause)
 
-    def _attach_clause(self, literals: List[int], learned: bool = False) -> int:
+    def _attach_clause(
+        self, literals: List[int], learned: bool = False, lbd: int = 0
+    ) -> int:
         index = len(self._clauses)
         self._clauses.append(literals)
         self._learned_flags.append(learned)
+        self._clause_lbd.append(lbd)
         if learned:
             self._num_learned += 1
         self._watches.setdefault(literals[0], []).append(index)
@@ -442,7 +523,7 @@ class SatSolver:
     # -------------------------------------------------------------- #
     # Conflict analysis (first UIP)
     # -------------------------------------------------------------- #
-    def _analyze(self, conflict_index: int) -> Tuple[List[int], int]:
+    def _analyze(self, conflict_index: int) -> Tuple[List[int], int, int]:
         learned: List[int] = [0]  # placeholder for the asserting literal
         seen = [False] * (self._num_vars + 1)
         counter = 0
@@ -491,7 +572,12 @@ class SatSolver:
                     best = position
             learned[1], learned[best] = learned[best], learned[1]
             backtrack_level = self._level[abs(learned[1])]
-        return learned, backtrack_level
+        lbd = 0
+        if self._forget_limit:
+            # Literal block distance: distinct decision levels among the
+            # learned literals, measured before backtracking.
+            lbd = len({self._level[abs(literal)] for literal in learned})
+        return learned, backtrack_level, lbd
 
     def _bump_activity(self, variable: int) -> None:
         self._activity[variable] += self._activity_increment
@@ -541,23 +627,97 @@ class SatSolver:
         # skips, and they are all nulled after the rebuild below.
         kept_clauses: List[List[int]] = []
         kept_flags: List[bool] = []
+        kept_lbd: List[int] = []
         long_clauses: List[List[int]] = []
+        long_lbd: List[int] = []
         for index, clause in enumerate(self._clauses):
             if not self._learned_flags[index]:
                 kept_clauses.append(clause)
                 kept_flags.append(False)
+                kept_lbd.append(self._clause_lbd[index])
             elif len(clause) <= 4:
                 kept_clauses.append(clause)
                 kept_flags.append(True)
+                kept_lbd.append(self._clause_lbd[index])
             else:
                 long_clauses.append(clause)
+                long_lbd.append(self._clause_lbd[index])
         keep_count = int(len(long_clauses) * keep_fraction)
         if keep_count:
             kept_clauses.extend(long_clauses[-keep_count:])
             kept_flags.extend([True] * keep_count)
+            kept_lbd.extend(long_lbd[-keep_count:])
         self._clauses = kept_clauses
         self._learned_flags = kept_flags
+        self._clause_lbd = kept_lbd
         self._num_learned = sum(kept_flags)
+        self._rebuild_watches_and_reasons()
+
+    def _reduce_learned_lbd(self) -> None:
+        """LBD-scored learned-clause forgetting (``REPRO_CLAUSE_FORGET``).
+
+        Glue clauses (LBD <= 2) are permanent.  Of the remaining learned
+        clauses, the half with the highest LBD is dropped (ties broken by
+        age: newer clauses survive).  The trigger limit grows geometrically
+        after every reduction attempt, so forgetting stays amortised.
+        """
+        if self._decision_level() != 0:
+            return
+        if self._num_learned < self._forget_limit:
+            return
+        candidate_lbds = [
+            self._clause_lbd[index]
+            for index in range(len(self._clauses))
+            if self._learned_flags[index] and self._clause_lbd[index] > 2
+        ]
+        if not candidate_lbds:
+            self._forget_limit += self._forget_limit // 2
+            return
+        keep_target = len(candidate_lbds) // 2
+        buckets: Dict[int, int] = {}
+        for lbd in candidate_lbds:
+            buckets[lbd] = buckets.get(lbd, 0) + 1
+        max_lbd = max(candidate_lbds)
+        # Keep whole LBD buckets from 3 upward while they fit, then fill the
+        # remainder from the threshold bucket newest-first — fully integer
+        # arithmetic, so the native twin reproduces it exactly.
+        threshold = 3
+        acc = 0
+        while threshold <= max_lbd and acc + buckets.get(threshold, 0) <= keep_target:
+            acc += buckets.get(threshold, 0)
+            threshold += 1
+        remaining = keep_target - acc
+        keep_flag = set()
+        for index in range(len(self._clauses) - 1, -1, -1):
+            if remaining <= 0:
+                break
+            if self._learned_flags[index] and self._clause_lbd[index] == threshold:
+                keep_flag.add(index)
+                remaining -= 1
+        kept_clauses: List[List[int]] = []
+        kept_flags: List[bool] = []
+        kept_lbd: List[int] = []
+        for index, clause in enumerate(self._clauses):
+            lbd = self._clause_lbd[index]
+            if (
+                not self._learned_flags[index]
+                or lbd <= 2
+                or lbd < threshold
+                or index in keep_flag
+            ):
+                kept_clauses.append(clause)
+                kept_flags.append(self._learned_flags[index])
+                kept_lbd.append(lbd)
+            else:
+                self.forgotten_clauses += 1
+        self._clauses = kept_clauses
+        self._learned_flags = kept_flags
+        self._clause_lbd = kept_lbd
+        self._num_learned = sum(kept_flags)
+        self._rebuild_watches_and_reasons()
+        self._forget_limit += self._forget_limit // 2
+
+    def _rebuild_watches_and_reasons(self) -> None:
         self._watches = {}
         for index, clause in enumerate(self._clauses):
             if len(clause) >= 2:
@@ -610,18 +770,26 @@ class SatSolver:
         accumulated so far.
         """
         self.solve_calls += 1
-        stats_base = (self.conflicts, self.decisions, self.propagations)
+        stats_base = (
+            self.conflicts,
+            self.decisions,
+            self.propagations,
+            self.forgotten_clauses,
+        )
         for literal in assumptions:
             if literal == 0:
                 raise ValueError("0 is not a valid assumption literal")
             self.reserve_vars(abs(literal))
         if faults_enabled() and fault_fires("solver_unknown"):
             self.budget_exhaustions += 1
+            self._extra_budget_exhaustions += 1
             return self._unknown_result(stats_base)
         if self._trivially_unsat:
             return self._unsat_result(stats_base)
         if budget is not None and budget.unbounded:
             budget = None
+        if self._core is not None:
+            return self._solve_native(assumptions, budget, stats_base)
         deadline = None
         if budget is not None and budget.max_seconds is not None:
             deadline = time.monotonic() + budget.max_seconds
@@ -658,14 +826,14 @@ class SatSolver:
                     self.budget_exhaustions += 1
                     self._backtrack(0)
                     return self._unknown_result(stats_base)
-                learned, backtrack_level = self._analyze(conflict)
+                learned, backtrack_level, lbd = self._analyze(conflict)
                 self._backtrack(backtrack_level)
                 if len(learned) == 1:
                     if not self._enqueue(learned[0], None):
                         self._trivially_unsat = True
                         return self._unsat_result(stats_base)
                 else:
-                    clause_index = self._attach_clause(learned, learned=True)
+                    clause_index = self._attach_clause(learned, learned=True, lbd=lbd)
                     self._enqueue(learned[0], clause_index)
                 self._decay_activities()
                 if conflicts_since_restart >= restart_limit:
@@ -681,7 +849,10 @@ class SatSolver:
                     else:
                         restart_limit = int(restart_limit * 1.5)
                     self._backtrack(0)
-                    self._reduce_learned()
+                    if self._forget_limit:
+                        self._reduce_learned_lbd()
+                    else:
+                        self._reduce_learned()
                 continue
 
             # Apply pending assumptions as decisions.
@@ -705,13 +876,40 @@ class SatSolver:
             phase = self._phase[variable]
             self._enqueue(variable if phase else -variable, None)
 
+    def _solve_native(
+        self,
+        assumptions: Sequence[int],
+        budget: Optional[SolveBudget],
+        stats_base: Tuple[int, int, int, int],
+    ) -> SatResult:
+        """Delegate the search to the compiled core (transcript-identical)."""
+        max_conflicts = -1
+        max_propagations = -1
+        max_seconds = -1.0
+        if budget is not None:
+            if budget.max_conflicts is not None:
+                max_conflicts = budget.max_conflicts
+            if budget.max_propagations is not None:
+                max_propagations = budget.max_propagations
+            if budget.max_seconds is not None:
+                max_seconds = budget.max_seconds
+        status, model = self._core.solve(
+            tuple(assumptions), max_conflicts, max_propagations, max_seconds
+        )
+        self._sync_counters()
+        if status == 1:
+            return self._sat_result(stats_base, model=model)
+        if status == 0:
+            return self._unsat_result(stats_base)
+        return self._unknown_result(stats_base)
+
     # -------------------------------------------------------------- #
     # Results / statistics
     # -------------------------------------------------------------- #
     def _budget_exhausted(
         self,
         budget: SolveBudget,
-        stats_base: Tuple[int, int, int],
+        stats_base: Tuple[int, ...],
         deadline: Optional[float],
     ) -> bool:
         if (
@@ -740,26 +938,36 @@ class SatSolver:
             "num_vars": self._num_vars,
             "num_clauses": self._num_problem_clauses,
             "learned_clauses": self._num_learned,
+            "forgotten_clauses": self.forgotten_clauses,
         }
 
-    def _note_solve(self, status: str, stats_base: Tuple[int, int, int]) -> None:
+    def _note_solve(self, status: str, stats_base: Tuple[int, ...]) -> None:
         obs_metrics.counter("repro_solver_solve_calls_total", status=status)
         deltas = (
             ("repro_solver_conflicts_total", self.conflicts - stats_base[0]),
             ("repro_solver_decisions_total", self.decisions - stats_base[1]),
             ("repro_solver_propagations_total", self.propagations - stats_base[2]),
+            (
+                "repro_solver_forgotten_clauses_total",
+                self.forgotten_clauses - stats_base[3] if len(stats_base) > 3 else 0,
+            ),
         )
         for name, delta in deltas:
             if delta:
                 obs_metrics.counter(name, delta)
 
-    def _sat_result(self, stats_base: Tuple[int, int, int]) -> SatResult:
+    def _sat_result(
+        self,
+        stats_base: Tuple[int, ...],
+        model: Optional[Dict[int, bool]] = None,
+    ) -> SatResult:
         self._note_solve("sat", stats_base)
-        model = {
-            variable: self._assign[variable] == _TRUE
-            for variable in range(1, self._num_vars + 1)
-            if self._assign[variable] != _UNASSIGNED
-        }
+        if model is None:
+            model = {
+                variable: self._assign[variable] == _TRUE
+                for variable in range(1, self._num_vars + 1)
+                if self._assign[variable] != _UNASSIGNED
+            }
         return SatResult(
             True,
             model=model,
@@ -768,7 +976,7 @@ class SatSolver:
             propagations=self.propagations - stats_base[2],
         )
 
-    def _unsat_result(self, stats_base: Tuple[int, int, int]) -> SatResult:
+    def _unsat_result(self, stats_base: Tuple[int, ...]) -> SatResult:
         self._note_solve("unsat", stats_base)
         return SatResult(
             False,
@@ -777,7 +985,7 @@ class SatSolver:
             propagations=self.propagations - stats_base[2],
         )
 
-    def _unknown_result(self, stats_base: Tuple[int, int, int]) -> SatResult:
+    def _unknown_result(self, stats_base: Tuple[int, ...]) -> SatResult:
         self._note_solve("unknown", stats_base)
         return SatResult(
             False,

@@ -107,6 +107,20 @@ class WorkerAgent:
         polling for new submissions.  ``max_jobs`` caps executed jobs
         (tests).
         """
+        from ..backend import backend_report
+
+        report = backend_report()
+        self._log(
+            f"[{self.worker_id}] compute backend: {report['active']}"
+            + (
+                f" (fallback: {report['fallback_reason']})"
+                if report["fallback_reason"]
+                else ""
+            ),
+            worker=self.worker_id,
+            backend=report["active"],
+            native_available=report["native_available"],
+        )
         while True:
             if campaign is not None:
                 campaign_ids = [campaign]

@@ -12,7 +12,7 @@ import random
 import pytest
 
 from repro.netlist.window import WINDOWING_ENV_VAR
-from repro.sat.solver import RESTART_ENV_VAR
+from repro.sat.solver import FORGET_ENV_VAR, RESTART_ENV_VAR
 from repro.synth.script import SCHEDULER_ENV_VAR
 
 
@@ -21,12 +21,20 @@ def _pin_default_strategies(monkeypatch):
     """Pin every test to the byte-identical default strategies.
 
     The strategy env knobs (pass scheduler, windowing policy, restart
-    schedule) change traces, window decompositions, and solver-count
-    transcripts; the suite's pinned expectations assume the defaults, so a
-    developer's ambient environment must not leak in.  Tests that exercise
-    the knobs set them explicitly via monkeypatch.
+    schedule, clause forgetting) change traces, window decompositions, and
+    solver-count transcripts; the suite's pinned expectations assume the
+    defaults, so a developer's ambient environment must not leak in.  Tests
+    that exercise the knobs set them explicitly via monkeypatch.
+    ``REPRO_BACKEND`` is deliberately *not* pinned: both backends produce
+    identical transcripts, and CI's native leg runs this suite under
+    ``REPRO_BACKEND=native`` to prove it.
     """
-    for variable in (SCHEDULER_ENV_VAR, WINDOWING_ENV_VAR, RESTART_ENV_VAR):
+    for variable in (
+        SCHEDULER_ENV_VAR,
+        WINDOWING_ENV_VAR,
+        RESTART_ENV_VAR,
+        FORGET_ENV_VAR,
+    ):
         monkeypatch.delenv(variable, raising=False)
 
 from repro.camo import default_camouflage_library

@@ -1,0 +1,26 @@
+"""Shared guards for the native-backend differential harness.
+
+Every test in this directory needs the compiled extension; when it is not
+built the whole directory skips cleanly (the pure backend is covered by
+the ordinary suite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import native_import_error, native_module
+
+
+def pytest_collection_modifyitems(config, items):
+    if native_module() is not None:
+        return
+    marker = pytest.mark.skip(
+        reason=(
+            "native extension not built; run "
+            "`python setup.py build_ext --inplace` "
+            f"(import error: {native_import_error()})"
+        )
+    )
+    for item in items:
+        item.add_marker(marker)
